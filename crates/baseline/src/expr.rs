@@ -1,0 +1,166 @@
+//! Scalar expressions over typed rows: column references, literals,
+//! comparisons, boolean combinators, `BETWEEN`, and `IN`.
+
+use crate::row::Row;
+use rede_common::{RedeError, Result, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Column by index.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `lo <= e AND e <= hi` (inclusive).
+    Between(Box<Expr>, Value, Value),
+    /// Membership.
+    InList(Box<Expr>, Vec<Value>),
+}
+
+impl Expr {
+    /// `col(i)` shorthand.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self BETWEEN lo AND hi`.
+    pub fn between(self, lo: impl Into<Value>, hi: impl Into<Value>) -> Expr {
+        Expr::Between(Box::new(self), lo.into(), hi.into())
+    }
+
+    /// `self IN (values…)`.
+    pub fn in_list(self, values: Vec<Value>) -> Expr {
+        Expr::InList(Box::new(self), values)
+    }
+
+    /// Evaluate to a value.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        Ok(match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| RedeError::Exec(format!("row has no column {i}")))?,
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let (a, b) = (a.eval(row)?, b.eval(row)?);
+                let ord = a.cmp(&b);
+                Value::Bool(match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                })
+            }
+            Expr::And(a, b) => Value::Bool(a.eval_bool(row)? && b.eval_bool(row)?),
+            Expr::Or(a, b) => Value::Bool(a.eval_bool(row)? || b.eval_bool(row)?),
+            Expr::Not(a) => Value::Bool(!a.eval_bool(row)?),
+            Expr::Between(e, lo, hi) => {
+                let v = e.eval(row)?;
+                Value::Bool(v >= *lo && v <= *hi)
+            }
+            Expr::InList(e, values) => {
+                let v = e.eval(row)?;
+                Value::Bool(values.contains(&v))
+            }
+        })
+    }
+
+    /// Evaluate as a predicate.
+    pub fn eval_bool(&self, row: &Row) -> Result<bool> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(RedeError::Exec(format!(
+                "predicate evaluated to {other}, not bool"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(5), Value::str("ASIA"), Value::Float(2.5)]
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            Expr::col(0).eq(Expr::lit(5i64)).eval(&row()).unwrap(),
+            Value::Bool(true)
+        );
+        let lt = Expr::Cmp(CmpOp::Lt, Box::new(Expr::col(2)), Box::new(Expr::lit(3.0)));
+        assert_eq!(lt.eval(&row()).unwrap(), Value::Bool(true));
+        let ge = Expr::Cmp(CmpOp::Ge, Box::new(Expr::col(0)), Box::new(Expr::lit(6i64)));
+        assert_eq!(ge.eval(&row()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        assert!(t.clone().and(t.clone()).eval_bool(&row()).unwrap());
+        assert!(!t.clone().and(f.clone()).eval_bool(&row()).unwrap());
+        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone()))
+            .eval_bool(&row())
+            .unwrap());
+        assert!(!Expr::Not(Box::new(t)).eval_bool(&row()).unwrap());
+    }
+
+    #[test]
+    fn between_and_in() {
+        assert!(Expr::col(0).between(1i64, 5i64).eval_bool(&row()).unwrap());
+        assert!(!Expr::col(0).between(6i64, 9i64).eval_bool(&row()).unwrap());
+        assert!(Expr::col(1)
+            .in_list(vec![Value::str("ASIA"), Value::str("EUROPE")])
+            .eval_bool(&row())
+            .unwrap());
+        assert!(!Expr::col(1)
+            .in_list(vec![Value::str("AFRICA")])
+            .eval_bool(&row())
+            .unwrap());
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(Expr::col(9).eval(&row()).is_err());
+        assert!(Expr::lit(1i64).eval_bool(&row()).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline systems the paper compares ReDe against.
+//!
+//! * [`engine`] — an Impala-like analytical query engine: external-table
+//!   scans over the raw lake files (schema applied at scan time), a
+//!   grace-style partitioned hash join, hash aggregation, and **statically
+//!   defined parallelism** (one worker per core per node — "dozens of
+//!   statically defined parallelism (usually matching the number of CPU
+//!   cores) in each computing node"). No indexes: every query reads its
+//!   inputs in full, exactly like the paper's Impala 3.0 setup.
+//! * [`warehouse`] — the data-warehouse comparator of the case study
+//!   (§ IV): data normalized into relational tables accessed through
+//!   key-partitioned layout and global indexes with fine-grained massively
+//!   parallel execution. Used with per-record access counting to reproduce
+//!   Fig. 9.
+//!
+//! Shared infrastructure: [`row`] (typed rows parsed from raw records),
+//! [`expr`] (predicate/projection expressions), [`ops`] (pull-based
+//! operators), [`scan`] (statically parallel charged table scans).
+
+pub mod engine;
+pub mod expr;
+pub mod ops;
+pub mod row;
+pub mod scan;
+pub mod warehouse;
+
+pub use engine::{Engine, EngineConfig, JoinSpec, SpjPlan, SpjResult, TableScanSpec};
+pub use expr::Expr;
+pub use ops::{HashAggregateOp, HashJoinOp, MemSource, Operator};
+pub use row::{ColType, Row, RowBatch, RowParser, Schema};
+pub use warehouse::Warehouse;

@@ -1,0 +1,228 @@
+//! Typed rows and schema-at-scan parsing.
+//!
+//! The Impala-like engine treats lake files as *external tables*: a
+//! [`RowParser`] carries the column types and is applied to each raw record
+//! at scan time, turning it into a typed [`Row`]. Rows travel between
+//! operators in [`RowBatch`]es.
+
+use rede_common::{Date, RedeError, Result, Value};
+use rede_storage::Record;
+use std::sync::Arc;
+
+/// Declared type of one external-table column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    Int,
+    Float,
+    Str,
+    Date,
+}
+
+impl ColType {
+    fn parse(&self, raw: &str) -> Result<Value> {
+        match self {
+            ColType::Int => raw
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| RedeError::Interpret(format!("not an int: {raw:?}"))),
+            ColType::Float => raw
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| RedeError::Interpret(format!("not a float: {raw:?}"))),
+            ColType::Str => Ok(Value::str(raw)),
+            ColType::Date => {
+                let bad = || RedeError::Interpret(format!("not a date: {raw:?}"));
+                let mut it = raw.splitn(3, '-');
+                let y: i32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let m: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let d: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                Ok(Value::Date(Date::from_ymd(y, m, d)))
+            }
+        }
+    }
+}
+
+/// Named, typed column list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    columns: Vec<(String, ColType)>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs.
+    pub fn new(columns: Vec<(&str, ColType)>) -> Arc<Schema> {
+        Arc::new(Schema {
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| RedeError::NotFound(format!("column '{name}'")))
+    }
+
+    /// Column name by index.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.columns[idx].0
+    }
+
+    /// Column type by index.
+    pub fn col_type(&self, idx: usize) -> ColType {
+        self.columns[idx].1
+    }
+
+    /// Concatenate two schemas (join output). Right-side names are prefixed
+    /// if they collide.
+    pub fn join(&self, right: &Schema) -> Arc<Schema> {
+        let mut columns = self.columns.clone();
+        for (n, t) in &right.columns {
+            let name = if self.columns.iter().any(|(l, _)| l == n) {
+                format!("r.{n}")
+            } else {
+                n.clone()
+            };
+            columns.push((name, *t));
+        }
+        Arc::new(Schema { columns })
+    }
+}
+
+/// One typed row.
+pub type Row = Vec<Value>;
+
+/// A batch of rows sharing a schema.
+#[derive(Debug, Clone)]
+pub struct RowBatch {
+    pub schema: Arc<Schema>,
+    pub rows: Vec<Row>,
+}
+
+impl RowBatch {
+    /// Empty batch of a schema.
+    pub fn empty(schema: Arc<Schema>) -> RowBatch {
+        RowBatch {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Parses raw delimited records into typed rows at scan time.
+#[derive(Debug, Clone)]
+pub struct RowParser {
+    schema: Arc<Schema>,
+    delim: char,
+}
+
+impl RowParser {
+    /// Parser for `delim`-separated records under `schema`.
+    pub fn new(schema: Arc<Schema>, delim: char) -> RowParser {
+        RowParser { schema, delim }
+    }
+
+    /// The schema rows are produced under.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Parse one record; errors if any column is missing or mistyped.
+    pub fn parse(&self, record: &Record) -> Result<Row> {
+        let text = record.text()?;
+        let mut row = Vec::with_capacity(self.schema.arity());
+        let mut fields = text.split(self.delim);
+        for i in 0..self.schema.arity() {
+            let raw = fields.next().ok_or_else(|| {
+                RedeError::Interpret(format!(
+                    "record has {} fields, schema wants {}",
+                    i,
+                    self.schema.arity()
+                ))
+            })?;
+            row.push(self.schema.col_type(i).parse(raw)?);
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            ("id", ColType::Int),
+            ("name", ColType::Str),
+            ("price", ColType::Float),
+            ("day", ColType::Date),
+        ])
+    }
+
+    #[test]
+    fn parse_typed_row() {
+        let p = RowParser::new(schema(), '|');
+        let row = p
+            .parse(&Record::from_text("7|widget|1.25|1995-06-17"))
+            .unwrap();
+        assert_eq!(row[0], Value::Int(7));
+        assert_eq!(row[1], Value::str("widget"));
+        assert_eq!(row[2], Value::Float(1.25));
+        assert_eq!(row[3], Value::Date(Date::from_ymd(1995, 6, 17)));
+    }
+
+    #[test]
+    fn parse_allows_extra_trailing_fields() {
+        // Schema-on-read: the reader takes what it declares and ignores the
+        // rest of the record.
+        let p = RowParser::new(schema(), '|');
+        assert!(p
+            .parse(&Record::from_text("7|w|1.0|1995-01-01|extra|junk"))
+            .is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_short_or_mistyped() {
+        let p = RowParser::new(schema(), '|');
+        assert!(p.parse(&Record::from_text("7|w")).is_err());
+        assert!(p.parse(&Record::from_text("x|w|1.0|1995-01-01")).is_err());
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = schema();
+        assert_eq!(s.col("price").unwrap(), 2);
+        assert!(s.col("missing").is_err());
+        assert_eq!(s.name(1), "name");
+        assert_eq!(s.arity(), 4);
+    }
+
+    #[test]
+    fn schema_join_disambiguates_collisions() {
+        let left = Schema::new(vec![("id", ColType::Int), ("x", ColType::Int)]);
+        let right = Schema::new(vec![("id", ColType::Int), ("y", ColType::Int)]);
+        let joined = left.join(&right);
+        assert_eq!(joined.arity(), 4);
+        assert_eq!(joined.name(2), "r.id");
+        assert_eq!(joined.name(3), "y");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the baseline engine's operators against naive
+//! reference implementations.
+
+use proptest::prelude::*;
+use rede_baseline::expr::Expr;
+use rede_baseline::ops::{AggFunc, HashAggregateOp, HashJoinOp, MemSource, Operator};
+use rede_baseline::row::{ColType, Row, Schema};
+use rede_common::Value;
+use std::sync::Arc;
+
+fn two_col() -> Arc<Schema> {
+    Schema::new(vec![("k", ColType::Int), ("v", ColType::Int)])
+}
+
+fn rows(pairs: &[(i64, i64)]) -> Vec<Row> {
+    pairs
+        .iter()
+        .map(|&(k, v)| vec![Value::Int(k), Value::Int(v)])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grace hash join == naive nested-loop join (as multisets), for any
+    /// fanout.
+    #[test]
+    fn hash_join_matches_nested_loops(
+        left in prop::collection::vec((0i64..30, any::<i64>()), 0..60),
+        right in prop::collection::vec((0i64..30, any::<i64>()), 0..60),
+        fanout in 1usize..20,
+    ) {
+        let mut join = HashJoinOp::new(
+            Box::new(MemSource::from_rows(two_col(), rows(&left))),
+            0,
+            Box::new(MemSource::from_rows(two_col(), rows(&right))),
+            0,
+            fanout,
+        )
+        .unwrap();
+        let mut got: Vec<Vec<i64>> = join
+            .collect_rows()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.iter().map(|v| v.as_int().unwrap()).collect())
+            .collect();
+        got.sort();
+
+        let mut want: Vec<Vec<i64>> = Vec::new();
+        for &(lk, lv) in &left {
+            for &(rk, rv) in &right {
+                if lk == rk {
+                    want.push(vec![lk, lv, rk, rv]);
+                }
+            }
+        }
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Hash aggregate == naive fold.
+    #[test]
+    fn aggregate_matches_fold(input in prop::collection::vec((0i64..10, -1000i64..1000), 0..80)) {
+        let out_schema = Schema::new(vec![
+            ("k", ColType::Int),
+            ("sum", ColType::Int),
+            ("cnt", ColType::Int),
+            ("min", ColType::Int),
+            ("max", ColType::Int),
+        ]);
+        let mut agg = HashAggregateOp::new(
+            Box::new(MemSource::from_rows(two_col(), rows(&input))),
+            vec![0],
+            vec![
+                (AggFunc::SumInt, 1),
+                (AggFunc::Count, 1),
+                (AggFunc::Min, 1),
+                (AggFunc::Max, 1),
+            ],
+            out_schema,
+        )
+        .unwrap();
+        let got = agg.collect_rows().unwrap();
+
+        let mut model: std::collections::BTreeMap<i64, (i64, i64, i64, i64)> = Default::default();
+        for &(k, v) in &input {
+            let e = model.entry(k).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += v;
+            e.1 += 1;
+            e.2 = e.2.min(v);
+            e.3 = e.3.max(v);
+        }
+        prop_assert_eq!(got.len(), model.len());
+        for row in got {
+            let k = row[0].as_int().unwrap();
+            let (sum, cnt, min, max) = model[&k];
+            prop_assert_eq!(row[1].as_int().unwrap(), sum);
+            prop_assert_eq!(row[2].as_int().unwrap(), cnt);
+            prop_assert_eq!(row[3].as_int().unwrap(), min);
+            prop_assert_eq!(row[4].as_int().unwrap(), max);
+        }
+    }
+
+    /// Filter + between == manual retain.
+    #[test]
+    fn between_filter_matches_retain(
+        input in prop::collection::vec((any::<i64>(), -100i64..100), 0..80),
+        bounds in (-100i64..100, -100i64..100),
+    ) {
+        let (lo, hi) = (bounds.0.min(bounds.1), bounds.0.max(bounds.1));
+        let mut op = rede_baseline::ops::FilterOp::new(
+            Box::new(MemSource::from_rows(two_col(), rows(&input))),
+            Expr::col(1).between(lo, hi),
+        );
+        let got = op.collect_rows().unwrap().len();
+        let want = input.iter().filter(|(_, v)| (lo..=hi).contains(v)).count();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablation: indexing schemes (§ III-B expressibility — "it can express
+//! parallel index nested loop joins whether or not the used indexes are
+//! local or global. Moreover, it can express broadcast joins").
+//!
+//! The same Part⋈Lineitem join is executed three ways over one dataset:
+//!
+//! 1. **global index, key-routed pointers** — one partition probe per key;
+//! 2. **global index, broadcast pointers** — every pointer replicated to
+//!    all nodes, each probing locally (correct but more index probes);
+//! 3. **local index probes** — key probes must consult every partition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_common::Value;
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_core::job::{Job, SeedInput};
+use rede_core::maintenance::IndexBuilder;
+use rede_core::prebuilt::*;
+use rede_storage::{FileSpec, IndexSpec, IoModel, Partitioning, Record, SimCluster};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PARTS: i64 = 400;
+const LINES_PER_PART: i64 = 3;
+
+fn fixture() -> SimCluster {
+    let cluster = SimCluster::builder()
+        .nodes(4)
+        .io_model(IoModel::hdd_like(0.1))
+        .build()
+        .unwrap();
+    let part = cluster
+        .create_file(FileSpec::new("part", Partitioning::hash(8)))
+        .unwrap();
+    for i in 0..PARTS {
+        part.insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i * 10)))
+            .unwrap();
+    }
+    let line = cluster
+        .create_file(FileSpec::new("lineitem", Partitioning::hash(8)))
+        .unwrap();
+    let mut id = 0i64;
+    for p in 0..PARTS {
+        for _ in 0..LINES_PER_PART {
+            id += 1;
+            line.insert_with_partition_key(
+                &Value::Int(id),
+                Value::Int(id),
+                Record::from_text(&format!("{id}|{p}")),
+            )
+            .unwrap();
+        }
+    }
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::local("part.price", "part", 8),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .build()
+    .unwrap();
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::global("line.by_part.global", "lineitem", 8),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .with_partition_key(Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)))
+    .build()
+    .unwrap();
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::local("line.by_part.local", "lineitem", 8),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .with_partition_key(Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)))
+    .build()
+    .unwrap();
+    cluster
+}
+
+fn join_job(fk_index: &str, broadcast: bool) -> Job {
+    let fk_interp = Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int));
+    let referencer: Arc<dyn rede_core::traits::Referencer> = if broadcast {
+        Arc::new(InterpretReferencer::broadcast(fk_index, fk_interp))
+    } else {
+        Arc::new(InterpretReferencer::new(fk_index, fk_interp))
+    };
+    Job::builder(format!("join-{fk_index}-bcast={broadcast}"))
+        .seed(SeedInput::Range {
+            file: "part.price".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(PARTS * 2), // ~20% of parts
+        })
+        .dereference("d0", Arc::new(BtreeRangeDereferencer::new("part.price")))
+        .reference("r1", Arc::new(IndexEntryReferencer::new("part")))
+        .dereference("d1", Arc::new(LookupDereferencer::new("part")))
+        .reference("r2", referencer)
+        .dereference("d2", Arc::new(IndexLookupDereferencer::new(fk_index)))
+        .reference("r3", Arc::new(IndexEntryReferencer::new("lineitem")))
+        .dereference("d3", Arc::new(LookupDereferencer::new("lineitem")))
+        .build()
+        .unwrap()
+}
+
+fn bench_index_schemes(c: &mut Criterion) {
+    let cluster = fixture();
+    let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(128));
+    let cases = [
+        ("global_key_routed", join_job("line.by_part.global", false)),
+        ("global_broadcast", join_job("line.by_part.global", true)),
+        ("local_probe_all", join_job("line.by_part.local", false)),
+    ];
+    // All three schemes must produce the same join result.
+    let counts: Vec<u64> = cases
+        .iter()
+        .map(|(_, j)| runner.run(j).unwrap().count)
+        .collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "schemes disagree: {counts:?}"
+    );
+
+    let mut group = c.benchmark_group("ablation/index_scheme");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for (label, job) in &cases {
+        group.bench_function(*label, |b| {
+            b.iter(|| black_box(runner.run(job).unwrap().count))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_schemes);
+criterion_main!(benches);

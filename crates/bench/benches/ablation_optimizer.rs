@@ -1,0 +1,102 @@
+//! Ablation: the selectivity-based access-path chooser (the optimizer the
+//! paper lists as the fix for ReDe's high-selectivity regression).
+//!
+//! At each selectivity the bench runs (a) always-index, (b) always-scan,
+//! and (c) adaptive — the planner's choice executed. The adaptive series
+//! should track the lower envelope of (a) and (b) across the crossover.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_baseline::engine::{Engine, EngineConfig};
+use rede_bench::{Fig7Config, Fig7Fixture};
+use rede_common::Value;
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_core::optimizer::{EngineChoice, Planner, PlannerEnv};
+use rede_core::prebuilt::{DelimitedInterpreter, FieldType};
+use rede_core::query::Query;
+use rede_tpch::load::names;
+use rede_tpch::{cols, q5_prime_job, q5_prime_plan, selectivity_date_range, Q5Params};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn query_for(sel: f64) -> Query {
+    let (lo, hi) = selectivity_date_range(sel);
+    Query::via_index(names::ORDERS_BY_DATE)
+        .range(Value::Date(lo), Value::Date(hi))
+        .fetch(names::ORDERS)
+        .join_via(
+            names::LINEITEM_BY_ORDERKEY,
+            Arc::new(DelimitedInterpreter::pipe(
+                cols::orders::ORDERKEY,
+                FieldType::Int,
+            )),
+        )
+        .fetch(names::LINEITEM)
+        .build()
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let fixture = Fig7Fixture::build(Fig7Config {
+        nodes: 4,
+        partitions: 16,
+        scale_factor: 0.002,
+        io_scale: 0.25,
+        smpe_threads: 256,
+        cores_per_node: 8,
+        seed: 42,
+    })
+    .expect("load fixture");
+    let runner = JobRunner::new(fixture.cluster.clone(), ExecutorConfig::smpe(256));
+    let engine = Engine::new(
+        fixture.cluster.clone(),
+        EngineConfig {
+            cores_per_node: 8,
+            join_fanout: 32,
+        },
+    );
+    let planner = Planner::new(
+        fixture.cluster.clone(),
+        PlannerEnv {
+            nodes: 4,
+            smpe_concurrency_per_node: 64,
+            scan_streams_per_node: 8,
+        },
+    );
+
+    for (label, sel) in [("sel_1e-3", 1e-3), ("sel_5e-1", 0.5)] {
+        let params = Q5Params::with_selectivity(sel);
+        let job = q5_prime_job(&params).unwrap();
+        let plan = q5_prime_plan(&params);
+        let query = query_for(sel);
+        // Total scan volume of the fallback (the three scanned tables).
+        let scan_rows = (fixture.orders_rows
+            + fixture.lineitem_rows
+            + fixture.cluster.file(names::SUPPLIER).unwrap().len()) as u64;
+
+        let mut group = c.benchmark_group(format!("ablation/optimizer/{label}"));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(8));
+        group.bench_function("always_index", |b| {
+            b.iter(|| black_box(runner.run(&job).unwrap().count))
+        });
+        group.bench_function("always_scan", |b| {
+            b.iter(|| black_box(engine.execute(&plan).unwrap().rows.len()))
+        });
+        group.bench_function("adaptive", |b| {
+            b.iter(|| {
+                let estimate = planner.plan(&query, Some(scan_rows)).unwrap();
+                match estimate.choice {
+                    EngineChoice::IndexJob => black_box(runner.run(&job).unwrap().count),
+                    EngineChoice::Scan => {
+                        black_box(engine.execute(&plan).unwrap().rows.len() as u64)
+                    }
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: SMPE thread-pool size (§ III-C: "It manages 1000 threads in
+//! the default setting, but the number can be adjusted based on underlying
+//! hardware capabilities such as the number of CPU cores and the IOPS of
+//! IO path.")
+//!
+//! With injected point-read latency, job time should fall roughly linearly
+//! with pool size until the device queue depth or the job's intrinsic
+//! parallelism saturates — the bench makes that curve measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_bench::{Fig7Config, Fig7Fixture};
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_tpch::{q5_prime_job, Q5Params};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pool_size(c: &mut Criterion) {
+    let fixture = Fig7Fixture::build(Fig7Config {
+        nodes: 4,
+        partitions: 16,
+        scale_factor: 0.002,
+        io_scale: 0.25,
+        smpe_threads: 256,
+        cores_per_node: 8,
+        seed: 42,
+    })
+    .expect("load fixture");
+    let job = q5_prime_job(&Q5Params::with_selectivity(3e-3)).unwrap();
+
+    let mut group = c.benchmark_group("ablation/pool_size");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for threads in [8usize, 32, 128, 512] {
+        let runner = JobRunner::new(fixture.cluster.clone(), ExecutorConfig::smpe(threads));
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(runner.run(&job).unwrap().count))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_size);
+criterion_main!(benches);

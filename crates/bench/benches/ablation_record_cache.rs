@@ -1,0 +1,77 @@
+//! Ablation: the § V-C record cache under a skewed dereference workload.
+//!
+//! A fine-grained INLJ keeps re-dereferencing hot join keys; the cache
+//! turns repeats into memory hits. The bench sweeps cache capacity on a
+//! Zipf-ish pointer stream with injected point-read latency — throughput
+//! should rise steeply once the hot set fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_common::{Value, Xoshiro256};
+use rede_storage::{FileSpec, IoModel, Partitioning, Pointer, Record, SimCluster};
+use std::hint::black_box;
+use std::time::Duration;
+
+const ROWS: i64 = 10_000;
+const ACCESSES: usize = 2_000;
+
+fn build(cache: Option<usize>) -> SimCluster {
+    let mut builder = SimCluster::builder()
+        .nodes(4)
+        .io_model(IoModel::hdd_like(0.05));
+    if let Some(capacity) = cache {
+        builder = builder.record_cache(capacity);
+    }
+    let cluster = builder.build().unwrap();
+    let f = cluster
+        .create_file(FileSpec::new("t", Partitioning::hash(8)))
+        .unwrap();
+    for i in 0..ROWS {
+        f.insert(Value::Int(i), Record::from_text(&format!("row-{i}")))
+            .unwrap();
+    }
+    cluster
+}
+
+/// Zipf-ish skew: 80% of accesses hit 5% of keys.
+fn workload(seed: u64) -> Vec<i64> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..ACCESSES)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                rng.gen_range((ROWS / 20) as u64) as i64
+            } else {
+                rng.gen_range(ROWS as u64) as i64
+            }
+        })
+        .collect()
+}
+
+fn run(cluster: &SimCluster, keys: &[i64]) -> u64 {
+    let mut total = 0u64;
+    for &k in keys {
+        let ptr = Pointer::logical("t", Value::Int(k), Value::Int(k));
+        total += cluster.resolve(&ptr, 0).unwrap().len() as u64;
+    }
+    total
+}
+
+fn bench_record_cache(c: &mut Criterion) {
+    let keys = workload(42);
+    let mut group = c.benchmark_group("ablation/record_cache");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for (label, capacity) in [
+        ("no_cache", None),
+        ("cache_64", Some(64usize)),
+        ("cache_1k", Some(1_000)),
+        ("cache_all", Some(ROWS as usize)),
+    ] {
+        let cluster = build(capacity);
+        group.bench_function(label, |b| b.iter(|| black_box(run(&cluster, &keys))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_cache);
+criterion_main!(benches);

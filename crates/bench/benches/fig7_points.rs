@@ -1,0 +1,63 @@
+//! Criterion form of the Fig. 7 experiment: one low-selectivity and one
+//! high-selectivity Q5' point on all three systems, with injected I/O
+//! latency. The `fig7` binary prints the full sweep; this bench gives the
+//! statistically sampled version of the headline points (who wins on each
+//! side of the crossover).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_baseline::engine::{Engine, EngineConfig};
+use rede_bench::{Fig7Config, Fig7Fixture};
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_tpch::{q5_prime_job, q5_prime_plan, Q5Params};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    // Small but latency-realistic fixture: the bench repeats each query
+    // many times, so the dataset is kept compact (SF 0.002) and the
+    // latency scale reduced; ratios between systems are what matters.
+    let fixture = Fig7Fixture::build(Fig7Config {
+        nodes: 4,
+        partitions: 16,
+        scale_factor: 0.002,
+        io_scale: 0.25,
+        smpe_threads: 256,
+        cores_per_node: 8,
+        seed: 42,
+    })
+    .expect("load fixture");
+
+    let smpe = JobRunner::new(fixture.cluster.clone(), ExecutorConfig::smpe(256));
+    let partitioned = JobRunner::new(fixture.cluster.clone(), ExecutorConfig::partitioned());
+    let engine = Engine::new(
+        fixture.cluster.clone(),
+        EngineConfig {
+            cores_per_node: 8,
+            join_fanout: 32,
+        },
+    );
+
+    for (label, sel) in [("sel_1e-3", 1e-3), ("sel_3e-1", 3e-1)] {
+        let params = Q5Params::with_selectivity(sel);
+        let job = q5_prime_job(&params).unwrap();
+        let plan = q5_prime_plan(&params);
+
+        let mut group = c.benchmark_group(format!("fig7/{label}"));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(8));
+        group.bench_function("impala_like", |b| {
+            b.iter(|| black_box(engine.execute(&plan).unwrap().rows.len()))
+        });
+        group.bench_function("rede_wo_smpe", |b| {
+            b.iter(|| black_box(partitioned.run(&job).unwrap().count))
+        });
+        group.bench_function("rede_w_smpe", |b| {
+            b.iter(|| black_box(smpe.run(&job).unwrap().count))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

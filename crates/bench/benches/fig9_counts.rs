@@ -1,0 +1,47 @@
+//! Criterion form of the Fig. 9 experiment: Q1 (hypertension ×
+//! antihypertensives) on the normalized warehouse vs. ReDe over raw
+//! claims. Fig. 9's metric is record accesses (printed by the `fig9`
+//! binary); this bench measures the throughput consequence of those access
+//! counts on a zero-latency cluster, where the systems' relative cost is
+//! purely their access volume and per-access work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_baseline::warehouse::Warehouse;
+use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
+use rede_claims::queries::{run_rede, run_warehouse, QuerySpec};
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_storage::SimCluster;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig9(c: &mut Criterion) {
+    let cluster = SimCluster::builder().nodes(4).build().unwrap();
+    let generator = ClaimsGenerator::new(
+        ClaimsProfile {
+            claims: 5_000,
+            ..Default::default()
+        },
+        42,
+    );
+    rede_claims::lake::load_lake(&cluster, &generator).unwrap();
+    rede_claims::normalize::load_warehouse(&cluster, &generator).unwrap();
+
+    let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(64).collecting());
+    let warehouse = Warehouse::new(cluster.clone(), 16);
+    let specs = QuerySpec::all();
+
+    let mut group = c.benchmark_group("fig9/q1");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    group.bench_function("warehouse_normalized", |b| {
+        b.iter(|| black_box(run_warehouse(&warehouse, &specs[0]).unwrap().total_expense))
+    });
+    group.bench_function("rede_raw_claims", |b| {
+        b.iter(|| black_box(run_rede(&runner, &specs[0]).unwrap().total_expense))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,346 @@
+//! Shared experiment harness: fixtures and runners used by the `fig7` /
+//! `fig9` binaries and the Criterion benches.
+//!
+//! Every experiment in the paper's evaluation maps to one function here:
+//!
+//! * `fig7` — TPC-H Q5' across selectivities on the three systems
+//!   (Impala-like baseline, ReDe w/o SMPE, ReDe w/ SMPE), wall-clock with
+//!   injected I/O latency plus the deterministic cost model.
+//! * `fig9` — claims queries Q1–Q3 record-access comparison (warehouse
+//!   vs. ReDe), normalized to the warehouse like the paper's figure.
+
+use rede_baseline::engine::{Engine, EngineConfig};
+use rede_baseline::warehouse::Warehouse;
+use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
+use rede_claims::queries::{run_lake_scan, run_rede as run_claims_rede, run_warehouse, QuerySpec};
+use rede_common::Result;
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_storage::{CostModel, IoModel, SimCluster};
+use rede_tpch::{load_tpch, LoadOptions, Q5Params, TpchGenerator};
+use std::time::Duration;
+
+/// Configuration of the Fig. 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Partitions per file (≥ nodes × scan cores for full scan parallelism).
+    pub partitions: usize,
+    /// TPC-H scale factor.
+    pub scale_factor: f64,
+    /// Latency model scale (1.0 = the documented µs-range HDD-like model).
+    pub io_scale: f64,
+    /// SMPE pool threads (paper default: 1000).
+    pub smpe_threads: usize,
+    /// Baseline scan cores per node (paper testbed: 16).
+    pub cores_per_node: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Fig7Config {
+            nodes: 4,
+            partitions: 32,
+            scale_factor: 0.01,
+            io_scale: 1.0,
+            smpe_threads: 512,
+            cores_per_node: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// A loaded Fig. 7 fixture: one cluster shared by all three systems.
+pub struct Fig7Fixture {
+    /// The cluster with data + structures loaded.
+    pub cluster: SimCluster,
+    /// Config used to build it.
+    pub config: Fig7Config,
+    /// Lineitem row count (for reporting).
+    pub lineitem_rows: usize,
+    /// Orders row count.
+    pub orders_rows: usize,
+}
+
+impl Fig7Fixture {
+    /// Generate, load, and index the dataset under the latency model.
+    pub fn build(config: Fig7Config) -> Result<Fig7Fixture> {
+        let cluster = SimCluster::builder()
+            .nodes(config.nodes)
+            .io_model(IoModel::hdd_like(config.io_scale))
+            .build()?;
+        let loaded = load_tpch(
+            &cluster,
+            TpchGenerator::new(config.scale_factor, config.seed),
+            &LoadOptions {
+                partitions: Some(config.partitions),
+                date_indexes: true,
+                fk_indexes: true,
+            },
+        )?;
+        Ok(Fig7Fixture {
+            cluster,
+            config,
+            lineitem_rows: loaded.lineitem_rows,
+            orders_rows: loaded.orders_rows,
+        })
+    }
+
+    fn smpe_runner(&self) -> JobRunner {
+        JobRunner::new(
+            self.cluster.clone(),
+            ExecutorConfig::smpe(self.config.smpe_threads),
+        )
+    }
+
+    fn partitioned_runner(&self) -> JobRunner {
+        JobRunner::new(self.cluster.clone(), ExecutorConfig::partitioned())
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::new(
+            self.cluster.clone(),
+            EngineConfig {
+                cores_per_node: self.config.cores_per_node,
+                join_fanout: 32,
+            },
+        )
+    }
+
+    /// Run one selectivity point on all three systems.
+    pub fn run_point(&self, selectivity: f64) -> Result<Fig7Point> {
+        let params = Q5Params::with_selectivity(selectivity);
+        let io = self.cluster.io_model().clone();
+
+        // Impala-like: full scans + grace hash joins.
+        let plan = rede_tpch::q5_prime_plan(&params);
+        let impala = self.engine().execute(&plan)?;
+        let impala_model = CostModel {
+            nodes: self.config.nodes,
+            point_concurrency_per_node: self.config.cores_per_node,
+            scan_streams_per_node: self.config.cores_per_node,
+        }
+        .model(&io, &impala.metrics);
+
+        // ReDe w/o SMPE: structures + partitioned parallelism only.
+        let job = rede_tpch::q5_prime_job(&params)?;
+        let wo = self.partitioned_runner().run(&job)?;
+        let wo_model = CostModel {
+            nodes: self.config.nodes,
+            point_concurrency_per_node: 1,
+            scan_streams_per_node: 1,
+        }
+        .model(&io, &wo.metrics);
+
+        // ReDe w/ SMPE.
+        let smpe = self.smpe_runner().run(&job)?;
+        let smpe_model = CostModel {
+            nodes: self.config.nodes,
+            point_concurrency_per_node: self.config.smpe_threads / self.config.nodes.max(1),
+            scan_streams_per_node: 1,
+        }
+        .model(&io, &smpe.metrics);
+
+        // All three systems must agree on the answer.
+        if impala.rows.len() as u64 != wo.count || wo.count != smpe.count {
+            return Err(rede_common::RedeError::Exec(format!(
+                "result mismatch at selectivity {selectivity}: impala={}, w/o={}, w/={}",
+                impala.rows.len(),
+                wo.count,
+                smpe.count
+            )));
+        }
+
+        Ok(Fig7Point {
+            selectivity,
+            output_rows: smpe.count,
+            impala_wall: impala.wall,
+            impala_modeled: Duration::from_secs_f64(impala_model.total_secs()),
+            rede_wo_smpe_wall: wo.wall,
+            rede_wo_smpe_modeled: Duration::from_secs_f64(wo_model.total_secs()),
+            rede_smpe_wall: smpe.wall,
+            rede_smpe_modeled: Duration::from_secs_f64(smpe_model.total_secs()),
+            impala_accesses: impala.metrics.record_accesses(),
+            rede_accesses: smpe.metrics.record_accesses(),
+        })
+    }
+}
+
+/// One row of the Fig. 7 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig7Point {
+    pub selectivity: f64,
+    pub output_rows: u64,
+    pub impala_wall: Duration,
+    pub impala_modeled: Duration,
+    pub rede_wo_smpe_wall: Duration,
+    pub rede_wo_smpe_modeled: Duration,
+    pub rede_smpe_wall: Duration,
+    pub rede_smpe_modeled: Duration,
+    pub impala_accesses: u64,
+    pub rede_accesses: u64,
+}
+
+/// The paper's Fig. 7 x-axis, roughly: six decades of selectivity.
+pub fn fig7_selectivities() -> Vec<f64> {
+    vec![1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1]
+}
+
+/// Configuration of the Fig. 9 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig9Config {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Number of synthetic claims.
+    pub claims: usize,
+    /// Warehouse probe parallelism.
+    pub warehouse_parallelism: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for Fig9Config {
+    fn default() -> Self {
+        Fig9Config {
+            nodes: 4,
+            claims: 20_000,
+            warehouse_parallelism: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// One bar pair of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Query name.
+    pub query: &'static str,
+    /// Warehouse record accesses (the normalization basis).
+    pub warehouse_accesses: u64,
+    /// ReDe record accesses.
+    pub rede_accesses: u64,
+    /// Plain data-lake full-scan record accesses (the system the paper
+    /// measured but omitted from the figure, footnote 3).
+    pub lake_scan_accesses: u64,
+    /// Shared answer (sanity: both systems agreed).
+    pub total_expense: i64,
+    /// Number of qualifying claims.
+    pub qualifying_claims: u64,
+}
+
+impl Fig9Row {
+    /// ReDe accesses normalized to the warehouse (the figure's y-axis).
+    pub fn normalized_rede(&self) -> f64 {
+        self.rede_accesses as f64 / self.warehouse_accesses.max(1) as f64
+    }
+}
+
+/// Build the claims fixture and run Q1–Q3 on both systems.
+///
+/// Fig. 9 counts record accesses, so the fixture runs with zero injected
+/// latency (counters are latency-independent).
+pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Row>> {
+    let cluster = SimCluster::builder()
+        .nodes(config.nodes)
+        .io_model(IoModel::zero())
+        .build()?;
+    let generator = ClaimsGenerator::new(
+        ClaimsProfile {
+            claims: config.claims,
+            ..Default::default()
+        },
+        config.seed,
+    );
+    rede_claims::lake::load_lake(&cluster, &generator)?;
+    rede_claims::normalize::load_warehouse(&cluster, &generator)?;
+
+    let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(64).collecting());
+    let warehouse = Warehouse::new(cluster.clone(), config.warehouse_parallelism);
+
+    let mut rows = Vec::new();
+    for spec in QuerySpec::all() {
+        let wh = run_warehouse(&warehouse, &spec)?;
+        let rede = run_claims_rede(&runner, &spec)?;
+        let scan = run_lake_scan(&cluster, &spec)?;
+        if wh.total_expense != rede.total_expense || scan.total_expense != rede.total_expense {
+            return Err(rede_common::RedeError::Exec(format!(
+                "{}: answers diverge (wh {} vs rede {} vs scan {})",
+                spec.name, wh.total_expense, rede.total_expense, scan.total_expense
+            )));
+        }
+        rows.push(Fig9Row {
+            query: spec.name,
+            warehouse_accesses: wh.metrics.record_accesses(),
+            rede_accesses: rede.metrics.record_accesses(),
+            lake_scan_accesses: scan.metrics.record_accesses(),
+            total_expense: rede.total_expense,
+            qualifying_claims: rede.qualifying_claims,
+        });
+    }
+    Ok(rows)
+}
+
+/// Format a duration in adaptive units for report tables.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_point_runs_and_systems_agree() {
+        let fixture = Fig7Fixture::build(Fig7Config {
+            nodes: 2,
+            partitions: 8,
+            scale_factor: 0.001,
+            io_scale: 0.0, // counts only; keep the test fast
+            smpe_threads: 32,
+            cores_per_node: 4,
+            seed: 1,
+        })
+        .unwrap();
+        let point = fixture.run_point(0.01).unwrap();
+        assert!(point.output_rows > 0);
+        assert!(
+            point.impala_accesses > point.rede_accesses * 5,
+            "scans dwarf index accesses at 1%"
+        );
+    }
+
+    #[test]
+    fn fig9_rows_are_normalized_below_one() {
+        let rows = run_fig9(&Fig9Config {
+            claims: 2_000,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.qualifying_claims > 0, "{} selected nothing", row.query);
+            assert!(
+                row.normalized_rede() < 0.5,
+                "{}: normalized {} not ≪ 1",
+                row.query,
+                row.normalized_rede()
+            );
+        }
+    }
+
+    #[test]
+    fn fmt_duration_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.0ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7µs");
+    }
+}

@@ -1,0 +1,316 @@
+//! FHIR bundles through the same machinery (§ IV's closing direction).
+//!
+//! "The international medical community has recently promoted FHIR … FHIR
+//! has a similar design to the Japanese insurance claims format, employing
+//! the nested record organization. We expect ReDe would also manage and
+//! process the FHIR data flexibly and efficiently."
+//!
+//! This module demonstrates exactly that: a claim maps onto a (simplified)
+//! FHIR `Bundle` — one JSON document holding `Claim`, `Condition`, and
+//! `MedicationRequest` resources — stored raw in the lake, with
+//! [`Interpreter`]s that extract condition and medication codes by JSON
+//! path. Because access methods are registered post hoc, the *same* index
+//! builder, the same executors, and the same queries run unchanged over
+//! the new format; only the interpreters differ.
+//!
+//! [`Interpreter`]: rede_core::traits::Interpreter
+
+use crate::format::{Claim, SubRecord};
+use rede_common::{Json, RedeError, Result, Value};
+use rede_core::traits::Interpreter;
+use rede_storage::Record;
+
+/// Convert a claim into a simplified FHIR `Bundle` JSON record.
+///
+/// Structure (a pragmatic subset of R4):
+///
+/// ```json
+/// {
+///   "resourceType": "Bundle",
+///   "id": "claim-123",
+///   "entry": [
+///     {"resource": {"resourceType": "Claim", "id": "123", "total": {"value": 9000},
+///                   "provider": {"reference": "Organization/42"},
+///                   "patient": {"reference": "Patient/77"}}},
+///     {"resource": {"resourceType": "Condition",
+///                   "code": {"coding": [{"code": "I10"}]}}},
+///     {"resource": {"resourceType": "MedicationRequest",
+///                   "medicationCodeableConcept": {"coding": [{"code": "AH01"}]}}}
+///   ]
+/// }
+/// ```
+pub fn claim_to_bundle(claim: &Claim) -> Record {
+    let mut entries = Vec::new();
+    entries.push(Json::object([(
+        "resource",
+        Json::object([
+            ("resourceType", Json::string("Claim")),
+            ("id", Json::string(claim.claim_id.to_string())),
+            (
+                "total",
+                Json::object([("value", Json::Number(claim.expense as f64))]),
+            ),
+            (
+                "provider",
+                Json::object([(
+                    "reference",
+                    Json::string(format!("Organization/{}", claim.hospital_id)),
+                )]),
+            ),
+            (
+                "patient",
+                Json::object([(
+                    "reference",
+                    Json::string(format!("Patient/{}", claim.patient_id)),
+                )]),
+            ),
+        ]),
+    )]));
+    for detail in &claim.details {
+        let resource = match detail {
+            SubRecord::Disease { code, .. } => Json::object([
+                ("resourceType", Json::string("Condition")),
+                (
+                    "code",
+                    Json::object([(
+                        "coding",
+                        Json::Array(vec![Json::object([("code", Json::string(code.clone()))])]),
+                    )]),
+                ),
+            ]),
+            SubRecord::Medicine { code, quantity, .. } => Json::object([
+                ("resourceType", Json::string("MedicationRequest")),
+                (
+                    "medicationCodeableConcept",
+                    Json::object([(
+                        "coding",
+                        Json::Array(vec![Json::object([("code", Json::string(code.clone()))])]),
+                    )]),
+                ),
+                (
+                    "dispenseRequest",
+                    Json::object([(
+                        "quantity",
+                        Json::object([("value", Json::Number(*quantity as f64))]),
+                    )]),
+                ),
+            ]),
+            SubRecord::Treatment { code, .. } => Json::object([
+                ("resourceType", Json::string("Procedure")),
+                (
+                    "code",
+                    Json::object([(
+                        "coding",
+                        Json::Array(vec![Json::object([("code", Json::string(code.clone()))])]),
+                    )]),
+                ),
+            ]),
+        };
+        entries.push(Json::object([("resource", resource)]));
+    }
+    let bundle = Json::object([
+        ("resourceType", Json::string("Bundle")),
+        ("id", Json::string(format!("claim-{}", claim.claim_id))),
+        ("entry", Json::Array(entries)),
+    ]);
+    Record::from_text(&bundle.to_string())
+}
+
+/// Shared walk: codes of `coding` arrays under a resource type + path.
+fn extract_codes(record: &Record, resource_type: &str, code_path: &str) -> Result<Vec<Value>> {
+    let bundle = Json::parse(record.text()?)?;
+    let entries = bundle
+        .get("entry")
+        .and_then(Json::as_array)
+        .ok_or_else(|| RedeError::Interpret("bundle has no entry array".into()))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let Some(resource) = entry.get("resource") else {
+            continue;
+        };
+        if resource.get("resourceType").and_then(Json::as_str) != Some(resource_type) {
+            continue;
+        }
+        let Some(coding) = resource.path(code_path).and_then(Json::as_array) else {
+            continue;
+        };
+        for c in coding {
+            if let Some(code) = c.get("code").and_then(Json::as_str) {
+                out.push(Value::str(code));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts `Condition.code.coding[].code` from a FHIR bundle.
+pub struct FhirConditionInterpreter;
+
+impl Interpreter for FhirConditionInterpreter {
+    fn extract(&self, record: &Record) -> Result<Vec<Value>> {
+        extract_codes(record, "Condition", "code.coding")
+    }
+
+    fn name(&self) -> &str {
+        "fhir.condition_codes"
+    }
+}
+
+/// Extracts `MedicationRequest.medicationCodeableConcept.coding[].code`.
+pub struct FhirMedicationInterpreter;
+
+impl Interpreter for FhirMedicationInterpreter {
+    fn extract(&self, record: &Record) -> Result<Vec<Value>> {
+        extract_codes(
+            record,
+            "MedicationRequest",
+            "medicationCodeableConcept.coding",
+        )
+    }
+
+    fn name(&self) -> &str {
+        "fhir.medication_codes"
+    }
+}
+
+/// Extracts the claim total (`Claim.total.value`) as an integer.
+pub struct FhirExpenseInterpreter;
+
+impl Interpreter for FhirExpenseInterpreter {
+    fn extract(&self, record: &Record) -> Result<Vec<Value>> {
+        let bundle = Json::parse(record.text()?)?;
+        let entries = bundle
+            .get("entry")
+            .and_then(Json::as_array)
+            .ok_or_else(|| RedeError::Interpret("bundle has no entry array".into()))?;
+        for entry in entries {
+            let Some(resource) = entry.get("resource") else {
+                continue;
+            };
+            if resource.get("resourceType").and_then(Json::as_str) != Some("Claim") {
+                continue;
+            }
+            let total = resource
+                .path("total.value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| RedeError::Interpret("Claim has no total.value".into()))?;
+            return Ok(vec![Value::Int(total as i64)]);
+        }
+        Err(RedeError::Interpret("bundle has no Claim resource".into()))
+    }
+
+    fn name(&self) -> &str {
+        "fhir.expense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ClaimType;
+    use crate::gen::{ClaimsGenerator, ClaimsProfile};
+
+    fn sample_claim() -> Claim {
+        Claim {
+            claim_id: 9,
+            hospital_id: 4,
+            claim_type: ClaimType::Piecework,
+            patient_id: 12,
+            inpatient: true,
+            age: 70,
+            sex: "F".into(),
+            expense: 5_500,
+            details: vec![
+                SubRecord::Disease {
+                    code: "E11".into(),
+                    primary: true,
+                },
+                SubRecord::Medicine {
+                    code: "GL01".into(),
+                    quantity: 4,
+                    points: 900,
+                },
+                SubRecord::Treatment {
+                    code: "T100".into(),
+                    points: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bundle_is_valid_json_with_all_resources() {
+        let record = claim_to_bundle(&sample_claim());
+        let bundle = Json::parse(record.text().unwrap()).unwrap();
+        assert_eq!(bundle.get("resourceType").unwrap().as_str(), Some("Bundle"));
+        let entries = bundle.get("entry").unwrap().as_array().unwrap();
+        assert_eq!(
+            entries.len(),
+            4,
+            "Claim + Condition + MedicationRequest + Procedure"
+        );
+    }
+
+    #[test]
+    fn interpreters_extract_codes_and_expense() {
+        let record = claim_to_bundle(&sample_claim());
+        assert_eq!(
+            FhirConditionInterpreter.extract(&record).unwrap(),
+            vec![Value::str("E11")]
+        );
+        assert_eq!(
+            FhirMedicationInterpreter.extract(&record).unwrap(),
+            vec![Value::str("GL01")]
+        );
+        assert_eq!(
+            FhirExpenseInterpreter.extract(&record).unwrap(),
+            vec![Value::Int(5_500)]
+        );
+    }
+
+    #[test]
+    fn interpreters_match_native_format_for_generated_claims() {
+        let g = ClaimsGenerator::new(
+            ClaimsProfile {
+                claims: 200,
+                ..Default::default()
+            },
+            13,
+        );
+        for i in 0..200 {
+            let claim = g.claim(i);
+            let bundle = claim_to_bundle(&claim);
+            let fhir_dx: Vec<Value> = FhirConditionInterpreter.extract(&bundle).unwrap();
+            let native_dx: Vec<Value> = claim.disease_codes().map(Value::str).collect();
+            assert_eq!(fhir_dx, native_dx, "claim {i}");
+            let fhir_rx = FhirMedicationInterpreter.extract(&bundle).unwrap();
+            assert_eq!(fhir_rx.len(), claim.medicine_codes().count());
+            assert_eq!(
+                FhirExpenseInterpreter.extract(&bundle).unwrap(),
+                vec![Value::Int(claim.expense)]
+            );
+        }
+    }
+
+    #[test]
+    fn non_json_records_error_cleanly() {
+        let junk = Record::from_text("IR,1,2,piecework");
+        assert!(FhirConditionInterpreter.extract(&junk).is_err());
+        assert!(FhirExpenseInterpreter.extract(&junk).is_err());
+    }
+
+    #[test]
+    fn bundle_without_claim_resource_errors_on_expense() {
+        let bundle = Json::object([
+            ("resourceType", Json::string("Bundle")),
+            ("entry", Json::Array(vec![])),
+        ]);
+        let record = Record::from_text(&bundle.to_string());
+        assert!(FhirExpenseInterpreter.extract(&record).is_err());
+        // But code extraction over an empty bundle is just empty.
+        assert!(FhirConditionInterpreter
+            .extract(&record)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! The standardized insurance-claim record format (Fig. 8 of the paper).
+//!
+//! A claim is one raw record whose payload is a sequence of newline-
+//! separated *sub-records*; each sub-record is comma-separated with a
+//! two-character leading tag:
+//!
+//! | tag | content |
+//! |---|---|
+//! | `IR` | claim id, hospital id, claim type (`piecework` or `DPC`); DPC claims carry an extra DPC code — "the records are dynamically defined" |
+//! | `RE` | patient id, service category (`in`/`out`), age, sex |
+//! | `HO` | total medical expense points |
+//! | `SI` | one provided treatment: code, points |
+//! | `IY` | one prescribed medicine: code, quantity, points |
+//! | `SY` | one diagnosed disease: code, primary flag |
+//!
+//! The parser is strict about structure (tags, arities, the IR/RE/HO
+//! header) and is exercised by both the schema-on-read interpreters and the
+//! warehouse normalizer.
+
+use rede_common::{RedeError, Result};
+use rede_storage::Record;
+
+/// Claim type carried in the IR sub-record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimType {
+    /// Fee-for-service claim.
+    Piecework,
+    /// Diagnosis-procedure-combination claim; carries its DPC code.
+    Dpc { code: String },
+}
+
+/// One parsed sub-record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubRecord {
+    /// `SI`: treatment code + points.
+    Treatment { code: String, points: i64 },
+    /// `IY`: medicine code + quantity + points.
+    Medicine {
+        code: String,
+        quantity: i64,
+        points: i64,
+    },
+    /// `SY`: disease code + primary flag.
+    Disease { code: String, primary: bool },
+}
+
+/// A fully parsed claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// Unique claim id (IR).
+    pub claim_id: i64,
+    /// Claiming hospital (IR).
+    pub hospital_id: i64,
+    /// Claim type (IR) — determines the IR layout.
+    pub claim_type: ClaimType,
+    /// Patient id (RE).
+    pub patient_id: i64,
+    /// Service category (RE): true = in-patient.
+    pub inpatient: bool,
+    /// Patient age (RE).
+    pub age: i64,
+    /// Patient sex (RE): `"M"`/`"F"`.
+    pub sex: String,
+    /// Total expense points (HO).
+    pub expense: i64,
+    /// The SI/IY/SY detail sub-records, in file order.
+    pub details: Vec<SubRecord>,
+}
+
+impl Claim {
+    /// Serialize to the standardized text format.
+    pub fn to_record(&self) -> Record {
+        let mut out = String::with_capacity(64 + self.details.len() * 16);
+        match &self.claim_type {
+            ClaimType::Piecework => out.push_str(&format!(
+                "IR,{},{},piecework\n",
+                self.claim_id, self.hospital_id
+            )),
+            ClaimType::Dpc { code } => out.push_str(&format!(
+                "IR,{},{},DPC,{code}\n",
+                self.claim_id, self.hospital_id
+            )),
+        }
+        out.push_str(&format!(
+            "RE,{},{},{},{}\n",
+            self.patient_id,
+            if self.inpatient { "in" } else { "out" },
+            self.age,
+            self.sex
+        ));
+        out.push_str(&format!("HO,{}\n", self.expense));
+        for d in &self.details {
+            match d {
+                SubRecord::Treatment { code, points } => {
+                    out.push_str(&format!("SI,{code},{points}\n"))
+                }
+                SubRecord::Medicine {
+                    code,
+                    quantity,
+                    points,
+                } => out.push_str(&format!("IY,{code},{quantity},{points}\n")),
+                SubRecord::Disease { code, primary } => {
+                    out.push_str(&format!("SY,{code},{}\n", *primary as u8))
+                }
+            }
+        }
+        out.pop(); // trailing newline
+        Record::from_text(&out)
+    }
+
+    /// Parse a raw claim record.
+    pub fn parse(record: &Record) -> Result<Claim> {
+        let text = record.text()?;
+        let mut lines = text.lines();
+        let bad = |msg: &str| RedeError::Corrupt(format!("claim: {msg}"));
+
+        // IR — layout depends on the claim-type attribute.
+        let ir = lines.next().ok_or_else(|| bad("empty record"))?;
+        let ir_fields: Vec<&str> = ir.split(',').collect();
+        if ir_fields.first() != Some(&"IR") {
+            return Err(bad("first sub-record must be IR"));
+        }
+        let claim_id: i64 = ir_fields
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("IR claim id"))?;
+        let hospital_id: i64 = ir_fields
+            .get(2)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("IR hospital id"))?;
+        let claim_type = match ir_fields.get(3) {
+            Some(&"piecework") if ir_fields.len() == 4 => ClaimType::Piecework,
+            Some(&"DPC") if ir_fields.len() == 5 => ClaimType::Dpc {
+                code: ir_fields[4].to_string(),
+            },
+            _ => return Err(bad("IR type/arity")),
+        };
+
+        // RE.
+        let re = lines.next().ok_or_else(|| bad("missing RE"))?;
+        let re_fields: Vec<&str> = re.split(',').collect();
+        if re_fields.first() != Some(&"RE") || re_fields.len() != 5 {
+            return Err(bad("RE arity"));
+        }
+        let patient_id: i64 = re_fields[1].parse().map_err(|_| bad("RE patient id"))?;
+        let inpatient = match re_fields[2] {
+            "in" => true,
+            "out" => false,
+            _ => return Err(bad("RE category")),
+        };
+        let age: i64 = re_fields[3].parse().map_err(|_| bad("RE age"))?;
+        let sex = re_fields[4].to_string();
+        if sex != "M" && sex != "F" {
+            return Err(bad("RE sex"));
+        }
+
+        // HO.
+        let ho = lines.next().ok_or_else(|| bad("missing HO"))?;
+        let ho_fields: Vec<&str> = ho.split(',').collect();
+        if ho_fields.first() != Some(&"HO") || ho_fields.len() != 2 {
+            return Err(bad("HO arity"));
+        }
+        let expense: i64 = ho_fields[1].parse().map_err(|_| bad("HO expense"))?;
+
+        // Details.
+        let mut details = Vec::new();
+        for line in lines {
+            let fields: Vec<&str> = line.split(',').collect();
+            match fields.as_slice() {
+                ["SI", code, points] => details.push(SubRecord::Treatment {
+                    code: code.to_string(),
+                    points: points.parse().map_err(|_| bad("SI points"))?,
+                }),
+                ["IY", code, quantity, points] => details.push(SubRecord::Medicine {
+                    code: code.to_string(),
+                    quantity: quantity.parse().map_err(|_| bad("IY quantity"))?,
+                    points: points.parse().map_err(|_| bad("IY points"))?,
+                }),
+                ["SY", code, primary] => details.push(SubRecord::Disease {
+                    code: code.to_string(),
+                    primary: *primary == "1",
+                }),
+                _ => return Err(bad(&format!("unknown sub-record {line:?}"))),
+            }
+        }
+        Ok(Claim {
+            claim_id,
+            hospital_id,
+            claim_type,
+            patient_id,
+            inpatient,
+            age,
+            sex,
+            expense,
+            details,
+        })
+    }
+
+    /// All diagnosed disease codes.
+    pub fn disease_codes(&self) -> impl Iterator<Item = &str> {
+        self.details.iter().filter_map(|d| match d {
+            SubRecord::Disease { code, .. } => Some(code.as_str()),
+            _ => None,
+        })
+    }
+
+    /// All prescribed medicine codes.
+    pub fn medicine_codes(&self) -> impl Iterator<Item = &str> {
+        self.details.iter().filter_map(|d| match d {
+            SubRecord::Medicine { code, .. } => Some(code.as_str()),
+            _ => None,
+        })
+    }
+
+    /// All treatment codes.
+    pub fn treatment_codes(&self) -> impl Iterator<Item = &str> {
+        self.details.iter().filter_map(|d| match d {
+            SubRecord::Treatment { code, .. } => Some(code.as_str()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Claim {
+        Claim {
+            claim_id: 1001,
+            hospital_id: 42,
+            claim_type: ClaimType::Piecework,
+            patient_id: 77,
+            inpatient: false,
+            age: 58,
+            sex: "F".into(),
+            expense: 12_345,
+            details: vec![
+                SubRecord::Disease {
+                    code: "I10".into(),
+                    primary: true,
+                },
+                SubRecord::Medicine {
+                    code: "AH01".into(),
+                    quantity: 30,
+                    points: 420,
+                },
+                SubRecord::Treatment {
+                    code: "T900".into(),
+                    points: 800,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_piecework() {
+        let c = sample();
+        assert_eq!(Claim::parse(&c.to_record()).unwrap(), c);
+    }
+
+    #[test]
+    fn roundtrip_dpc_has_dynamic_ir_layout() {
+        let mut c = sample();
+        c.claim_type = ClaimType::Dpc {
+            code: "D0401".into(),
+        };
+        let rec = c.to_record();
+        assert!(rec.text().unwrap().starts_with("IR,1001,42,DPC,D0401"));
+        assert_eq!(Claim::parse(&rec).unwrap(), c);
+    }
+
+    #[test]
+    fn code_accessors() {
+        let c = sample();
+        assert_eq!(c.disease_codes().collect::<Vec<_>>(), vec!["I10"]);
+        assert_eq!(c.medicine_codes().collect::<Vec<_>>(), vec!["AH01"]);
+        assert_eq!(c.treatment_codes().collect::<Vec<_>>(), vec!["T900"]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for text in [
+            "",
+            "RE,1,in,30,M",                                 // missing IR
+            "IR,1,2,piecework\nRE,1,in,30,M",               // missing HO
+            "IR,1,2,piecework,extra\nRE,1,in,30,M\nHO,5",   // piecework arity
+            "IR,1,2,DPC\nRE,1,in,30,M\nHO,5",               // DPC without code
+            "IR,1,2,piecework\nRE,1,sideways,30,M\nHO,5",   // bad category
+            "IR,1,2,piecework\nRE,1,in,30,X\nHO,5",         // bad sex
+            "IR,1,2,piecework\nRE,1,in,30,M\nHO,abc",       // bad expense
+            "IR,1,2,piecework\nRE,1,in,30,M\nHO,5\nZZ,1,2", // unknown tag
+            "IR,1,2,piecework\nRE,1,in,30,M\nHO,5\nIY,x,1", // IY arity
+        ] {
+            assert!(
+                Claim::parse(&Record::from_text(text)).is_err(),
+                "should reject: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn claim_without_details_is_valid() {
+        let mut c = sample();
+        c.details.clear();
+        assert_eq!(Claim::parse(&c.to_record()).unwrap(), c);
+    }
+}

@@ -1,0 +1,341 @@
+//! Synthetic nationwide-claims generator.
+//!
+//! The real national claims database is not publicly available; this
+//! generator produces a population with the joint disease–medicine
+//! structure queries Q1–Q3 depend on (condition prevalences and
+//! prescription co-occurrence probabilities are explicit parameters, so
+//! the Fig. 9 record-access ratios are controlled rather than accidental).
+//! Each claim carries at most one code from each tracked condition group,
+//! so index probes over a group never return the same claim twice.
+
+use crate::format::{Claim, ClaimType, SubRecord};
+use rede_common::Xoshiro256;
+
+/// Code vocabulary for one tracked condition and its tracked medication.
+#[derive(Debug, Clone)]
+pub struct Condition {
+    /// Disease codes of the condition (one is chosen per afflicted claim).
+    pub disease_codes: &'static [&'static str],
+    /// Medicine codes of the tracked medication class.
+    pub medicine_codes: &'static [&'static str],
+    /// Fraction of claims diagnosed with the condition.
+    pub prevalence: f64,
+    /// Probability that a diagnosed claim is prescribed the tracked class.
+    pub co_prescription: f64,
+}
+
+/// Q1: hypertension treated with antihypertensives.
+pub const HYPERTENSION: Condition = Condition {
+    disease_codes: &["I10", "I11", "I15"],
+    medicine_codes: &["AH01", "AH02", "AH03", "AH04"],
+    prevalence: 0.12,
+    co_prescription: 0.70,
+};
+
+/// Q2: acne treated with antimicrobials.
+pub const ACNE: Condition = Condition {
+    disease_codes: &["L70"],
+    medicine_codes: &["AM01", "AM02", "AM03"],
+    prevalence: 0.03,
+    co_prescription: 0.55,
+};
+
+/// Q3: diabetes treated with GLP-1 receptor agonists.
+pub const DIABETES: Condition = Condition {
+    disease_codes: &["E10", "E11"],
+    medicine_codes: &["GL01", "GL02"],
+    prevalence: 0.08,
+    co_prescription: 0.20,
+};
+
+const BACKGROUND_DISEASES: [&str; 12] = [
+    "J06", "K29", "M54", "H10", "N39", "S93", "R51", "F41", "G43", "B34", "T14", "Z00",
+];
+const BACKGROUND_MEDICINES: [&str; 12] = [
+    "GX01", "GX02", "GX03", "GX04", "GX05", "GX06", "GX07", "GX08", "GX09", "GX10", "GX11", "GX12",
+];
+const TREATMENTS: [&str; 8] = [
+    "T100", "T200", "T300", "T400", "T500", "T600", "T700", "T800",
+];
+
+/// Distribution knobs beyond the three tracked conditions.
+#[derive(Debug, Clone)]
+pub struct ClaimsProfile {
+    /// Number of claims to generate.
+    pub claims: usize,
+    /// Fraction of DPC (vs. piecework) claims.
+    pub dpc_fraction: f64,
+    /// Mean number of background diseases per claim.
+    pub background_diseases: f64,
+    /// Mean number of background medicines per claim.
+    pub background_medicines: f64,
+    /// Mean number of treatments per claim.
+    pub treatments: f64,
+}
+
+impl Default for ClaimsProfile {
+    fn default() -> Self {
+        ClaimsProfile {
+            claims: 10_000,
+            dpc_fraction: 0.2,
+            background_diseases: 1.5,
+            background_medicines: 3.0,
+            treatments: 2.0,
+        }
+    }
+}
+
+/// Deterministic claims generator.
+#[derive(Debug, Clone)]
+pub struct ClaimsGenerator {
+    profile: ClaimsProfile,
+    root: Xoshiro256,
+}
+
+impl ClaimsGenerator {
+    /// Generator over `profile` with a seed.
+    pub fn new(profile: ClaimsProfile, seed: u64) -> ClaimsGenerator {
+        ClaimsGenerator {
+            profile,
+            root: Xoshiro256::new(seed),
+        }
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &ClaimsProfile {
+        &self.profile
+    }
+
+    /// The tracked conditions (Q1, Q2, Q3 order).
+    pub fn conditions() -> [&'static Condition; 3] {
+        [&HYPERTENSION, &ACNE, &DIABETES]
+    }
+
+    /// Generate claim `i` (0-based; claim ids are `i + 1`). Pure in
+    /// `(seed, i)`.
+    pub fn claim(&self, i: usize) -> Claim {
+        let mut rng = self.root.derive(i as u64);
+        let mut details: Vec<SubRecord> = Vec::new();
+
+        // Tracked conditions: at most one disease code per group.
+        for cond in Self::conditions() {
+            if rng.gen_bool(cond.prevalence) {
+                let code = *rng.choose(cond.disease_codes);
+                details.push(SubRecord::Disease {
+                    code: code.to_string(),
+                    primary: details.is_empty(),
+                });
+                if rng.gen_bool(cond.co_prescription) {
+                    let med = *rng.choose(cond.medicine_codes);
+                    details.push(SubRecord::Medicine {
+                        code: med.to_string(),
+                        quantity: 1 + rng.gen_range(60) as i64,
+                        points: 50 + rng.gen_range(500) as i64,
+                    });
+                }
+            }
+        }
+
+        // Background noise.
+        let n_dx = sample_count(&mut rng, self.profile.background_diseases);
+        for _ in 0..n_dx {
+            let code = *rng.choose(&BACKGROUND_DISEASES[..]);
+            details.push(SubRecord::Disease {
+                code: code.to_string(),
+                primary: details.is_empty(),
+            });
+        }
+        let n_rx = sample_count(&mut rng, self.profile.background_medicines);
+        for _ in 0..n_rx {
+            let code = *rng.choose(&BACKGROUND_MEDICINES[..]);
+            details.push(SubRecord::Medicine {
+                code: code.to_string(),
+                quantity: 1 + rng.gen_range(90) as i64,
+                points: 10 + rng.gen_range(800) as i64,
+            });
+        }
+        let n_tr = sample_count(&mut rng, self.profile.treatments);
+        for _ in 0..n_tr {
+            let code = *rng.choose(&TREATMENTS[..]);
+            details.push(SubRecord::Treatment {
+                code: code.to_string(),
+                points: 100 + rng.gen_range(2_000) as i64,
+            });
+        }
+
+        let expense: i64 = 500
+            + details
+                .iter()
+                .map(|d| match d {
+                    SubRecord::Treatment { points, .. } => *points,
+                    SubRecord::Medicine { points, .. } => *points,
+                    SubRecord::Disease { .. } => 0,
+                })
+                .sum::<i64>();
+
+        Claim {
+            claim_id: i as i64 + 1,
+            hospital_id: 1 + rng.gen_range(500) as i64,
+            claim_type: if rng.gen_bool(self.profile.dpc_fraction) {
+                ClaimType::Dpc {
+                    code: format!("D{:04}", rng.gen_range(2_000)),
+                }
+            } else {
+                ClaimType::Piecework
+            },
+            patient_id: 1 + rng.gen_range(self.profile.claims as u64 / 2 + 1) as i64,
+            inpatient: rng.gen_bool(0.25),
+            age: rng.gen_range(100) as i64,
+            sex: if rng.gen_bool(0.5) { "M" } else { "F" }.to_string(),
+            expense,
+            details,
+        }
+    }
+}
+
+/// Sample a small count with the given mean (geometric-ish: floor(mean) plus
+/// a Bernoulli for the fractional part, plus occasional extras).
+fn sample_count(rng: &mut Xoshiro256, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    let frac = mean - mean.floor();
+    let mut n = base + usize::from(rng.gen_bool(frac));
+    while rng.gen_bool(0.15) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(n: usize) -> ClaimsGenerator {
+        ClaimsGenerator::new(
+            ClaimsProfile {
+                claims: n,
+                ..Default::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generator(100);
+        let b = generator(100);
+        for i in 0..100 {
+            assert_eq!(a.claim(i), b.claim(i));
+        }
+    }
+
+    #[test]
+    fn claims_roundtrip_through_the_format() {
+        let g = generator(200);
+        for i in 0..200 {
+            let c = g.claim(i);
+            assert_eq!(Claim::parse(&c.to_record()).unwrap(), c, "claim {i}");
+        }
+    }
+
+    #[test]
+    fn prevalences_are_respected() {
+        let g = generator(20_000);
+        let mut counts = [0usize; 3];
+        let conds = ClaimsGenerator::conditions();
+        for i in 0..20_000 {
+            let c = g.claim(i);
+            for (j, cond) in conds.iter().enumerate() {
+                if c.disease_codes().any(|d| cond.disease_codes.contains(&d)) {
+                    counts[j] += 1;
+                }
+            }
+        }
+        for (j, cond) in conds.iter().enumerate() {
+            let observed = counts[j] as f64 / 20_000.0;
+            assert!(
+                (observed - cond.prevalence).abs() < cond.prevalence * 0.25,
+                "condition {j}: observed {observed}, want ~{}",
+                cond.prevalence
+            );
+        }
+    }
+
+    #[test]
+    fn at_most_one_tracked_code_per_group() {
+        let g = generator(5_000);
+        for i in 0..5_000 {
+            let c = g.claim(i);
+            for cond in ClaimsGenerator::conditions() {
+                let hits = c
+                    .disease_codes()
+                    .filter(|d| cond.disease_codes.contains(d))
+                    .count();
+                assert!(hits <= 1, "claim {i} has {hits} codes from one group");
+            }
+        }
+    }
+
+    #[test]
+    fn co_prescription_correlation_exists() {
+        let g = generator(20_000);
+        let (mut with_dx, mut with_both) = (0usize, 0usize);
+        let mut without_dx_with_med = 0usize;
+        let mut without_dx = 0usize;
+        for i in 0..20_000 {
+            let c = g.claim(i);
+            let dx = c
+                .disease_codes()
+                .any(|d| HYPERTENSION.disease_codes.contains(&d));
+            let rx = c
+                .medicine_codes()
+                .any(|m| HYPERTENSION.medicine_codes.contains(&m));
+            if dx {
+                with_dx += 1;
+                with_both += usize::from(rx);
+            } else {
+                without_dx += 1;
+                without_dx_with_med += usize::from(rx);
+            }
+        }
+        let p_given_dx = with_both as f64 / with_dx as f64;
+        let p_without = without_dx_with_med as f64 / without_dx as f64;
+        assert!((p_given_dx - 0.70).abs() < 0.1, "got {p_given_dx}");
+        assert!(
+            p_without < 0.01,
+            "tracked meds should not appear without the disease"
+        );
+    }
+
+    #[test]
+    fn expense_reflects_details() {
+        let g = generator(100);
+        for i in 0..100 {
+            let c = g.claim(i);
+            let expected: i64 = 500
+                + c.details
+                    .iter()
+                    .map(|d| match d {
+                        SubRecord::Treatment { points, .. } => *points,
+                        SubRecord::Medicine { points, .. } => *points,
+                        SubRecord::Disease { .. } => 0,
+                    })
+                    .sum::<i64>();
+            assert_eq!(c.expense, expected);
+        }
+    }
+
+    #[test]
+    fn both_claim_types_occur() {
+        let g = generator(1_000);
+        let mut dpc = 0;
+        for i in 0..1_000 {
+            if matches!(g.claim(i).claim_type, ClaimType::Dpc { .. }) {
+                dpc += 1;
+            }
+        }
+        assert!(
+            (100..350).contains(&dpc),
+            "dpc fraction ~0.2, got {dpc}/1000"
+        );
+    }
+}

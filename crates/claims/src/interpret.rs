@@ -1,0 +1,205 @@
+//! Schema-on-read access methods for raw claims.
+//!
+//! These are the "access method definitions" a LakeHarbor user registers
+//! post hoc: they know the claim format and extract attributes from the
+//! nested sub-records at read time. The same interpreters drive both index
+//! construction (multi-valued keys: one claim yields one index entry per
+//! disease code) and query-time filtering.
+
+use crate::format::Claim;
+use rede_common::{Result, Value};
+use rede_core::traits::{Filter, Interpreter};
+use rede_storage::Record;
+
+/// Extracts every diagnosed disease code (`SY` sub-records).
+pub struct DiseaseCodeInterpreter;
+
+impl Interpreter for DiseaseCodeInterpreter {
+    fn extract(&self, record: &Record) -> Result<Vec<Value>> {
+        let claim = Claim::parse(record)?;
+        Ok(claim.disease_codes().map(Value::str).collect())
+    }
+
+    fn name(&self) -> &str {
+        "claim.disease_codes"
+    }
+}
+
+/// Extracts every prescribed medicine code (`IY` sub-records).
+pub struct MedicineCodeInterpreter;
+
+impl Interpreter for MedicineCodeInterpreter {
+    fn extract(&self, record: &Record) -> Result<Vec<Value>> {
+        let claim = Claim::parse(record)?;
+        Ok(claim.medicine_codes().map(Value::str).collect())
+    }
+
+    fn name(&self) -> &str {
+        "claim.medicine_codes"
+    }
+}
+
+/// Extracts the claim id (IR sub-record) — the pointer component used when
+/// building indexes over the claims file.
+pub struct ClaimIdInterpreter;
+
+impl Interpreter for ClaimIdInterpreter {
+    fn extract(&self, record: &Record) -> Result<Vec<Value>> {
+        let claim = Claim::parse(record)?;
+        Ok(vec![Value::Int(claim.claim_id)])
+    }
+
+    fn name(&self) -> &str {
+        "claim.claim_id"
+    }
+}
+
+/// Extracts the total expense points (HO sub-record).
+pub struct ExpenseInterpreter;
+
+impl Interpreter for ExpenseInterpreter {
+    fn extract(&self, record: &Record) -> Result<Vec<Value>> {
+        let claim = Claim::parse(record)?;
+        Ok(vec![Value::Int(claim.expense)])
+    }
+
+    fn name(&self) -> &str {
+        "claim.expense"
+    }
+}
+
+/// Passes claims prescribing at least one medicine from `codes`.
+pub struct HasMedicineFilter {
+    codes: Vec<String>,
+    label: String,
+}
+
+impl HasMedicineFilter {
+    /// Filter on a medicine-code set.
+    pub fn new(codes: &[&str]) -> HasMedicineFilter {
+        HasMedicineFilter {
+            codes: codes.iter().map(|c| c.to_string()).collect(),
+            label: format!("has-medicine({} codes)", codes.len()),
+        }
+    }
+}
+
+impl Filter for HasMedicineFilter {
+    fn matches(&self, record: &Record) -> Result<bool> {
+        let claim = Claim::parse(record)?;
+        let hit = claim
+            .medicine_codes()
+            .any(|m| self.codes.iter().any(|c| c == m));
+        Ok(hit)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Passes claims diagnosed with at least one disease from `codes`.
+pub struct HasDiseaseFilter {
+    codes: Vec<String>,
+    label: String,
+}
+
+impl HasDiseaseFilter {
+    /// Filter on a disease-code set.
+    pub fn new(codes: &[&str]) -> HasDiseaseFilter {
+        HasDiseaseFilter {
+            codes: codes.iter().map(|c| c.to_string()).collect(),
+            label: format!("has-disease({} codes)", codes.len()),
+        }
+    }
+}
+
+impl Filter for HasDiseaseFilter {
+    fn matches(&self, record: &Record) -> Result<bool> {
+        let claim = Claim::parse(record)?;
+        let hit = claim
+            .disease_codes()
+            .any(|d| self.codes.iter().any(|c| c == d));
+        Ok(hit)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{ClaimType, SubRecord};
+
+    fn record() -> Record {
+        Claim {
+            claim_id: 5,
+            hospital_id: 1,
+            claim_type: ClaimType::Piecework,
+            patient_id: 9,
+            inpatient: false,
+            age: 40,
+            sex: "M".into(),
+            expense: 777,
+            details: vec![
+                SubRecord::Disease {
+                    code: "I10".into(),
+                    primary: true,
+                },
+                SubRecord::Disease {
+                    code: "J06".into(),
+                    primary: false,
+                },
+                SubRecord::Medicine {
+                    code: "AH01".into(),
+                    quantity: 10,
+                    points: 100,
+                },
+                SubRecord::Medicine {
+                    code: "GX03".into(),
+                    quantity: 5,
+                    points: 50,
+                },
+            ],
+        }
+        .to_record()
+    }
+
+    #[test]
+    fn multi_valued_extraction() {
+        let dx = DiseaseCodeInterpreter.extract(&record()).unwrap();
+        assert_eq!(dx, vec![Value::str("I10"), Value::str("J06")]);
+        let rx = MedicineCodeInterpreter.extract(&record()).unwrap();
+        assert_eq!(rx, vec![Value::str("AH01"), Value::str("GX03")]);
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        assert_eq!(
+            ClaimIdInterpreter.extract(&record()).unwrap(),
+            vec![Value::Int(5)]
+        );
+        assert_eq!(
+            ExpenseInterpreter.extract(&record()).unwrap(),
+            vec![Value::Int(777)]
+        );
+    }
+
+    #[test]
+    fn filters() {
+        let r = record();
+        assert!(HasMedicineFilter::new(&["AH01"]).matches(&r).unwrap());
+        assert!(!HasMedicineFilter::new(&["ZZ99"]).matches(&r).unwrap());
+        assert!(HasDiseaseFilter::new(&["J06", "K29"]).matches(&r).unwrap());
+        assert!(!HasDiseaseFilter::new(&["E11"]).matches(&r).unwrap());
+    }
+
+    #[test]
+    fn non_claim_records_error() {
+        let junk = Record::from_text("1|2|3");
+        assert!(DiseaseCodeInterpreter.extract(&junk).is_err());
+        assert!(HasMedicineFilter::new(&["X"]).matches(&junk).is_err());
+    }
+}

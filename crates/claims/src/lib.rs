@@ -1,0 +1,45 @@
+//! The Japanese health-insurance claims case study (§ IV of the paper).
+//!
+//! Public healthcare insurance claims are text records of high structural
+//! complexity: each claim comprises sub-records of different kinds (IR/RE/
+//! HO/SI/IY/SY), some of which are *dynamically defined* (the IR layout
+//! depends on its claim-type attribute), which is why nested-column formats
+//! like Parquet "cannot properly express" them and why the paper stores
+//! them raw and registers access methods post hoc.
+//!
+//! * [`mod@format`] — the claim record format: writer, parser, sub-record
+//!   model.
+//! * [`gen`] — a synthetic nationwide-claims generator with controlled
+//!   disease/medicine joint distributions for queries Q1–Q3.
+//! * [`interpret`] — schema-on-read [`Interpreter`]s and [`Filter`]s over
+//!   raw claims (disease codes, medicine codes, expenses).
+//! * [`lake`] — loads raw claims into the lake and registers the
+//!   disease-code and medicine-code structures.
+//! * [`normalize`] — the warehouse comparator's relational schema: claims
+//!   flattened into `wh.claims` / `wh.diagnoses` / `wh.prescriptions` /
+//!   `wh.treatments` with FK indexes.
+//! * [`queries`] — Q1 (hypertension × antihypertensives), Q2 (acne ×
+//!   antimicrobials), Q3 (diabetes × GLP-1) on both systems, with
+//!   record-access accounting for Fig. 9.
+//! * [`fhir`] — the same claims as simplified FHIR JSON bundles, processed
+//!   by the identical machinery through swapped-in interpreters (the
+//!   paper's closing direction for § IV).
+//! * [`analytics`] — the research-platform services § IV describes:
+//!   patient traceability (vPID-style) and prescription-rate /
+//!   comorbidity studies over the raw claims.
+//!
+//! [`Interpreter`]: rede_core::traits::Interpreter
+//! [`Filter`]: rede_core::traits::Filter
+
+pub mod analytics;
+pub mod fhir;
+pub mod format;
+pub mod gen;
+pub mod interpret;
+pub mod lake;
+pub mod normalize;
+pub mod queries;
+
+pub use format::{Claim, ClaimType, SubRecord};
+pub use gen::{ClaimsGenerator, ClaimsProfile};
+pub use queries::{run_lake_scan, run_rede, run_warehouse, QueryOutcome, QuerySpec};

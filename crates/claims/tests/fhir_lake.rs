@@ -1,0 +1,131 @@
+//! End-to-end FHIR: load the claims population as FHIR bundles, register
+//! FHIR access methods, and run the Q1 cohort query with the standard
+//! engine — results must match the native-format pipeline exactly.
+
+use rede_claims::fhir::{
+    claim_to_bundle, FhirConditionInterpreter, FhirExpenseInterpreter, FhirMedicationInterpreter,
+};
+use rede_claims::gen::{ClaimsGenerator, ClaimsProfile, HYPERTENSION};
+use rede_claims::queries::{expected_outcome, QuerySpec};
+use rede_common::{Result, Value};
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_core::maintenance::IndexBuilder;
+use rede_core::query::Query;
+use rede_core::traits::{Filter, Interpreter};
+use rede_storage::{FileSpec, IndexSpec, Partitioning, Record, SimCluster};
+use std::sync::Arc;
+
+/// Schema-on-read filter over FHIR bundles: prescribes any tracked
+/// medication.
+struct FhirHasMedication(Vec<Value>);
+
+impl Filter for FhirHasMedication {
+    fn matches(&self, record: &Record) -> Result<bool> {
+        let codes = FhirMedicationInterpreter.extract(record)?;
+        Ok(codes.iter().any(|c| self.0.contains(c)))
+    }
+}
+
+#[test]
+fn fhir_bundles_answer_q1_identically_to_native_claims() {
+    let cluster = SimCluster::builder().nodes(2).build().unwrap();
+    let generator = ClaimsGenerator::new(
+        ClaimsProfile {
+            claims: 1_500,
+            ..Default::default()
+        },
+        21,
+    );
+
+    // Load the population as FHIR bundles.
+    let bundles = cluster
+        .create_file(FileSpec::new("fhir_bundles", Partitioning::hash(4)))
+        .unwrap();
+    for i in 0..generator.profile().claims {
+        let claim = generator.claim(i);
+        bundles
+            .insert(Value::Int(claim.claim_id), claim_to_bundle(&claim))
+            .unwrap();
+    }
+
+    // Post hoc access method: index Condition codes straight out of the
+    // nested JSON.
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::global("fhir_bundles.condition", "fhir_bundles", 4),
+        Arc::new(FhirConditionInterpreter),
+    )
+    .build()
+    .unwrap();
+
+    // The Q1 cohort through the high-level query layer.
+    let spec = QuerySpec::all()[0].clone();
+    let medication_codes: Vec<Value> = spec.medicine_codes.iter().map(|c| Value::str(*c)).collect();
+    let query = Query::via_index("fhir_bundles.condition")
+        .keys(spec.disease_codes.iter().map(|c| Value::str(*c)).collect())
+        .named("fhir-q1")
+        .fetch_filtered(
+            "fhir_bundles",
+            Arc::new(FhirHasMedication(medication_codes)),
+        )
+        .build();
+    let job = query.compile().unwrap();
+    let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(32).collecting());
+    let result = runner.run(&job).unwrap();
+
+    // Sum expenses schema-on-read from the matched bundles.
+    let mut total = 0i64;
+    for record in &result.records {
+        total += FhirExpenseInterpreter.extract(record).unwrap()[0]
+            .as_int()
+            .unwrap();
+    }
+
+    let (want_total, want_count) = expected_outcome(&generator, &spec);
+    assert_eq!(
+        result.count, want_count,
+        "FHIR pipeline must match ground truth"
+    );
+    assert_eq!(total, want_total);
+    assert!(want_count > 0, "fixture must select something");
+}
+
+#[test]
+fn fhir_condition_index_has_one_entry_per_diagnosis() {
+    let cluster = SimCluster::builder().nodes(2).build().unwrap();
+    let generator = ClaimsGenerator::new(
+        ClaimsProfile {
+            claims: 400,
+            ..Default::default()
+        },
+        3,
+    );
+    let bundles = cluster
+        .create_file(FileSpec::new("fhir_bundles", Partitioning::hash(4)))
+        .unwrap();
+    let mut diagnoses = 0usize;
+    for i in 0..400 {
+        let claim = generator.claim(i);
+        diagnoses += claim.disease_codes().count();
+        bundles
+            .insert(Value::Int(claim.claim_id), claim_to_bundle(&claim))
+            .unwrap();
+    }
+    let report = IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::global("fhir_bundles.condition", "fhir_bundles", 4),
+        Arc::new(FhirConditionInterpreter),
+    )
+    .build()
+    .unwrap();
+    assert_eq!(report.entries as usize, diagnoses);
+
+    // Spot check: probing one hypertension code returns the same count as
+    // the generator's ground truth.
+    let code = HYPERTENSION.disease_codes[1];
+    let expected = (0..400)
+        .filter(|&i| generator.claim(i).disease_codes().any(|d| d == code))
+        .count();
+    let ix = cluster.index("fhir_bundles.condition").unwrap();
+    assert_eq!(ix.lookup(&Value::str(code), 0).len(), expected);
+}

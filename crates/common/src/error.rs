@@ -1,0 +1,105 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public API in the workspace returns [`Result<T>`]. The
+//! variants mirror the layers of the system: storage, record
+//! interpretation (schema-on-read), job construction, and execution.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RedeError>;
+
+/// The error type shared by all LakeHarbor / ReDe crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedeError {
+    /// A named entity (file, partition, index, column…) does not exist.
+    NotFound(String),
+    /// An entity with the same name already exists.
+    AlreadyExists(String),
+    /// A pointer could not be resolved to a record.
+    DanglingPointer(String),
+    /// Raw bytes could not be interpreted under the schema applied on read.
+    Interpret(String),
+    /// A job definition is structurally invalid (e.g. a Referencer feeding a
+    /// Referencer, or a stage referencing a missing file).
+    InvalidJob(String),
+    /// A failure during job execution (worker panic, poisoned queue…).
+    Exec(String),
+    /// Invalid configuration (zero partitions, empty key, …).
+    Config(String),
+    /// Record payload failed structural validation (truncated, bad tag…).
+    Corrupt(String),
+    /// Key/partition mismatch: a record was routed to the wrong partition.
+    Routing(String),
+}
+
+impl RedeError {
+    /// Short machine-readable category name, stable across releases.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RedeError::NotFound(_) => "not_found",
+            RedeError::AlreadyExists(_) => "already_exists",
+            RedeError::DanglingPointer(_) => "dangling_pointer",
+            RedeError::Interpret(_) => "interpret",
+            RedeError::InvalidJob(_) => "invalid_job",
+            RedeError::Exec(_) => "exec",
+            RedeError::Config(_) => "config",
+            RedeError::Corrupt(_) => "corrupt",
+            RedeError::Routing(_) => "routing",
+        }
+    }
+}
+
+impl fmt::Display for RedeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            RedeError::NotFound(m) => ("not found", m),
+            RedeError::AlreadyExists(m) => ("already exists", m),
+            RedeError::DanglingPointer(m) => ("dangling pointer", m),
+            RedeError::Interpret(m) => ("interpret error", m),
+            RedeError::InvalidJob(m) => ("invalid job", m),
+            RedeError::Exec(m) => ("execution error", m),
+            RedeError::Config(m) => ("configuration error", m),
+            RedeError::Corrupt(m) => ("corrupt record", m),
+            RedeError::Routing(m) => ("routing error", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for RedeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = RedeError::NotFound("file 'part'".into());
+        assert_eq!(e.to_string(), "not found: file 'part'");
+        assert_eq!(e.kind(), "not_found");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let errs = [
+            RedeError::NotFound(String::new()),
+            RedeError::AlreadyExists(String::new()),
+            RedeError::DanglingPointer(String::new()),
+            RedeError::Interpret(String::new()),
+            RedeError::InvalidJob(String::new()),
+            RedeError::Exec(String::new()),
+            RedeError::Config(String::new()),
+            RedeError::Corrupt(String::new()),
+            RedeError::Routing(String::new()),
+        ];
+        let kinds: std::collections::BTreeSet<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RedeError>();
+    }
+}

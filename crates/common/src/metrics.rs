@@ -1,0 +1,307 @@
+//! Atomic I/O and record-access counters.
+//!
+//! The paper's Figure 9 compares systems by *number of record accesses*, and
+//! its cost argument ("the number of record accesses determines the
+//! theoretical limitation of query performance") makes these counters the
+//! primary measured quantity of the reproduction. Every storage access path
+//! increments exactly one [`AccessKind`] counter; executors additionally
+//! count spawned tasks and queue hops.
+//!
+//! A [`Metrics`] handle is cheap to clone (`Arc` inside) and is threaded
+//! through cluster, files, and executors so independent experiments never
+//! share counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Kinds of storage accesses the simulator distinguishes.
+///
+/// The latency model assigns each kind its own cost; Figure 9 sums the
+/// record-bearing kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Point read of a record in a partition on the local node.
+    LocalPointRead,
+    /// Point read served by a different node (adds network RTT).
+    RemotePointRead,
+    /// One record visited by a sequential scan.
+    ScannedRecord,
+    /// One B+-tree lookup/range-probe (index traversal, not a record fetch).
+    IndexLookup,
+    /// One entry emitted by an index range probe.
+    IndexEntryRead,
+    /// A record appended/written.
+    RecordWrite,
+}
+
+#[derive(Default)]
+struct Inner {
+    local_point_reads: AtomicU64,
+    remote_point_reads: AtomicU64,
+    scanned_records: AtomicU64,
+    index_lookups: AtomicU64,
+    index_entries_read: AtomicU64,
+    record_writes: AtomicU64,
+    tasks_spawned: AtomicU64,
+    queue_hops: AtomicU64,
+    broadcasts: AtomicU64,
+    records_emitted: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Shared, thread-safe metrics handle.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Inner>,
+}
+
+impl Metrics {
+    /// Fresh counters, all zero.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one storage access of the given kind.
+    #[inline]
+    pub fn record_access(&self, kind: AccessKind) {
+        self.record_accesses(kind, 1)
+    }
+
+    /// Record `n` storage accesses of the given kind (used by scans that
+    /// account for a whole batch at once).
+    #[inline]
+    pub fn record_accesses(&self, kind: AccessKind, n: u64) {
+        let ctr = match kind {
+            AccessKind::LocalPointRead => &self.inner.local_point_reads,
+            AccessKind::RemotePointRead => &self.inner.remote_point_reads,
+            AccessKind::ScannedRecord => &self.inner.scanned_records,
+            AccessKind::IndexLookup => &self.inner.index_lookups,
+            AccessKind::IndexEntryRead => &self.inner.index_entries_read,
+            AccessKind::RecordWrite => &self.inner.record_writes,
+        };
+        ctr.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count a task handed to the executor's thread pool.
+    #[inline]
+    pub fn record_task_spawn(&self) {
+        self.inner.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an item moving through a stage queue.
+    #[inline]
+    pub fn record_queue_hop(&self) {
+        self.inner.queue_hops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a pointer broadcast to all partitions.
+    #[inline]
+    pub fn record_broadcast(&self) {
+        self.inner.broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a record emitted by a job as final output.
+    #[inline]
+    pub fn record_emit(&self) {
+        self.inner.records_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a record served from the node-local record cache.
+    #[inline]
+    pub fn record_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a record-cache miss (the access fell through to storage).
+    #[inline]
+    pub fn record_cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let i = &self.inner;
+        MetricsSnapshot {
+            local_point_reads: i.local_point_reads.load(Ordering::Relaxed),
+            remote_point_reads: i.remote_point_reads.load(Ordering::Relaxed),
+            scanned_records: i.scanned_records.load(Ordering::Relaxed),
+            index_lookups: i.index_lookups.load(Ordering::Relaxed),
+            index_entries_read: i.index_entries_read.load(Ordering::Relaxed),
+            record_writes: i.record_writes.load(Ordering::Relaxed),
+            tasks_spawned: i.tasks_spawned.load(Ordering::Relaxed),
+            queue_hops: i.queue_hops.load(Ordering::Relaxed),
+            broadcasts: i.broadcasts.load(Ordering::Relaxed),
+            records_emitted: i.records_emitted.load(Ordering::Relaxed),
+            cache_hits: i.cache_hits.load(Ordering::Relaxed),
+            cache_misses: i.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (experiments reuse loaded clusters).
+    pub fn reset(&self) {
+        let i = &self.inner;
+        for ctr in [
+            &i.local_point_reads,
+            &i.remote_point_reads,
+            &i.scanned_records,
+            &i.index_lookups,
+            &i.index_entries_read,
+            &i.record_writes,
+            &i.tasks_spawned,
+            &i.queue_hops,
+            &i.broadcasts,
+            &i.records_emitted,
+            &i.cache_hits,
+            &i.cache_misses,
+        ] {
+            ctr.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub local_point_reads: u64,
+    pub remote_point_reads: u64,
+    pub scanned_records: u64,
+    pub index_lookups: u64,
+    pub index_entries_read: u64,
+    pub record_writes: u64,
+    pub tasks_spawned: u64,
+    pub queue_hops: u64,
+    pub broadcasts: u64,
+    pub records_emitted: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total record accesses, the Figure 9 quantity: every record the engine
+    /// had to touch, whether by point read or by scan.
+    pub fn record_accesses(&self) -> u64 {
+        self.local_point_reads + self.remote_point_reads + self.scanned_records
+    }
+
+    /// Total random (point) reads — what the IOPS-bound cost model charges.
+    pub fn point_reads(&self) -> u64 {
+        self.local_point_reads + self.remote_point_reads
+    }
+
+    /// Difference since an earlier snapshot (component-wise saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            local_point_reads: self
+                .local_point_reads
+                .saturating_sub(earlier.local_point_reads),
+            remote_point_reads: self
+                .remote_point_reads
+                .saturating_sub(earlier.remote_point_reads),
+            scanned_records: self.scanned_records.saturating_sub(earlier.scanned_records),
+            index_lookups: self.index_lookups.saturating_sub(earlier.index_lookups),
+            index_entries_read: self
+                .index_entries_read
+                .saturating_sub(earlier.index_entries_read),
+            record_writes: self.record_writes.saturating_sub(earlier.record_writes),
+            tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
+            queue_hops: self.queue_hops.saturating_sub(earlier.queue_hops),
+            broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
+            records_emitted: self.records_emitted.saturating_sub(earlier.records_emitted),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "point reads: {} local / {} remote, scanned: {}, index lookups: {} ({} entries), \
+             writes: {}, tasks: {}, hops: {}, broadcasts: {}, emitted: {}, cache: {}/{}",
+            self.local_point_reads,
+            self.remote_point_reads,
+            self.scanned_records,
+            self.index_lookups,
+            self.index_entries_read,
+            self.record_writes,
+            self.tasks_spawned,
+            self.queue_hops,
+            self.broadcasts,
+            self.records_emitted,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_access(AccessKind::LocalPointRead);
+        m.record_accesses(AccessKind::ScannedRecord, 10);
+        m.record_access(AccessKind::RemotePointRead);
+        let s = m.snapshot();
+        assert_eq!(s.local_point_reads, 1);
+        assert_eq!(s.remote_point_reads, 1);
+        assert_eq!(s.scanned_records, 10);
+        assert_eq!(s.record_accesses(), 12);
+        assert_eq!(s.point_reads(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.record_access(AccessKind::IndexLookup);
+        assert_eq!(m.snapshot().index_lookups, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.record_access(AccessKind::RecordWrite);
+        m.record_task_spawn();
+        m.record_broadcast();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let m = Metrics::new();
+        m.record_accesses(AccessKind::ScannedRecord, 5);
+        let before = m.snapshot();
+        m.record_accesses(AccessKind::ScannedRecord, 7);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.scanned_records, 7);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_access(AccessKind::LocalPointRead);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().local_point_reads, 4000);
+    }
+}

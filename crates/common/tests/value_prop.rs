@@ -1,0 +1,96 @@
+//! Property-based tests of `Value`: total ordering laws, encoding
+//! roundtrips, and hash/equality consistency — the contracts the B+-tree
+//! and partitioners rely on.
+
+use proptest::prelude::*;
+use rede_common::{Date, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(-0.0f64)
+        ]
+        .prop_map(Value::Float),
+        "[ -~]{0,24}".prop_map(|s| Value::str(&s)),
+        (-1_000_000i32..1_000_000).prop_map(|d| Value::Date(Date(d))),
+        prop::collection::vec(any::<u8>(), 0..16)
+            .prop_map(|b| Value::Bytes(Arc::from(b.into_boxed_slice()))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ordering_is_total_and_consistent(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // Transitivity (on the <= relation).
+        if a <= b && b <= c {
+            prop_assert!(a <= c, "transitivity violated");
+        }
+        // Reflexivity / Eq consistency.
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+
+    #[test]
+    fn field_encoding_roundtrips(v in value_strategy()) {
+        let enc = v.to_field();
+        let back = Value::from_field(&enc).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(v in value_strategy()) {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<rede_common::FxHasher> = Default::default();
+        let clone = v.clone();
+        prop_assert_eq!(bh.hash_one(&v), bh.hash_one(&clone));
+    }
+
+    #[test]
+    fn hash_bytes_injective_within_type_for_ints(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(
+            Value::Int(a).hash_bytes().into_owned(),
+            Value::Int(b).hash_bytes().into_owned()
+        );
+    }
+
+    #[test]
+    fn date_roundtrip_arbitrary(days in -1_000_000i32..1_000_000) {
+        let d = Date(days);
+        let (y, m, dd) = d.to_ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&dd));
+    }
+
+    #[test]
+    fn date_ordering_matches_day_number(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+        prop_assert_eq!(Date(a) < Date(b), a < b);
+        prop_assert_eq!(Value::Date(Date(a)) < Value::Date(Date(b)), a < b);
+    }
+
+    #[test]
+    fn date_display_sorts_like_dates(a in 0i32..60_000, b in 0i32..60_000) {
+        // For CE dates, ISO-8601 strings sort lexicographically like dates
+        // — relied upon by tests that compare date fields as strings.
+        let (sa, sb) = (Date(a).to_string(), Date(b).to_string());
+        prop_assert_eq!(sa < sb, a < b);
+    }
+}

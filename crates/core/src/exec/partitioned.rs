@@ -1,0 +1,150 @@
+//! Partitioned (non-SMPE) execution — the conservative model the paper
+//! ascribes to existing balanced solutions and evaluates as "ReDe (w/o
+//! SMPE)".
+//!
+//! The same Reference–Dereference job runs with "the partitioned
+//! parallelism given from data partitions": one worker thread per node
+//! walks the stage list depth-first, so every point read on a node is
+//! issued sequentially — the structures are used, but their inherent
+//! parallelism is not.
+
+use super::{ExecutorConfig, RawOutput};
+use crate::job::{Job, Stage};
+use crate::traits::{DerefInput, StageCtx};
+use parking_lot::Mutex;
+use rede_common::{RedeError, Result};
+use rede_storage::{Record, SimCluster};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Sink {
+    count: AtomicU64,
+    records: Mutex<Vec<Record>>,
+    collect: bool,
+}
+
+/// Depth-first evaluation of one dereference input through the remaining
+/// stages. Broadcast pointers are evaluated in place against *all*
+/// partitions (`local_only = false`): a single worker has no peers to
+/// replicate to, which is exactly the limitation that distinguishes this
+/// model.
+fn eval_deref(
+    cluster: &SimCluster,
+    job: &Job,
+    node: usize,
+    stage_idx: usize,
+    input: &DerefInput,
+    local_only: bool,
+    sink: &Sink,
+) -> Result<()> {
+    let Stage::Dereference { func, filter, .. } = &job.stages()[stage_idx] else {
+        return Err(RedeError::Exec(format!(
+            "stage {stage_idx} expected a dereference"
+        )));
+    };
+    let ctx = StageCtx {
+        cluster: cluster.clone(),
+        node,
+        local_only,
+    };
+    // Collect this invocation's records first, then recurse: the recursion
+    // re-enters storage and must not run inside the emit callback.
+    let mut records = Vec::new();
+    let mut filter_err = None;
+    func.dereference(input, &ctx, &mut |record| {
+        let keep = match filter {
+            Some(f) => match f.matches(&record) {
+                Ok(keep) => keep,
+                Err(e) => {
+                    filter_err.get_or_insert(e);
+                    false
+                }
+            },
+            None => true,
+        };
+        if keep {
+            records.push(record);
+        }
+    })?;
+    if let Some(e) = filter_err {
+        return Err(e);
+    }
+
+    let next = stage_idx + 1;
+    if next >= job.stages().len() {
+        sink.count
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        for _ in 0..records.len() {
+            cluster.metrics().record_emit();
+        }
+        if sink.collect {
+            sink.records.lock().extend(records);
+        }
+        return Ok(());
+    }
+
+    let Stage::Reference { func: refr, .. } = &job.stages()[next] else {
+        return Err(RedeError::Exec(format!(
+            "stage {next} expected a reference"
+        )));
+    };
+    for record in &records {
+        let mut ptrs = Vec::new();
+        refr.reference(record, &ctx, &mut |p| ptrs.push(p))?;
+        for ptr in ptrs {
+            let broadcast = ptr.is_broadcast();
+            if broadcast {
+                cluster.metrics().record_broadcast();
+            }
+            eval_deref(
+                cluster,
+                job,
+                node,
+                next + 1,
+                &DerefInput::Point(ptr),
+                false,
+                sink,
+            )?;
+            let _ = broadcast;
+        }
+    }
+    Ok(())
+}
+
+/// Run a job with partitioned parallelism: one worker per node.
+pub(crate) fn run(cluster: &SimCluster, job: &Job, config: &ExecutorConfig) -> Result<RawOutput> {
+    let sink = Sink {
+        count: AtomicU64::new(0),
+        records: Mutex::new(Vec::new()),
+        collect: config.collect_outputs,
+    };
+    let errors: Mutex<Vec<RedeError>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for node in 0..cluster.nodes() {
+            let (sink, errors, job) = (&sink, &errors, &job);
+            s.spawn(move || {
+                for input in job.seed().to_inputs() {
+                    // The seed runs on every node restricted to its local
+                    // partitions, exactly as under SMPE.
+                    if let Err(e) = eval_deref(cluster, job, node, 0, &input, true, sink) {
+                        errors.lock().push(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let errors = errors.into_inner();
+    if let Some(first) = errors.first() {
+        return Err(RedeError::Exec(format!(
+            "job '{}' failed with {} error(s); first: {first}",
+            job.name(),
+            errors.len()
+        )));
+    }
+    Ok(RawOutput {
+        count: sink.count.load(Ordering::Relaxed),
+        records: sink.records.into_inner(),
+    })
+}

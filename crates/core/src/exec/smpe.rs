@@ -1,0 +1,300 @@
+//! Scalable Massively Parallel Execution — Algorithm 1 of the paper.
+//!
+//! The job is distributed to every node (`EXECUTESMPE`). Each node owns an
+//! unbounded stage queue and a dispatcher thread (`EXECUTESTAGES`): items
+//! dequeued with partition information run their stage's function —
+//! dereferencers on a pooled thread ("create a thread for each dereference
+//! function invocation"), referencers inline by default (the paper's
+//! no-thread-switch optimization); items *without* partition information
+//! are broadcast to all nodes' queues with the local flag set
+//! (`SETPARTITION(input, LOCAL); BROADCAST(input)`). Function outputs are
+//! re-enqueued tagged `stage + 1`; records emitted by the final stage are
+//! the job output.
+//!
+//! Termination uses a global in-flight task counter: it is incremented
+//! *before* every enqueue and decremented only after a task has enqueued
+//! all of its outputs, so it can only reach zero when no work remains
+//! anywhere. The thread that observes zero closes every queue.
+
+use super::thread_pool::ThreadPool;
+use super::{ExecutorConfig, RawOutput};
+use crate::job::{Job, Stage};
+use crate::traits::{DerefInput, StageCtx};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rede_common::{RedeError, Result};
+use rede_storage::{Pointer, Record, SimCluster};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One queued unit of work: run stage `stage` on `item`.
+enum Msg {
+    Task(Task),
+    Stop,
+}
+
+struct Task {
+    item: TaskItem,
+    stage: usize,
+    local_only: bool,
+}
+
+enum TaskItem {
+    /// Input for a dereference stage.
+    Deref(DerefInput),
+    /// Input for a reference stage.
+    Record(Record),
+}
+
+/// Shared run state.
+struct RunState {
+    cluster: SimCluster,
+    job: Job,
+    queues: Vec<Sender<Msg>>,
+    in_flight: AtomicU64,
+    failed: AtomicBool,
+    errors: Mutex<Vec<RedeError>>,
+    out_count: AtomicU64,
+    out_records: Mutex<Vec<Record>>,
+    collect: bool,
+    referencer_inline: bool,
+}
+
+impl RunState {
+    /// Enqueue a task to `node`, accounting it in-flight first.
+    fn enqueue(&self, node: usize, task: Task) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.cluster.metrics().record_queue_hop();
+        if self.queues[node].send(Msg::Task(task)).is_err() {
+            // Queue already closed (failure drain); balance the counter.
+            self.task_done();
+        }
+    }
+
+    /// Mark one task finished; the observer of zero closes all queues.
+    fn task_done(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            for q in &self.queues {
+                let _ = q.send(Msg::Stop);
+            }
+        }
+    }
+
+    fn fail(&self, err: RedeError) {
+        self.failed.store(true, Ordering::SeqCst);
+        self.errors.lock().push(err);
+    }
+
+    /// Route one stage output produced at `node` while running `stage`.
+    fn handle_output(&self, node: usize, stage: usize, output: StageOutput) {
+        let next = stage + 1;
+        match output {
+            StageOutput::Record(record) => {
+                if next >= self.job.stages().len() {
+                    self.out_count.fetch_add(1, Ordering::Relaxed);
+                    self.cluster.metrics().record_emit();
+                    if self.collect {
+                        self.out_records.lock().push(record);
+                    }
+                } else {
+                    self.enqueue(
+                        node,
+                        Task {
+                            item: TaskItem::Record(record),
+                            stage: next,
+                            local_only: false,
+                        },
+                    );
+                }
+            }
+            StageOutput::Pointer(ptr) => {
+                debug_assert!(
+                    next < self.job.stages().len(),
+                    "validated: jobs end in a deref"
+                );
+                if ptr.is_broadcast() {
+                    // Null partition information: replicate to every node's
+                    // queue and have each node cover only its partitions.
+                    self.cluster.metrics().record_broadcast();
+                    for n in 0..self.queues.len() {
+                        self.enqueue(
+                            n,
+                            Task {
+                                item: TaskItem::Deref(DerefInput::Point(ptr.clone())),
+                                stage: next,
+                                local_only: true,
+                            },
+                        );
+                    }
+                } else {
+                    self.enqueue(
+                        node,
+                        Task {
+                            item: TaskItem::Deref(DerefInput::Point(ptr)),
+                            stage: next,
+                            local_only: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+enum StageOutput {
+    Record(Record),
+    Pointer(Pointer),
+}
+
+/// Execute one task body (on whatever thread the dispatcher chose).
+fn process_task(state: &Arc<RunState>, node: usize, task: Task) {
+    if !state.failed.load(Ordering::SeqCst) {
+        let ctx = StageCtx {
+            cluster: state.cluster.clone(),
+            node,
+            local_only: task.local_only,
+        };
+        let stage = &state.job.stages()[task.stage];
+        let result = match (&task.item, stage) {
+            (TaskItem::Deref(input), Stage::Dereference { func, filter, .. }) => {
+                let mut err = None;
+                let mut emit = |record: Record| {
+                    let keep = match filter {
+                        Some(f) => match f.matches(&record) {
+                            Ok(keep) => keep,
+                            Err(e) => {
+                                err.get_or_insert(e);
+                                false
+                            }
+                        },
+                        None => true,
+                    };
+                    if keep {
+                        state.handle_output(node, task.stage, StageOutput::Record(record));
+                    }
+                };
+                let r = func.dereference(input, &ctx, &mut emit);
+                // `emit` borrows `err`; end the borrow before inspecting it.
+                #[allow(clippy::drop_non_drop)]
+                drop(emit);
+                match (r, err) {
+                    (Err(e), _) | (Ok(()), Some(e)) => Err(e),
+                    (Ok(()), None) => Ok(()),
+                }
+            }
+            (TaskItem::Record(record), Stage::Reference { func, .. }) => {
+                let mut emit = |ptr: Pointer| {
+                    state.handle_output(node, task.stage, StageOutput::Pointer(ptr));
+                };
+                func.reference(record, &ctx, &mut emit)
+            }
+            _ => Err(RedeError::Exec(format!(
+                "stage {} ('{}') received mismatched input",
+                task.stage,
+                stage.label()
+            ))),
+        };
+        if let Err(e) = result {
+            state.fail(e);
+        }
+    }
+    state.task_done();
+}
+
+/// Per-node dispatcher: drain the queue, spawning dereference invocations
+/// onto the pool and (by default) running reference invocations inline.
+fn dispatch(state: Arc<RunState>, node: usize, rx: Receiver<Msg>, pool: Arc<ThreadPool>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Stop => break,
+            Msg::Task(task) => {
+                let inline = state.referencer_inline && matches!(task.item, TaskItem::Record(_));
+                if inline {
+                    process_task(&state, node, task);
+                } else {
+                    let state = state.clone();
+                    state.cluster.metrics().record_task_spawn();
+                    pool.execute(move || process_task(&state, node, task));
+                }
+            }
+        }
+    }
+}
+
+/// Run a job under SMPE. See module docs.
+pub(crate) fn run(
+    cluster: &SimCluster,
+    job: &Job,
+    pool: &Arc<ThreadPool>,
+    config: &ExecutorConfig,
+) -> Result<RawOutput> {
+    let nodes = cluster.nodes();
+    let mut senders = Vec::with_capacity(nodes);
+    let mut receivers = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let state = Arc::new(RunState {
+        cluster: cluster.clone(),
+        job: job.clone(),
+        queues: senders,
+        in_flight: AtomicU64::new(0),
+        failed: AtomicBool::new(false),
+        errors: Mutex::new(Vec::new()),
+        out_count: AtomicU64::new(0),
+        out_records: Mutex::new(Vec::new()),
+        collect: config.collect_outputs,
+        referencer_inline: config.referencer_inline,
+    });
+
+    // Seed every node: the initial stage runs everywhere, each node
+    // covering its locally placed partitions (lines 2-5 of Algorithm 1).
+    for node in 0..nodes {
+        for input in job.seed().to_inputs() {
+            state.enqueue(
+                node,
+                Task {
+                    item: TaskItem::Deref(input),
+                    stage: 0,
+                    local_only: true,
+                },
+            );
+        }
+    }
+
+    // One dispatcher thread per node (EXECUTESMPEEACH).
+    let dispatchers: Vec<_> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(node, rx)| {
+            let state = state.clone();
+            let pool = pool.clone();
+            std::thread::Builder::new()
+                .name(format!("rede-dispatch-{node}"))
+                .spawn(move || dispatch(state, node, rx, pool))
+                .expect("spawn dispatcher")
+        })
+        .collect();
+    for d in dispatchers {
+        d.join()
+            .map_err(|_| RedeError::Exec("dispatcher panicked".into()))?;
+    }
+
+    let errors = state.errors.lock();
+    if let Some(first) = errors.first() {
+        return Err(RedeError::Exec(format!(
+            "job '{}' failed with {} error(s); first: {first}",
+            job.name(),
+            errors.len()
+        )));
+    }
+    drop(errors);
+
+    let records = std::mem::take(&mut *state.out_records.lock());
+    Ok(RawOutput {
+        count: state.out_count.load(Ordering::Relaxed),
+        records,
+    })
+}

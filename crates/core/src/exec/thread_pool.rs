@@ -1,0 +1,132 @@
+//! Fixed-size thread pool used by the SMPE executor.
+//!
+//! "ReDe manages threads in a thread pool and reuses them instead of
+//! creating them every time. It manages 1000 threads in the default
+//! setting" (§ III-C). Work items are boxed closures delivered over an
+//! unbounded channel; the pool never blocks a submitter, which is what
+//! makes the executor deadlock-free (tasks only ever *enqueue* more work).
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Work = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads executing boxed closures.
+pub struct ThreadPool {
+    tx: Option<Sender<Work>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers named `name-<i>`.
+    pub fn new(size: usize, name: &str) -> ThreadPool {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (tx, rx) = unbounded::<Work>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .stack_size(128 * 1024)
+                    .spawn(move || {
+                        while let Ok(work) = rx.recv() {
+                            work();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            size,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a closure; never blocks.
+    pub fn execute(&self, work: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(work))
+            .expect("pool workers alive");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker drain and exit.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_submitted_work() {
+        let pool = ThreadPool::new(8, "t");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = unbounded();
+        for _ in 0..1000 {
+            let c = counter.clone();
+            let tx = done_tx.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..1000 {
+            done_rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn drop_waits_for_queued_work() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2, "t");
+            for _ in 0..100 {
+                let c = counter.clone();
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop joins workers after they drain the queue
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tasks_can_submit_tasks_without_deadlock() {
+        let pool = Arc::new(ThreadPool::new(2, "t"));
+        let (tx, rx) = unbounded();
+        let p2 = pool.clone();
+        pool.execute(move || {
+            let tx2 = tx.clone();
+            p2.execute(move || {
+                let _ = tx2.send(());
+            });
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("nested task must run");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_size_rejected() {
+        let _ = ThreadPool::new(0, "t");
+    }
+}

@@ -1,0 +1,348 @@
+//! Job definition: an alternating list of dereference and reference stages
+//! plus a seed input.
+//!
+//! "A ReDe job defines a list of the reference and dereference functions"
+//! (§ III-B). The type discipline of the abstraction — dereferencers
+//! consume pointers and emit records, referencers consume records and emit
+//! pointers — forces strict alternation starting (and usually ending) with
+//! a dereference stage; [`JobBuilder::build`] validates this so malformed
+//! compositions fail at definition time, not mid-execution.
+
+use crate::traits::{DerefInput, Dereferencer, Filter, Referencer};
+use rede_common::{RedeError, Result, Value};
+use rede_storage::Pointer;
+use std::sync::Arc;
+
+/// One stage of a job.
+#[derive(Clone)]
+pub enum Stage {
+    /// A dereference stage with an optional schema-on-read filter applied
+    /// to every record it emits.
+    Dereference {
+        func: Arc<dyn Dereferencer>,
+        filter: Option<Arc<dyn Filter>>,
+        label: String,
+    },
+    /// A reference stage.
+    Reference {
+        func: Arc<dyn Referencer>,
+        label: String,
+    },
+}
+
+impl Stage {
+    /// Stage label for diagnostics.
+    pub fn label(&self) -> &str {
+        match self {
+            Stage::Dereference { label, .. } => label,
+            Stage::Reference { label, .. } => label,
+        }
+    }
+
+    /// True for dereference stages.
+    pub fn is_dereference(&self) -> bool {
+        matches!(self, Stage::Dereference { .. })
+    }
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Dereference { label, filter, .. } => f
+                .debug_struct("Dereference")
+                .field("label", label)
+                .field("filtered", &filter.is_some())
+                .finish(),
+            Stage::Reference { label, .. } => {
+                f.debug_struct("Reference").field("label", label).finish()
+            }
+        }
+    }
+}
+
+/// The input handed to the initial dereference stage on every node.
+#[derive(Debug, Clone)]
+pub enum SeedInput {
+    /// An inclusive key range against a B-tree file — the common selective
+    /// entry point ("takes a range of Part.p_retailprice values as
+    /// arguments").
+    Range { file: String, lo: Value, hi: Value },
+    /// An explicit set of pointers (each fed as a point input).
+    Pointers(Vec<Pointer>),
+    /// An exact key against a B-tree file.
+    Key { file: String, key: Value },
+}
+
+impl SeedInput {
+    /// Materialize the seed as dereference inputs.
+    pub fn to_inputs(&self) -> Vec<DerefInput> {
+        match self {
+            SeedInput::Range { file, lo, hi } => vec![DerefInput::Range(
+                Pointer::broadcast(file, lo.clone()),
+                Pointer::broadcast(file, hi.clone()),
+            )],
+            SeedInput::Pointers(ptrs) => ptrs.iter().cloned().map(DerefInput::Point).collect(),
+            SeedInput::Key { file, key } => {
+                vec![DerefInput::Point(Pointer::broadcast(file, key.clone()))]
+            }
+        }
+    }
+}
+
+/// A validated, immutable data processing job. Cheap to clone; safe to run
+/// concurrently.
+#[derive(Clone, Debug)]
+pub struct Job {
+    stages: Arc<[Stage]>,
+    seed: SeedInput,
+    name: String,
+}
+
+impl Job {
+    /// Start building a job.
+    pub fn builder(name: impl Into<String>) -> JobBuilder {
+        JobBuilder {
+            name: name.into(),
+            stages: Vec::new(),
+            seed: None,
+        }
+    }
+
+    /// The stage list, in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The seed input.
+    pub fn seed(&self) -> &SeedInput {
+        &self.seed
+    }
+
+    /// The job's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Builder enforcing the Reference–Dereference composition rules.
+pub struct JobBuilder {
+    name: String,
+    stages: Vec<Stage>,
+    seed: Option<SeedInput>,
+}
+
+impl JobBuilder {
+    /// Set the seed fed to the initial dereference stage.
+    pub fn seed(mut self, seed: SeedInput) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Append an unfiltered dereference stage.
+    pub fn dereference(self, label: impl Into<String>, func: Arc<dyn Dereferencer>) -> Self {
+        self.dereference_filtered_opt(label, func, None)
+    }
+
+    /// Append a dereference stage with a filter.
+    pub fn dereference_filtered(
+        self,
+        label: impl Into<String>,
+        func: Arc<dyn Dereferencer>,
+        filter: Arc<dyn Filter>,
+    ) -> Self {
+        self.dereference_filtered_opt(label, func, Some(filter))
+    }
+
+    /// Append a dereference stage with an optional filter.
+    pub fn dereference_filtered_opt(
+        mut self,
+        label: impl Into<String>,
+        func: Arc<dyn Dereferencer>,
+        filter: Option<Arc<dyn Filter>>,
+    ) -> Self {
+        self.stages.push(Stage::Dereference {
+            func,
+            filter,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Append a reference stage.
+    pub fn reference(mut self, label: impl Into<String>, func: Arc<dyn Referencer>) -> Self {
+        self.stages.push(Stage::Reference {
+            func,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Validate and freeze the job.
+    ///
+    /// Rules checked:
+    /// * at least one stage;
+    /// * a seed is present;
+    /// * the first stage is a dereference (seeds are pointers);
+    /// * stages alternate dereference/reference (the types only compose
+    ///   that way);
+    /// * the last stage is a dereference (jobs output records).
+    pub fn build(self) -> Result<Job> {
+        let seed = self
+            .seed
+            .ok_or_else(|| RedeError::InvalidJob(format!("job '{}' has no seed", self.name)))?;
+        if self.stages.is_empty() {
+            return Err(RedeError::InvalidJob(format!(
+                "job '{}' has no stages",
+                self.name
+            )));
+        }
+        for (i, pair) in self.stages.windows(2).enumerate() {
+            if pair[0].is_dereference() == pair[1].is_dereference() {
+                return Err(RedeError::InvalidJob(format!(
+                    "job '{}': stages {i} ('{}') and {} ('{}') do not alternate",
+                    self.name,
+                    pair[0].label(),
+                    i + 1,
+                    pair[1].label()
+                )));
+            }
+        }
+        if !self.stages[0].is_dereference() {
+            return Err(RedeError::InvalidJob(format!(
+                "job '{}': first stage must dereference the seed pointers",
+                self.name
+            )));
+        }
+        if !self.stages.last().expect("non-empty").is_dereference() {
+            return Err(RedeError::InvalidJob(format!(
+                "job '{}': last stage must be a dereference (jobs output records)",
+                self.name
+            )));
+        }
+        Ok(Job {
+            stages: self.stages.into(),
+            seed,
+            name: self.name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::StageCtx;
+    use rede_storage::Record;
+
+    struct NopDeref;
+    impl Dereferencer for NopDeref {
+        fn dereference(
+            &self,
+            _input: &DerefInput,
+            _ctx: &StageCtx,
+            _emit: &mut dyn FnMut(Record),
+        ) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    struct NopRef;
+    impl Referencer for NopRef {
+        fn reference(
+            &self,
+            _record: &Record,
+            _ctx: &StageCtx,
+            _emit: &mut dyn FnMut(Pointer),
+        ) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    fn seed() -> SeedInput {
+        SeedInput::Key {
+            file: "ix".into(),
+            key: Value::Int(1),
+        }
+    }
+
+    #[test]
+    fn valid_alternating_job_builds() {
+        let job = Job::builder("j")
+            .seed(seed())
+            .dereference("d0", Arc::new(NopDeref))
+            .reference("r1", Arc::new(NopRef))
+            .dereference("d1", Arc::new(NopDeref))
+            .build()
+            .unwrap();
+        assert_eq!(job.stages().len(), 3);
+        assert_eq!(job.stages()[1].label(), "r1");
+        assert_eq!(job.name(), "j");
+    }
+
+    #[test]
+    fn missing_seed_rejected() {
+        let err = Job::builder("j")
+            .dereference("d0", Arc::new(NopDeref))
+            .build();
+        assert!(matches!(err, Err(RedeError::InvalidJob(_))));
+    }
+
+    #[test]
+    fn empty_job_rejected() {
+        assert!(Job::builder("j").seed(seed()).build().is_err());
+    }
+
+    #[test]
+    fn non_alternating_rejected() {
+        let err = Job::builder("j")
+            .seed(seed())
+            .dereference("d0", Arc::new(NopDeref))
+            .dereference("d1", Arc::new(NopDeref))
+            .build();
+        assert!(matches!(err, Err(RedeError::InvalidJob(_))));
+    }
+
+    #[test]
+    fn reference_first_rejected() {
+        let err = Job::builder("j")
+            .seed(seed())
+            .reference("r0", Arc::new(NopRef))
+            .dereference("d1", Arc::new(NopDeref))
+            .build();
+        assert!(matches!(err, Err(RedeError::InvalidJob(_))));
+    }
+
+    #[test]
+    fn reference_last_rejected() {
+        let err = Job::builder("j")
+            .seed(seed())
+            .dereference("d0", Arc::new(NopDeref))
+            .reference("r1", Arc::new(NopRef))
+            .build();
+        assert!(matches!(err, Err(RedeError::InvalidJob(_))));
+    }
+
+    #[test]
+    fn seed_materialization() {
+        let range = SeedInput::Range {
+            file: "ix".into(),
+            lo: Value::Int(1),
+            hi: Value::Int(9),
+        };
+        let inputs = range.to_inputs();
+        assert_eq!(inputs.len(), 1);
+        assert!(inputs[0].is_broadcast());
+        assert!(matches!(inputs[0], DerefInput::Range(..)));
+
+        let keys = SeedInput::Key {
+            file: "ix".into(),
+            key: Value::Int(3),
+        };
+        assert!(matches!(keys.to_inputs()[0], DerefInput::Point(_)));
+
+        let ptrs = SeedInput::Pointers(vec![
+            Pointer::logical("f", Value::Int(1), Value::Int(1)),
+            Pointer::logical("f", Value::Int(2), Value::Int(2)),
+        ]);
+        assert_eq!(ptrs.to_inputs().len(), 2);
+    }
+}

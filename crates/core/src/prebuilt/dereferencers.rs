@@ -1,0 +1,281 @@
+//! Pre-built dereference functions.
+
+use crate::traits::{DerefInput, Dereferencer, StageCtx};
+use rede_common::{RedeError, Result};
+use rede_storage::Record;
+
+/// Range-probes a B-tree file — the paper's `Dereferencer-0` ("takes a
+/// range of Part.p_retailprice values as arguments and uses the B-tree
+/// index to get a set of matching records").
+///
+/// In a `local_only` context (the seed stage, where every node receives the
+/// same range) each node probes only its locally placed index partitions,
+/// so the union of all nodes covers the index exactly once.
+pub struct BtreeRangeDereferencer {
+    index: String,
+    label: String,
+}
+
+impl BtreeRangeDereferencer {
+    /// Dereferencer over the named B-tree file.
+    pub fn new(index: impl Into<String>) -> BtreeRangeDereferencer {
+        let index = index.into();
+        let label = format!("btree-range({index})");
+        BtreeRangeDereferencer { index, label }
+    }
+}
+
+impl Dereferencer for BtreeRangeDereferencer {
+    fn dereference(
+        &self,
+        input: &DerefInput,
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(Record),
+    ) -> Result<()> {
+        let ix = ctx.cluster.index(&self.index)?;
+        let entries = match input {
+            DerefInput::Range(lo, hi) => {
+                let (lo, hi) = match (lo.logical_key(), hi.logical_key()) {
+                    (Some(lo), Some(hi)) => (lo, hi),
+                    _ => {
+                        return Err(RedeError::InvalidJob(format!(
+                            "{}: range endpoints must be logical pointers",
+                            self.label
+                        )))
+                    }
+                };
+                if ctx.local_only {
+                    ix.range_on_node(ctx.node, lo, hi)
+                } else {
+                    ix.range(lo, hi, ctx.node)
+                }
+            }
+            DerefInput::Point(p) => {
+                let key = p.logical_key().ok_or_else(|| {
+                    RedeError::InvalidJob(format!("{}: point input must be logical", self.label))
+                })?;
+                if ctx.local_only {
+                    ix.lookup_on_node(ctx.node, key)
+                } else {
+                    ix.lookup(key, ctx.node)
+                }
+            }
+        };
+        for entry in entries {
+            emit(entry);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Key-probes a B-tree file — the paper's `Dereferencer-2` ("takes the
+/// pointer and uses the B-tree index to get a set of matching records").
+///
+/// For a broadcast-replicated pointer (`local_only`), only the partitions
+/// placed on the executing node are probed.
+pub struct IndexLookupDereferencer {
+    index: String,
+    label: String,
+}
+
+impl IndexLookupDereferencer {
+    /// Dereferencer over the named B-tree file.
+    pub fn new(index: impl Into<String>) -> IndexLookupDereferencer {
+        let index = index.into();
+        let label = format!("index-lookup({index})");
+        IndexLookupDereferencer { index, label }
+    }
+}
+
+impl Dereferencer for IndexLookupDereferencer {
+    fn dereference(
+        &self,
+        input: &DerefInput,
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(Record),
+    ) -> Result<()> {
+        let ptr = input.as_point().ok_or_else(|| {
+            RedeError::InvalidJob(format!("{}: expected a point input", self.label))
+        })?;
+        let key = ptr.logical_key().ok_or_else(|| {
+            RedeError::InvalidJob(format!("{}: expected a logical pointer", self.label))
+        })?;
+        let ix = ctx.cluster.index(&self.index)?;
+        let entries = if ctx.local_only {
+            ix.lookup_on_node(ctx.node, key)
+        } else {
+            ix.lookup(key, ctx.node)
+        };
+        for entry in entries {
+            emit(entry);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Fetches base-file records through pointers — the paper's
+/// `Dereferencer-1`/`Dereferencer-3` ("takes the pointer and accesses the
+/// Part file using the pointer to get the corresponding record"). Accesses
+/// may be local or cross-partition; the cluster charges accordingly.
+pub struct LookupDereferencer {
+    file: String,
+    label: String,
+}
+
+impl LookupDereferencer {
+    /// Dereferencer over the named heap file.
+    pub fn new(file: impl Into<String>) -> LookupDereferencer {
+        let file = file.into();
+        let label = format!("lookup({file})");
+        LookupDereferencer { file, label }
+    }
+}
+
+impl Dereferencer for LookupDereferencer {
+    fn dereference(
+        &self,
+        input: &DerefInput,
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(Record),
+    ) -> Result<()> {
+        let ptr = input.as_point().ok_or_else(|| {
+            RedeError::InvalidJob(format!("{}: expected a point input", self.label))
+        })?;
+        // The pointer names the file it was minted for; the configured file
+        // must agree, otherwise the job is wired incorrectly.
+        if *ptr.file != self.file {
+            return Err(RedeError::InvalidJob(format!(
+                "{}: pointer targets '{}'",
+                self.label, ptr.file
+            )));
+        }
+        emit(ctx.cluster.resolve(ptr, ctx.node)?);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rede_common::Value;
+    use rede_storage::{FileSpec, IndexEntry, IndexSpec, Partitioning, Pointer, SimCluster};
+
+    /// Cluster with a heap file of 100 rows and a global index on the
+    /// `v % 10` attribute.
+    fn fixture() -> SimCluster {
+        let c = SimCluster::builder().nodes(2).build().unwrap();
+        let f = c
+            .create_file(FileSpec::new("base", Partitioning::hash(4)))
+            .unwrap();
+        let ix = c
+            .create_index(IndexSpec::global("mod10", "base", 4))
+            .unwrap();
+        for i in 0..100i64 {
+            f.insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i % 10)))
+                .unwrap();
+            ix.insert(
+                Value::Int(i % 10),
+                IndexEntry::new(Value::Int(i), Value::Int(i)).to_record(),
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    fn run_deref(d: &dyn Dereferencer, input: DerefInput, ctx: &StageCtx) -> Vec<Record> {
+        let mut out = Vec::new();
+        d.dereference(&input, ctx, &mut |r| out.push(r)).unwrap();
+        out
+    }
+
+    #[test]
+    fn index_lookup_finds_postings() {
+        let c = fixture();
+        let ctx = StageCtx::new(c, 0);
+        let d = IndexLookupDereferencer::new("mod10");
+        let input = DerefInput::Point(Pointer::logical("mod10", Value::Int(3), Value::Int(3)));
+        let out = run_deref(&d, input, &ctx);
+        assert_eq!(out.len(), 10, "keys 3,13,…,93");
+    }
+
+    #[test]
+    fn range_deref_covers_nodes_disjointly() {
+        let c = fixture();
+        let d = BtreeRangeDereferencer::new("mod10");
+        let input = DerefInput::Range(
+            Pointer::broadcast("mod10", Value::Int(0)),
+            Pointer::broadcast("mod10", Value::Int(9)),
+        );
+        let mut total = 0;
+        for node in 0..c.nodes() {
+            let ctx = StageCtx::new(c.clone(), node).local();
+            total += run_deref(&d, input.clone(), &ctx).len();
+        }
+        assert_eq!(
+            total, 100,
+            "local-only probes across nodes must cover all postings once"
+        );
+    }
+
+    #[test]
+    fn range_deref_global_context_covers_everything() {
+        let c = fixture();
+        let ctx = StageCtx::new(c, 0);
+        let d = BtreeRangeDereferencer::new("mod10");
+        let input = DerefInput::Range(
+            Pointer::broadcast("mod10", Value::Int(2)),
+            Pointer::broadcast("mod10", Value::Int(4)),
+        );
+        assert_eq!(run_deref(&d, input, &ctx).len(), 30);
+    }
+
+    #[test]
+    fn lookup_deref_resolves_and_validates_target() {
+        let c = fixture();
+        let ctx = StageCtx::new(c, 0);
+        let d = LookupDereferencer::new("base");
+        let input = DerefInput::Point(Pointer::logical("base", Value::Int(7), Value::Int(7)));
+        let out = run_deref(&d, input, &ctx);
+        assert_eq!(out[0].text().unwrap(), "7|7");
+
+        let wrong = DerefInput::Point(Pointer::logical("other", Value::Int(7), Value::Int(7)));
+        let mut sink = Vec::new();
+        assert!(d.dereference(&wrong, &ctx, &mut |r| sink.push(r)).is_err());
+    }
+
+    #[test]
+    fn lookup_deref_rejects_ranges() {
+        let c = fixture();
+        let ctx = StageCtx::new(c, 0);
+        let d = LookupDereferencer::new("base");
+        let p = Pointer::logical("base", Value::Int(1), Value::Int(1));
+        let mut sink = Vec::new();
+        assert!(d
+            .dereference(&DerefInput::Range(p.clone(), p), &ctx, &mut |r| sink
+                .push(r))
+            .is_err());
+    }
+
+    #[test]
+    fn missing_index_is_not_found() {
+        let c = fixture();
+        let ctx = StageCtx::new(c, 0);
+        let d = IndexLookupDereferencer::new("missing");
+        let input = DerefInput::Point(Pointer::logical("missing", Value::Int(1), Value::Int(1)));
+        let mut sink = Vec::new();
+        let err = d.dereference(&input, &ctx, &mut |r| sink.push(r));
+        assert!(matches!(err, Err(RedeError::NotFound(_))));
+    }
+}

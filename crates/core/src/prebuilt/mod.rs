@@ -1,0 +1,30 @@
+//! The system-provided, reusable Referencer/Dereferencer library.
+//!
+//! "Referencers and Dereferencers to support the indexing schemes are
+//! pre-defined by the system and reusable … programmers' task to define a
+//! job in most cases is choosing Referencers and Dereferencers to use,
+//! creating an Interpreter for each Referencer for schema-on-read, and
+//! optionally creating a Filter for each Dereferencer" (§ III-B).
+//!
+//! The catalogue:
+//!
+//! | paper role | type |
+//! |---|---|
+//! | Dereferencer-0 (B-tree range seed) | [`BtreeRangeDereferencer`] |
+//! | Dereferencer over a global/local index by key | [`IndexLookupDereferencer`] |
+//! | Dereferencer fetching base records by pointer | [`LookupDereferencer`] |
+//! | Referencer-1/3 (index entry → base pointer) | [`IndexEntryReferencer`] |
+//! | Referencer-2 (FK extraction → index pointer) | [`InterpretReferencer`] |
+//! | broadcast-join referencer | [`InterpretReferencer::broadcast`] |
+//! | delimited-column Interpreter | [`DelimitedInterpreter`] |
+//! | delimited-column range/equality Filters | [`FieldRangeFilter`], [`FieldEqFilter`] |
+
+mod dereferencers;
+mod filters;
+mod interpreters;
+mod referencers;
+
+pub use dereferencers::{BtreeRangeDereferencer, IndexLookupDereferencer, LookupDereferencer};
+pub use filters::{FieldEqFilter, FieldRangeFilter};
+pub use interpreters::{DelimitedInterpreter, FieldType};
+pub use referencers::{IndexEntryReferencer, InterpretReferencer};

@@ -1,0 +1,187 @@
+//! Failure injection for the executors: functions that error or emit
+//! unexpectedly must produce clean job failures (never hangs, never
+//! panics), and repeated runs of healthy jobs must be stable.
+
+use rede_common::{RedeError, Result, Value};
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_core::job::{Job, SeedInput};
+use rede_core::maintenance::IndexBuilder;
+use rede_core::prebuilt::*;
+use rede_core::traits::{DerefInput, Dereferencer, Filter, Referencer, StageCtx};
+use rede_storage::{FileSpec, IndexSpec, Partitioning, Pointer, Record, SimCluster};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn fixture() -> SimCluster {
+    let cluster = SimCluster::builder().nodes(2).build().unwrap();
+    let file = cluster
+        .create_file(FileSpec::new("base", Partitioning::hash(4)))
+        .unwrap();
+    for i in 0..500i64 {
+        file.insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i % 10)))
+            .unwrap();
+    }
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::global("base.grp", "base", 4),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .build()
+    .unwrap();
+    cluster
+}
+
+/// Fails on every Nth invocation.
+struct FlakyDeref {
+    inner: LookupDereferencer,
+    calls: AtomicU64,
+    fail_every: u64,
+}
+
+impl Dereferencer for FlakyDeref {
+    fn dereference(
+        &self,
+        input: &DerefInput,
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(Record),
+    ) -> Result<()> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.fail_every > 0 && n % self.fail_every == self.fail_every - 1 {
+            return Err(RedeError::Exec("injected storage fault".into()));
+        }
+        self.inner.dereference(input, ctx, emit)
+    }
+}
+
+fn job_with_fetch(fetch: Arc<dyn Dereferencer>) -> Job {
+    Job::builder("flaky")
+        .seed(SeedInput::Range {
+            file: "base.grp".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(9),
+        })
+        .dereference("d0", Arc::new(BtreeRangeDereferencer::new("base.grp")))
+        .reference("r1", Arc::new(IndexEntryReferencer::new("base")))
+        .dereference("d1", fetch)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn injected_faults_fail_cleanly_under_smpe() {
+    let cluster = fixture();
+    for fail_every in [1u64, 7, 100] {
+        let fetch = Arc::new(FlakyDeref {
+            inner: LookupDereferencer::new("base"),
+            calls: AtomicU64::new(0),
+            fail_every,
+        });
+        let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(16));
+        let err = runner.run(&job_with_fetch(fetch)).unwrap_err();
+        assert_eq!(err.kind(), "exec", "fail_every={fail_every}: {err}");
+        assert!(err.to_string().contains("injected storage fault"));
+    }
+}
+
+#[test]
+fn injected_faults_fail_cleanly_under_partitioned() {
+    let cluster = fixture();
+    let fetch = Arc::new(FlakyDeref {
+        inner: LookupDereferencer::new("base"),
+        calls: AtomicU64::new(0),
+        fail_every: 13,
+    });
+    let runner = JobRunner::new(cluster, ExecutorConfig::partitioned());
+    assert!(runner.run(&job_with_fetch(fetch)).is_err());
+}
+
+/// A referencer that panicking-adjacent misbehaves: emits pointers into a
+/// file that does not exist.
+struct WildReferencer;
+
+impl Referencer for WildReferencer {
+    fn reference(
+        &self,
+        _record: &Record,
+        _ctx: &StageCtx,
+        emit: &mut dyn FnMut(Pointer),
+    ) -> Result<()> {
+        emit(Pointer::logical(
+            "no_such_file",
+            Value::Int(1),
+            Value::Int(1),
+        ));
+        Ok(())
+    }
+}
+
+#[test]
+fn dangling_emissions_surface_as_errors() {
+    let cluster = fixture();
+    let job = Job::builder("wild")
+        .seed(SeedInput::Range {
+            file: "base.grp".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(0),
+        })
+        .dereference("d0", Arc::new(BtreeRangeDereferencer::new("base.grp")))
+        .reference("r1", Arc::new(WildReferencer))
+        .dereference("d1", Arc::new(LookupDereferencer::new("no_such_file")))
+        .build()
+        .unwrap();
+    let runner = JobRunner::new(cluster, ExecutorConfig::smpe(8));
+    let err = runner.run(&job).unwrap_err();
+    assert_eq!(err.kind(), "exec");
+}
+
+/// Filters that error must fail the job, not silently drop records.
+struct PoisonFilter;
+
+impl Filter for PoisonFilter {
+    fn matches(&self, _record: &Record) -> Result<bool> {
+        Err(RedeError::Interpret("poison".into()))
+    }
+}
+
+#[test]
+fn filter_errors_fail_the_job_in_both_modes() {
+    let cluster = fixture();
+    let job = Job::builder("poisoned")
+        .seed(SeedInput::Range {
+            file: "base.grp".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(9),
+        })
+        .dereference_filtered(
+            "d0",
+            Arc::new(BtreeRangeDereferencer::new("base.grp")),
+            Arc::new(PoisonFilter),
+        )
+        .reference("r1", Arc::new(IndexEntryReferencer::new("base")))
+        .dereference("d1", Arc::new(LookupDereferencer::new("base")))
+        .build()
+        .unwrap();
+    for config in [ExecutorConfig::smpe(8), ExecutorConfig::partitioned()] {
+        let runner = JobRunner::new(cluster.clone(), config);
+        assert!(runner.run(&job).is_err());
+    }
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    let cluster = fixture();
+    let job = job_with_fetch(Arc::new(LookupDereferencer::new("base")));
+    let runner = JobRunner::new(cluster, ExecutorConfig::smpe(32));
+    let mut counts = Vec::new();
+    let mut accesses = Vec::new();
+    for _ in 0..20 {
+        let r = runner.run(&job).unwrap();
+        counts.push(r.count);
+        accesses.push(r.metrics.record_accesses());
+    }
+    assert!(counts.iter().all(|&c| c == 500), "{counts:?}");
+    assert!(
+        accesses.iter().all(|&a| a == accesses[0]),
+        "access totals must not vary across runs: {accesses:?}"
+    );
+}

@@ -1,0 +1,316 @@
+//! End-to-end executor tests: full Reference–Dereference jobs over a live
+//! simulated cluster, run under both execution models.
+//!
+//! The fixture mirrors the paper's Part ⋈ Lineitem example at miniature
+//! scale: a `part` file with a global index on a selective attribute, and a
+//! `lineitem` file with a global foreign-key index, so a two-hop index
+//! nested-loop join is expressible exactly as in Fig. 3/4.
+
+use rede_common::{Result, Value};
+use rede_core::exec::{ExecMode, ExecutorConfig, JobRunner};
+use rede_core::job::{Job, SeedInput};
+use rede_core::maintenance::IndexBuilder;
+use rede_core::prebuilt::*;
+use rede_core::traits::Filter;
+use rede_storage::{FileSpec, IndexSpec, Partitioning, Record, SimCluster};
+use std::sync::Arc;
+
+const PARTS: i64 = 120;
+const LINES_PER_PART: i64 = 3;
+
+/// part records: `p_partkey|p_retailprice`  (retailprice = partkey * 10)
+/// lineitem records: `l_orderkey|l_partkey|l_quantity`
+fn fixture(nodes: usize, partitions: usize) -> SimCluster {
+    let c = SimCluster::builder().nodes(nodes).build().unwrap();
+    let part = c
+        .create_file(FileSpec::new("part", Partitioning::hash(partitions)))
+        .unwrap();
+    for i in 0..PARTS {
+        part.insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i * 10)))
+            .unwrap();
+    }
+    let lineitem = c
+        .create_file(FileSpec::new("lineitem", Partitioning::hash(partitions)))
+        .unwrap();
+    let mut order = 0i64;
+    for p in 0..PARTS {
+        for l in 0..LINES_PER_PART {
+            order += 1;
+            // Partitioned by l_orderkey; record key is the unique order.
+            lineitem
+                .insert_with_partition_key(
+                    &Value::Int(order),
+                    Value::Int(order),
+                    Record::from_text(&format!("{order}|{p}|{}", l + 1)),
+                )
+                .unwrap();
+        }
+    }
+
+    // Local index on p_retailprice (like the paper's date-column indexes).
+    IndexBuilder::new(
+        c.clone(),
+        IndexSpec::local("part.p_retailprice", "part", partitions),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .build()
+    .unwrap();
+
+    // Global index on the foreign key l_partkey, partitioned by that key.
+    IndexBuilder::new(
+        c.clone(),
+        IndexSpec::global("lineitem.l_partkey", "lineitem", partitions),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .with_partition_key(Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)))
+    .build()
+    .unwrap();
+
+    c
+}
+
+/// The paper's join job: retailprice range → part → l_partkey index →
+/// lineitem.
+fn join_job(lo: i64, hi: i64, filter: Option<Arc<dyn Filter>>) -> Job {
+    Job::builder("part-lineitem-join")
+        .seed(SeedInput::Range {
+            file: "part.p_retailprice".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(hi),
+        })
+        .dereference(
+            "deref-0",
+            Arc::new(BtreeRangeDereferencer::new("part.p_retailprice")),
+        )
+        .reference("ref-1", Arc::new(IndexEntryReferencer::new("part")))
+        .dereference_filtered_opt("deref-1", Arc::new(LookupDereferencer::new("part")), filter)
+        .reference(
+            "ref-2",
+            Arc::new(InterpretReferencer::new(
+                "lineitem.l_partkey",
+                Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)),
+            )),
+        )
+        .dereference(
+            "deref-2",
+            Arc::new(IndexLookupDereferencer::new("lineitem.l_partkey")),
+        )
+        .reference("ref-3", Arc::new(IndexEntryReferencer::new("lineitem")))
+        .dereference("deref-3", Arc::new(LookupDereferencer::new("lineitem")))
+        .build()
+        .unwrap()
+}
+
+fn run(c: &SimCluster, job: &Job, mode: ExecMode) -> rede_core::exec::JobResult {
+    let config = match mode {
+        ExecMode::Smpe => ExecutorConfig::smpe(64).collecting(),
+        ExecMode::Partitioned => ExecutorConfig::partitioned().collecting(),
+    };
+    JobRunner::new(c.clone(), config).run(job).unwrap()
+}
+
+#[test]
+fn smpe_join_produces_exact_lineitems() {
+    let c = fixture(3, 6);
+    // retailprice in [100, 190] → partkeys 10..=19 → 10 parts × 3 lines.
+    let job = join_job(100, 190, None);
+    let result = run(&c, &job, ExecMode::Smpe);
+    assert_eq!(result.count, 30);
+    assert_eq!(result.records.len(), 30);
+    // Every output is a lineitem of a matched part.
+    let mut partkeys: Vec<i64> = result
+        .records
+        .iter()
+        .map(|r| r.field(1, '|').unwrap().parse::<i64>().unwrap())
+        .collect();
+    partkeys.sort_unstable();
+    partkeys.dedup();
+    assert_eq!(partkeys, (10..=19).collect::<Vec<_>>());
+}
+
+#[test]
+fn partitioned_join_matches_smpe_output() {
+    let c = fixture(3, 6);
+    let job = join_job(250, 430, None);
+    let smpe = run(&c, &job, ExecMode::Smpe);
+    let part = run(&c, &job, ExecMode::Partitioned);
+    assert_eq!(smpe.count, part.count);
+
+    let norm = |records: &[Record]| {
+        let mut v: Vec<String> = records
+            .iter()
+            .map(|r| r.text().unwrap().to_string())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(norm(&smpe.records), norm(&part.records));
+}
+
+#[test]
+fn both_modes_access_identical_record_counts() {
+    let c = fixture(2, 4);
+    let job = join_job(0, 500, None);
+    let smpe = run(&c, &job, ExecMode::Smpe);
+    let part = run(&c, &job, ExecMode::Partitioned);
+    // Same structures, same semantics ⇒ same record-access totals; only the
+    // parallelism differs (that is the whole point of Fig. 7).
+    assert_eq!(
+        smpe.metrics.record_accesses(),
+        part.metrics.record_accesses()
+    );
+    assert_eq!(
+        smpe.metrics.index_entries_read,
+        part.metrics.index_entries_read
+    );
+}
+
+#[test]
+fn filter_prunes_between_stages() {
+    let c = fixture(2, 4);
+    // Only even part keys survive the deref-1 filter.
+    let even = Arc::new(rede_core::traits::FnFilter(|r: &Record| -> Result<bool> {
+        Ok(r.field(0, '|')?
+            .parse::<i64>()
+            .map(|v| v % 2 == 0)
+            .unwrap_or(false))
+    }));
+    let job = join_job(100, 190, Some(even));
+    let result = run(&c, &job, ExecMode::Smpe);
+    assert_eq!(result.count, 15, "5 even parts of 10 × 3 lineitems");
+}
+
+#[test]
+fn empty_selection_completes_with_zero_output() {
+    let c = fixture(2, 4);
+    let job = join_job(100_000, 200_000, None);
+    for mode in [ExecMode::Smpe, ExecMode::Partitioned] {
+        let result = run(&c, &job, mode);
+        assert_eq!(result.count, 0);
+        assert!(result.records.is_empty());
+    }
+}
+
+#[test]
+fn broadcast_join_covers_all_partitions_once() {
+    let c = fixture(3, 6);
+    // Same join but the FK referencer emits broadcast pointers (null
+    // partition info); the executor must replicate them to every node and
+    // each node probes only local partitions — results must be identical to
+    // the key-routed variant.
+    let job = Job::builder("broadcast-join")
+        .seed(SeedInput::Range {
+            file: "part.p_retailprice".into(),
+            lo: Value::Int(100),
+            hi: Value::Int(190),
+        })
+        .dereference(
+            "d0",
+            Arc::new(BtreeRangeDereferencer::new("part.p_retailprice")),
+        )
+        .reference("r1", Arc::new(IndexEntryReferencer::new("part")))
+        .dereference("d1", Arc::new(LookupDereferencer::new("part")))
+        .reference(
+            "r2",
+            Arc::new(InterpretReferencer::broadcast(
+                "lineitem.l_partkey",
+                Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)),
+            )),
+        )
+        .dereference(
+            "d2",
+            Arc::new(IndexLookupDereferencer::new("lineitem.l_partkey")),
+        )
+        .reference("r3", Arc::new(IndexEntryReferencer::new("lineitem")))
+        .dereference("d3", Arc::new(LookupDereferencer::new("lineitem")))
+        .build()
+        .unwrap();
+    let result = run(&c, &job, ExecMode::Smpe);
+    assert_eq!(result.count, 30);
+    assert!(
+        result.metrics.broadcasts >= 10,
+        "one broadcast per matched part"
+    );
+}
+
+#[test]
+fn single_stage_point_lookup_job() {
+    let c = fixture(2, 4);
+    let job = Job::builder("lookup")
+        .seed(SeedInput::Key {
+            file: "part.p_retailprice".into(),
+            key: Value::Int(420),
+        })
+        .dereference(
+            "d0",
+            Arc::new(BtreeRangeDereferencer::new("part.p_retailprice")),
+        )
+        .reference("r1", Arc::new(IndexEntryReferencer::new("part")))
+        .dereference("d1", Arc::new(LookupDereferencer::new("part")))
+        .build()
+        .unwrap();
+    let result = run(&c, &job, ExecMode::Smpe);
+    assert_eq!(result.count, 1);
+    assert_eq!(result.records[0].text().unwrap(), "42|420");
+}
+
+#[test]
+fn referencer_thread_switch_mode_is_equivalent() {
+    let c = fixture(2, 4);
+    let job = join_job(100, 300, None);
+    let inline = JobRunner::new(
+        c.clone(),
+        ExecutorConfig {
+            referencer_inline: true,
+            ..ExecutorConfig::smpe(32)
+        },
+    )
+    .run(&job)
+    .unwrap();
+    let switched = JobRunner::new(
+        c.clone(),
+        ExecutorConfig {
+            referencer_inline: false,
+            ..ExecutorConfig::smpe(32)
+        },
+    )
+    .run(&job)
+    .unwrap();
+    assert_eq!(inline.count, switched.count);
+    // Thread-switching referencers spawn strictly more pool tasks.
+    assert!(switched.metrics.tasks_spawned > inline.metrics.tasks_spawned);
+}
+
+#[test]
+fn execution_error_is_reported_not_hung() {
+    let c = fixture(2, 4);
+    // deref-1 wired to the wrong file: pointers target "part".
+    let job = Job::builder("broken")
+        .seed(SeedInput::Range {
+            file: "part.p_retailprice".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(100),
+        })
+        .dereference(
+            "d0",
+            Arc::new(BtreeRangeDereferencer::new("part.p_retailprice")),
+        )
+        .reference("r1", Arc::new(IndexEntryReferencer::new("part")))
+        .dereference("d1", Arc::new(LookupDereferencer::new("lineitem")))
+        .build()
+        .unwrap();
+    for config in [ExecutorConfig::smpe(16), ExecutorConfig::partitioned()] {
+        let err = JobRunner::new(c.clone(), config).run(&job);
+        assert!(err.is_err(), "mis-wired job must fail cleanly");
+    }
+}
+
+#[test]
+fn runner_is_reusable_across_jobs() {
+    let c = fixture(2, 4);
+    let runner = JobRunner::new(c, ExecutorConfig::smpe(32));
+    for (lo, hi, expect) in [(0, 90, 30), (100, 190, 30), (0, 1190, 360)] {
+        let r = runner.run(&join_job(lo, hi, None)).unwrap();
+        assert_eq!(r.count, expect, "range [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based executor equivalence: over random datasets, cluster
+//! shapes, and range predicates, SMPE and partitioned execution must
+//! produce identical multisets of output records and identical
+//! record-access totals — massive parallelism may change *when* things
+//! happen, never *what*.
+
+use proptest::prelude::*;
+use rede_common::Value;
+use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_core::job::{Job, SeedInput};
+use rede_core::maintenance::IndexBuilder;
+use rede_core::prebuilt::*;
+use rede_storage::{FileSpec, IndexSpec, Partitioning, Record, SimCluster};
+use std::sync::Arc;
+
+/// Build a cluster with a base file `(id | group)` and a global index over
+/// `group`, from a random row set.
+fn build_cluster(rows: &[(i64, i64)], nodes: usize, partitions: usize) -> SimCluster {
+    let cluster = SimCluster::builder().nodes(nodes).build().unwrap();
+    let file = cluster
+        .create_file(FileSpec::new("base", Partitioning::hash(partitions)))
+        .unwrap();
+    for &(id, group) in rows {
+        file.insert(Value::Int(id), Record::from_text(&format!("{id}|{group}")))
+            .unwrap();
+    }
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::global("base.group", "base", partitions),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .build()
+    .unwrap();
+    cluster
+}
+
+fn group_range_job(lo: i64, hi: i64) -> Job {
+    Job::builder("range")
+        .seed(SeedInput::Range {
+            file: "base.group".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(hi),
+        })
+        .dereference("d0", Arc::new(BtreeRangeDereferencer::new("base.group")))
+        .reference("r1", Arc::new(IndexEntryReferencer::new("base")))
+        .dereference("d1", Arc::new(LookupDereferencer::new("base")))
+        .build()
+        .unwrap()
+}
+
+fn sorted_texts(records: &[Record]) -> Vec<String> {
+    let mut v: Vec<String> = records
+        .iter()
+        .map(|r| r.text().unwrap().to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn smpe_equals_partitioned_equals_ground_truth(
+        ids in prop::collection::btree_set(0i64..5_000, 1..150),
+        groups in prop::collection::vec(0i64..40, 150),
+        nodes in 1usize..5,
+        partitions in 1usize..10,
+        bounds in (0i64..40, 0i64..40),
+    ) {
+        let rows: Vec<(i64, i64)> =
+            ids.iter().zip(&groups).map(|(&id, &g)| (id, g)).collect();
+        let (lo, hi) = (bounds.0.min(bounds.1), bounds.0.max(bounds.1));
+        let cluster = build_cluster(&rows, nodes, partitions);
+        let job = group_range_job(lo, hi);
+
+        let smpe = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(16).collecting())
+            .run(&job)
+            .unwrap();
+        let part = JobRunner::new(cluster.clone(), ExecutorConfig::partitioned().collecting())
+            .run(&job)
+            .unwrap();
+
+        let expected: Vec<String> = {
+            let mut v: Vec<String> = rows
+                .iter()
+                .filter(|(_, g)| (lo..=hi).contains(g))
+                .map(|(id, g)| format!("{id}|{g}"))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(smpe.count as usize, expected.len());
+        prop_assert_eq!(sorted_texts(&smpe.records), expected.clone());
+        prop_assert_eq!(sorted_texts(&part.records), expected);
+        prop_assert_eq!(
+            smpe.metrics.record_accesses(),
+            part.metrics.record_accesses(),
+            "execution model must not change access totals"
+        );
+    }
+
+    #[test]
+    fn broadcast_and_routed_joins_agree(
+        ids in prop::collection::btree_set(0i64..2_000, 1..80),
+        nodes in 1usize..4,
+    ) {
+        let rows: Vec<(i64, i64)> = ids.iter().map(|&id| (id, id % 7)).collect();
+        let cluster = build_cluster(&rows, nodes, 6);
+        let make_job = |broadcast: bool| {
+            let interp = Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int));
+            let referencer: Arc<dyn rede_core::traits::Referencer> = if broadcast {
+                Arc::new(InterpretReferencer::broadcast("base.group", interp))
+            } else {
+                Arc::new(InterpretReferencer::new("base.group", interp))
+            };
+            // Self-join: rows → group index → rows in the same group.
+            Job::builder("self-join")
+                .seed(SeedInput::Range {
+                    file: "base.group".into(),
+                    lo: Value::Int(0),
+                    hi: Value::Int(2),
+                })
+                .dereference("d0", Arc::new(BtreeRangeDereferencer::new("base.group")))
+                .reference("r1", Arc::new(IndexEntryReferencer::new("base")))
+                .dereference("d1", Arc::new(LookupDereferencer::new("base")))
+                .reference("r2", referencer)
+                .dereference("d2", Arc::new(IndexLookupDereferencer::new("base.group")))
+                .reference("r3", Arc::new(IndexEntryReferencer::new("base")))
+                .dereference("d3", Arc::new(LookupDereferencer::new("base")))
+                .build()
+                .unwrap()
+        };
+        let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(16).collecting());
+        let routed = runner.run(&make_job(false)).unwrap();
+        let broadcast = runner.run(&make_job(true)).unwrap();
+        prop_assert_eq!(sorted_texts(&routed.records), sorted_texts(&broadcast.records));
+        if !routed.records.is_empty() && nodes > 1 {
+            prop_assert!(broadcast.metrics.broadcasts > 0);
+        }
+    }
+}

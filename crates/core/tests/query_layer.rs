@@ -1,0 +1,182 @@
+//! The higher-level Query layer must compile to jobs that behave exactly
+//! like hand-written Reference–Dereference compositions, across executors
+//! and degenerate cluster shapes.
+
+use rede_common::Value;
+use rede_core::exec::{ExecMode, ExecutorConfig, JobRunner};
+use rede_core::job::{Job, SeedInput};
+use rede_core::maintenance::IndexBuilder;
+use rede_core::prebuilt::*;
+use rede_core::query::Query;
+use rede_storage::{FileSpec, IndexSpec, Partitioning, Record, SimCluster};
+use std::sync::Arc;
+
+fn fixture(nodes: usize) -> SimCluster {
+    let cluster = SimCluster::builder().nodes(nodes).build().unwrap();
+    let parent = cluster
+        .create_file(FileSpec::new("parent", Partitioning::hash(4)))
+        .unwrap();
+    for i in 0..60i64 {
+        parent
+            .insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i % 6)))
+            .unwrap();
+    }
+    let child = cluster
+        .create_file(FileSpec::new("child", Partitioning::hash(4)))
+        .unwrap();
+    for i in 0..180i64 {
+        // child references parent i/3; partitioned by its own id.
+        child
+            .insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i / 3)))
+            .unwrap();
+    }
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::global("parent.grp", "parent", 4),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .build()
+    .unwrap();
+    IndexBuilder::new(
+        cluster.clone(),
+        IndexSpec::global("child.by_parent", "child", 4),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .build()
+    .unwrap();
+    cluster
+}
+
+fn handwritten_job() -> Job {
+    Job::builder("handwritten")
+        .seed(SeedInput::Range {
+            file: "parent.grp".into(),
+            lo: Value::Int(2),
+            hi: Value::Int(3),
+        })
+        .dereference("d0", Arc::new(BtreeRangeDereferencer::new("parent.grp")))
+        .reference("r1", Arc::new(IndexEntryReferencer::new("parent")))
+        .dereference("d1", Arc::new(LookupDereferencer::new("parent")))
+        .reference(
+            "r2",
+            Arc::new(InterpretReferencer::new(
+                "child.by_parent",
+                Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)),
+            )),
+        )
+        .dereference(
+            "d2",
+            Arc::new(IndexLookupDereferencer::new("child.by_parent")),
+        )
+        .reference("r3", Arc::new(IndexEntryReferencer::new("child")))
+        .dereference("d3", Arc::new(LookupDereferencer::new("child")))
+        .build()
+        .unwrap()
+}
+
+fn query_job() -> Job {
+    Query::via_index("parent.grp")
+        .range(Value::Int(2), Value::Int(3))
+        .fetch("parent")
+        .join_via(
+            "child.by_parent",
+            Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)),
+        )
+        .fetch("child")
+        .build()
+        .compile()
+        .unwrap()
+}
+
+fn sorted(records: &[Record]) -> Vec<String> {
+    let mut v: Vec<String> = records
+        .iter()
+        .map(|r| r.text().unwrap().to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn compiled_query_matches_handwritten_job() {
+    let cluster = fixture(3);
+    let runner = JobRunner::new(cluster, ExecutorConfig::smpe(32).collecting());
+    let by_hand = runner.run(&handwritten_job()).unwrap();
+    let by_query = runner.run(&query_job()).unwrap();
+    // groups 2,3 → 20 parents × 3 children = 60 outputs.
+    assert_eq!(by_hand.count, 60);
+    assert_eq!(by_query.count, 60);
+    assert_eq!(sorted(&by_hand.records), sorted(&by_query.records));
+    assert_eq!(
+        by_hand.metrics.record_accesses(),
+        by_query.metrics.record_accesses(),
+        "the compiled job must issue identical storage work"
+    );
+}
+
+#[test]
+fn query_runs_on_single_node_single_thread() {
+    let cluster = fixture(1);
+    for config in [
+        ExecutorConfig::smpe(1).collecting(),
+        ExecutorConfig::partitioned().collecting(),
+    ] {
+        let runner = JobRunner::new(cluster.clone(), config);
+        let result = runner.run(&query_job()).unwrap();
+        assert_eq!(result.count, 60);
+    }
+}
+
+#[test]
+fn filtered_fetch_prunes() {
+    let cluster = fixture(2);
+    let even_parent = Arc::new(FieldRangeFilter::new(
+        DelimitedInterpreter::pipe(0, FieldType::Int),
+        Value::Int(0),
+        Value::Int(29),
+    ));
+    let job = Query::via_index("parent.grp")
+        .range(Value::Int(2), Value::Int(3))
+        .fetch_filtered("parent", even_parent)
+        .join_via(
+            "child.by_parent",
+            Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)),
+        )
+        .fetch("child")
+        .build()
+        .compile()
+        .unwrap();
+    let runner = JobRunner::new(cluster, ExecutorConfig::smpe(16).collecting());
+    let result = runner.run(&job).unwrap();
+    // Only parents 0..=29 in groups 2,3 survive: 10 parents × 3 children.
+    assert_eq!(result.count, 30);
+}
+
+#[test]
+fn counting_mode_skips_record_collection() {
+    let cluster = fixture(2);
+    let runner = JobRunner::new(cluster, ExecutorConfig::smpe(16)); // collect off
+    let result = runner.run(&query_job()).unwrap();
+    assert_eq!(result.count, 60);
+    assert!(result.records.is_empty(), "collection disabled");
+}
+
+#[test]
+fn empty_root_range_yields_empty_result_everywhere() {
+    let cluster = fixture(2);
+    let job = Query::via_index("parent.grp")
+        .range(Value::Int(100), Value::Int(200))
+        .fetch("parent")
+        .build()
+        .compile()
+        .unwrap();
+    for mode in [ExecMode::Smpe, ExecMode::Partitioned] {
+        let config = match mode {
+            ExecMode::Smpe => ExecutorConfig::smpe(8).collecting(),
+            ExecMode::Partitioned => ExecutorConfig::partitioned().collecting(),
+        };
+        let result = JobRunner::new(cluster.clone(), config).run(&job).unwrap();
+        assert_eq!(result.count, 0);
+        assert_eq!(result.metrics.point_reads(), 0);
+    }
+}

@@ -1,0 +1,489 @@
+//! A from-scratch in-memory B+-tree.
+//!
+//! This is the structure behind [`BtreeFile`](crate::BtreeFile): all keys
+//! live in the leaves, interior nodes hold separators only, and range
+//! queries walk the leaf level. It is implemented from first principles
+//! (rather than wrapping `std::collections::BTreeMap`) because the paper's
+//! whole premise is that structures are *built by the system from registered
+//! access methods* — the tree, its split/merge maintenance, and its range
+//! probes are part of the reproduction surface and are benchmarked and
+//! property-tested on their own.
+//!
+//! Concurrency is provided one level up (each partition's tree sits behind a
+//! `parking_lot::RwLock`); the tree itself is single-writer.
+
+mod node;
+
+pub use node::MIN_ORDER;
+use node::{InsertOutcome, Node, RemoveOutcome};
+use std::fmt::Debug;
+use std::ops::Bound;
+
+/// An in-memory B+-tree with unique keys.
+///
+/// `order` is the maximum number of keys per node; nodes split above it and
+/// (except the root) rebalance below `order / 2`. Duplicate index keys are
+/// handled by the layer above, which stores a postings `Vec` per key.
+pub struct BPlusTree<K: Ord + Clone, V> {
+    root: Node<K, V>,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// An empty tree with the default order (64 keys per node — a few cache
+    /// lines of integer keys, mirroring disk-page trees at small scale).
+    pub fn new() -> Self {
+        Self::with_order(64)
+    }
+
+    /// An empty tree with an explicit order.
+    ///
+    /// # Panics
+    /// Panics if `order < MIN_ORDER` (4): smaller nodes cannot satisfy the
+    /// rebalancing invariants.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= MIN_ORDER, "order must be >= {MIN_ORDER}");
+        BPlusTree {
+            root: Node::empty_leaf(),
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of keys in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Insert `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.root.insert(key, value, self.order) {
+            InsertOutcome::Replaced(old) => Some(old),
+            InsertOutcome::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertOutcome::Split(sep, right) => {
+                self.len += 1;
+                let old_root = std::mem::replace(&mut self.root, Node::empty_leaf());
+                self.root = Node::new_root(sep, old_root, right);
+                None
+            }
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.root.get(key)
+    }
+
+    /// Mutable lookup (used to extend postings lists in place).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.root.get_mut(key)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = match self.root.remove(key, self.order) {
+            RemoveOutcome::NotFound => None,
+            RemoveOutcome::Removed(v) => Some(v),
+        };
+        if removed.is_some() {
+            self.len -= 1;
+            self.root.collapse_root();
+        }
+        removed
+    }
+
+    /// Iterate over `(key, value)` pairs within bounds, in key order.
+    pub fn range<'a>(&'a self, lo: Bound<&'a K>, hi: Bound<&'a K>) -> RangeIter<'a, K, V> {
+        RangeIter::new(&self.root, lo, hi)
+    }
+
+    /// Convenience: inclusive range `[lo, hi]`.
+    pub fn range_inclusive<'a>(&'a self, lo: &'a K, hi: &'a K) -> RangeIter<'a, K, V> {
+        self.range(Bound::Included(lo), Bound::Included(hi))
+    }
+
+    /// Iterate over all pairs in key order.
+    pub fn iter(&self) -> RangeIter<'_, K, V> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// First key, if any.
+    pub fn first_key(&self) -> Option<&K> {
+        self.iter().next().map(|(k, _)| k)
+    }
+
+    /// Last key, if any.
+    pub fn last_key(&self) -> Option<&K> {
+        self.root.last_key()
+    }
+
+    /// Height of the tree (1 for a lone leaf). Diagnostic.
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Validate all structural invariants; panics with a description on
+    /// violation. Used by tests and property tests after random workloads.
+    pub fn check_invariants(&self)
+    where
+        K: Debug,
+    {
+        self.root.check_invariants(self.order, true, None, None);
+        assert_eq!(
+            self.iter().count(),
+            self.len,
+            "len out of sync with contents"
+        );
+    }
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V: Debug> Debug for BPlusTree<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BPlusTree")
+            .field("len", &self.len)
+            .field("order", &self.order)
+            .field("height", &self.height())
+            .finish()
+    }
+}
+
+/// In-order iterator over a key range.
+///
+/// Maintains an explicit descent stack of `(internal node, next child)`
+/// pairs instead of leaf-sibling links (links would require interior
+/// mutability or unsafe back-edges; a stack is simpler and equally fast for
+/// in-memory nodes).
+pub struct RangeIter<'a, K: Ord + Clone, V> {
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    leaf: Option<(&'a Node<K, V>, usize)>,
+    hi: Bound<&'a K>,
+    done: bool,
+}
+
+impl<'a, K: Ord + Clone, V> RangeIter<'a, K, V> {
+    fn new(root: &'a Node<K, V>, lo: Bound<&'a K>, hi: Bound<&'a K>) -> Self {
+        let mut it = RangeIter {
+            stack: Vec::new(),
+            leaf: None,
+            hi,
+            done: false,
+        };
+        it.descend_to_lower_bound(root, lo);
+        it
+    }
+
+    fn descend_to_lower_bound(&mut self, root: &'a Node<K, V>, lo: Bound<&'a K>) {
+        let mut node = root;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let child_idx = match lo {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => keys.partition_point(|key| key <= k),
+                        Bound::Excluded(k) => keys.partition_point(|key| key <= k),
+                    };
+                    self.stack.push((node, child_idx + 1));
+                    node = &children[child_idx];
+                }
+                Node::Leaf { keys, .. } => {
+                    let start = match lo {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => keys.partition_point(|key| key < k),
+                        Bound::Excluded(k) => keys.partition_point(|key| key <= k),
+                    };
+                    self.leaf = Some((node, start));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Advance to the next leaf in key order, popping exhausted internals.
+    fn advance_leaf(&mut self) {
+        while let Some((node, next_child)) = self.stack.pop() {
+            let Node::Internal { children, .. } = node else {
+                unreachable!()
+            };
+            if next_child < children.len() {
+                self.stack.push((node, next_child + 1));
+                // Descend along the leftmost spine of the next subtree.
+                let mut cur = &children[next_child];
+                loop {
+                    match cur {
+                        Node::Internal { children, .. } => {
+                            self.stack.push((cur, 1));
+                            cur = &children[0];
+                        }
+                        Node::Leaf { .. } => {
+                            self.leaf = Some((cur, 0));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.done = true;
+    }
+
+    fn within_upper(&self, key: &K) -> bool {
+        match self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(hi) => key <= hi,
+            Bound::Excluded(hi) => key < hi,
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for RangeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.done {
+                return None;
+            }
+            let Some((leaf, idx)) = self.leaf else {
+                self.advance_leaf();
+                continue;
+            };
+            let Node::Leaf { keys, values } = leaf else {
+                unreachable!()
+            };
+            if idx >= keys.len() {
+                self.leaf = None;
+                self.advance_leaf();
+                continue;
+            }
+            let key = &keys[idx];
+            if !self.within_upper(key) {
+                self.done = true;
+                return None;
+            }
+            self.leaf = Some((leaf, idx + 1));
+            return Some((key, &values[idx]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(n: usize, order: usize) -> BPlusTree<i64, i64> {
+        let mut t = BPlusTree::with_order(order);
+        for i in 0..n as i64 {
+            assert_eq!(t.insert(i, i * 10), None);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        assert!(t.is_empty());
+        t.insert(5, "five");
+        t.insert(1, "one");
+        t.insert(9, "nine");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&5), Some(&"five"));
+        assert_eq!(t.get(&1), Some(&"one"));
+        assert_eq!(t.get(&2), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn splits_preserve_all_keys_sequential() {
+        let t = tree_with(10_000, 4);
+        assert_eq!(t.len(), 10_000);
+        assert!(t.height() > 3, "order-4 tree of 10k keys must be tall");
+        for i in 0..10_000i64 {
+            assert_eq!(t.get(&i), Some(&(i * 10)), "missing key {i}");
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn splits_preserve_all_keys_reverse_and_shuffled() {
+        for order in [4, 5, 8, 64] {
+            let mut t = BPlusTree::with_order(order);
+            for i in (0..2000i64).rev() {
+                t.insert(i, i);
+            }
+            t.check_invariants();
+            // Interleave a shuffled batch.
+            let mut keys: Vec<i64> = (2000..4000).collect();
+            let mut rng = rede_common::Xoshiro256::new(1);
+            rng.shuffle(&mut keys);
+            for k in keys {
+                t.insert(k, k);
+            }
+            t.check_invariants();
+            assert_eq!(t.len(), 4000);
+            for i in 0..4000i64 {
+                assert_eq!(t.get(&i), Some(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let t = tree_with(1000, 5);
+        let collected: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(collected, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let t = tree_with(100, 4);
+        let got: Vec<i64> = t.range_inclusive(&10, &20).map(|(k, _)| *k).collect();
+        assert_eq!(got, (10..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_exclusive_and_open_bounds() {
+        let t = tree_with(50, 4);
+        let got: Vec<i64> = t
+            .range(Bound::Excluded(&10), Bound::Excluded(&15))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![11, 12, 13, 14]);
+        let from: Vec<i64> = t
+            .range(Bound::Included(&47), Bound::Unbounded)
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(from, vec![47, 48, 49]);
+        let upto: Vec<i64> = t
+            .range(Bound::Unbounded, Bound::Excluded(&3))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(upto, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_misses_and_empty_ranges() {
+        let mut t = BPlusTree::with_order(4);
+        for i in (0..100i64).step_by(10) {
+            t.insert(i, i);
+        }
+        // Bounds between keys.
+        let got: Vec<i64> = t.range_inclusive(&11, &39).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![20, 30]);
+        // Entirely out of range.
+        assert_eq!(t.range_inclusive(&101, &200).count(), 0);
+        assert_eq!(t.range_inclusive(&-10, &-1).count(), 0);
+        // Inverted bounds yield nothing.
+        assert_eq!(t.range_inclusive(&50, &40).count(), 0);
+    }
+
+    #[test]
+    fn remove_simple() {
+        let mut t = BPlusTree::new();
+        t.insert(1, "a");
+        t.insert(2, "b");
+        assert_eq!(t.remove(&1), Some("a"));
+        assert_eq!(t.remove(&1), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&2), Some(&"b"));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_everything_rebalances() {
+        for order in [4, 5, 8] {
+            let mut t = tree_with(2000, order);
+            // Remove in an order that exercises both siblings: evens first.
+            for i in (0..2000i64).step_by(2) {
+                assert_eq!(t.remove(&i), Some(i * 10), "order {order}, key {i}");
+                if i % 512 == 0 {
+                    t.check_invariants();
+                }
+            }
+            let mut odds: Vec<i64> = (1..2000).step_by(2).collect();
+            odds.reverse();
+            for i in odds {
+                assert_eq!(t.remove(&i), Some(i * 10));
+            }
+            assert!(t.is_empty());
+            t.check_invariants();
+            assert_eq!(t.height(), 1, "empty tree must collapse to a single leaf");
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_remove() {
+        let mut t = BPlusTree::with_order(4);
+        let mut rng = rede_common::Xoshiro256::new(99);
+        let mut shadow = std::collections::BTreeMap::new();
+        for _ in 0..20_000 {
+            let k = rng.gen_range(500) as i64;
+            if rng.gen_bool(0.5) {
+                assert_eq!(t.insert(k, k), shadow.insert(k, k));
+            } else {
+                assert_eq!(t.remove(&k), shadow.remove(&k));
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), shadow.len());
+        let ours: Vec<_> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let theirs: Vec<_> = shadow.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn first_last_keys() {
+        let t = tree_with(1000, 7);
+        assert_eq!(t.first_key(), Some(&0));
+        assert_eq!(t.last_key(), Some(&999));
+        let empty: BPlusTree<i64, ()> = BPlusTree::new();
+        assert_eq!(empty.first_key(), None);
+        assert_eq!(empty.last_key(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be")]
+    fn tiny_order_rejected() {
+        let _: BPlusTree<i64, ()> = BPlusTree::with_order(2);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = tree_with(100, 4);
+        *t.get_mut(&50).unwrap() = 777;
+        assert_eq!(t.get(&50), Some(&777));
+        assert_eq!(t.get_mut(&1000), None);
+    }
+}

@@ -1,0 +1,475 @@
+//! B+-tree node representation and the split/borrow/merge algorithms.
+//!
+//! Routing invariant: in an internal node, separator `keys[i]` is a lower
+//! bound (inclusive) for everything under `children[i + 1]` and a strict
+//! upper bound for everything under `children[0..=i]`. Lookups therefore
+//! descend into `children[partition_point(keys, |k| k <= target)]`.
+
+use std::fmt::Debug;
+
+/// Minimum supported order; below this a split cannot produce two nodes
+/// that both satisfy the minimum-occupancy constraint.
+pub const MIN_ORDER: usize = 4;
+
+/// One tree node. All data lives in leaves; internals hold separators.
+pub enum Node<K, V> {
+    Internal {
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+    },
+}
+
+/// Result of an insertion into a subtree.
+pub enum InsertOutcome<K, V> {
+    /// Key existed; value replaced.
+    Replaced(V),
+    /// New key inserted, no structural change visible to the parent.
+    Inserted,
+    /// New key inserted and this node split: the parent must add the
+    /// separator and the new right sibling.
+    Split(K, Node<K, V>),
+}
+
+/// Result of a removal from a subtree. Underflow is *not* signalled here;
+/// the parent inspects the child's occupancy after the call and rebalances.
+pub enum RemoveOutcome<V> {
+    NotFound,
+    Removed(V),
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    /// A fresh empty leaf (the initial root).
+    pub fn empty_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build a new root after the old root split.
+    pub fn new_root(sep: K, left: Node<K, V>, right: Node<K, V>) -> Self {
+        Node::Internal {
+            keys: vec![sep],
+            children: vec![left, right],
+        }
+    }
+
+    /// Number of keys stored directly in this node.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+
+    #[cfg(test)]
+    fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Child index that `key` routes to.
+    #[inline]
+    fn route(keys: &[K], key: &K) -> usize {
+        keys.partition_point(|k| k <= key)
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = self;
+        loop {
+            match node {
+                Node::Internal { keys, children } => node = &children[Self::route(keys, key)],
+                Node::Leaf { keys, values } => {
+                    return keys.binary_search(key).ok().map(|i| &values[i]);
+                }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut node = self;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = Self::route(keys, key);
+                    node = &mut children[idx];
+                }
+                Node::Leaf { keys, values } => {
+                    return keys.binary_search(key).ok().map(|i| &mut values[i]);
+                }
+            }
+        }
+    }
+
+    pub fn last_key(&self) -> Option<&K> {
+        match self {
+            Node::Internal { children, .. } => children.last().and_then(|c| c.last_key()),
+            Node::Leaf { keys, .. } => keys.last(),
+        }
+    }
+
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Internal { children, .. } => 1 + children[0].height(),
+            Node::Leaf { .. } => 1,
+        }
+    }
+
+    pub fn insert(&mut self, key: K, value: V, order: usize) -> InsertOutcome<K, V> {
+        match self {
+            Node::Leaf { keys, values } => match keys.binary_search(&key) {
+                Ok(i) => InsertOutcome::Replaced(std::mem::replace(&mut values[i], value)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, value);
+                    if keys.len() > order {
+                        let (sep, right) = self.split_leaf();
+                        InsertOutcome::Split(sep, right)
+                    } else {
+                        InsertOutcome::Inserted
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = Self::route(keys, &key);
+                match children[idx].insert(key, value, order) {
+                    InsertOutcome::Split(sep, right) => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > order {
+                            let (sep, right) = self.split_internal();
+                            InsertOutcome::Split(sep, right)
+                        } else {
+                            InsertOutcome::Inserted
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// Split an over-full leaf in half; returns `(separator, right)` where
+    /// the separator is the right half's first key.
+    fn split_leaf(&mut self) -> (K, Node<K, V>) {
+        let Node::Leaf { keys, values } = self else {
+            unreachable!("split_leaf on internal")
+        };
+        let mid = keys.len() / 2;
+        let right_keys: Vec<K> = keys.split_off(mid);
+        let right_values: Vec<V> = values.split_off(mid);
+        let sep = right_keys[0].clone();
+        (
+            sep,
+            Node::Leaf {
+                keys: right_keys,
+                values: right_values,
+            },
+        )
+    }
+
+    /// Split an over-full internal node; the middle separator moves up.
+    fn split_internal(&mut self) -> (K, Node<K, V>) {
+        let Node::Internal { keys, children } = self else {
+            unreachable!("split_internal on leaf")
+        };
+        let mid = keys.len() / 2;
+        let right_keys: Vec<K> = keys.split_off(mid + 1);
+        let sep = keys.pop().expect("mid separator");
+        let right_children: Vec<Node<K, V>> = children.split_off(mid + 1);
+        (
+            sep,
+            Node::Internal {
+                keys: right_keys,
+                children: right_children,
+            },
+        )
+    }
+
+    pub fn remove(&mut self, key: &K, order: usize) -> RemoveOutcome<V> {
+        match self {
+            Node::Leaf { keys, values } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    RemoveOutcome::Removed(values.remove(i))
+                }
+                Err(_) => RemoveOutcome::NotFound,
+            },
+            Node::Internal { keys, children } => {
+                let idx = Self::route(keys, key);
+                let outcome = children[idx].remove(key, order);
+                if matches!(outcome, RemoveOutcome::Removed(_))
+                    && children[idx].key_count() < order / 2
+                {
+                    Self::rebalance_child(keys, children, idx, order);
+                }
+                outcome
+            }
+        }
+    }
+
+    /// Restore minimum occupancy of `children[idx]` by borrowing from a
+    /// sibling with spare keys, or merging with one otherwise.
+    fn rebalance_child(
+        keys: &mut Vec<K>,
+        children: &mut Vec<Node<K, V>>,
+        idx: usize,
+        order: usize,
+    ) {
+        let min = order / 2;
+        // Try borrowing from the left sibling.
+        if idx > 0 && children[idx - 1].key_count() > min {
+            let (left_slice, right_slice) = children.split_at_mut(idx);
+            let left = &mut left_slice[idx - 1];
+            let child = &mut right_slice[0];
+            match (left, child) {
+                (
+                    Node::Leaf {
+                        keys: lk,
+                        values: lv,
+                    },
+                    Node::Leaf {
+                        keys: ck,
+                        values: cv,
+                    },
+                ) => {
+                    let k = lk.pop().expect("left leaf has spare key");
+                    let v = lv.pop().expect("left leaf has spare value");
+                    ck.insert(0, k.clone());
+                    cv.insert(0, v);
+                    keys[idx - 1] = k;
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                ) => {
+                    let sep = std::mem::replace(&mut keys[idx - 1], lk.pop().expect("spare sep"));
+                    ck.insert(0, sep);
+                    cc.insert(0, lc.pop().expect("spare child"));
+                }
+                _ => unreachable!("siblings at the same depth share node kind"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].key_count() > min {
+            let (left_slice, right_slice) = children.split_at_mut(idx + 1);
+            let child = &mut left_slice[idx];
+            let right = &mut right_slice[0];
+            match (child, right) {
+                (
+                    Node::Leaf {
+                        keys: ck,
+                        values: cv,
+                    },
+                    Node::Leaf {
+                        keys: rk,
+                        values: rv,
+                    },
+                ) => {
+                    ck.push(rk.remove(0));
+                    cv.push(rv.remove(0));
+                    keys[idx] = rk[0].clone();
+                }
+                (
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let sep = std::mem::replace(&mut keys[idx], rk.remove(0));
+                    ck.push(sep);
+                    cc.push(rc.remove(0));
+                }
+                _ => unreachable!("siblings at the same depth share node kind"),
+            }
+            return;
+        }
+        // Merge with a sibling (both at minimum).
+        let left_idx = if idx > 0 { idx - 1 } else { idx };
+        let sep = keys.remove(left_idx);
+        let right = children.remove(left_idx + 1);
+        let left = &mut children[left_idx];
+        match (left, right) {
+            (
+                Node::Leaf {
+                    keys: lk,
+                    values: lv,
+                },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                },
+            ) => {
+                lk.extend(rk);
+                lv.extend(rv);
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.extend(rk);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings at the same depth share node kind"),
+        }
+    }
+
+    /// If the root is an internal node with a single child, pull that child
+    /// up (possibly repeatedly). Called only on the root after removals.
+    pub fn collapse_root(&mut self) {
+        while let Node::Internal { keys, children } = self {
+            if keys.is_empty() {
+                debug_assert_eq!(children.len(), 1);
+                let child = children.pop().expect("lone child");
+                *self = child;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Recursively validate occupancy, ordering, routing bounds, and uniform
+    /// leaf depth. Returns the subtree height.
+    pub fn check_invariants(
+        &self,
+        order: usize,
+        is_root: bool,
+        lo: Option<&K>,
+        hi: Option<&K>,
+    ) -> usize
+    where
+        K: Debug,
+    {
+        let min = order / 2;
+        match self {
+            Node::Leaf { keys, values } => {
+                assert_eq!(keys.len(), values.len(), "leaf keys/values out of sync");
+                assert!(
+                    keys.len() <= order,
+                    "leaf overfull: {} > {order}",
+                    keys.len()
+                );
+                if !is_root {
+                    assert!(keys.len() >= min, "leaf underfull: {} < {min}", keys.len());
+                }
+                assert!(
+                    keys.windows(2).all(|w| w[0] < w[1]),
+                    "leaf keys not strictly sorted"
+                );
+                if let (Some(lo), Some(first)) = (lo, keys.first()) {
+                    assert!(first >= lo, "leaf key {first:?} below bound {lo:?}");
+                }
+                if let (Some(hi), Some(last)) = (hi, keys.last()) {
+                    assert!(last < hi, "leaf key {last:?} not below bound {hi:?}");
+                }
+                1
+            }
+            Node::Internal { keys, children } => {
+                assert!(
+                    !is_root || !keys.is_empty(),
+                    "internal root must have a separator"
+                );
+                assert_eq!(
+                    children.len(),
+                    keys.len() + 1,
+                    "children/keys arity mismatch"
+                );
+                assert!(keys.len() <= order, "internal overfull");
+                if !is_root {
+                    assert!(
+                        keys.len() >= min,
+                        "internal underfull: {} < {min}",
+                        keys.len()
+                    );
+                }
+                assert!(
+                    keys.windows(2).all(|w| w[0] < w[1]),
+                    "separators not strictly sorted"
+                );
+                if let (Some(lo), Some(first)) = (lo, keys.first()) {
+                    assert!(first >= lo, "separator below subtree bound");
+                }
+                if let (Some(hi), Some(last)) = (hi, keys.last()) {
+                    assert!(last < hi, "separator above subtree bound");
+                }
+                let mut heights = Vec::with_capacity(children.len());
+                for (i, child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    heights.push(child.check_invariants(order, false, child_lo, child_hi));
+                }
+                assert!(
+                    heights.windows(2).all(|w| w[0] == w[1]),
+                    "leaves at differing depths: {heights:?}"
+                );
+                1 + heights[0]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_boundaries() {
+        let keys = vec![10, 20, 30];
+        assert_eq!(Node::<i32, ()>::route(&keys, &5), 0);
+        assert_eq!(
+            Node::<i32, ()>::route(&keys, &10),
+            1,
+            "equal key routes right"
+        );
+        assert_eq!(Node::<i32, ()>::route(&keys, &15), 1);
+        assert_eq!(Node::<i32, ()>::route(&keys, &30), 3);
+        assert_eq!(Node::<i32, ()>::route(&keys, &99), 3);
+    }
+
+    #[test]
+    fn leaf_split_halves() {
+        let mut leaf: Node<i32, i32> = Node::Leaf {
+            keys: vec![1, 2, 3, 4, 5],
+            values: vec![10, 20, 30, 40, 50],
+        };
+        let (sep, right) = leaf.split_leaf();
+        assert_eq!(sep, 3);
+        assert_eq!(leaf.key_count(), 2);
+        assert_eq!(right.key_count(), 3);
+    }
+
+    #[test]
+    fn collapse_root_unwraps_single_chains() {
+        let mut root: Node<i32, i32> = Node::Internal {
+            keys: vec![],
+            children: vec![Node::Leaf {
+                keys: vec![1],
+                values: vec![1],
+            }],
+        };
+        root.collapse_root();
+        assert!(root.is_leaf());
+        assert_eq!(root.key_count(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cluster catalog: name → storage object.
+//!
+//! The catalog is deliberately minimal — a data lake has no schemas to
+//! manage, only named files and the structures that were registered for
+//! them. Index entries additionally track their base file so structure
+//! maintenance can find "all indexes of file X".
+
+use crate::btree_file::BtreeFile;
+use crate::heap_file::HeapFile;
+use parking_lot::RwLock;
+use rede_common::{FxHashMap, RedeError, Result};
+use std::sync::Arc;
+
+/// A named object stored in the cluster.
+#[derive(Clone)]
+pub enum StorageObject {
+    Heap(Arc<HeapFile>),
+    Btree(Arc<BtreeFile>),
+}
+
+/// Thread-safe name registry.
+#[derive(Default)]
+pub struct Catalog {
+    objects: RwLock<FxHashMap<String, StorageObject>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register an object; errors if the name is taken.
+    pub fn register(&self, name: &str, object: StorageObject) -> Result<()> {
+        let mut objects = self.objects.write();
+        if objects.contains_key(name) {
+            return Err(RedeError::AlreadyExists(format!("catalog object '{name}'")));
+        }
+        objects.insert(name.to_string(), object);
+        Ok(())
+    }
+
+    /// Remove an object by name (used when dropping / rebuilding indexes).
+    pub fn deregister(&self, name: &str) -> Result<StorageObject> {
+        self.objects
+            .write()
+            .remove(name)
+            .ok_or_else(|| RedeError::NotFound(format!("catalog object '{name}'")))
+    }
+
+    /// Fetch any object.
+    pub fn get(&self, name: &str) -> Result<StorageObject> {
+        self.objects
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RedeError::NotFound(format!("catalog object '{name}'")))
+    }
+
+    /// Fetch a heap file, erroring if the name is an index.
+    pub fn heap(&self, name: &str) -> Result<Arc<HeapFile>> {
+        match self.get(name)? {
+            StorageObject::Heap(f) => Ok(f),
+            StorageObject::Btree(_) => Err(RedeError::NotFound(format!(
+                "'{name}' is an index, not a heap file"
+            ))),
+        }
+    }
+
+    /// Fetch a B-tree index, erroring if the name is a heap file.
+    pub fn btree(&self, name: &str) -> Result<Arc<BtreeFile>> {
+        match self.get(name)? {
+            StorageObject::Btree(f) => Ok(f),
+            StorageObject::Heap(_) => Err(RedeError::NotFound(format!(
+                "'{name}' is a heap file, not an index"
+            ))),
+        }
+    }
+
+    /// All registered names, sorted (diagnostics, tests).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.objects.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all indexes whose base file is `base`.
+    pub fn indexes_of(&self, base: &str) -> Vec<Arc<BtreeFile>> {
+        self.objects
+            .read()
+            .values()
+            .filter_map(|o| match o {
+                StorageObject::Btree(ix) if &**ix.base() == base => Some(ix.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btree_file::IndexSpec;
+    use crate::partitioner::Partitioning;
+
+    #[test]
+    fn register_get_roundtrip() {
+        let cat = Catalog::new();
+        let heap = Arc::new(HeapFile::new("part", Partitioning::hash(2)).unwrap());
+        cat.register("part", StorageObject::Heap(heap)).unwrap();
+        assert!(cat.heap("part").is_ok());
+        assert!(cat.btree("part").is_err());
+        assert!(cat.heap("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let cat = Catalog::new();
+        let heap = Arc::new(HeapFile::new("x", Partitioning::hash(1)).unwrap());
+        cat.register("x", StorageObject::Heap(heap.clone()))
+            .unwrap();
+        assert!(matches!(
+            cat.register("x", StorageObject::Heap(heap)),
+            Err(RedeError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn indexes_of_filters_by_base() {
+        let cat = Catalog::new();
+        let ix1 = Arc::new(BtreeFile::new(&IndexSpec::global("ix1", "part", 2)).unwrap());
+        let ix2 = Arc::new(BtreeFile::new(&IndexSpec::global("ix2", "lineitem", 2)).unwrap());
+        cat.register("ix1", StorageObject::Btree(ix1)).unwrap();
+        cat.register("ix2", StorageObject::Btree(ix2)).unwrap();
+        let found = cat.indexes_of("part");
+        assert_eq!(found.len(), 1);
+        assert_eq!(&**found[0].name(), "ix1");
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let cat = Catalog::new();
+        let heap = Arc::new(HeapFile::new("x", Partitioning::hash(1)).unwrap());
+        cat.register("x", StorageObject::Heap(heap)).unwrap();
+        assert!(cat.deregister("x").is_ok());
+        assert!(cat.get("x").is_err());
+        assert!(cat.deregister("x").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let cat = Catalog::new();
+        for n in ["b", "a", "c"] {
+            let heap = Arc::new(HeapFile::new(n, Partitioning::hash(1)).unwrap());
+            cat.register(n, StorageObject::Heap(heap)).unwrap();
+        }
+        assert_eq!(cat.names(), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,755 @@
+//! [`SimCluster`] — N logical nodes, partition placement, and charged
+//! access paths.
+//!
+//! The cluster is the reproduction's stand-in for the paper's 128-node
+//! testbed. It owns the catalog, the I/O model, the per-node admission
+//! limiters, and the metrics registry, and exposes *charged* access
+//! handles: every read pays the configured latency on the calling thread
+//! (so concurrency genuinely overlaps I/O) and increments the matching
+//! access counter (so experiments can be replayed through the deterministic
+//! cost model).
+//!
+//! Placement: partition `p` of every file lives on node `p % nodes`, the
+//! round-robin layout the paper uses for its HDFS load.
+
+use crate::btree_file::{BtreeFile, IndexSpec};
+use crate::cache::{CacheKey, RecordCache};
+use crate::catalog::{Catalog, StorageObject};
+use crate::heap_file::HeapFile;
+use crate::io_model::{IoModel, IopsLimiter};
+use crate::partitioner::Partitioning;
+use crate::pointer::{Pointer, PointerKey};
+use crate::record::Record;
+use rede_common::{AccessKind, Metrics, RedeError, Result, Value};
+use std::sync::Arc;
+
+/// Declarative description of a heap file.
+#[derive(Debug, Clone)]
+pub struct FileSpec {
+    /// Catalog name.
+    pub name: String,
+    /// Partitioning of the primary store.
+    pub partitioning: Partitioning,
+}
+
+impl FileSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, partitioning: Partitioning) -> FileSpec {
+        FileSpec {
+            name: name.into(),
+            partitioning,
+        }
+    }
+}
+
+struct ClusterInner {
+    nodes: usize,
+    io: IoModel,
+    metrics: Metrics,
+    limiters: Vec<IopsLimiter>,
+    catalog: Catalog,
+    cache: Option<RecordCache>,
+}
+
+impl ClusterInner {
+    fn node_of_partition(&self, partition: usize) -> usize {
+        partition % self.nodes
+    }
+
+    /// Pay for one point read of a record in `partition`, issued from
+    /// `from_node`. Returns after the (possibly zero) injected latency.
+    fn charge_point_read(&self, partition: usize, from_node: usize) {
+        let owner = self.node_of_partition(partition);
+        let _permit = self.limiters[owner].acquire();
+        if owner == from_node {
+            self.metrics.record_access(AccessKind::LocalPointRead);
+            self.io.pay_local_read();
+        } else {
+            self.metrics.record_access(AccessKind::RemotePointRead);
+            self.io.pay_remote_read();
+        }
+    }
+
+    /// Pay for one index traversal in `partition` issued from `from_node`.
+    /// A remote traversal additionally pays the network component (the
+    /// difference between remote and local point-read latency).
+    fn charge_index_probe(&self, partition: usize, from_node: usize) {
+        let owner = self.node_of_partition(partition);
+        let _permit = self.limiters[owner].acquire();
+        self.metrics.record_access(AccessKind::IndexLookup);
+        self.io.pay_index_lookup();
+        if owner != from_node {
+            let rtt = self
+                .io
+                .remote_point_read
+                .saturating_sub(self.io.local_point_read);
+            if !rtt.is_zero() {
+                std::thread::sleep(rtt);
+            }
+        }
+    }
+}
+
+/// Handle to a running simulated cluster. Cheap to clone.
+#[derive(Clone)]
+pub struct SimCluster {
+    inner: Arc<ClusterInner>,
+}
+
+/// Builder for [`SimCluster`].
+pub struct SimClusterBuilder {
+    nodes: usize,
+    io: IoModel,
+    metrics: Option<Metrics>,
+    cache_capacity: Option<usize>,
+}
+
+impl SimClusterBuilder {
+    /// Number of logical nodes (default 4).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// I/O latency model (default [`IoModel::zero`]).
+    pub fn io_model(mut self, io: IoModel) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Use an externally owned metrics registry (e.g. shared with an
+    /// executor under test).
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Enable the node-local record cache (§ V-C) holding up to `capacity`
+    /// records. Cache hits skip the point-read latency and are counted as
+    /// `cache_hits` instead of storage accesses, so leave the cache off for
+    /// experiments that compare logical access counts.
+    pub fn record_cache(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Construct the cluster.
+    pub fn build(self) -> Result<SimCluster> {
+        if self.nodes == 0 {
+            return Err(RedeError::Config("cluster needs at least one node".into()));
+        }
+        let limiters = (0..self.nodes)
+            .map(|_| IopsLimiter::new(self.io.queue_depth))
+            .collect();
+        let cache = self
+            .cache_capacity
+            .map(|capacity| RecordCache::new(capacity, (self.nodes * 4).max(4)));
+        Ok(SimCluster {
+            inner: Arc::new(ClusterInner {
+                nodes: self.nodes,
+                io: self.io,
+                metrics: self.metrics.unwrap_or_default(),
+                limiters,
+                catalog: Catalog::new(),
+                cache,
+            }),
+        })
+    }
+}
+
+impl SimCluster {
+    /// Start building a cluster.
+    pub fn builder() -> SimClusterBuilder {
+        SimClusterBuilder {
+            nodes: 4,
+            io: IoModel::zero(),
+            metrics: None,
+            cache_capacity: None,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.inner.nodes
+    }
+
+    /// The node owning a partition (round-robin placement).
+    pub fn node_of_partition(&self, partition: usize) -> usize {
+        self.inner.node_of_partition(partition)
+    }
+
+    /// The cluster-wide metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The configured I/O model.
+    pub fn io_model(&self) -> &IoModel {
+        &self.inner.io
+    }
+
+    /// Create and register a heap file.
+    pub fn create_file(&self, spec: FileSpec) -> Result<FileHandle> {
+        let file = Arc::new(HeapFile::new(&spec.name, spec.partitioning)?);
+        self.inner
+            .catalog
+            .register(&spec.name, StorageObject::Heap(file.clone()))?;
+        Ok(FileHandle {
+            file,
+            cluster: self.clone(),
+        })
+    }
+
+    /// Create and register a B-tree index.
+    pub fn create_index(&self, spec: IndexSpec) -> Result<IndexHandle> {
+        // The base file must exist so entries have something to point at.
+        self.inner.catalog.heap(&spec.base)?;
+        let index = Arc::new(BtreeFile::new(&spec)?);
+        self.inner
+            .catalog
+            .register(&spec.name, StorageObject::Btree(index.clone()))?;
+        Ok(IndexHandle {
+            index,
+            cluster: self.clone(),
+        })
+    }
+
+    /// Look up a registered heap file.
+    pub fn file(&self, name: &str) -> Result<FileHandle> {
+        Ok(FileHandle {
+            file: self.inner.catalog.heap(name)?,
+            cluster: self.clone(),
+        })
+    }
+
+    /// Look up a registered index.
+    pub fn index(&self, name: &str) -> Result<IndexHandle> {
+        Ok(IndexHandle {
+            index: self.inner.catalog.btree(name)?,
+            cluster: self.clone(),
+        })
+    }
+
+    /// All indexes registered over `base`.
+    pub fn indexes_of(&self, base: &str) -> Vec<IndexHandle> {
+        self.inner
+            .catalog
+            .indexes_of(base)
+            .into_iter()
+            .map(|index| IndexHandle {
+                index,
+                cluster: self.clone(),
+            })
+            .collect()
+    }
+
+    /// Catalog names (diagnostics, tests).
+    pub fn catalog_names(&self) -> Vec<String> {
+        self.inner.catalog.names()
+    }
+
+    /// Resolve a pointer to its record — a charged point read.
+    ///
+    /// `from_node` is the node issuing the access; reads of partitions
+    /// placed elsewhere pay the remote latency. Broadcast pointers cannot
+    /// be resolved directly (the executor materializes them per partition
+    /// first).
+    pub fn resolve(&self, ptr: &Pointer, from_node: usize) -> Result<Record> {
+        let heap = self.inner.catalog.heap(&ptr.file)?;
+        let partition_key = ptr.partition_key.as_ref().ok_or_else(|| {
+            RedeError::Routing(format!("cannot resolve broadcast pointer {ptr:?}"))
+        })?;
+        let partition = match &ptr.key {
+            PointerKey::Physical(_) => partition_key
+                .as_int()
+                .ok_or_else(|| RedeError::Routing(format!("bad physical partition in {ptr:?}")))?
+                as usize,
+            PointerKey::Logical(_) => heap.partition_of(partition_key),
+        };
+        if let Some(cache) = &self.inner.cache {
+            let cache_key = CacheKey {
+                file: ptr.file.clone(),
+                partition,
+                key: ptr.key.clone(),
+            };
+            if let Some(record) = cache.get(&cache_key) {
+                self.inner.metrics.record_cache_hit();
+                return Ok(record);
+            }
+            self.inner.metrics.record_cache_miss();
+            self.inner.charge_point_read(partition, from_node);
+            let record = heap.get(partition, &ptr.key)?;
+            cache.insert(cache_key, record.clone());
+            return Ok(record);
+        }
+        self.inner.charge_point_read(partition, from_node);
+        heap.get(partition, &ptr.key)
+    }
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("nodes", &self.inner.nodes)
+            .field("objects", &self.inner.catalog.names())
+            .finish()
+    }
+}
+
+/// Charged handle to a heap file.
+#[derive(Clone)]
+pub struct FileHandle {
+    file: Arc<HeapFile>,
+    cluster: SimCluster,
+}
+
+impl FileHandle {
+    /// The underlying file (uncharged; loaders and tests).
+    pub fn raw(&self) -> &Arc<HeapFile> {
+        &self.file
+    }
+
+    /// File name.
+    pub fn name(&self) -> &Arc<str> {
+        self.file.name()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.file.partitions()
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.file.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.file.is_empty()
+    }
+
+    /// Partition for a partition key.
+    pub fn partition_of(&self, key: &Value) -> usize {
+        self.file.partition_of(key)
+    }
+
+    /// Insert a record partitioned and keyed by `key` (the common case:
+    /// primary key is the partition key). Charged as a record write; load
+    /// latency is not modeled (the paper measures query time only).
+    pub fn insert(&self, key: Value, record: Record) -> Result<(usize, usize)> {
+        self.cluster
+            .inner
+            .metrics
+            .record_access(AccessKind::RecordWrite);
+        self.file.insert(&key.clone(), key, record)
+    }
+
+    /// Insert with distinct partition key and in-partition key.
+    pub fn insert_with_partition_key(
+        &self,
+        partition_key: &Value,
+        key: Value,
+        record: Record,
+    ) -> Result<(usize, usize)> {
+        self.cluster
+            .inner
+            .metrics
+            .record_access(AccessKind::RecordWrite);
+        self.file.insert(partition_key, key, record)
+    }
+
+    /// Charged sequential scan of one partition, streaming batches of
+    /// `scan_batch` records to `f`. Pays per-record scan latency once per
+    /// batch and counts every visited record.
+    pub fn scan_partition(&self, partition: usize, mut f: impl FnMut(&Value, &Record)) {
+        let batch = self.cluster.inner.io.scan_batch.max(1);
+        let mut start = 0;
+        loop {
+            let rows = self.file.read_slots(partition, start, batch);
+            if rows.is_empty() {
+                break;
+            }
+            self.cluster
+                .inner
+                .metrics
+                .record_accesses(AccessKind::ScannedRecord, rows.len() as u64);
+            self.cluster.inner.io.pay_scan(rows.len());
+            for (k, r) in &rows {
+                f(k, r);
+            }
+            start += rows.len();
+        }
+    }
+
+    /// Number of records in one partition (uncharged).
+    pub fn partition_len(&self, partition: usize) -> usize {
+        self.file.partition_len(partition)
+    }
+
+    /// Charged batch read of a contiguous slot range (pull-based scans).
+    /// Pays per-record scan latency for the batch and counts every record.
+    pub fn read_slots(&self, partition: usize, start: usize, count: usize) -> Vec<(Value, Record)> {
+        let rows = self.file.read_slots(partition, start, count);
+        if !rows.is_empty() {
+            self.cluster
+                .inner
+                .metrics
+                .record_accesses(AccessKind::ScannedRecord, rows.len() as u64);
+            self.cluster.inner.io.pay_scan(rows.len());
+        }
+        rows
+    }
+}
+
+/// Charged handle to a B-tree index.
+#[derive(Clone)]
+pub struct IndexHandle {
+    index: Arc<BtreeFile>,
+    cluster: SimCluster,
+}
+
+impl IndexHandle {
+    /// The underlying index (uncharged; loaders and tests).
+    pub fn raw(&self) -> &Arc<BtreeFile> {
+        &self.index
+    }
+
+    /// Index name.
+    pub fn name(&self) -> &Arc<str> {
+        self.index.name()
+    }
+
+    /// Base file name.
+    pub fn base(&self) -> &Arc<str> {
+        self.index.base()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.index.partitions()
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Insert an entry for a *global* index (placement by indexed key).
+    /// Charged as a record write.
+    pub fn insert(&self, key: Value, entry: Record) -> Result<()> {
+        self.cluster
+            .inner
+            .metrics
+            .record_access(AccessKind::RecordWrite);
+        self.index.insert(key, entry)
+    }
+
+    /// Insert an entry for a *local* index into the base record's
+    /// partition. Charged as a record write.
+    pub fn insert_at(&self, partition: usize, key: Value, entry: Record) -> Result<()> {
+        self.cluster
+            .inner
+            .metrics
+            .record_access(AccessKind::RecordWrite);
+        self.index.insert_at(partition, key, entry)
+    }
+
+    /// Charged exact-key probe: consults the partitions the placement
+    /// requires (one for global, all for local) and returns the matching
+    /// entry records.
+    pub fn lookup(&self, key: &Value, from_node: usize) -> Vec<Record> {
+        let mut out = Vec::new();
+        for p in self.index.probe_partitions_for_key(key) {
+            self.cluster.inner.charge_index_probe(p, from_node);
+            out.extend(self.index.lookup_in(p, key));
+        }
+        self.count_entries(out.len());
+        out
+    }
+
+    /// Charged inclusive range probe across the placement's partitions.
+    pub fn range(&self, lo: &Value, hi: &Value, from_node: usize) -> Vec<Record> {
+        let mut out = Vec::new();
+        for p in self.index.probe_partitions_for_range(lo, hi) {
+            self.cluster.inner.charge_index_probe(p, from_node);
+            out.extend(self.index.range_in(p, lo, hi));
+        }
+        self.count_entries(out.len());
+        out
+    }
+
+    /// Charged exact-key probe restricted to the partitions placed on
+    /// `node`. Used for broadcast-replicated pointers: each node covers its
+    /// local partitions so the union over nodes probes the index exactly
+    /// once (the paper's `SETPARTITION(input, LOCAL)`).
+    pub fn lookup_on_node(&self, node: usize, key: &Value) -> Vec<Record> {
+        let mut out = Vec::new();
+        for p in self.index.probe_partitions_for_key(key) {
+            if self.cluster.node_of_partition(p) != node {
+                continue;
+            }
+            self.cluster.inner.charge_index_probe(p, node);
+            out.extend(self.index.lookup_in(p, key));
+        }
+        self.count_entries(out.len());
+        out
+    }
+
+    /// Charged range probe restricted to the partitions placed on `node`.
+    ///
+    /// This is the SMPE seed pattern: the job is distributed to every node
+    /// and each node probes only its locally held index partitions, so the
+    /// union over nodes covers the whole index with no duplicate work.
+    pub fn range_on_node(&self, node: usize, lo: &Value, hi: &Value) -> Vec<Record> {
+        let mut out = Vec::new();
+        for p in self.index.probe_partitions_for_range(lo, hi) {
+            if self.cluster.node_of_partition(p) != node {
+                continue;
+            }
+            self.cluster.inner.charge_index_probe(p, node);
+            out.extend(self.index.range_in(p, lo, hi));
+        }
+        self.count_entries(out.len());
+        out
+    }
+
+    /// Estimate how many entries fall in `[lo, hi]` by sampling up to
+    /// three partitions and scaling (uncharged: this is catalog-statistics
+    /// work, the optimizer's bread and butter). Exact when the index has
+    /// ≤ 3 partitions.
+    pub fn estimate_range(&self, lo: &Value, hi: &Value) -> u64 {
+        let partitions = self.index.partitions();
+        let sample = partitions.min(3);
+        let mut counted = 0usize;
+        for p in 0..sample {
+            counted += self.index.range_in(p, lo, hi).len();
+        }
+        (counted as f64 * partitions as f64 / sample as f64).round() as u64
+    }
+
+    fn count_entries(&self, n: usize) {
+        if n > 0 {
+            self.cluster
+                .inner
+                .metrics
+                .record_accesses(AccessKind::IndexEntryRead, n as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btree_file::IndexEntry;
+
+    fn cluster() -> SimCluster {
+        SimCluster::builder().nodes(4).build().unwrap()
+    }
+
+    fn loaded(cluster: &SimCluster, n: i64) -> FileHandle {
+        let f = cluster
+            .create_file(FileSpec::new("part", Partitioning::hash(8)))
+            .unwrap();
+        for i in 0..n {
+            f.insert(Value::Int(i), Record::from_text(&format!("row{i}")))
+                .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(SimCluster::builder().nodes(0).build().is_err());
+    }
+
+    #[test]
+    fn resolve_counts_local_vs_remote() {
+        let c = cluster();
+        let f = loaded(&c, 64);
+        let key = Value::Int(5);
+        let partition = f.partition_of(&key);
+        let owner = c.node_of_partition(partition);
+        let other = (owner + 1) % c.nodes();
+
+        let ptr = Pointer::logical("part", key.clone(), key);
+        c.resolve(&ptr, owner).unwrap();
+        c.resolve(&ptr, other).unwrap();
+        let s = c.metrics().snapshot();
+        assert_eq!(s.local_point_reads, 1);
+        assert_eq!(s.remote_point_reads, 1);
+    }
+
+    #[test]
+    fn resolve_physical_pointer() {
+        let c = cluster();
+        let f = c
+            .create_file(FileSpec::new("part", Partitioning::hash(2)))
+            .unwrap();
+        let (p, slot) = f.insert(Value::Int(9), Record::from_text("hello")).unwrap();
+        let ptr = Pointer::physical("part", p, slot);
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "hello");
+    }
+
+    #[test]
+    fn resolve_rejects_broadcast_and_unknown_file() {
+        let c = cluster();
+        loaded(&c, 4);
+        let b = Pointer::broadcast("part", Value::Int(1));
+        assert!(matches!(c.resolve(&b, 0), Err(RedeError::Routing(_))));
+        let missing = Pointer::logical("nope", Value::Int(1), Value::Int(1));
+        assert!(matches!(
+            c.resolve(&missing, 0),
+            Err(RedeError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn scan_counts_records() {
+        let c = cluster();
+        let f = loaded(&c, 100);
+        let mut seen = 0;
+        for p in 0..f.partitions() {
+            f.scan_partition(p, |_, _| seen += 1);
+        }
+        assert_eq!(seen, 100);
+        assert_eq!(c.metrics().snapshot().scanned_records, 100);
+    }
+
+    #[test]
+    fn index_requires_existing_base() {
+        let c = cluster();
+        assert!(c
+            .create_index(IndexSpec::global("ix", "missing", 4))
+            .is_err());
+    }
+
+    #[test]
+    fn global_index_lookup_counts_one_probe() {
+        let c = cluster();
+        loaded(&c, 0);
+        let ix = c.create_index(IndexSpec::global("ix", "part", 8)).unwrap();
+        ix.insert(
+            Value::Int(1),
+            IndexEntry::new(Value::Int(1), Value::Int(1)).to_record(),
+        )
+        .unwrap();
+        c.metrics().reset();
+        let hits = ix.lookup(&Value::Int(1), 0);
+        assert_eq!(hits.len(), 1);
+        let s = c.metrics().snapshot();
+        assert_eq!(s.index_lookups, 1);
+        assert_eq!(s.index_entries_read, 1);
+    }
+
+    #[test]
+    fn local_index_lookup_probes_all_partitions() {
+        let c = cluster();
+        loaded(&c, 0);
+        let ix = c.create_index(IndexSpec::local("lix", "part", 8)).unwrap();
+        ix.insert_at(
+            3,
+            Value::Int(1),
+            IndexEntry::new(Value::Int(1), Value::Int(1)).to_record(),
+        )
+        .unwrap();
+        c.metrics().reset();
+        let hits = ix.lookup(&Value::Int(1), 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(c.metrics().snapshot().index_lookups, 8);
+    }
+
+    #[test]
+    fn range_on_node_partitions_cover_disjointly() {
+        let c = cluster();
+        loaded(&c, 0);
+        let ix = c.create_index(IndexSpec::local("lix", "part", 8)).unwrap();
+        for i in 0..100i64 {
+            let p = (i % 8) as usize;
+            ix.insert_at(
+                p,
+                Value::Int(i),
+                IndexEntry::new(Value::Int(i), Value::Int(i)).to_record(),
+            )
+            .unwrap();
+        }
+        let mut total = 0;
+        for node in 0..c.nodes() {
+            total += ix
+                .range_on_node(node, &Value::Int(0), &Value::Int(99))
+                .len();
+        }
+        assert_eq!(
+            total, 100,
+            "per-node probes must cover the index exactly once"
+        );
+    }
+
+    #[test]
+    fn record_cache_serves_repeats_without_storage_access() {
+        let c = SimCluster::builder()
+            .nodes(2)
+            .record_cache(64)
+            .build()
+            .unwrap();
+        let f = c
+            .create_file(FileSpec::new("part", Partitioning::hash(4)))
+            .unwrap();
+        for i in 0..32i64 {
+            f.insert(Value::Int(i), Record::from_text(&format!("r{i}")))
+                .unwrap();
+        }
+        let ptr = Pointer::logical("part", Value::Int(5), Value::Int(5));
+        c.metrics().reset();
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "r5");
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "r5");
+        assert_eq!(c.resolve(&ptr, 1).unwrap().text().unwrap(), "r5");
+        let s = c.metrics().snapshot();
+        assert_eq!(s.point_reads(), 1, "only the first resolve touches storage");
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 2);
+    }
+
+    #[test]
+    fn cache_eviction_falls_back_to_storage() {
+        let c = SimCluster::builder()
+            .nodes(1)
+            .record_cache(4)
+            .build()
+            .unwrap();
+        let f = c
+            .create_file(FileSpec::new("t", Partitioning::hash(1)))
+            .unwrap();
+        for i in 0..100i64 {
+            f.insert(Value::Int(i), Record::from_text(&i.to_string()))
+                .unwrap();
+        }
+        // Sweep far beyond capacity, then re-read: everything still resolves.
+        for i in 0..100i64 {
+            let ptr = Pointer::logical("t", Value::Int(i), Value::Int(i));
+            assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), i.to_string());
+        }
+        for i in 0..100i64 {
+            let ptr = Pointer::logical("t", Value::Int(i), Value::Int(i));
+            assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), i.to_string());
+        }
+        let s = c.metrics().snapshot();
+        assert_eq!(s.cache_hits + s.cache_misses, 200);
+        assert!(s.cache_misses >= 100, "capacity 4 cannot hold the sweep");
+    }
+
+    #[test]
+    fn duplicate_file_names_rejected() {
+        let c = cluster();
+        c.create_file(FileSpec::new("f", Partitioning::hash(1)))
+            .unwrap();
+        assert!(c
+            .create_file(FileSpec::new("f", Partitioning::hash(1)))
+            .is_err());
+    }
+}

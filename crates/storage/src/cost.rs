@@ -1,0 +1,181 @@
+//! Deterministic cost model: replay collected I/O counters into modeled
+//! seconds.
+//!
+//! Wall-clock measurements with injected latency are realistic but noisy
+//! (and slow to run at fine sweeps); the cost model provides a second,
+//! fully deterministic reading of the same experiment. It charges each
+//! access class its model latency and divides by the concurrency actually
+//! available to that class:
+//!
+//! * point reads are latency-bound: they overlap up to
+//!   `min(executor concurrency, device queue depth)` per node;
+//! * sequential scans are throughput-bound: they parallelize across scan
+//!   streams (one per core in the Impala-like baseline);
+//! * index probes behave like point reads with their own latency.
+//!
+//! This mirrors the paper's observation that "the number of record accesses
+//! determines the theoretical limitation of query performance" once each
+//! access class is weighted by its device cost and available parallelism.
+
+use crate::io_model::IoModel;
+use rede_common::MetricsSnapshot;
+use std::time::Duration;
+
+/// Concurrency profile of the executor whose run is being modeled.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Concurrent point-read issuers per node (SMPE: thread-pool size;
+    /// partitioned executor: partitions per node; baseline: cores).
+    pub point_concurrency_per_node: usize,
+    /// Parallel sequential-scan streams per node.
+    pub scan_streams_per_node: usize,
+}
+
+impl CostModel {
+    /// Model a run from its metrics delta under an I/O model.
+    pub fn model(&self, io: &IoModel, delta: &MetricsSnapshot) -> CostReport {
+        let nodes = self.nodes.max(1) as f64;
+        let point_conc = self
+            .point_concurrency_per_node
+            .clamp(1, io.queue_depth)
+            .max(1) as f64;
+        let scan_streams = self.scan_streams_per_node.max(1) as f64;
+
+        let point_secs = (delta.local_point_reads as f64 * io.local_point_read.as_secs_f64()
+            + delta.remote_point_reads as f64 * io.remote_point_read.as_secs_f64())
+            / (point_conc * nodes);
+        let index_secs =
+            delta.index_lookups as f64 * io.index_lookup.as_secs_f64() / (point_conc * nodes);
+        let scan_secs = delta.scanned_records as f64 * io.scan_per_record.as_secs_f64()
+            / (scan_streams * nodes);
+
+        CostReport {
+            point_secs,
+            index_secs,
+            scan_secs,
+        }
+    }
+}
+
+/// Modeled time breakdown of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Time attributable to random point reads.
+    pub point_secs: f64,
+    /// Time attributable to index traversals.
+    pub index_secs: f64,
+    /// Time attributable to sequential scanning.
+    pub scan_secs: f64,
+}
+
+impl CostReport {
+    /// Total modeled seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.point_secs + self.index_secs + self.scan_secs
+    }
+
+    /// Total as a `Duration`.
+    pub fn total(&self) -> Duration {
+        Duration::from_secs_f64(self.total_secs().max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(local: u64, remote: u64, scanned: u64, index: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            local_point_reads: local,
+            remote_point_reads: remote,
+            scanned_records: scanned,
+            index_lookups: index,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn more_concurrency_means_less_point_time() {
+        let io = IoModel::hdd_like(1.0);
+        let delta = snapshot(10_000, 0, 0, 0);
+        let slow = CostModel {
+            nodes: 4,
+            point_concurrency_per_node: 1,
+            scan_streams_per_node: 1,
+        }
+        .model(&io, &delta);
+        let fast = CostModel {
+            nodes: 4,
+            point_concurrency_per_node: 1000,
+            scan_streams_per_node: 1,
+        }
+        .model(&io, &delta);
+        assert!(slow.point_secs > fast.point_secs * 100.0);
+    }
+
+    #[test]
+    fn queue_depth_caps_effective_concurrency() {
+        let mut io = IoModel::hdd_like(1.0);
+        io.queue_depth = 10;
+        let delta = snapshot(10_000, 0, 0, 0);
+        let capped = CostModel {
+            nodes: 1,
+            point_concurrency_per_node: 1000,
+            scan_streams_per_node: 1,
+        }
+        .model(&io, &delta);
+        let at_depth = CostModel {
+            nodes: 1,
+            point_concurrency_per_node: 10,
+            scan_streams_per_node: 1,
+        }
+        .model(&io, &delta);
+        assert!((capped.point_secs - at_depth.point_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_time_scales_with_records_and_streams() {
+        let io = IoModel::hdd_like(1.0);
+        let a = CostModel {
+            nodes: 1,
+            point_concurrency_per_node: 1,
+            scan_streams_per_node: 1,
+        }
+        .model(&io, &snapshot(0, 0, 1_000_000, 0));
+        let b = CostModel {
+            nodes: 1,
+            point_concurrency_per_node: 1,
+            scan_streams_per_node: 16,
+        }
+        .model(&io, &snapshot(0, 0, 1_000_000, 0));
+        assert!((a.scan_secs / b.scan_secs - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_reads_cost_more() {
+        let io = IoModel::hdd_like(1.0);
+        let m = CostModel {
+            nodes: 1,
+            point_concurrency_per_node: 1,
+            scan_streams_per_node: 1,
+        };
+        let local = m.model(&io, &snapshot(1000, 0, 0, 0));
+        let remote = m.model(&io, &snapshot(0, 1000, 0, 0));
+        assert!(remote.point_secs > local.point_secs);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let io = IoModel::zero();
+        let m = CostModel {
+            nodes: 4,
+            point_concurrency_per_node: 8,
+            scan_streams_per_node: 2,
+        };
+        let r = m.model(&io, &snapshot(100, 100, 100, 100));
+        assert_eq!(r.total_secs(), 0.0);
+        assert_eq!(r.total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,316 @@
+//! [`HeapFile`] — the partitioned primary record store (`File` in the
+//! paper's I/O abstraction).
+//!
+//! A heap file is a set of partitions; each partition stores records in
+//! arrival order (giving stable *physical* slot addresses) plus a per-
+//! partition key index built on our own B+-tree (giving *logical* key
+//! resolution). The file routes records to partitions through its
+//! configured [`Partitioner`].
+//!
+//! This type is purely the data plane: latency injection and access
+//! accounting happen in the [`cluster`](crate::cluster) layer so the same
+//! storage can be replayed under different I/O models.
+
+use crate::btree::BPlusTree;
+use crate::partitioner::{Partitioner, Partitioning};
+use crate::pointer::PointerKey;
+use crate::record::Record;
+use parking_lot::RwLock;
+use rede_common::{RedeError, Result, Value};
+use std::sync::Arc;
+
+struct PartitionStore {
+    /// Records in arrival order; the index in this vector is the physical
+    /// slot number used by physical pointers.
+    slots: Vec<(Value, Record)>,
+    /// In-partition key → slot.
+    key_index: BPlusTree<Value, usize>,
+}
+
+impl PartitionStore {
+    fn new() -> Self {
+        PartitionStore {
+            slots: Vec::new(),
+            key_index: BPlusTree::new(),
+        }
+    }
+}
+
+/// A partitioned, key-addressable record store.
+pub struct HeapFile {
+    name: Arc<str>,
+    spec: Partitioning,
+    partitioner: Arc<dyn Partitioner>,
+    partitions: Vec<RwLock<PartitionStore>>,
+}
+
+impl HeapFile {
+    /// Create an empty heap file with the given partitioning.
+    pub fn new(name: impl AsRef<str>, spec: Partitioning) -> Result<HeapFile> {
+        let partitioner = spec.build()?;
+        let partitions = (0..partitioner.partitions())
+            .map(|_| RwLock::new(PartitionStore::new()))
+            .collect();
+        Ok(HeapFile {
+            name: Arc::from(name.as_ref()),
+            spec,
+            partitioner,
+            partitions,
+        })
+    }
+
+    /// The file's name in the catalog.
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// The partitioning spec the file was created with.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.spec
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition a given partition key routes to.
+    pub fn partition_of(&self, partition_key: &Value) -> usize {
+        self.partitioner.partition_of(partition_key)
+    }
+
+    /// Insert a record keyed by `key`, partitioned by `partition_key`
+    /// (usually the same value for primary storage). Returns `(partition,
+    /// slot)`. An existing record under the same key is replaced in place,
+    /// keeping its slot.
+    pub fn insert(
+        &self,
+        partition_key: &Value,
+        key: Value,
+        record: Record,
+    ) -> Result<(usize, usize)> {
+        let p = self.partition_of(partition_key);
+        let mut store = self.partitions[p].write();
+        if let Some(&slot) = store.key_index.get(&key) {
+            store.slots[slot] = (key, record);
+            return Ok((p, slot));
+        }
+        let slot = store.slots.len();
+        store.slots.push((key.clone(), record));
+        store.key_index.insert(key, slot);
+        Ok((p, slot))
+    }
+
+    /// Resolve an in-partition address to a record.
+    pub fn get(&self, partition: usize, key: &PointerKey) -> Result<Record> {
+        let store = self
+            .partitions
+            .get(partition)
+            .ok_or_else(|| RedeError::Routing(format!("{}: no partition {partition}", self.name)))?
+            .read();
+        match key {
+            PointerKey::Logical(k) => {
+                let slot = *store.key_index.get(k).ok_or_else(|| {
+                    RedeError::DanglingPointer(format!("{}[{partition}] has no key {k}", self.name))
+                })?;
+                Ok(store.slots[slot].1.clone())
+            }
+            PointerKey::Physical(slot) => store
+                .slots
+                .get(*slot)
+                .map(|(_, r)| r.clone())
+                .ok_or_else(|| {
+                    RedeError::DanglingPointer(format!(
+                        "{}[{partition}] has no slot {slot}",
+                        self.name
+                    ))
+                }),
+        }
+    }
+
+    /// Number of records in one partition.
+    pub fn partition_len(&self, partition: usize) -> usize {
+        self.partitions[partition].read().slots.len()
+    }
+
+    /// Total number of records across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.read().slots.len()).sum()
+    }
+
+    /// True if the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out a contiguous slot range of one partition (clamped to the
+    /// partition length). Records are `Bytes`-backed so this is cheap; the
+    /// range form lets scans stream in batches.
+    pub fn read_slots(&self, partition: usize, start: usize, count: usize) -> Vec<(Value, Record)> {
+        let store = self.partitions[partition].read();
+        let end = (start + count).min(store.slots.len());
+        if start >= end {
+            return Vec::new();
+        }
+        store.slots[start..end].to_vec()
+    }
+
+    /// Run `f` over every record of a partition in slot order.
+    pub fn for_each_in_partition(&self, partition: usize, mut f: impl FnMut(&Value, &Record)) {
+        let store = self.partitions[partition].read();
+        for (k, r) in &store.slots {
+            f(k, r);
+        }
+    }
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapFile")
+            .field("name", &self.name)
+            .field("partitions", &self.partitions.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointer::PointerKey;
+
+    fn file() -> HeapFile {
+        HeapFile::new("t", Partitioning::hash(4)).unwrap()
+    }
+
+    #[test]
+    fn insert_and_logical_get() {
+        let f = file();
+        for i in 0..100i64 {
+            f.insert(
+                &Value::Int(i),
+                Value::Int(i),
+                Record::from_text(&format!("r{i}")),
+            )
+            .unwrap();
+        }
+        assert_eq!(f.len(), 100);
+        for i in 0..100i64 {
+            let p = f.partition_of(&Value::Int(i));
+            let r = f.get(p, &PointerKey::Logical(Value::Int(i))).unwrap();
+            assert_eq!(r.text().unwrap(), format!("r{i}"));
+        }
+    }
+
+    #[test]
+    fn physical_pointers_are_stable() {
+        let f = file();
+        let (p, slot) = f
+            .insert(&Value::Int(7), Value::Int(7), Record::from_text("first"))
+            .unwrap();
+        // More inserts must not move the record.
+        for i in 100..200i64 {
+            f.insert(&Value::Int(i), Value::Int(i), Record::from_text("x"))
+                .unwrap();
+        }
+        assert_eq!(
+            f.get(p, &PointerKey::Physical(slot))
+                .unwrap()
+                .text()
+                .unwrap(),
+            "first"
+        );
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let f = file();
+        let (p1, s1) = f
+            .insert(&Value::Int(1), Value::Int(1), Record::from_text("a"))
+            .unwrap();
+        let (p2, s2) = f
+            .insert(&Value::Int(1), Value::Int(1), Record::from_text("b"))
+            .unwrap();
+        assert_eq!((p1, s1), (p2, s2));
+        assert_eq!(f.len(), 1);
+        assert_eq!(
+            f.get(p1, &PointerKey::Logical(Value::Int(1)))
+                .unwrap()
+                .text()
+                .unwrap(),
+            "b"
+        );
+    }
+
+    #[test]
+    fn dangling_lookups_error() {
+        let f = file();
+        f.insert(&Value::Int(1), Value::Int(1), Record::from_text("a"))
+            .unwrap();
+        let p = f.partition_of(&Value::Int(999));
+        assert!(matches!(
+            f.get(p, &PointerKey::Logical(Value::Int(999))),
+            Err(RedeError::DanglingPointer(_))
+        ));
+        assert!(matches!(
+            f.get(0, &PointerKey::Physical(42)),
+            Err(RedeError::DanglingPointer(_))
+        ));
+        assert!(matches!(
+            f.get(99, &PointerKey::Physical(0)),
+            Err(RedeError::Routing(_))
+        ));
+    }
+
+    #[test]
+    fn scans_cover_partitions() {
+        let f = file();
+        for i in 0..50i64 {
+            f.insert(
+                &Value::Int(i),
+                Value::Int(i),
+                Record::from_text(&i.to_string()),
+            )
+            .unwrap();
+        }
+        let mut seen = 0;
+        for p in 0..f.partitions() {
+            f.for_each_in_partition(p, |_, _| seen += 1);
+        }
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn read_slots_batches_and_clamps() {
+        let f = HeapFile::new("t", Partitioning::hash(1)).unwrap();
+        for i in 0..10i64 {
+            f.insert(
+                &Value::Int(0),
+                Value::Int(i),
+                Record::from_text(&i.to_string()),
+            )
+            .unwrap();
+        }
+        assert_eq!(f.read_slots(0, 0, 4).len(), 4);
+        assert_eq!(f.read_slots(0, 8, 4).len(), 2);
+        assert!(f.read_slots(0, 100, 4).is_empty());
+    }
+
+    #[test]
+    fn range_partitioned_file_routes_by_boundaries() {
+        let f = HeapFile::new(
+            "r",
+            Partitioning::range(vec![Value::Int(10), Value::Int(20)]),
+        )
+        .unwrap();
+        f.insert(&Value::Int(5), Value::Int(5), Record::from_text("low"))
+            .unwrap();
+        f.insert(&Value::Int(15), Value::Int(15), Record::from_text("mid"))
+            .unwrap();
+        f.insert(&Value::Int(25), Value::Int(25), Record::from_text("high"))
+            .unwrap();
+        assert_eq!(f.partition_len(0), 1);
+        assert_eq!(f.partition_len(1), 1);
+        assert_eq!(f.partition_len(2), 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Injectable I/O latency model and per-node admission control.
+//!
+//! This module is the substitution for the paper's physical testbed (24-HDD
+//! RAID-6 arrays per node, `queue_depth = 1008`, 10 GbE fabric). Two
+//! mechanisms together reproduce the behaviour the paper's evaluation
+//! depends on:
+//!
+//! 1. **Latency injection** — every storage access sleeps for a configurable
+//!    duration depending on its kind (local point read, remote point read,
+//!    per-record sequential scan, index traversal). Because the sleeps are
+//!    real, *concurrent* accesses genuinely overlap: an executor issuing
+//!    1000 point reads from 1000 threads finishes in ~1 latency, while an
+//!    executor issuing them from one thread per partition serializes them.
+//!    That is exactly the SMPE-vs-partitioned-parallelism effect of Fig. 7.
+//!
+//! 2. **Admission control** — each node owns an [`IopsLimiter`], a counting
+//!    semaphore bounding in-flight point reads (the paper sets the device
+//!    queue depth to 1008). Massive parallelism beyond the device capacity
+//!    queues up rather than speeding up further, bounding the benefit
+//!    exactly as real hardware would.
+//!
+//! Latencies default to microseconds rather than the milliseconds of real
+//! HDDs so experiments run in seconds; all *ratios* (random:sequential,
+//! remote:local) follow the hardware the paper describes.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Latency model for simulated storage accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoModel {
+    /// One random point read served from a local partition.
+    pub local_point_read: Duration,
+    /// One random point read served by another node (adds network RTT).
+    pub remote_point_read: Duration,
+    /// Per-record cost of a sequential scan (amortized; charged per batch).
+    pub scan_per_record: Duration,
+    /// One B+-tree traversal (root-to-leaf; the interior is assumed cached,
+    /// so this is cheaper than a data point read).
+    pub index_lookup: Duration,
+    /// Number of records whose scan cost is charged as one sleep. Batching
+    /// avoids issuing a syscall per record while keeping total time honest.
+    pub scan_batch: usize,
+    /// Maximum in-flight point reads per node (device queue depth).
+    pub queue_depth: usize,
+}
+
+impl IoModel {
+    /// No injected latency and effectively unlimited queue depth. Used by
+    /// unit tests and by experiments that only count accesses (Fig. 9).
+    pub fn zero() -> IoModel {
+        IoModel {
+            local_point_read: Duration::ZERO,
+            remote_point_read: Duration::ZERO,
+            scan_per_record: Duration::ZERO,
+            index_lookup: Duration::ZERO,
+            scan_batch: 1024,
+            queue_depth: usize::MAX,
+        }
+    }
+
+    /// An HDD-cluster-like model scaled down by `scale` (1.0 = microseconds
+    /// stand in for the testbed's milliseconds).
+    ///
+    /// Ratios follow the paper's testbed: a 10K RPM SAS random read is
+    /// ~5-8 ms while sequential streaming amortizes to a few µs per
+    /// ~150-byte record under contended RAID streams (real HDDs are
+    /// 1000:1+ random:sequential; we use a *conservative* 250:1, which
+    /// under-states ReDe's advantage); a 10 GbE RTT adds ~0.1-0.2 ms
+    /// (remote:local ≈ 1.3:1). `scale = 1.0` compresses everything ~10×
+    /// below real hardware so experiments run in seconds.
+    pub fn hdd_like(scale: f64) -> IoModel {
+        let us = |x: f64| Duration::from_nanos((x * 1000.0 * scale) as u64);
+        IoModel {
+            local_point_read: us(500.0),
+            remote_point_read: us(650.0),
+            scan_per_record: us(2.0),
+            index_lookup: us(120.0),
+            scan_batch: 1024,
+            queue_depth: 1008,
+        }
+    }
+
+    /// True if every latency is zero (lets hot paths skip sleeping).
+    pub fn is_zero(&self) -> bool {
+        self.local_point_read.is_zero()
+            && self.remote_point_read.is_zero()
+            && self.scan_per_record.is_zero()
+            && self.index_lookup.is_zero()
+    }
+
+    /// Sleep for one local point read.
+    #[inline]
+    pub fn pay_local_read(&self) {
+        maybe_sleep(self.local_point_read);
+    }
+
+    /// Sleep for one remote point read.
+    #[inline]
+    pub fn pay_remote_read(&self) {
+        maybe_sleep(self.remote_point_read);
+    }
+
+    /// Sleep for one index traversal.
+    #[inline]
+    pub fn pay_index_lookup(&self) {
+        maybe_sleep(self.index_lookup);
+    }
+
+    /// Sleep for scanning `n` records (one sleep, n × per-record cost).
+    #[inline]
+    pub fn pay_scan(&self, n: usize) {
+        if n > 0 {
+            maybe_sleep(self.scan_per_record.saturating_mul(n as u32));
+        }
+    }
+}
+
+#[inline]
+fn maybe_sleep(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
+/// A counting semaphore bounding in-flight I/Os on one node.
+///
+/// `std::sync::Semaphore` does not exist; this is a minimal Mutex+Condvar
+/// implementation. Acquisition order is not FIFO-fair, which matches a disk
+/// queue well enough for simulation purposes.
+pub struct IopsLimiter {
+    permits: Mutex<usize>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl IopsLimiter {
+    /// A limiter with `capacity` concurrent permits. A capacity of
+    /// `usize::MAX` never blocks.
+    pub fn new(capacity: usize) -> IopsLimiter {
+        IopsLimiter {
+            permits: Mutex::new(capacity),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Acquire one permit, blocking until available; returns a guard that
+    /// releases on drop.
+    pub fn acquire(&self) -> IopsPermit<'_> {
+        if self.capacity != usize::MAX {
+            let mut permits = self.permits.lock();
+            while *permits == 0 {
+                self.available.wait(&mut permits);
+            }
+            *permits -= 1;
+        }
+        IopsPermit { limiter: self }
+    }
+
+    /// Permits currently available (diagnostic).
+    pub fn available_permits(&self) -> usize {
+        if self.capacity == usize::MAX {
+            usize::MAX
+        } else {
+            *self.permits.lock()
+        }
+    }
+
+    fn release(&self) {
+        if self.capacity != usize::MAX {
+            let mut permits = self.permits.lock();
+            *permits += 1;
+            drop(permits);
+            self.available.notify_one();
+        }
+    }
+}
+
+impl std::fmt::Debug for IopsLimiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IopsLimiter")
+            .field("capacity", &self.capacity)
+            .field("available", &self.available_permits())
+            .finish()
+    }
+}
+
+/// RAII guard for one in-flight I/O.
+pub struct IopsPermit<'a> {
+    limiter: &'a IopsLimiter,
+}
+
+impl Drop for IopsPermit<'_> {
+    fn drop(&mut self) {
+        self.limiter.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_model_is_zero() {
+        assert!(IoModel::zero().is_zero());
+        assert!(!IoModel::hdd_like(1.0).is_zero());
+    }
+
+    #[test]
+    fn hdd_like_scales() {
+        let a = IoModel::hdd_like(1.0);
+        let b = IoModel::hdd_like(2.0);
+        assert_eq!(b.local_point_read, a.local_point_read * 2);
+        assert_eq!(a.queue_depth, 1008);
+    }
+
+    #[test]
+    fn random_to_sequential_ratio_is_large() {
+        let m = IoModel::hdd_like(1.0);
+        let ratio = m.local_point_read.as_nanos() / m.scan_per_record.as_nanos();
+        assert!(
+            ratio >= 100,
+            "random reads must dwarf per-record scan cost, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn limiter_caps_concurrency() {
+        let limiter = Arc::new(IopsLimiter::new(4));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                let (l, inf, max) = (limiter.clone(), in_flight.clone(), max_seen.clone());
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let _permit = l.acquire();
+                        let now = inf.fetch_add(1, Ordering::SeqCst) + 1;
+                        max.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        inf.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(max_seen.load(Ordering::SeqCst) <= 4);
+        assert_eq!(limiter.available_permits(), 4);
+    }
+
+    #[test]
+    fn unlimited_limiter_never_blocks() {
+        let limiter = IopsLimiter::new(usize::MAX);
+        let _a = limiter.acquire();
+        let _b = limiter.acquire();
+        assert_eq!(limiter.available_permits(), usize::MAX);
+    }
+
+    #[test]
+    fn permits_release_on_drop() {
+        let limiter = IopsLimiter::new(1);
+        {
+            let _p = limiter.acquire();
+            assert_eq!(limiter.available_permits(), 0);
+        }
+        assert_eq!(limiter.available_permits(), 1);
+    }
+}

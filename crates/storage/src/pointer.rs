@@ -1,0 +1,151 @@
+//! [`Pointer`] — a logical or physical pointer used to locate a [`Record`].
+//!
+//! Per the paper's I/O abstraction, a pointer contains *partition
+//! information* so a `File` can locate the right partition (via its
+//! configured partitioner) and then the record within it. Two forms exist:
+//!
+//! * **logical** — the partition key plus an in-partition key (e.g. the
+//!   record's primary key);
+//! * **physical** — a `(partition, slot)` address inside a file.
+//!
+//! A pointer whose partition information is `None` is a **broadcast
+//! pointer**: the executor replicates it to every partition's queue. The
+//! paper uses this encoding to express broadcast joins.
+//!
+//! [`Record`]: crate::Record
+
+use rede_common::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// How the target record is addressed inside its partition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PointerKey {
+    /// By in-partition key (e.g. primary key). The owning file resolves it
+    /// through its per-partition key index.
+    Logical(Value),
+    /// By physical slot number within the partition.
+    Physical(usize),
+}
+
+/// A pointer to a record of a named file.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pointer {
+    /// Name of the target file (heap file or B-tree file).
+    pub file: Arc<str>,
+    /// Partition key; `None` requests a broadcast to all partitions.
+    pub partition_key: Option<Value>,
+    /// In-partition address.
+    pub key: PointerKey,
+}
+
+impl Pointer {
+    /// A logical pointer: partition by `partition_key`, locate by `key`.
+    pub fn logical(file: impl AsRef<str>, partition_key: Value, key: Value) -> Pointer {
+        Pointer {
+            file: Arc::from(file.as_ref()),
+            partition_key: Some(partition_key),
+            key: PointerKey::Logical(key),
+        }
+    }
+
+    /// A physical pointer into `(partition, slot)`.
+    ///
+    /// The partition key is carried as the partition index itself so the
+    /// cluster can place the access on the owning node.
+    pub fn physical(file: impl AsRef<str>, partition: usize, slot: usize) -> Pointer {
+        Pointer {
+            file: Arc::from(file.as_ref()),
+            partition_key: Some(Value::Int(partition as i64)),
+            key: PointerKey::Physical(slot),
+        }
+    }
+
+    /// A broadcast pointer: `key` will be presented to every partition.
+    ///
+    /// This is the paper's encoding for broadcast joins ("passing a null
+    /// value to the partition information of the pointer ... makes the
+    /// system replicate the given pointer to all the partitions").
+    pub fn broadcast(file: impl AsRef<str>, key: Value) -> Pointer {
+        Pointer {
+            file: Arc::from(file.as_ref()),
+            partition_key: None,
+            key: PointerKey::Logical(key),
+        }
+    }
+
+    /// True if this pointer must be replicated to all partitions.
+    pub fn is_broadcast(&self) -> bool {
+        self.partition_key.is_none()
+    }
+
+    /// The logical key, if this is a logical pointer.
+    pub fn logical_key(&self) -> Option<&Value> {
+        match &self.key {
+            PointerKey::Logical(v) => Some(v),
+            PointerKey::Physical(_) => None,
+        }
+    }
+
+    /// Rebind this pointer to a concrete partition key (used when a
+    /// broadcast pointer is materialized per partition).
+    pub fn with_partition_key(&self, partition_key: Value) -> Pointer {
+        Pointer {
+            file: self.file.clone(),
+            partition_key: Some(partition_key),
+            key: self.key.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Pointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let part = match &self.partition_key {
+            Some(v) => format!("{v}"),
+            None => "*".to_string(),
+        };
+        match &self.key {
+            PointerKey::Logical(k) => write!(f, "{}[{part}]@{k}", self.file),
+            PointerKey::Physical(s) => write!(f, "{}[{part}]#{s}", self.file),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_pointer_accessors() {
+        let p = Pointer::logical("part", Value::Int(3), Value::Int(42));
+        assert!(!p.is_broadcast());
+        assert_eq!(p.logical_key(), Some(&Value::Int(42)));
+        assert_eq!(&*p.file, "part");
+    }
+
+    #[test]
+    fn physical_pointer_has_no_logical_key() {
+        let p = Pointer::physical("part", 2, 17);
+        assert_eq!(p.logical_key(), None);
+        assert_eq!(p.partition_key, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn broadcast_pointer_round_trip() {
+        let p = Pointer::broadcast("lineitem_ix", Value::Int(9));
+        assert!(p.is_broadcast());
+        let bound = p.with_partition_key(Value::Int(5));
+        assert!(!bound.is_broadcast());
+        assert_eq!(bound.logical_key(), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let p = Pointer::logical("f", Value::Int(1), Value::str("k"));
+        assert_eq!(format!("{p:?}"), "f[1]@k");
+        let b = Pointer::broadcast("f", Value::Int(2));
+        assert_eq!(format!("{b:?}"), "f[*]@2");
+        let ph = Pointer::physical("f", 0, 7);
+        assert_eq!(format!("{ph:?}"), "f[0]#7");
+    }
+}

@@ -1,0 +1,123 @@
+//! [`Record`] — the unit of raw data read and written by ReDe.
+//!
+//! A record is an opaque byte payload: the lake stores data "in a raw form"
+//! and schema is applied on read by `Interpreter` functions. Records are
+//! cheap to clone (`bytes::Bytes` backed) because the massively parallel
+//! executor copies them between stage queues.
+
+use bytes::Bytes;
+use rede_common::{RedeError, Result};
+use std::fmt;
+
+/// An immutable, cheaply clonable raw record.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    payload: Bytes,
+}
+
+impl Record {
+    /// Wrap raw bytes.
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Record {
+        Record {
+            payload: bytes.into(),
+        }
+    }
+
+    /// Build from UTF-8 text (the common case for lake data: CSV-like lines
+    /// and the claims fixed-tag format).
+    pub fn from_text(text: &str) -> Record {
+        Record {
+            payload: Bytes::copy_from_slice(text.as_bytes()),
+        }
+    }
+
+    /// The raw payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Interpret the payload as UTF-8 text.
+    pub fn text(&self) -> Result<&str> {
+        std::str::from_utf8(&self.payload)
+            .map_err(|e| RedeError::Interpret(format!("record is not UTF-8: {e}")))
+    }
+
+    /// Schema-on-read helper: split the payload on `delim` and return field
+    /// `idx` as a `&str`. This is the low-level primitive interpreters use.
+    pub fn field(&self, idx: usize, delim: char) -> Result<&str> {
+        let text = self.text()?;
+        text.split(delim).nth(idx).ok_or_else(|| {
+            RedeError::Interpret(format!("record has no field {idx} (delim {delim:?})"))
+        })
+    }
+
+    /// Number of `delim`-separated fields.
+    pub fn field_count(&self, delim: char) -> Result<usize> {
+        Ok(self.text()?.split(delim).count())
+    }
+}
+
+impl fmt::Debug for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.payload) {
+            Ok(s) if s.len() <= 80 => write!(f, "Record({s:?})"),
+            Ok(s) => write!(f, "Record({:?}… {} bytes)", &s[..77], s.len()),
+            Err(_) => write!(f, "Record(<{} binary bytes>)", self.payload.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let r = Record::from_text("a|b|c");
+        assert_eq!(r.text().unwrap(), "a|b|c");
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn field_extraction() {
+        let r = Record::from_text("1|alice|42.5");
+        assert_eq!(r.field(0, '|').unwrap(), "1");
+        assert_eq!(r.field(1, '|').unwrap(), "alice");
+        assert_eq!(r.field(2, '|').unwrap(), "42.5");
+        assert_eq!(r.field_count('|').unwrap(), 3);
+        assert!(r.field(3, '|').is_err());
+    }
+
+    #[test]
+    fn non_utf8_payload_fails_text_interpretation() {
+        let r = Record::from_bytes(vec![0xff, 0xfe]);
+        assert!(r.text().is_err());
+        assert_eq!(r.bytes(), &[0xff, 0xfe]);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let r = Record::from_text("x".repeat(1024).as_str());
+        let r2 = r.clone();
+        assert_eq!(r.bytes().as_ptr(), r2.bytes().as_ptr());
+    }
+
+    #[test]
+    fn debug_truncates_long_payloads() {
+        let r = Record::from_text(&"y".repeat(200));
+        let dbg = format!("{r:?}");
+        assert!(dbg.len() < 200);
+        assert!(dbg.contains("200 bytes"));
+    }
+}

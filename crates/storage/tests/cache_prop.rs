@@ -1,0 +1,115 @@
+//! Property-based test of the LRU record cache against a reference model
+//! (a vector ordered by recency).
+
+use proptest::prelude::*;
+use rede_common::Value;
+use rede_storage::cache::{CacheKey, RecordCache};
+use rede_storage::{PointerKey, Record};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Get(i64),
+}
+
+fn key(i: i64) -> CacheKey {
+    CacheKey {
+        file: Arc::from("f"),
+        partition: 0,
+        key: PointerKey::Logical(Value::Int(i)),
+    }
+}
+
+/// Exact-LRU reference: most recent at the front.
+struct Model {
+    order: Vec<i64>,
+    capacity: usize,
+}
+
+impl Model {
+    fn touch(&mut self, k: i64) {
+        self.order.retain(|&x| x != k);
+        self.order.insert(0, k);
+    }
+
+    fn insert(&mut self, k: i64) {
+        if self.order.contains(&k) {
+            self.touch(k);
+            return;
+        }
+        if self.order.len() >= self.capacity {
+            self.order.pop();
+        }
+        self.order.insert(0, k);
+    }
+
+    fn get(&mut self, k: i64) -> bool {
+        if self.order.contains(&k) {
+            self.touch(k);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single-shard cache is an exact LRU: it must agree with the model
+    /// on every hit/miss and on the final resident set.
+    #[test]
+    fn single_shard_is_exact_lru(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0i64..40).prop_map(Op::Insert),
+                (0i64..40).prop_map(Op::Get),
+            ],
+            1..300,
+        ),
+        capacity in 1usize..16,
+    ) {
+        let cache = RecordCache::new(capacity, 1);
+        let mut model = Model { order: Vec::new(), capacity };
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => {
+                    cache.insert(key(k), Record::from_text(&k.to_string()));
+                    model.insert(k);
+                }
+                Op::Get(k) => {
+                    let hit = cache.get(&key(k)).is_some();
+                    prop_assert_eq!(hit, model.get(k), "divergent hit/miss for {}", k);
+                }
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+        prop_assert_eq!(cache.len(), model.order.len());
+        for &k in &model.order {
+            prop_assert!(cache.get(&key(k)).is_some(), "model says {} resident", k);
+        }
+    }
+
+    /// Sharded caches never exceed capacity and always serve correct
+    /// values for resident keys.
+    #[test]
+    fn sharded_cache_values_are_correct(
+        inserts in prop::collection::vec(0i64..200, 1..400),
+        capacity in 4usize..64,
+        shards in 1usize..8,
+    ) {
+        let cache = RecordCache::new(capacity, shards);
+        for &k in &inserts {
+            cache.insert(key(k), Record::from_text(&format!("v{k}")));
+        }
+        // Per-shard capacity is the ceiling split, so the total may round up.
+        let per_shard = capacity.div_ceil(shards.clamp(1, capacity));
+        prop_assert!(cache.len() <= per_shard * shards);
+        for k in 0..200 {
+            if let Some(r) = cache.get(&key(k)) {
+                prop_assert_eq!(r.text().unwrap(), format!("v{k}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Column-position constants for the pipe-delimited TPC-H files.
+//!
+//! The lake stores TPC-H tables as raw `|`-separated text in the standard
+//! column order; interpreters and parsers address columns by these
+//! positions. Keeping them in one place is the schema-on-read analogue of a
+//! schema declaration.
+
+/// `region`: r_regionkey | r_name | r_comment
+pub mod region {
+    pub const REGIONKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const COMMENT: usize = 2;
+}
+
+/// `nation`: n_nationkey | n_name | n_regionkey | n_comment
+pub mod nation {
+    pub const NATIONKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const REGIONKEY: usize = 2;
+    pub const COMMENT: usize = 3;
+}
+
+/// `supplier`: s_suppkey | s_name | s_address | s_nationkey | s_phone |
+/// s_acctbal | s_comment
+pub mod supplier {
+    pub const SUPPKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const ADDRESS: usize = 2;
+    pub const NATIONKEY: usize = 3;
+    pub const PHONE: usize = 4;
+    pub const ACCTBAL: usize = 5;
+    pub const COMMENT: usize = 6;
+}
+
+/// `customer`: c_custkey | c_name | c_address | c_nationkey | c_phone |
+/// c_acctbal | c_mktsegment | c_comment
+pub mod customer {
+    pub const CUSTKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const ADDRESS: usize = 2;
+    pub const NATIONKEY: usize = 3;
+    pub const PHONE: usize = 4;
+    pub const ACCTBAL: usize = 5;
+    pub const MKTSEGMENT: usize = 6;
+    pub const COMMENT: usize = 7;
+}
+
+/// `part`: p_partkey | p_name | p_mfgr | p_brand | p_type | p_size |
+/// p_container | p_retailprice | p_comment
+pub mod part {
+    pub const PARTKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const MFGR: usize = 2;
+    pub const BRAND: usize = 3;
+    pub const TYPE: usize = 4;
+    pub const SIZE: usize = 5;
+    pub const CONTAINER: usize = 6;
+    pub const RETAILPRICE: usize = 7;
+    pub const COMMENT: usize = 8;
+}
+
+/// `partsupp`: ps_partkey | ps_suppkey | ps_availqty | ps_supplycost |
+/// ps_comment
+pub mod partsupp {
+    pub const PARTKEY: usize = 0;
+    pub const SUPPKEY: usize = 1;
+    pub const AVAILQTY: usize = 2;
+    pub const SUPPLYCOST: usize = 3;
+    pub const COMMENT: usize = 4;
+}
+
+/// `orders`: o_orderkey | o_custkey | o_orderstatus | o_totalprice |
+/// o_orderdate | o_orderpriority | o_clerk | o_shippriority | o_comment
+pub mod orders {
+    pub const ORDERKEY: usize = 0;
+    pub const CUSTKEY: usize = 1;
+    pub const ORDERSTATUS: usize = 2;
+    pub const TOTALPRICE: usize = 3;
+    pub const ORDERDATE: usize = 4;
+    pub const ORDERPRIORITY: usize = 5;
+    pub const CLERK: usize = 6;
+    pub const SHIPPRIORITY: usize = 7;
+    pub const COMMENT: usize = 8;
+}
+
+/// `lineitem`: l_orderkey | l_partkey | l_suppkey | l_linenumber |
+/// l_quantity | l_extendedprice | l_discount | l_tax | l_returnflag |
+/// l_linestatus | l_shipdate | l_commitdate | l_receiptdate |
+/// l_shipinstruct | l_shipmode | l_comment
+pub mod lineitem {
+    pub const ORDERKEY: usize = 0;
+    pub const PARTKEY: usize = 1;
+    pub const SUPPKEY: usize = 2;
+    pub const LINENUMBER: usize = 3;
+    pub const QUANTITY: usize = 4;
+    pub const EXTENDEDPRICE: usize = 5;
+    pub const DISCOUNT: usize = 6;
+    pub const TAX: usize = 7;
+    pub const RETURNFLAG: usize = 8;
+    pub const LINESTATUS: usize = 9;
+    pub const SHIPDATE: usize = 10;
+    pub const COMMITDATE: usize = 11;
+    pub const RECEIPTDATE: usize = 12;
+    pub const SHIPINSTRUCT: usize = 13;
+    pub const SHIPMODE: usize = 14;
+    pub const COMMENT: usize = 15;
+}

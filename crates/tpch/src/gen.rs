@@ -1,0 +1,462 @@
+//! Deterministic dbgen-style TPC-H data generator.
+//!
+//! Faithful to the benchmark's *structure* — cardinality ratios, key
+//! domains, FK relationships, uniform `o_orderdate` over 1992-01-01 ..
+//! 1998-08-02, 1–7 lineitems per order, prices derived from keys — while
+//! simplifying the text payload (names and comments come from a small
+//! fixed corpus rather than dbgen's grammar). All randomness flows from a
+//! single seed through per-table derived streams, so any table can be
+//! regenerated independently and row `i` of a table is the same on every
+//! run and platform.
+
+use rede_common::{Date, Value, Xoshiro256};
+use rede_storage::Record;
+
+/// Table cardinalities for a scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchSize {
+    pub region: usize,
+    pub nation: usize,
+    pub supplier: usize,
+    pub customer: usize,
+    pub part: usize,
+    pub partsupp: usize,
+    pub orders: usize,
+}
+
+impl TpchSize {
+    /// Standard TPC-H cardinalities for scale factor `sf` (lineitem size is
+    /// stochastic: ~4 rows per order).
+    pub fn for_scale(sf: f64) -> TpchSize {
+        let n = |base: f64| ((base * sf).round() as usize).max(1);
+        TpchSize {
+            region: 5,
+            nation: 25,
+            supplier: n(10_000.0),
+            customer: n(150_000.0),
+            part: n(200_000.0),
+            partsupp: n(800_000.0),
+            orders: n(1_500_000.0),
+        }
+    }
+}
+
+/// First order date (inclusive).
+pub const ORDERDATE_LO: (i32, u32, u32) = (1992, 1, 1);
+/// Last order date (inclusive): 1998-08-02 per the TPC-H specification.
+pub const ORDERDATE_HI: (i32, u32, u32) = (1998, 8, 2);
+
+/// Total days in the order-date domain.
+pub fn orderdate_days() -> i32 {
+    let lo = Date::from_ymd(ORDERDATE_LO.0, ORDERDATE_LO.1, ORDERDATE_LO.2);
+    let hi = Date::from_ymd(ORDERDATE_HI.0, ORDERDATE_HI.1, ORDERDATE_HI.2);
+    hi.0 - lo.0 + 1
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PKG",
+    "WRAP JAR",
+];
+const TYPES: [&str; 6] = [
+    "STANDARD ANODIZED TIN",
+    "SMALL BRUSHED COPPER",
+    "MEDIUM POLISHED STEEL",
+    "LARGE PLATED BRASS",
+    "ECONOMY BURNISHED NICKEL",
+    "PROMO ANODIZED STEEL",
+];
+const WORDS: [&str; 16] = [
+    "furiously",
+    "quickly",
+    "carefully",
+    "silent",
+    "ironic",
+    "final",
+    "pending",
+    "express",
+    "regular",
+    "special",
+    "bold",
+    "even",
+    "blithe",
+    "dogged",
+    "sly",
+    "quiet",
+];
+
+fn comment(rng: &mut Xoshiro256, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        let word: &&str = rng.choose(&WORDS);
+        out.push_str(word);
+    }
+    out
+}
+
+/// One generated order with its lineitems.
+#[derive(Debug, Clone)]
+pub struct OrderWithLines {
+    /// Key of the order record.
+    pub orderkey: i64,
+    /// Raw order record.
+    pub order: Record,
+    /// Order date (also embedded in the record).
+    pub orderdate: Date,
+    /// `(record key, lineitem record)` pairs; record key is
+    /// `orderkey * 8 + linenumber` (linenumber ∈ 1..=7).
+    pub lines: Vec<(i64, Record)>,
+}
+
+/// Deterministic generator; all `*_record` methods are pure in `(seed, i)`.
+#[derive(Debug, Clone)]
+pub struct TpchGenerator {
+    size: TpchSize,
+    seed: u64,
+    root: Xoshiro256,
+}
+
+impl TpchGenerator {
+    /// Generator for scale factor `sf` and a seed.
+    pub fn new(sf: f64, seed: u64) -> TpchGenerator {
+        TpchGenerator {
+            size: TpchSize::for_scale(sf),
+            seed,
+            root: Xoshiro256::new(seed),
+        }
+    }
+
+    /// The table cardinalities in force.
+    pub fn size(&self) -> &TpchSize {
+        &self.size
+    }
+
+    /// The generator's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn stream(&self, table: u64, row: u64) -> Xoshiro256 {
+        self.root.derive(table.wrapping_mul(0x1000_0000) ^ row)
+    }
+
+    /// region row `i` (0-based key).
+    pub fn region_record(&self, i: usize) -> Record {
+        let mut rng = self.stream(1, i as u64);
+        Record::from_text(&format!("{i}|{}|{}", REGIONS[i], comment(&mut rng, 4)))
+    }
+
+    /// nation row `i` (0-based key).
+    pub fn nation_record(&self, i: usize) -> Record {
+        let mut rng = self.stream(2, i as u64);
+        let (name, region) = NATIONS[i];
+        Record::from_text(&format!("{i}|{name}|{region}|{}", comment(&mut rng, 5)))
+    }
+
+    /// supplier row with key `i` (1-based).
+    pub fn supplier_record(&self, i: usize) -> Record {
+        let mut rng = self.stream(3, i as u64);
+        let nation = rng.gen_range(25);
+        let acctbal = (rng.gen_range(1_099_999) as f64 - 99_999.0) / 100.0;
+        Record::from_text(&format!(
+            "{i}|Supplier#{i:09}|addr-{}|{nation}|{}-{}|{acctbal:.2}|{}",
+            rng.gen_range(100_000),
+            10 + nation,
+            rng.gen_range(10_000_000),
+            comment(&mut rng, 6)
+        ))
+    }
+
+    /// customer row with key `i` (1-based).
+    pub fn customer_record(&self, i: usize) -> Record {
+        let mut rng = self.stream(4, i as u64);
+        let nation = rng.gen_range(25);
+        let acctbal = (rng.gen_range(1_099_999) as f64 - 99_999.0) / 100.0;
+        Record::from_text(&format!(
+            "{i}|Customer#{i:09}|addr-{}|{nation}|{}-{}|{acctbal:.2}|{}|{}",
+            rng.gen_range(100_000),
+            10 + nation,
+            rng.gen_range(10_000_000),
+            rng.choose(&SEGMENTS),
+            comment(&mut rng, 6)
+        ))
+    }
+
+    /// part row with key `i` (1-based). Retail price follows dbgen's
+    /// formula: `(90000 + (i mod 200001)/10 + 100*(i mod 1000)) / 100`.
+    pub fn part_record(&self, i: usize) -> Record {
+        let mut rng = self.stream(5, i as u64);
+        let price =
+            (90_000.0 + ((i % 200_001) as f64) / 10.0 + 100.0 * ((i % 1_000) as f64)) / 100.0;
+        Record::from_text(&format!(
+            "{i}|part {} {}|Manufacturer#{}|Brand#{}{}|{}|{}|{}|{price:.2}|{}",
+            rng.choose(&WORDS),
+            rng.choose(&WORDS),
+            1 + rng.gen_range(5),
+            1 + rng.gen_range(5),
+            1 + rng.gen_range(5),
+            rng.choose(&TYPES),
+            1 + rng.gen_range(50),
+            rng.choose(&CONTAINERS),
+            comment(&mut rng, 3)
+        ))
+    }
+
+    /// partsupp row `i` (0-based; part key and supplier key derived so each
+    /// part has ~4 suppliers).
+    pub fn partsupp_record(&self, i: usize) -> Record {
+        let mut rng = self.stream(6, i as u64);
+        let part = 1 + i / 4 % self.size.part.max(1);
+        let supp = 1 + (i * 7 + i / 4) % self.size.supplier.max(1);
+        Record::from_text(&format!(
+            "{part}|{supp}|{}|{:.2}|{}",
+            1 + rng.gen_range(9_999),
+            1.0 + rng.gen_f64() * 999.0,
+            comment(&mut rng, 4)
+        ))
+    }
+
+    /// orders row with key `orderkey` (1-based) plus its 1–7 lineitems.
+    pub fn order_with_lines(&self, orderkey: i64) -> OrderWithLines {
+        let mut rng = self.stream(7, orderkey as u64);
+        let custkey = 1 + rng.gen_range(self.size.customer as u64) as i64;
+        let lo = Date::from_ymd(ORDERDATE_LO.0, ORDERDATE_LO.1, ORDERDATE_LO.2);
+        let orderdate = lo.plus_days(rng.gen_range(orderdate_days() as u64) as i32);
+        let nlines = 1 + rng.gen_range(7) as usize;
+
+        let mut lines = Vec::with_capacity(nlines);
+        let mut total = 0.0f64;
+        for ln in 1..=nlines as i64 {
+            let partkey = 1 + rng.gen_range(self.size.part as u64) as i64;
+            let suppkey = 1 + rng.gen_range(self.size.supplier as u64) as i64;
+            let qty = 1 + rng.gen_range(50) as i64;
+            let price = qty as f64 * (920.0 + (partkey % 1000) as f64);
+            let discount = rng.gen_range(11) as f64 / 100.0;
+            let tax = rng.gen_range(9) as f64 / 100.0;
+            total += price * (1.0 - discount) * (1.0 + tax);
+            let shipdate = orderdate.plus_days(1 + rng.gen_range(121) as i32);
+            let commitdate = orderdate.plus_days(30 + rng.gen_range(61) as i32);
+            let receiptdate = shipdate.plus_days(1 + rng.gen_range(30) as i32);
+            let returnflag = if receiptdate <= Date::from_ymd(1995, 6, 17) {
+                if rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > Date::from_ymd(1995, 6, 17) {
+                "O"
+            } else {
+                "F"
+            };
+            let record = Record::from_text(&format!(
+                "{orderkey}|{partkey}|{suppkey}|{ln}|{qty}|{price:.2}|{discount:.2}|{tax:.2}|{returnflag}|{linestatus}|{shipdate}|{commitdate}|{receiptdate}|{}|{}|{}",
+                rng.choose(&INSTRUCTS),
+                rng.choose(&SHIPMODES),
+                comment(&mut rng, 3)
+            ));
+            lines.push((orderkey * 8 + ln, record));
+        }
+
+        let order = Record::from_text(&format!(
+            "{orderkey}|{custkey}|{}|{total:.2}|{orderdate}|{}|Clerk#{:09}|0|{}",
+            if rng.gen_bool(0.5) { "O" } else { "F" },
+            rng.choose(&PRIORITIES),
+            1 + rng.gen_range(1_000),
+            comment(&mut rng, 5)
+        ));
+        OrderWithLines {
+            orderkey,
+            order,
+            orderdate,
+            lines,
+        }
+    }
+
+    /// Nation keys belonging to a region name (for Q5's region predicate).
+    pub fn nations_in_region(region: &str) -> Vec<i64> {
+        let Some(region_key) = REGIONS.iter().position(|r| *r == region) else {
+            return Vec::new();
+        };
+        NATIONS
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, r))| *r == region_key)
+            .map(|(i, _)| i as i64)
+            .collect()
+    }
+
+    /// Partition key + record key helpers for lineitem: records are keyed
+    /// `orderkey * 8 + linenumber` and partitioned by `orderkey`.
+    pub fn lineitem_partition_key(record_key: i64) -> Value {
+        Value::Int(record_key / 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cols;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = TpchGenerator::new(0.001, 42);
+        let b = TpchGenerator::new(0.001, 42);
+        for i in 1..20 {
+            assert_eq!(
+                a.part_record(i).text().unwrap(),
+                b.part_record(i).text().unwrap()
+            );
+            let (oa, ob) = (a.order_with_lines(i as i64), b.order_with_lines(i as i64));
+            assert_eq!(oa.order.text().unwrap(), ob.order.text().unwrap());
+            assert_eq!(oa.lines.len(), ob.lines.len());
+        }
+        let c = TpchGenerator::new(0.001, 43);
+        assert_ne!(
+            a.part_record(1).text().unwrap(),
+            c.part_record(1).text().unwrap(),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn scale_cardinalities() {
+        let s = TpchSize::for_scale(1.0);
+        assert_eq!(s.orders, 1_500_000);
+        assert_eq!(s.part, 200_000);
+        assert_eq!(s.nation, 25);
+        let tiny = TpchSize::for_scale(0.001);
+        assert_eq!(tiny.orders, 1_500);
+        assert_eq!(tiny.supplier, 10);
+    }
+
+    #[test]
+    fn order_dates_cover_the_domain_uniformly() {
+        let g = TpchGenerator::new(0.01, 7);
+        let lo = Date::from_ymd(1992, 1, 1);
+        let hi = Date::from_ymd(1998, 8, 2);
+        let mut per_year = [0u32; 7];
+        for k in 1..=2_000i64 {
+            let o = g.order_with_lines(k);
+            assert!(o.orderdate >= lo && o.orderdate <= hi);
+            per_year[(o.orderdate.to_ymd().0 - 1992) as usize] += 1;
+        }
+        for (y, &c) in per_year.iter().enumerate() {
+            assert!(c > 100, "year {} undersampled: {c}", 1992 + y);
+        }
+    }
+
+    #[test]
+    fn lineitems_reference_valid_keys() {
+        let g = TpchGenerator::new(0.001, 9);
+        for k in 1..=100i64 {
+            let o = g.order_with_lines(k);
+            assert!((1..=7).contains(&o.lines.len()));
+            for (rk, line) in &o.lines {
+                let text = line.text().unwrap();
+                let fields: Vec<&str> = text.split('|').collect();
+                assert_eq!(fields[cols::lineitem::ORDERKEY].parse::<i64>().unwrap(), k);
+                let pk: i64 = fields[cols::lineitem::PARTKEY].parse().unwrap();
+                assert!((1..=g.size().part as i64).contains(&pk));
+                let sk: i64 = fields[cols::lineitem::SUPPKEY].parse().unwrap();
+                assert!((1..=g.size().supplier as i64).contains(&sk));
+                assert_eq!(TpchGenerator::lineitem_partition_key(*rk), Value::Int(k));
+            }
+        }
+    }
+
+    #[test]
+    fn order_record_embeds_its_date() {
+        let g = TpchGenerator::new(0.001, 11);
+        let o = g.order_with_lines(5);
+        let field = o
+            .order
+            .field(cols::orders::ORDERDATE, '|')
+            .unwrap()
+            .to_string();
+        assert_eq!(field, o.orderdate.to_string());
+    }
+
+    #[test]
+    fn region_nation_fixed_tables() {
+        let g = TpchGenerator::new(0.001, 1);
+        assert_eq!(g.region_record(2).field(1, '|').unwrap(), "ASIA");
+        let asia = TpchGenerator::nations_in_region("ASIA");
+        assert_eq!(
+            asia,
+            vec![8, 9, 12, 18, 21],
+            "INDIA, INDONESIA, JAPAN, CHINA, VIETNAM"
+        );
+        assert!(TpchGenerator::nations_in_region("ATLANTIS").is_empty());
+        // Every nation's region key is in range.
+        for i in 0..25 {
+            let r: usize = g.nation_record(i).field(2, '|').unwrap().parse().unwrap();
+            assert!(r < 5);
+        }
+    }
+
+    #[test]
+    fn part_price_follows_dbgen_formula() {
+        let g = TpchGenerator::new(0.001, 1);
+        let p = g.part_record(7);
+        let price: f64 = p
+            .field(cols::part::RETAILPRICE, '|')
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((price - 907.007).abs() < 0.01, "got {price}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic TPC-H workload for the Fig. 7 experiment.
+//!
+//! * [`gen`] — a dbgen-style generator for all eight TPC-H tables,
+//!   deterministic in `(scale factor, seed)`. The paper generated SF=128K
+//!   (128 TB); we default to laptop scales — the Q5' selectivity sweep
+//!   depends on relative cardinalities (orders : lineitem ≈ 1 : 4, dates
+//!   uniform over seven years), which are scale-invariant.
+//! * [`cols`] — column-position constants for schema-on-read access.
+//! * [`load`] — loads tables into a [`SimCluster`] with the paper's layout:
+//!   files hash-partitioned by primary key, local secondary indexes on date
+//!   columns, global indexes on foreign keys partitioned by the key.
+//! * [`q5`] — TPC-H Q5' (the paper's SPJ variant of Q5) as a ReDe
+//!   Reference–Dereference job and as a baseline scan/hash-join plan, with
+//!   the selectivity knob mapped onto the `o_orderdate` range predicate.
+//! * [`q6`] — TPC-H Q6 (pure selective aggregation) driving the local
+//!   `l_shipdate` index, with the baseline scan plan for comparison.
+//!
+//! [`SimCluster`]: rede_storage::SimCluster
+
+pub mod cols;
+pub mod gen;
+pub mod load;
+pub mod q5;
+pub mod q6;
+
+pub use gen::{TpchGenerator, TpchSize};
+pub use load::{load_tpch, LoadOptions, LoadedTpch};
+pub use q5::{q5_prime_job, q5_prime_plan, selectivity_date_range, Q5Params};
+pub use q6::{q6_job, q6_plan, run_q6_rede, Q6Params};

@@ -1,0 +1,127 @@
+//! Integration tests of the TPC-H loader: determinism, index/file
+//! consistency, and selectivity ground truth.
+
+use rede_common::{Date, Value};
+use rede_storage::{IoModel, SimCluster};
+use rede_tpch::load::names;
+use rede_tpch::{load_tpch, selectivity_date_range, LoadOptions, TpchGenerator};
+
+fn load(seed: u64) -> (SimCluster, rede_tpch::LoadedTpch) {
+    let cluster = SimCluster::builder()
+        .nodes(2)
+        .io_model(IoModel::zero())
+        .build()
+        .unwrap();
+    let loaded = load_tpch(
+        &cluster,
+        TpchGenerator::new(0.002, seed),
+        &LoadOptions {
+            partitions: Some(6),
+            date_indexes: true,
+            fk_indexes: true,
+        },
+    )
+    .unwrap();
+    (cluster, loaded)
+}
+
+#[test]
+fn loads_are_deterministic_across_runs() {
+    let (a, la) = load(42);
+    let (b, lb) = load(42);
+    assert_eq!(la.lineitem_rows, lb.lineitem_rows);
+    for name in [names::ORDERS, names::LINEITEM, names::PART, names::CUSTOMER] {
+        assert_eq!(
+            a.file(name).unwrap().len(),
+            b.file(name).unwrap().len(),
+            "{name}"
+        );
+    }
+    // Spot-check record payload equality through pointers.
+    for i in [1i64, 7, 100, 1000] {
+        let pa = rede_storage::Pointer::logical(names::ORDERS, Value::Int(i), Value::Int(i));
+        assert_eq!(
+            a.resolve(&pa, 0).unwrap().text().unwrap(),
+            b.resolve(&pa, 0).unwrap().text().unwrap(),
+            "order {i}"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (a, _) = load(42);
+    let (b, _) = load(43);
+    let p = rede_storage::Pointer::logical(names::ORDERS, Value::Int(1), Value::Int(1));
+    assert_ne!(
+        a.resolve(&p, 0).unwrap().text().unwrap(),
+        b.resolve(&p, 0).unwrap().text().unwrap()
+    );
+}
+
+#[test]
+fn date_index_entry_count_matches_orders() {
+    let (cluster, loaded) = load(42);
+    // Every order contributes exactly one o_orderdate entry.
+    let ix = cluster.index(names::ORDERS_BY_DATE).unwrap();
+    assert_eq!(ix.len(), loaded.orders_rows);
+    // And the full-domain range returns them all.
+    let lo = Value::Date(Date::from_ymd(1992, 1, 1));
+    let hi = Value::Date(Date::from_ymd(1998, 12, 31));
+    assert_eq!(ix.range(&lo, &hi, 0).len(), loaded.orders_rows);
+}
+
+#[test]
+fn fk_index_covers_every_lineitem() {
+    let (cluster, loaded) = load(42);
+    let ix = cluster.index(names::LINEITEM_BY_ORDERKEY).unwrap();
+    assert_eq!(ix.len(), loaded.lineitem_rows);
+    // Summing postings over all order keys reproduces the total.
+    let mut covered = 0usize;
+    for k in 1..=loaded.orders_rows as i64 {
+        covered += ix.lookup(&Value::Int(k), 0).len();
+    }
+    assert_eq!(covered, loaded.lineitem_rows);
+}
+
+#[test]
+fn selectivity_ground_truth_matches_index_counts() {
+    let (cluster, loaded) = load(42);
+    let ix = cluster.index(names::ORDERS_BY_DATE).unwrap();
+    for sel in [0.01, 0.1, 0.5] {
+        let (lo, hi) = selectivity_date_range(sel);
+        let selected = ix.range(&Value::Date(lo), &Value::Date(hi), 0).len();
+        // Ground truth from the generator.
+        let expected = (1..=loaded.orders_rows as i64)
+            .filter(|&k| {
+                let d = loaded.generator.order_with_lines(k).orderdate;
+                d >= lo && d <= hi
+            })
+            .count();
+        assert_eq!(selected, expected, "sel={sel}");
+        // And the fraction is in the right ballpark (±40% relative).
+        let frac = selected as f64 / loaded.orders_rows as f64;
+        assert!(
+            (frac / sel - 1.0).abs() < 0.4,
+            "sel={sel}: got fraction {frac}"
+        );
+    }
+}
+
+#[test]
+fn minimal_load_options_skip_indexes() {
+    let cluster = SimCluster::builder().nodes(2).build().unwrap();
+    load_tpch(
+        &cluster,
+        TpchGenerator::new(0.001, 1),
+        &LoadOptions {
+            partitions: Some(4),
+            date_indexes: false,
+            fk_indexes: false,
+        },
+    )
+    .unwrap();
+    assert!(cluster.file(names::ORDERS).is_ok());
+    assert!(cluster.index(names::ORDERS_BY_DATE).is_err());
+    assert!(cluster.index(names::LINEITEM_BY_ORDERKEY).is_err());
+}

@@ -1,0 +1,79 @@
+//! The case study (§ IV): analytics over Japanese health-insurance
+//! claims — nested, dynamically typed records that Parquet-style formats
+//! "cannot properly express".
+//!
+//! The example loads the same synthetic claims population twice:
+//!
+//! * raw into the lake, with post hoc disease/medicine code indexes built
+//!   through registered interpreters (the LakeHarbor way), and
+//! * normalized into four relational tables with FK indexes (the
+//!   warehouse way),
+//!
+//! then answers Q1–Q3 ("medical expenses of care prescribing M for D") on
+//! both and prints the Fig. 9 record-access comparison.
+//!
+//! Run with: `cargo run --release --example claims_analytics`
+
+use lakeharbor::prelude::*;
+use rede_baseline::warehouse::Warehouse;
+use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
+use rede_claims::queries::{run_rede, run_warehouse, QuerySpec};
+use rede_claims::{lake, normalize};
+
+fn main() -> Result<()> {
+    let cluster = SimCluster::builder()
+        .nodes(4)
+        .io_model(IoModel::zero())
+        .build()?;
+    let generator = ClaimsGenerator::new(
+        ClaimsProfile {
+            claims: 10_000,
+            ..Default::default()
+        },
+        2024,
+    );
+
+    eprintln!("loading raw claims into the lake + building code indexes …");
+    lake::load_lake(&cluster, &generator)?;
+    eprintln!("normalizing the same claims into the warehouse schema …");
+    let counts = normalize::load_warehouse(&cluster, &generator)?;
+    println!(
+        "normalization exploded {} claims into {} diagnosis / {} prescription / {} treatment rows",
+        counts.claims, counts.diagnoses, counts.prescriptions, counts.treatments
+    );
+
+    // Peek at one raw claim to show what schema-on-read is dealing with.
+    let sample = cluster.resolve(
+        &Pointer::logical(lake::names::CLAIMS, Value::Int(1), Value::Int(1)),
+        0,
+    )?;
+    println!(
+        "\none raw claim record:\n---\n{}\n---",
+        sample.text().unwrap()
+    );
+
+    let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(64).collecting());
+    let warehouse = Warehouse::new(cluster.clone(), 16);
+
+    println!(
+        "\n{:<4} {:>10} {:>16} {:>16} {:>10}",
+        "qry", "expenses", "wh accesses", "rede accesses", "rede/wh"
+    );
+    for spec in QuerySpec::all() {
+        let wh = run_warehouse(&warehouse, &spec)?;
+        let rede = run_rede(&runner, &spec)?;
+        assert_eq!(wh.total_expense, rede.total_expense, "systems must agree");
+        println!(
+            "{:<4} {:>10} {:>16} {:>16} {:>9.1}%",
+            spec.name,
+            rede.total_expense,
+            wh.metrics.record_accesses(),
+            rede.metrics.record_accesses(),
+            100.0 * rede.metrics.record_accesses() as f64
+                / wh.metrics.record_accesses().max(1) as f64
+        );
+    }
+    println!("\nReDe touches each qualifying claim once; the warehouse pays the");
+    println!("normalization joins — exactly the Fig. 9 effect.");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! TPC-H Q6 through the `l_shipdate` structure: a pure selective
+//! aggregation (no joins), the other workload shape the paper's intro
+//! motivates. Shows the index path vs. the scan path and the optimizer's
+//! estimate for each.
+//!
+//! Run with: `cargo run --release --example tpch_q6_selection`
+
+use lakeharbor::prelude::*;
+use rede_baseline::engine::{Engine, EngineConfig};
+use rede_core::optimizer::{Planner, PlannerEnv};
+use rede_core::query::Query;
+use rede_tpch::load::names;
+use rede_tpch::q6::{q6_plan, q6_revenue_rows, run_q6_rede, Q6Params};
+use rede_tpch::{load_tpch, LoadOptions, TpchGenerator};
+
+fn main() -> Result<()> {
+    let cluster = SimCluster::builder()
+        .nodes(4)
+        .io_model(IoModel::hdd_like(0.25))
+        .build()?;
+    eprintln!("loading TPC-H SF=0.005 …");
+    load_tpch(
+        &cluster,
+        TpchGenerator::new(0.005, 42),
+        &LoadOptions {
+            partitions: Some(16),
+            date_indexes: true,
+            fk_indexes: false,
+        },
+    )?;
+
+    let params = Q6Params::standard();
+    println!(
+        "Q6: shipdate in [{}, {}], discount {:.2}±0.01, quantity < {}",
+        params.date_lo, params.date_hi, params.discount, params.max_quantity
+    );
+
+    // Optimizer's view of the two access paths.
+    let planner = Planner::new(
+        cluster.clone(),
+        PlannerEnv {
+            nodes: 4,
+            smpe_concurrency_per_node: 64,
+            scan_streams_per_node: 8,
+        },
+    );
+    let query = Query::via_index(names::LINEITEM_BY_SHIPDATE)
+        .range(Value::Date(params.date_lo), Value::Date(params.date_hi))
+        .fetch(names::LINEITEM)
+        .build();
+    let lineitem_rows = cluster.file(names::LINEITEM)?.len() as u64;
+    let estimate = planner.plan(&query, Some(lineitem_rows))?;
+    println!(
+        "planner: ~{} candidates of {} lineitems -> modeled index {:.1}ms vs scan {:.1}ms -> {:?}",
+        estimate.root_cardinality,
+        lineitem_rows,
+        estimate.index_job_secs * 1e3,
+        estimate.scan_secs * 1e3,
+        estimate.choice
+    );
+
+    // Run both paths anyway and compare.
+    let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(256).collecting());
+    let t = std::time::Instant::now();
+    let (revenue_ix, rows_ix, metrics) = run_q6_rede(&runner, &params)?;
+    println!(
+        "index path : revenue {revenue_ix:>14.2} from {rows_ix:>5} lineitems in {:>8.1?} ({} point reads)",
+        t.elapsed(),
+        metrics.point_reads()
+    );
+
+    let engine = Engine::new(
+        cluster,
+        EngineConfig {
+            cores_per_node: 8,
+            join_fanout: 8,
+        },
+    );
+    let t = std::time::Instant::now();
+    let scan = engine.execute(&q6_plan(&params))?;
+    let revenue_scan = q6_revenue_rows(&scan.rows);
+    println!(
+        "scan path  : revenue {revenue_scan:>14.2} from {:>5} lineitems in {:>8.1?} ({} records scanned)",
+        scan.rows.len(),
+        t.elapsed(),
+        scan.metrics.scanned_records
+    );
+    assert!((revenue_ix - revenue_scan).abs() < 1e-6 * revenue_scan.abs().max(1.0));
+    println!("revenues agree ✓");
+    Ok(())
+}

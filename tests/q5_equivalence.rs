@@ -1,0 +1,134 @@
+//! Workspace-level integration: the three Fig. 7 systems must agree on
+//! TPC-H Q5' answers at every selectivity, while exhibiting the access
+//! patterns the paper attributes to them (scan-bound baseline vs.
+//! point-read-bound ReDe).
+
+use lakeharbor::prelude::*;
+use rede_baseline::engine::{Engine, EngineConfig};
+use rede_tpch::{load_tpch, q5_prime_job, q5_prime_plan, LoadOptions, Q5Params, TpchGenerator};
+
+fn fixture() -> SimCluster {
+    let cluster = SimCluster::builder()
+        .nodes(3)
+        .io_model(IoModel::zero())
+        .build()
+        .unwrap();
+    load_tpch(
+        &cluster,
+        TpchGenerator::new(0.002, 7),
+        &LoadOptions {
+            partitions: Some(6),
+            date_indexes: true,
+            fk_indexes: true,
+        },
+    )
+    .unwrap();
+    cluster
+}
+
+#[test]
+fn three_systems_agree_across_selectivities() {
+    let cluster = fixture();
+    let smpe = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(64));
+    let partitioned = JobRunner::new(cluster.clone(), ExecutorConfig::partitioned());
+    let engine = Engine::new(
+        cluster.clone(),
+        EngineConfig {
+            cores_per_node: 4,
+            join_fanout: 16,
+        },
+    );
+
+    let mut nonzero_points = 0;
+    for sel in [1e-3, 1e-2, 1e-1, 0.5] {
+        let params = Q5Params::with_selectivity(sel);
+        let job = q5_prime_job(&params).unwrap();
+        let plan = q5_prime_plan(&params);
+
+        let a = smpe.run(&job).unwrap();
+        let b = partitioned.run(&job).unwrap();
+        let c = engine.execute(&plan).unwrap();
+        assert_eq!(a.count, b.count, "smpe vs partitioned at sel={sel}");
+        assert_eq!(
+            a.count as usize,
+            c.rows.len(),
+            "rede vs baseline at sel={sel}"
+        );
+        if a.count > 0 {
+            nonzero_points += 1;
+        }
+
+        // Access-pattern characterization.
+        assert_eq!(a.metrics.scanned_records, 0, "ReDe never scans");
+        assert!(
+            c.metrics.point_reads() == 0,
+            "the baseline never point-reads"
+        );
+        assert!(c.metrics.scanned_records > 0, "the baseline always scans");
+        if a.count > 0 {
+            assert!(
+                a.metrics.point_reads() > 0,
+                "ReDe point-reads through structures"
+            );
+        }
+    }
+    assert!(
+        nonzero_points >= 2,
+        "the sweep must include non-trivial selections"
+    );
+}
+
+#[test]
+fn rede_access_count_scales_with_selectivity_but_baseline_is_flat() {
+    let cluster = fixture();
+    let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(64));
+    let engine = Engine::new(
+        cluster.clone(),
+        EngineConfig {
+            cores_per_node: 4,
+            join_fanout: 16,
+        },
+    );
+
+    let low = runner
+        .run(&q5_prime_job(&Q5Params::with_selectivity(1e-3)).unwrap())
+        .unwrap();
+    let high = runner
+        .run(&q5_prime_job(&Q5Params::with_selectivity(0.3)).unwrap())
+        .unwrap();
+    assert!(
+        high.metrics.record_accesses() > low.metrics.record_accesses() * 20,
+        "ReDe work grows with selectivity: {} vs {}",
+        low.metrics.record_accesses(),
+        high.metrics.record_accesses()
+    );
+
+    let scan_low = engine
+        .execute(&q5_prime_plan(&Q5Params::with_selectivity(1e-3)))
+        .unwrap();
+    let scan_high = engine
+        .execute(&q5_prime_plan(&Q5Params::with_selectivity(0.3)))
+        .unwrap();
+    assert_eq!(
+        scan_low.metrics.scanned_records, scan_high.metrics.scanned_records,
+        "the baseline scans everything regardless of selectivity"
+    );
+}
+
+#[test]
+fn selectivity_knob_is_monotonic_in_output() {
+    let cluster = fixture();
+    let runner = JobRunner::new(cluster, ExecutorConfig::smpe(64));
+    let mut last = 0;
+    for sel in [1e-3, 1e-2, 1e-1, 0.5, 1.0] {
+        let r = runner
+            .run(&q5_prime_job(&Q5Params::with_selectivity(sel)).unwrap())
+            .unwrap();
+        assert!(
+            r.count >= last,
+            "output must not shrink as the range widens"
+        );
+        last = r.count;
+    }
+    assert!(last > 0);
+}

@@ -1,0 +1,89 @@
+//! The § V-C record cache under a full SMPE workload: Q5' repeatedly
+//! dereferences the same supplier records (10k× fewer suppliers than
+//! lineitems), so a cache-enabled cluster should serve most supplier
+//! fetches from memory — without changing any result.
+
+use lakeharbor::prelude::*;
+use rede_tpch::{load_tpch, q5_prime_job, LoadOptions, Q5Params, TpchGenerator};
+
+fn load(cache: Option<usize>) -> SimCluster {
+    let mut builder = SimCluster::builder().nodes(2).io_model(IoModel::zero());
+    if let Some(capacity) = cache {
+        builder = builder.record_cache(capacity);
+    }
+    let cluster = builder.build().unwrap();
+    load_tpch(
+        &cluster,
+        TpchGenerator::new(0.002, 5),
+        &LoadOptions {
+            partitions: Some(6),
+            date_indexes: true,
+            fk_indexes: true,
+        },
+    )
+    .unwrap();
+    cluster
+}
+
+#[test]
+fn cache_preserves_results_and_absorbs_hot_fetches() {
+    let job = q5_prime_job(&Q5Params::with_selectivity(0.2)).unwrap();
+
+    let plain = load(None);
+    let cached = load(Some(100_000));
+    let plain_run = JobRunner::new(plain, ExecutorConfig::smpe(32).collecting())
+        .run(&job)
+        .unwrap();
+    let cached_run = JobRunner::new(cached, ExecutorConfig::smpe(32).collecting())
+        .run(&job)
+        .unwrap();
+
+    assert_eq!(
+        plain_run.count, cached_run.count,
+        "cache must not change answers"
+    );
+    let sorted = |records: &[Record]| {
+        let mut v: Vec<String> = records
+            .iter()
+            .map(|r| r.text().unwrap().to_string())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(sorted(&plain_run.records), sorted(&cached_run.records));
+
+    // The plain cluster pays a storage read per dereference…
+    assert_eq!(plain_run.metrics.cache_hits, 0);
+    // …while the cached one serves the repeated supplier fetches (and any
+    // repeated order/lineitem touches) from memory.
+    assert!(
+        cached_run.metrics.cache_hits > 0,
+        "hot supplier records must hit: {:?}",
+        cached_run.metrics
+    );
+    assert!(
+        cached_run.metrics.point_reads() < plain_run.metrics.point_reads(),
+        "cache must absorb storage reads ({} vs {})",
+        cached_run.metrics.point_reads(),
+        plain_run.metrics.point_reads()
+    );
+    // Conservation: hits + misses = the uncached read count.
+    assert_eq!(
+        cached_run.metrics.cache_hits + cached_run.metrics.cache_misses,
+        plain_run.metrics.point_reads()
+    );
+}
+
+#[test]
+fn tiny_cache_still_correct_under_churn() {
+    let job = q5_prime_job(&Q5Params::with_selectivity(0.1)).unwrap();
+    let plain = load(None);
+    let tiny = load(Some(8)); // pathological: constant eviction
+    let a = JobRunner::new(plain, ExecutorConfig::smpe(16))
+        .run(&job)
+        .unwrap();
+    let b = JobRunner::new(tiny, ExecutorConfig::smpe(16))
+        .run(&job)
+        .unwrap();
+    assert_eq!(a.count, b.count);
+}
