@@ -58,14 +58,14 @@ fn main() {
         config.nodes, config.scale_factor, config.smpe_threads, config.io_scale
     );
     println!(
-        "{:>12} {:>8} {:>22} {:>22} {:>22} {:>10}",
-        "selectivity", "rows", "impala", "rede-w/o-smpe", "rede-w/-smpe", "speedup"
+        "{:>12} {:>8} {:>22} {:>22} {:>22} {:>10} {:>9}",
+        "selectivity", "rows", "impala", "rede-w/o-smpe", "rede-w/-smpe", "speedup", "locality"
     );
     for sel in fig7_selectivities() {
         let p = fixture.run_point(sel).expect("run point");
         let speedup = p.impala_wall.as_secs_f64() / p.rede_smpe_wall.as_secs_f64().max(1e-9);
         println!(
-            "{:>12} {:>8} {:>11} ({:>8}) {:>11} ({:>8}) {:>11} ({:>8}) {:>9.1}x",
+            "{:>12} {:>8} {:>11} ({:>8}) {:>11} ({:>8}) {:>11} ({:>8}) {:>9.1}x {:>8.1}%",
             format!("{sel:.0e}"),
             p.output_rows,
             fmt_duration(p.impala_wall),
@@ -74,7 +74,8 @@ fn main() {
             fmt_duration(p.rede_wo_smpe_modeled),
             fmt_duration(p.rede_smpe_wall),
             fmt_duration(p.rede_smpe_modeled),
-            speedup
+            speedup,
+            p.rede_locality() * 100.0
         );
     }
     println!("# paper shape: ReDe w/ SMPE >> Impala at low/mid selectivity (>10x),");

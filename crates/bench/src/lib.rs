@@ -164,6 +164,8 @@ impl Fig7Fixture {
             rede_smpe_modeled: Duration::from_secs_f64(smpe_model.total_secs()),
             impala_accesses: impala.metrics.record_accesses(),
             rede_accesses: smpe.metrics.record_accesses(),
+            rede_local_reads: smpe.profile.local_point_reads(),
+            rede_remote_reads: smpe.profile.remote_point_reads(),
         })
     }
 }
@@ -181,6 +183,24 @@ pub struct Fig7Point {
     pub rede_smpe_modeled: Duration,
     pub impala_accesses: u64,
     pub rede_accesses: u64,
+    /// SMPE heap point reads served by the issuing node (owner routing
+    /// makes this the overwhelming majority).
+    pub rede_local_reads: u64,
+    /// SMPE heap point reads that crossed nodes.
+    pub rede_remote_reads: u64,
+}
+
+impl Fig7Point {
+    /// Fraction of SMPE point reads that were node-local (1.0 when the
+    /// run did no point reads).
+    pub fn rede_locality(&self) -> f64 {
+        let total = self.rede_local_reads + self.rede_remote_reads;
+        if total == 0 {
+            1.0
+        } else {
+            self.rede_local_reads as f64 / total as f64
+        }
+    }
 }
 
 /// The paper's Fig. 7 x-axis, roughly: six decades of selectivity.
@@ -316,6 +336,10 @@ mod tests {
             point.impala_accesses > point.rede_accesses * 5,
             "scans dwarf index accesses at 1%"
         );
+        // Default owner routing keeps SMPE heap reads node-local.
+        assert!(point.rede_local_reads > 0);
+        assert_eq!(point.rede_remote_reads, 0);
+        assert_eq!(point.rede_locality(), 1.0);
     }
 
     #[test]

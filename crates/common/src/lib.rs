@@ -26,6 +26,8 @@ pub mod value;
 pub use error::{RedeError, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
-pub use metrics::{AccessKind, Metrics, MetricsSnapshot};
+pub use metrics::{
+    AccessKind, ExecProfile, Metrics, MetricsSnapshot, NodePointReads, NodeProfile, StageProfile,
+};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use value::{Date, Value, ValueType};

@@ -11,6 +11,7 @@
 //! through cluster, files, and executors so independent experiments never
 //! share counters.
 
+use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,6 +37,12 @@ pub enum AccessKind {
 }
 
 #[derive(Default)]
+struct NodeIo {
+    local_point_reads: AtomicU64,
+    remote_point_reads: AtomicU64,
+}
+
+#[derive(Default)]
 struct Inner {
     local_point_reads: AtomicU64,
     remote_point_reads: AtomicU64,
@@ -49,6 +56,11 @@ struct Inner {
     records_emitted: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Point reads attributed to the node that *issued* them, grown on
+    /// demand to the highest node index seen. Kept outside
+    /// [`MetricsSnapshot`] (which stays `Copy`); read via
+    /// [`Metrics::node_point_reads`].
+    per_node: RwLock<Vec<Arc<NodeIo>>>,
 }
 
 /// Shared, thread-safe metrics handle.
@@ -82,6 +94,51 @@ impl Metrics {
             AccessKind::RecordWrite => &self.inner.record_writes,
         };
         ctr.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one point read issued *from* `node`, additionally split per
+    /// node. Called by the cluster's charged access path alongside
+    /// [`Metrics::record_access`]; feeds [`ExecProfile`]'s per-node
+    /// local/remote read breakdown.
+    pub fn record_point_read_at(&self, node: usize, local: bool) {
+        {
+            let per_node = self.inner.per_node.read();
+            if let Some(counters) = per_node.get(node) {
+                let ctr = if local {
+                    &counters.local_point_reads
+                } else {
+                    &counters.remote_point_reads
+                };
+                ctr.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut per_node = self.inner.per_node.write();
+        while per_node.len() <= node {
+            per_node.push(Arc::new(NodeIo::default()));
+        }
+        let ctr = if local {
+            &per_node[node].local_point_reads
+        } else {
+            &per_node[node].remote_point_reads
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-node point-read counters captured now. Index = issuing node;
+    /// nodes that never issued a read may be absent from the tail.
+    pub fn node_point_reads(&self) -> Vec<NodePointReads> {
+        self.inner
+            .per_node
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(node, c)| NodePointReads {
+                node,
+                local: c.local_point_reads.load(Ordering::Relaxed),
+                remote: c.remote_point_reads.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Count a task handed to the executor's thread pool.
@@ -157,6 +214,10 @@ impl Metrics {
             &i.cache_misses,
         ] {
             ctr.store(0, Ordering::Relaxed);
+        }
+        for node in i.per_node.read().iter() {
+            node.local_point_reads.store(0, Ordering::Relaxed);
+            node.remote_point_reads.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -243,6 +304,106 @@ impl fmt::Display for MetricsSnapshot {
     }
 }
 
+/// Per-node point-read counts, attributed to the issuing node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodePointReads {
+    pub node: usize,
+    pub local: u64,
+    pub remote: u64,
+}
+
+/// Per-stage activity within one job run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Stage label (from the job definition).
+    pub label: String,
+    /// Tasks executed for this stage.
+    pub tasks: u64,
+    /// Outputs this stage produced (records or pointers).
+    pub emits: u64,
+}
+
+/// Per-node activity within one job run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeProfile {
+    pub node: usize,
+    /// Tasks enqueued onto this node's stage queue.
+    pub enqueued: u64,
+    /// Point reads this node issued that were served locally.
+    pub local_point_reads: u64,
+    /// Point reads this node issued that another node served.
+    pub remote_point_reads: u64,
+}
+
+/// Execution profile of one job run: where tasks ran, where their reads
+/// were served, and how the executor scheduled them. Complements
+/// [`MetricsSnapshot`] (aggregate counters) with the per-stage / per-node
+/// structure needed to see *routing* behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// One entry per job stage, in stage order.
+    pub stages: Vec<StageProfile>,
+    /// One entry per cluster node, in node order.
+    pub nodes: Vec<NodeProfile>,
+    /// Tasks handed to the thread pool.
+    pub pool_spawns: u64,
+    /// Tasks run inline on a dispatcher (referencer fast path).
+    pub inline_runs: u64,
+    /// Maximum number of simultaneously in-flight tasks.
+    pub peak_in_flight: u64,
+}
+
+impl ExecProfile {
+    /// Total remote point reads across nodes.
+    pub fn remote_point_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.remote_point_reads).sum()
+    }
+
+    /// Total local point reads across nodes.
+    pub fn local_point_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.local_point_reads).sum()
+    }
+
+    /// Fraction of point reads served locally (1.0 when there were none).
+    pub fn locality(&self) -> f64 {
+        let local = self.local_point_reads();
+        let total = local + self.remote_point_reads();
+        if total == 0 {
+            1.0
+        } else {
+            local as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "exec profile: {} pool spawns, {} inline, peak in-flight {}, locality {:.1}%",
+            self.pool_spawns,
+            self.inline_runs,
+            self.peak_in_flight,
+            self.locality() * 100.0
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  stage '{}': {} tasks, {} emits",
+                s.label, s.tasks, s.emits
+            )?;
+        }
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  node {}: {} enqueued, point reads {} local / {} remote",
+                n.node, n.enqueued, n.local_point_reads, n.remote_point_reads
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +448,60 @@ mod tests {
         m.record_accesses(AccessKind::ScannedRecord, 7);
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.scanned_records, 7);
+    }
+
+    #[test]
+    fn per_node_split_attributes_to_issuing_node() {
+        let m = Metrics::new();
+        m.record_point_read_at(0, true);
+        m.record_point_read_at(2, false);
+        m.record_point_read_at(2, false);
+        let nodes = m.node_point_reads();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(
+            nodes[0],
+            NodePointReads {
+                node: 0,
+                local: 1,
+                remote: 0
+            }
+        );
+        assert_eq!(
+            nodes[1],
+            NodePointReads {
+                node: 1,
+                local: 0,
+                remote: 0
+            }
+        );
+        assert_eq!(
+            nodes[2],
+            NodePointReads {
+                node: 2,
+                local: 0,
+                remote: 2
+            }
+        );
+        m.reset();
+        assert!(m
+            .node_point_reads()
+            .iter()
+            .all(|n| n.local == 0 && n.remote == 0));
+    }
+
+    #[test]
+    fn exec_profile_locality() {
+        let mut p = ExecProfile::default();
+        assert_eq!(p.locality(), 1.0);
+        p.nodes.push(NodeProfile {
+            node: 0,
+            enqueued: 4,
+            local_point_reads: 3,
+            remote_point_reads: 1,
+        });
+        assert_eq!(p.local_point_reads(), 3);
+        assert_eq!(p.remote_point_reads(), 1);
+        assert!((p.locality() - 0.75).abs() < 1e-9);
     }
 
     #[test]

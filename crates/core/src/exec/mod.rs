@@ -18,7 +18,7 @@ pub mod smpe;
 pub mod thread_pool;
 
 use crate::job::Job;
-use rede_common::{MetricsSnapshot, Result};
+use rede_common::{ExecProfile, MetricsSnapshot, Result};
 use rede_storage::{Record, SimCluster};
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +32,21 @@ pub enum ExecMode {
     Smpe,
     /// Static partitioned parallelism (one worker per node).
     Partitioned,
+}
+
+/// Where SMPE enqueues the follow-up task for a non-broadcast pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Enqueue on the node that produced the pointer. Cross-partition
+    /// dereferences then pay the remote-read latency from wherever they
+    /// happen to run. Kept for ablation: this was the executor's original
+    /// behaviour.
+    Producer,
+    /// Enqueue on the node owning the pointer's target partition, so the
+    /// dereference is a local read. Pointers whose placement cannot be
+    /// determined (e.g. into local indexes) fall back to producer routing.
+    #[default]
+    Owner,
 }
 
 /// Executor configuration.
@@ -51,6 +66,8 @@ pub struct ExecutorConfig {
     /// Collect output records into [`JobResult::records`] (otherwise only
     /// count them).
     pub collect_outputs: bool,
+    /// How SMPE routes non-broadcast pointer tasks across nodes.
+    pub routing: RoutingPolicy,
 }
 
 impl Default for ExecutorConfig {
@@ -60,6 +77,7 @@ impl Default for ExecutorConfig {
             pool_threads: 256,
             referencer_inline: true,
             collect_outputs: false,
+            routing: RoutingPolicy::default(),
         }
     }
 }
@@ -87,6 +105,12 @@ impl ExecutorConfig {
         self.collect_outputs = true;
         self
     }
+
+    /// Use a specific pointer-routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> ExecutorConfig {
+        self.routing = routing;
+        self
+    }
 }
 
 /// Outcome of one job run.
@@ -101,6 +125,8 @@ pub struct JobResult {
     pub wall: Duration,
     /// Storage counters accumulated by this run alone.
     pub metrics: MetricsSnapshot,
+    /// Per-stage / per-node execution profile of this run.
+    pub profile: ExecProfile,
 }
 
 /// Executes jobs against a cluster under a fixed configuration.
@@ -155,6 +181,7 @@ impl JobRunner {
             records: output.records,
             wall,
             metrics,
+            profile: output.profile,
         })
     }
 }
@@ -163,4 +190,5 @@ impl JobRunner {
 pub(crate) struct RawOutput {
     pub count: u64,
     pub records: Vec<Record>,
+    pub profile: ExecProfile,
 }

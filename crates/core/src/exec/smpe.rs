@@ -15,15 +15,25 @@
 //! *before* every enqueue and decremented only after a task has enqueued
 //! all of its outputs, so it can only reach zero when no work remains
 //! anywhere. The thread that observes zero closes every queue.
+//!
+//! **Routing.** A non-broadcast pointer names the partition its target
+//! record lives in, and partition placement is static — so the executor
+//! can enqueue the follow-up dereference on the *owning* node and turn a
+//! would-be remote read into a local one ([`RoutingPolicy::Owner`], the
+//! default). [`RoutingPolicy::Producer`] keeps the original
+//! enqueue-where-produced behaviour for ablation. Pointers whose placement
+//! the cluster cannot determine (local indexes probe every partition) fall
+//! back to producer routing either way.
 
 use super::thread_pool::ThreadPool;
-use super::{ExecutorConfig, RawOutput};
+use super::{ExecutorConfig, RawOutput, RoutingPolicy};
 use crate::job::{Job, Stage};
 use crate::traits::{DerefInput, StageCtx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use rede_common::{RedeError, Result};
+use rede_common::{ExecProfile, NodeProfile, RedeError, Result, StageProfile};
 use rede_storage::{Pointer, Record, SimCluster};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -46,6 +56,33 @@ enum TaskItem {
     Record(Record),
 }
 
+/// Executor-side profile counters, sized once per run.
+struct ProfCounters {
+    /// Tasks executed per stage.
+    stage_tasks: Vec<AtomicU64>,
+    /// Outputs produced per stage (records and pointers).
+    stage_emits: Vec<AtomicU64>,
+    /// Tasks enqueued per node.
+    node_enqueued: Vec<AtomicU64>,
+    pool_spawns: AtomicU64,
+    inline_runs: AtomicU64,
+    peak_in_flight: AtomicU64,
+}
+
+impl ProfCounters {
+    fn new(stages: usize, nodes: usize) -> ProfCounters {
+        let zeroes = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        ProfCounters {
+            stage_tasks: zeroes(stages),
+            stage_emits: zeroes(stages),
+            node_enqueued: zeroes(nodes),
+            pool_spawns: AtomicU64::new(0),
+            inline_runs: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Shared run state.
 struct RunState {
     cluster: SimCluster,
@@ -58,12 +95,16 @@ struct RunState {
     out_records: Mutex<Vec<Record>>,
     collect: bool,
     referencer_inline: bool,
+    routing: RoutingPolicy,
+    prof: ProfCounters,
 }
 
 impl RunState {
     /// Enqueue a task to `node`, accounting it in-flight first.
     fn enqueue(&self, node: usize, task: Task) {
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.prof.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+        self.prof.node_enqueued[node].fetch_add(1, Ordering::Relaxed);
         self.cluster.metrics().record_queue_hop();
         if self.queues[node].send(Msg::Task(task)).is_err() {
             // Queue already closed (failure drain); balance the counter.
@@ -87,6 +128,7 @@ impl RunState {
 
     /// Route one stage output produced at `node` while running `stage`.
     fn handle_output(&self, node: usize, stage: usize, output: StageOutput) {
+        self.prof.stage_emits[stage].fetch_add(1, Ordering::Relaxed);
         let next = stage + 1;
         match output {
             StageOutput::Record(record) => {
@@ -127,8 +169,15 @@ impl RunState {
                         );
                     }
                 } else {
+                    // The locality decision: a pointer with known placement
+                    // runs its dereference on the owning node (a local
+                    // read) instead of wherever it was produced.
+                    let target = match self.routing {
+                        RoutingPolicy::Owner => self.cluster.owner_of_pointer(&ptr).unwrap_or(node),
+                        RoutingPolicy::Producer => node,
+                    };
                     self.enqueue(
-                        node,
+                        target,
                         Task {
                             item: TaskItem::Deref(DerefInput::Point(ptr)),
                             stage: next,
@@ -147,58 +196,88 @@ enum StageOutput {
 }
 
 /// Execute one task body (on whatever thread the dispatcher chose).
+///
+/// The stage body runs under `catch_unwind`: a panicking referencer or
+/// dereferencer becomes a job error instead of killing the thread with the
+/// in-flight count still held — which would leave the run hanging forever
+/// (the counter could never reach zero).
 fn process_task(state: &Arc<RunState>, node: usize, task: Task) {
     if !state.failed.load(Ordering::SeqCst) {
-        let ctx = StageCtx {
-            cluster: state.cluster.clone(),
-            node,
-            local_only: task.local_only,
-        };
-        let stage = &state.job.stages()[task.stage];
-        let result = match (&task.item, stage) {
-            (TaskItem::Deref(input), Stage::Dereference { func, filter, .. }) => {
-                let mut err = None;
-                let mut emit = |record: Record| {
-                    let keep = match filter {
-                        Some(f) => match f.matches(&record) {
-                            Ok(keep) => keep,
-                            Err(e) => {
-                                err.get_or_insert(e);
-                                false
-                            }
-                        },
-                        None => true,
-                    };
-                    if keep {
-                        state.handle_output(node, task.stage, StageOutput::Record(record));
-                    }
-                };
-                let r = func.dereference(input, &ctx, &mut emit);
-                // `emit` borrows `err`; end the borrow before inspecting it.
-                #[allow(clippy::drop_non_drop)]
-                drop(emit);
-                match (r, err) {
-                    (Err(e), _) | (Ok(()), Some(e)) => Err(e),
-                    (Ok(()), None) => Ok(()),
-                }
-            }
-            (TaskItem::Record(record), Stage::Reference { func, .. }) => {
-                let mut emit = |ptr: Pointer| {
-                    state.handle_output(node, task.stage, StageOutput::Pointer(ptr));
-                };
-                func.reference(record, &ctx, &mut emit)
-            }
-            _ => Err(RedeError::Exec(format!(
-                "stage {} ('{}') received mismatched input",
-                task.stage,
-                stage.label()
-            ))),
-        };
+        state.prof.stage_tasks[task.stage].fetch_add(1, Ordering::Relaxed);
+        let result = catch_unwind(AssertUnwindSafe(|| run_stage_body(state, node, &task)))
+            .unwrap_or_else(|payload| {
+                let msg = panic_message(payload.as_ref());
+                Err(RedeError::Exec(format!(
+                    "stage {} ('{}') panicked: {msg}",
+                    task.stage,
+                    state.job.stages()[task.stage].label()
+                )))
+            });
         if let Err(e) = result {
             state.fail(e);
         }
     }
     state.task_done();
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// The actual stage body (separated so `process_task` can guard it).
+fn run_stage_body(state: &Arc<RunState>, node: usize, task: &Task) -> Result<()> {
+    let ctx = StageCtx {
+        cluster: state.cluster.clone(),
+        node,
+        local_only: task.local_only,
+    };
+    let stage = &state.job.stages()[task.stage];
+    match (&task.item, stage) {
+        (TaskItem::Deref(input), Stage::Dereference { func, filter, .. }) => {
+            let mut err = None;
+            let mut emit = |record: Record| {
+                let keep = match filter {
+                    Some(f) => match f.matches(&record) {
+                        Ok(keep) => keep,
+                        Err(e) => {
+                            err.get_or_insert(e);
+                            false
+                        }
+                    },
+                    None => true,
+                };
+                if keep {
+                    state.handle_output(node, task.stage, StageOutput::Record(record));
+                }
+            };
+            let r = func.dereference(input, &ctx, &mut emit);
+            // `emit` borrows `err`; end the borrow before inspecting it.
+            #[allow(clippy::drop_non_drop)]
+            drop(emit);
+            match (r, err) {
+                (Err(e), _) | (Ok(()), Some(e)) => Err(e),
+                (Ok(()), None) => Ok(()),
+            }
+        }
+        (TaskItem::Record(record), Stage::Reference { func, .. }) => {
+            let mut emit = |ptr: Pointer| {
+                state.handle_output(node, task.stage, StageOutput::Pointer(ptr));
+            };
+            func.reference(record, &ctx, &mut emit)
+        }
+        _ => Err(RedeError::Exec(format!(
+            "stage {} ('{}') received mismatched input",
+            task.stage,
+            stage.label()
+        ))),
+    }
 }
 
 /// Per-node dispatcher: drain the queue, spawning dereference invocations
@@ -210,9 +289,11 @@ fn dispatch(state: Arc<RunState>, node: usize, rx: Receiver<Msg>, pool: Arc<Thre
             Msg::Task(task) => {
                 let inline = state.referencer_inline && matches!(task.item, TaskItem::Record(_));
                 if inline {
+                    state.prof.inline_runs.fetch_add(1, Ordering::Relaxed);
                     process_task(&state, node, task);
                 } else {
                     let state = state.clone();
+                    state.prof.pool_spawns.fetch_add(1, Ordering::Relaxed);
                     state.cluster.metrics().record_task_spawn();
                     pool.execute(move || process_task(&state, node, task));
                 }
@@ -247,7 +328,10 @@ pub(crate) fn run(
         out_records: Mutex::new(Vec::new()),
         collect: config.collect_outputs,
         referencer_inline: config.referencer_inline,
+        routing: config.routing,
+        prof: ProfCounters::new(job.stages().len(), nodes),
     });
+    let node_reads_before = cluster.metrics().node_point_reads();
 
     // Seed every node: the initial stage runs everywhere, each node
     // covering its locally placed partitions (lines 2-5 of Algorithm 1).
@@ -293,8 +377,51 @@ pub(crate) fn run(
     drop(errors);
 
     let records = std::mem::take(&mut *state.out_records.lock());
+    let profile = build_profile(&state, nodes, &node_reads_before);
     Ok(RawOutput {
         count: state.out_count.load(Ordering::Relaxed),
         records,
+        profile,
     })
+}
+
+/// Assemble this run's [`ExecProfile`] from the executor-side counters and
+/// the per-node point-read delta since the run started.
+fn build_profile(
+    state: &RunState,
+    nodes: usize,
+    node_reads_before: &[rede_common::NodePointReads],
+) -> ExecProfile {
+    let prof = &state.prof;
+    let stages = state
+        .job
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(i, stage)| StageProfile {
+            label: stage.label().to_string(),
+            tasks: prof.stage_tasks[i].load(Ordering::Relaxed),
+            emits: prof.stage_emits[i].load(Ordering::Relaxed),
+        })
+        .collect();
+    let node_reads_after = state.cluster.metrics().node_point_reads();
+    let node_profiles = (0..nodes)
+        .map(|node| {
+            let after = node_reads_after.get(node).copied().unwrap_or_default();
+            let before = node_reads_before.get(node).copied().unwrap_or_default();
+            NodeProfile {
+                node,
+                enqueued: prof.node_enqueued[node].load(Ordering::Relaxed),
+                local_point_reads: after.local.saturating_sub(before.local),
+                remote_point_reads: after.remote.saturating_sub(before.remote),
+            }
+        })
+        .collect();
+    ExecProfile {
+        stages,
+        nodes: node_profiles,
+        pool_spawns: prof.pool_spawns.load(Ordering::Relaxed),
+        inline_runs: prof.inline_runs.load(Ordering::Relaxed),
+        peak_in_flight: prof.peak_in_flight.load(Ordering::Relaxed),
+    }
 }

@@ -5,8 +5,17 @@
 //! setting" (§ III-C). Work items are boxed closures delivered over an
 //! unbounded channel; the pool never blocks a submitter, which is what
 //! makes the executor deadlock-free (tasks only ever *enqueue* more work).
+//!
+//! Workers survive panicking work items: each closure runs under
+//! `catch_unwind`, the panic is counted, and the worker goes back to the
+//! queue. Without this, one panicking task silently killed its worker
+//! thread — shrinking the pool until a job hung with work queued and
+//! nobody left to run it.
 
 use crossbeam::channel::{unbounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Work = Box<dyn FnOnce() + Send + 'static>;
@@ -16,6 +25,7 @@ pub struct ThreadPool {
     tx: Option<Sender<Work>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
+    panics: Arc<AtomicU64>,
 }
 
 impl ThreadPool {
@@ -23,15 +33,19 @@ impl ThreadPool {
     pub fn new(size: usize, name: &str) -> ThreadPool {
         assert!(size > 0, "thread pool needs at least one worker");
         let (tx, rx) = unbounded::<Work>();
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..size)
             .map(|i| {
                 let rx = rx.clone();
+                let panics = panics.clone();
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .stack_size(128 * 1024)
                     .spawn(move || {
                         while let Ok(work) = rx.recv() {
-                            work();
+                            if catch_unwind(AssertUnwindSafe(work)).is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     })
                     .expect("spawn pool worker")
@@ -41,12 +55,19 @@ impl ThreadPool {
             tx: Some(tx),
             workers,
             size,
+            panics,
         }
     }
 
     /// Number of workers.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Number of work items that panicked since the pool was created.
+    /// Workers survive panics; this counter is how callers observe them.
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Submit a closure; never blocks.
@@ -128,5 +149,32 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_size_rejected() {
         let _ = ThreadPool::new(0, "t");
+    }
+
+    #[test]
+    fn workers_survive_panicking_work() {
+        // One worker: if the panic killed it, the follow-up tasks would
+        // never run and recv_timeout below would time out.
+        let pool = ThreadPool::new(1, "t");
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("injected failure {i}");
+                }
+                let _ = tx.send(i);
+            });
+        }
+        let mut survived = Vec::new();
+        for _ in 0..5 {
+            survived.push(
+                rx.recv_timeout(std::time::Duration::from_secs(5))
+                    .expect("worker must outlive panicking tasks"),
+            );
+        }
+        survived.sort_unstable();
+        assert_eq!(survived, vec![1, 3, 5, 7, 9]);
+        assert_eq!(pool.panic_count(), 5);
     }
 }

@@ -50,7 +50,7 @@ pub mod query;
 pub mod traits;
 
 pub use advisor::{AdvisorConfig, PatternKind, StructureAdvisor, WorkloadTracker};
-pub use exec::{ExecMode, ExecutorConfig, JobResult, JobRunner};
+pub use exec::{ExecMode, ExecutorConfig, JobResult, JobRunner, RoutingPolicy};
 pub use job::{Job, JobBuilder, SeedInput, Stage};
 pub use maintenance::{IndexBuildReport, IndexBuilder};
 pub use optimizer::{EngineChoice, PlanEstimate, Planner, PlannerEnv};

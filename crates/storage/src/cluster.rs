@@ -61,7 +61,9 @@ impl ClusterInner {
     fn charge_point_read(&self, partition: usize, from_node: usize) {
         let owner = self.node_of_partition(partition);
         let _permit = self.limiters[owner].acquire();
-        if owner == from_node {
+        let local = owner == from_node;
+        self.metrics.record_point_read_at(from_node, local);
+        if local {
             self.metrics.record_access(AccessKind::LocalPointRead);
             self.io.pay_local_read();
         } else {
@@ -246,6 +248,45 @@ impl SimCluster {
     /// Catalog names (diagnostics, tests).
     pub fn catalog_names(&self) -> Vec<String> {
         self.inner.catalog.names()
+    }
+
+    /// The partition a non-broadcast pointer will be served from, if it can
+    /// be determined without touching storage.
+    ///
+    /// * Heap targets: the file's partitioner places the partition key
+    ///   (logical) or the key *is* the partition (physical).
+    /// * B-tree targets: the index placement's probe set for the logical
+    ///   key — a single partition for a global index. Local indexes probe
+    ///   every partition, so there is no single serving partition and the
+    ///   answer is `None`.
+    /// * Broadcast pointers and unknown files: `None`.
+    ///
+    /// This is the routing oracle for the executor's `Owner` policy; a
+    /// `None` simply means "no better placement known" and must not fail
+    /// the run.
+    pub fn partition_of_pointer(&self, ptr: &Pointer) -> Option<usize> {
+        let partition_key = ptr.partition_key.as_ref()?;
+        match self.inner.catalog.get(&ptr.file).ok()? {
+            StorageObject::Heap(heap) => match &ptr.key {
+                PointerKey::Physical(_) => partition_key.as_int().map(|p| p as usize),
+                PointerKey::Logical(_) => Some(heap.partition_of(partition_key)),
+            },
+            StorageObject::Btree(index) => {
+                let key = ptr.logical_key()?;
+                let probes = index.probe_partitions_for_key(key);
+                match probes.as_slice() {
+                    [single] => Some(*single),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// The node that owns the partition a pointer resolves to, if
+    /// determinable (see [`SimCluster::partition_of_pointer`]).
+    pub fn owner_of_pointer(&self, ptr: &Pointer) -> Option<usize> {
+        self.partition_of_pointer(ptr)
+            .map(|p| self.inner.node_of_partition(p))
     }
 
     /// Resolve a pointer to its record — a charged point read.
@@ -688,6 +729,80 @@ mod tests {
             total, 100,
             "per-node probes must cover the index exactly once"
         );
+    }
+
+    #[test]
+    fn partition_of_pointer_matches_resolution_path() {
+        let c = cluster();
+        let f = loaded(&c, 64);
+        let key = Value::Int(11);
+        let expected = f.partition_of(&key);
+
+        let logical = Pointer::logical("part", key.clone(), key.clone());
+        assert_eq!(c.partition_of_pointer(&logical), Some(expected));
+        assert_eq!(
+            c.owner_of_pointer(&logical),
+            Some(c.node_of_partition(expected))
+        );
+
+        let physical = Pointer::physical("part", 5, 0);
+        assert_eq!(c.partition_of_pointer(&physical), Some(5));
+
+        let broadcast = Pointer::broadcast("part", key);
+        assert_eq!(c.partition_of_pointer(&broadcast), None);
+
+        let unknown = Pointer::logical("nope", Value::Int(1), Value::Int(1));
+        assert_eq!(c.partition_of_pointer(&unknown), None);
+    }
+
+    #[test]
+    fn pointer_owner_for_indexes_depends_on_locality() {
+        let c = cluster();
+        loaded(&c, 0);
+        let global = c.create_index(IndexSpec::global("gix", "part", 8)).unwrap();
+        let local = c.create_index(IndexSpec::local("lix", "part", 8)).unwrap();
+        let key = Value::Int(7);
+        global
+            .insert(
+                key.clone(),
+                IndexEntry::new(key.clone(), key.clone()).to_record(),
+            )
+            .unwrap();
+        local
+            .insert_at(
+                0,
+                key.clone(),
+                IndexEntry::new(key.clone(), key.clone()).to_record(),
+            )
+            .unwrap();
+
+        // Global index: the placement pins the key to one partition.
+        let gptr = Pointer::logical("gix", key.clone(), key.clone());
+        let gpart = c.partition_of_pointer(&gptr).expect("global is routable");
+        assert_eq!(global.raw().probe_partitions_for_key(&key), vec![gpart]);
+
+        // Local index: every partition may hold the key — not routable.
+        let lptr = Pointer::logical("lix", key.clone(), key);
+        assert_eq!(c.partition_of_pointer(&lptr), None);
+        assert_eq!(c.owner_of_pointer(&lptr), None);
+    }
+
+    #[test]
+    fn charge_point_read_feeds_per_node_split() {
+        let c = cluster();
+        let f = loaded(&c, 64);
+        let key = Value::Int(9);
+        let partition = f.partition_of(&key);
+        let owner = c.node_of_partition(partition);
+        let other = (owner + 1) % c.nodes();
+        let ptr = Pointer::logical("part", key.clone(), key);
+        c.resolve(&ptr, owner).unwrap();
+        c.resolve(&ptr, other).unwrap();
+        let per_node = c.metrics().node_point_reads();
+        assert_eq!(per_node[owner].local, 1);
+        assert_eq!(per_node[owner].remote, 0);
+        assert_eq!(per_node[other].local, 0);
+        assert_eq!(per_node[other].remote, 1);
     }
 
     #[test]

@@ -107,11 +107,24 @@ impl IoModel {
         maybe_sleep(self.index_lookup);
     }
 
+    /// Total modeled cost of scanning `n` records. Computed in 128-bit
+    /// nanosecond arithmetic: the earlier `saturating_mul(n as u32)`
+    /// silently truncated batch sizes above `u32::MAX`, undercharging
+    /// very large scans.
+    pub fn scan_cost(&self, n: usize) -> Duration {
+        let ns = self.scan_per_record.as_nanos().saturating_mul(n as u128);
+        if ns > u64::MAX as u128 {
+            Duration::from_nanos(u64::MAX)
+        } else {
+            Duration::from_nanos(ns as u64)
+        }
+    }
+
     /// Sleep for scanning `n` records (one sleep, n × per-record cost).
     #[inline]
     pub fn pay_scan(&self, n: usize) {
         if n > 0 {
-            maybe_sleep(self.scan_per_record.saturating_mul(n as u32));
+            maybe_sleep(self.scan_cost(n));
         }
     }
 }
@@ -225,6 +238,31 @@ mod tests {
             ratio >= 100,
             "random reads must dwarf per-record scan cost, got {ratio}"
         );
+    }
+
+    #[test]
+    fn scan_cost_survives_batches_beyond_u32_max() {
+        let mut m = IoModel::zero();
+        m.scan_per_record = Duration::from_nanos(2);
+        let n = u32::MAX as usize + 5;
+        // The truncating implementation computed `n as u32` = 4, i.e. 8 ns.
+        assert_eq!(m.scan_cost(n), Duration::from_nanos(2 * n as u64));
+        assert!(m.scan_cost(n) > m.scan_cost(u32::MAX as usize));
+    }
+
+    #[test]
+    fn scan_cost_saturates_instead_of_overflowing() {
+        let mut m = IoModel::zero();
+        m.scan_per_record = Duration::from_secs(u64::MAX / 1_000_000_000);
+        assert_eq!(m.scan_cost(usize::MAX), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn scan_cost_matches_small_batches() {
+        let m = IoModel::hdd_like(1.0);
+        assert_eq!(m.scan_cost(1), m.scan_per_record);
+        assert_eq!(m.scan_cost(1000), m.scan_per_record * 1000);
+        assert_eq!(m.scan_cost(0), Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+# Run from anywhere; everything executes at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test --workspace -q
+
+echo "OK"

@@ -1,0 +1,192 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive size bounds for a generated collection.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.min >= self.max {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// `Vec` of values drawn from `element`, with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` of values drawn from `element`. Duplicate draws are retried a
+/// bounded number of times, so a small element domain may yield fewer than
+/// the requested minimum — matching real proptest's best-effort semantics.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = target.saturating_mul(20) + 32;
+        while out.len() < target && attempts > 0 {
+            out.insert(self.element.generate(rng));
+            attempts -= 1;
+        }
+        out
+    }
+}
+
+/// `BTreeMap` with keys from `keys` and values from `values`.
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = target.saturating_mul(20) + 32;
+        while out.len() < target && attempts > 0 {
+            let k = self.keys.generate(rng);
+            let v = self.values.generate(rng);
+            out.insert(k, v);
+            attempts -= 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_bounds() {
+        let mut rng = TestRng::new(11);
+        let s = vec(0i64..100, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = TestRng::new(12);
+        let s = vec(0i64..1_000_000, 7usize);
+        assert_eq!(s.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn btree_set_hits_target_with_wide_domain() {
+        let mut rng = TestRng::new(13);
+        let s = btree_set(0i64..1_000_000, 10..20);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!((10..20).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_bounds() {
+        let mut rng = TestRng::new(14);
+        let s = btree_map(0i64..10_000, "[a-z]{1,4}", 1..8);
+        for _ in 0..50 {
+            let m = s.generate(&mut rng);
+            assert!((1..8).contains(&m.len()));
+        }
+    }
+}

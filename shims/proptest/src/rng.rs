@@ -1,0 +1,93 @@
+//! Deterministic test RNG (splitmix64 core).
+
+/// Small, fast, deterministic RNG for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG; the same seed replays the same case.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded sampling; bias is negligible for test use.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform signed value in `[lo, hi)` (arbitrary integer width via i128).
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u128;
+        let r = if span <= u64::MAX as u128 {
+            self.below(span as u64) as u128
+        } else {
+            ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span
+        };
+        lo + r as i128
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fair coin.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn range_covers_negative_spans() {
+        let mut rng = TestRng::new(3);
+        let mut seen_neg = false;
+        for _ in 0..1000 {
+            let v = rng.range_i128(-5, 5);
+            assert!((-5..5).contains(&v));
+            seen_neg |= v < 0;
+        }
+        assert!(seen_neg);
+    }
+}

@@ -1,0 +1,357 @@
+//! Value-generation strategies: the `Strategy` trait plus the combinators
+//! the workspace's property tests use (`prop_map`, `prop_recursive`,
+//! `boxed`, `Just`, `Union`, `any`, integer/float ranges, tuples, regex
+//! string literals).
+
+use crate::rng::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one concrete value per call.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erase into a cheaply clonable strategy handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Arc::new(move |rng| self.generate(rng)),
+        }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and `f` wraps an
+    /// inner strategy into a branch case. Implemented by unrolling to a
+    /// fixed depth (`depth` levels of nesting); `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility only.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(strat).boxed();
+            strat = Union::new_weighted(vec![(1, leaf.clone()), (2, branch)]).boxed();
+        }
+        strat
+    }
+}
+
+/// Type-erased strategy; clones share the underlying generator.
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Arc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between several strategies of the same value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "Union of zero strategies");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "Union with all-zero weights");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// The canonical strategy for `T` (uniform over the type's values, except
+/// floats which stay finite — matching real proptest's default).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                rng.range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {:?}", self);
+                rng.range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Finite values of widely varying magnitude and sign; no
+                // NaN/inf (real proptest's default float domain is finite).
+                let mag = rng.unit_f64() * 2.0 - 1.0;
+                let exp = rng.range_i128(-60, 60) as i32;
+                let v = (mag * (2.0f64).powi(exp)) as $t;
+                if v.is_finite() { v } else { 0.0 }
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start() + (rng.unit_f64() as $t) * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+/// A `&str` strategy is interpreted as a regex (supported subset documented
+/// in [`crate::string`]) generating matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_impls!(A.0);
+tuple_impls!(A.0, B.1);
+tuple_impls!(A.0, B.1, C.2);
+tuple_impls!(A.0, B.1, C.2, D.3);
+tuple_impls!(A.0, B.1, C.2, D.3, E.4);
+tuple_impls!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_impls!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_impls!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_impls!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_impls!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10i64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let u = (0usize..=3).generate(&mut rng);
+            assert!(u <= 3);
+        }
+    }
+
+    #[test]
+    fn union_honors_zero_weight_exclusion() {
+        let mut rng = TestRng::new(2);
+        let u = Union::new_weighted(vec![(1, Just(1i64).boxed()), (0, Just(2i64).boxed())]);
+        for _ in 0..100 {
+            assert_eq!(u.generate(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_boxed_compose() {
+        let mut rng = TestRng::new(3);
+        let s = (0i64..10).prop_map(|v| v * 2).boxed();
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn prop_recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let strat = (0i64..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 64, 8, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        // (depth, leaves-in-range) — walks every field so the shapes are
+        // actually checked, not just generated.
+        fn inspect(t: &Tree) -> (usize, bool) {
+            match t {
+                Tree::Leaf(v) => (1, (0..100).contains(v)),
+                Tree::Node(children) => children
+                    .iter()
+                    .map(inspect)
+                    .fold((1, true), |(d, ok), (cd, cok)| (d.max(cd + 1), ok && cok)),
+            }
+        }
+        let mut rng = TestRng::new(4);
+        let mut max_depth = 0;
+        for _ in 0..50 {
+            let (depth, leaves_ok) = inspect(&strat.generate(&mut rng));
+            assert!(leaves_ok, "leaf values must come from the leaf strategy");
+            max_depth = max_depth.max(depth);
+        }
+        assert!(max_depth > 1, "recursion must actually nest");
+        assert!(max_depth <= 4, "depth bound must hold");
+    }
+
+    #[test]
+    fn floats_stay_finite() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..1000 {
+            let v: f64 = f64::arbitrary(&mut rng);
+            assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax (covers every pattern used by the workspace's tests):
+//! - character classes `[a-z0-9_]` with ranges and literal members
+//! - escapes `\d` `\w` `\s` `\\` and escaped metacharacters
+//! - quantifiers `{n}`, `{m,n}`, `*` (0–8), `+` (1–8), `?`
+//! - literal characters
+//!
+//! Anything else (alternation, groups, anchors) panics with a clear message
+//! rather than generating wrong data.
+
+use crate::rng::TestRng;
+
+struct Atom {
+    /// Candidate characters, expanded from the class/literal.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 1;
+                expand_escape(c)
+            }
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!("unsupported regex construct {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn expand_escape(c: char) -> Vec<char> {
+    match c {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(std::iter::once('_'))
+            .collect(),
+        's' => vec![' ', '\t', '\n'],
+        other => vec![other],
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '\\' {
+            i += 1;
+            set.extend(expand_escape(chars[i]));
+            i += 1;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted class range in regex {pattern:?}");
+            set.extend(lo..=hi);
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in regex {pattern:?}"
+    );
+    assert!(
+        !set.is_empty(),
+        "empty character class in regex {pattern:?}"
+    );
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                let lo = lo.trim().parse().expect("bad quantifier lower bound");
+                let hi = hi.trim().parse().expect("bad quantifier upper bound");
+                (lo, hi)
+            } else {
+                let n = body.trim().parse().expect("bad quantifier count");
+                (n, n)
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = if atom.min >= atom.max {
+            atom.min
+        } else {
+            atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+        };
+        for _ in 0..count {
+            let idx = rng.below(atom.chars.len() as u64) as usize;
+            out.push(atom.chars[idx]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(99)
+    }
+
+    #[test]
+    fn class_with_quantifier_range() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z_][a-zA-Z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate("[A-Z][0-9]{3,4}", &mut rng);
+            assert!((4..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            assert!(s.chars().skip(1).all(|c| c.is_ascii_digit()));
+        }
+    }
+}

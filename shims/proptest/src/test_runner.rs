@@ -1,0 +1,22 @@
+//! Runner configuration (`ProptestConfig`).
+
+/// Configuration for a `proptest!` block. Only `cases` is meaningful in
+/// this shim; construct with `ProptestConfig::with_cases(n)` or rely on
+/// the 256-case default (matching real proptest).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}

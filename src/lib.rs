@@ -63,7 +63,7 @@ pub use rede_tpch as tpch;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use rede_common::{AccessKind, Date, Metrics, RedeError, Result, Value};
-    pub use rede_core::exec::{ExecMode, ExecutorConfig, JobRunner};
+    pub use rede_core::exec::{ExecMode, ExecutorConfig, JobRunner, RoutingPolicy};
     pub use rede_core::job::{Job, JobBuilder};
     pub use rede_core::maintenance::IndexBuilder;
     pub use rede_core::prebuilt::*;

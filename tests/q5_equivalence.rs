@@ -116,6 +116,64 @@ fn rede_access_count_scales_with_selectivity_but_baseline_is_flat() {
 }
 
 #[test]
+fn owner_routing_localizes_q5_reads_without_changing_answers() {
+    let cluster = fixture();
+    let owner = JobRunner::new(
+        cluster.clone(),
+        ExecutorConfig::smpe(64)
+            .collecting()
+            .with_routing(RoutingPolicy::Owner),
+    );
+    let producer = JobRunner::new(
+        cluster.clone(),
+        ExecutorConfig::smpe(64)
+            .collecting()
+            .with_routing(RoutingPolicy::Producer),
+    );
+
+    for sel in [1e-2, 1e-1, 0.5] {
+        let job = q5_prime_job(&Q5Params::with_selectivity(sel)).unwrap();
+        let a = owner.run(&job).unwrap();
+        let b = producer.run(&job).unwrap();
+
+        // Byte-identical results: routing only moves work across nodes.
+        let norm = |records: &[Record]| {
+            let mut v: Vec<String> = records
+                .iter()
+                .map(|r| r.text().unwrap().to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(a.count, b.count, "sel={sel}");
+        assert_eq!(norm(&a.records), norm(&b.records), "sel={sel}");
+
+        // Q5' hops across partitioning schemes, so producer routing must
+        // pay remote reads; owner routing ships tasks to the data.
+        assert!(
+            b.profile.remote_point_reads() > 0,
+            "sel={sel}: producer routing saw no cross-partition reads"
+        );
+        assert!(
+            a.profile.remote_point_reads() < b.profile.remote_point_reads(),
+            "sel={sel}: owner {} vs producer {}",
+            a.profile.remote_point_reads(),
+            b.profile.remote_point_reads()
+        );
+        assert_eq!(
+            a.profile.remote_point_reads(),
+            0,
+            "sel={sel}: every Q5' pointer is routable, so owner routing \
+             must be fully local: {}",
+            a.profile
+        );
+        // The profile covers every stage and node of the run.
+        assert!(a.profile.stages.iter().all(|s| s.tasks > 0), "sel={sel}");
+        assert_eq!(a.profile.nodes.len(), 3, "sel={sel}");
+    }
+}
+
+#[test]
 fn selectivity_knob_is_monotonic_in_output() {
     let cluster = fixture();
     let runner = JobRunner::new(cluster, ExecutorConfig::smpe(64));
