@@ -1,0 +1,122 @@
+//! Ablation: record-cache placement × pointer routing.
+//!
+//! The record cache can live as one cluster-wide pool (physically
+//! unrealizable, but the obvious simulation shortcut) or as one private
+//! cache per node with the same total capacity. Placement only matters
+//! together with routing: `RoutingPolicy::Owner` sends every dereference
+//! of a key to the same node, so a per-node cache concentrates that key's
+//! hits where its partition lives; `Producer` scatters the same key
+//! across whichever nodes produced pointers to it, splitting its
+//! residency across caches. This bench runs Q5' (suppliers are
+//! re-dereferenced thousands of times) under all four combinations,
+//! checks the answer is byte-identical everywhere, and reports hit rates
+//! before timing steady-state runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_bench::{Fig7Config, Fig7Fixture};
+use rede_core::exec::{ExecutorConfig, JobRunner, RoutingPolicy};
+use rede_storage::{CachePlacement, Record};
+use rede_tpch::{q5_prime_job, Q5Params};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fixture(placement: CachePlacement) -> Fig7Fixture {
+    Fig7Fixture::build(Fig7Config {
+        nodes: 4,
+        partitions: 16,
+        scale_factor: 0.002,
+        io_scale: 0.05, // keep the local/remote latency gap, scaled down
+        smpe_threads: 128,
+        cores_per_node: 8,
+        seed: 42,
+        record_cache: Some(4096), // total budget, split per node when PerNode
+        cache_placement: placement,
+    })
+    .expect("load fixture")
+}
+
+fn sorted(records: &[Record]) -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = records.iter().map(|r| r.bytes().to_vec()).collect();
+    v.sort();
+    v
+}
+
+fn bench_cache_placement(c: &mut Criterion) {
+    let job = q5_prime_job(&Q5Params::with_selectivity(3e-2)).unwrap();
+    let configs = [
+        (
+            "per_node_owner",
+            CachePlacement::PerNode,
+            RoutingPolicy::Owner,
+        ),
+        (
+            "per_node_producer",
+            CachePlacement::PerNode,
+            RoutingPolicy::Producer,
+        ),
+        ("shared_owner", CachePlacement::Shared, RoutingPolicy::Owner),
+        (
+            "shared_producer",
+            CachePlacement::Shared,
+            RoutingPolicy::Producer,
+        ),
+    ];
+
+    // One fixture per combination so every cold run starts from an empty
+    // cache; the sanity pass below doubles as the warm-up for the timed
+    // region.
+    let runners: Vec<(&str, JobRunner)> = configs
+        .iter()
+        .map(|&(label, placement, routing)| {
+            let f = fixture(placement);
+            (
+                label,
+                JobRunner::new(
+                    f.cluster.clone(),
+                    ExecutorConfig::smpe(128).with_routing(routing).collecting(),
+                ),
+            )
+        })
+        .collect();
+
+    // Sanity outside the timed region: all four configurations must return
+    // byte-identical results — placement and routing are performance knobs,
+    // never correctness knobs.
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for (label, runner) in &runners {
+        let cold = runner.run(&job).unwrap();
+        let rows = sorted(&cold.records);
+        match &reference {
+            None => reference = Some(rows),
+            Some(want) => assert_eq!(want, &rows, "{label} changed the answer"),
+        }
+        let warm = runner.run(&job).unwrap();
+        eprintln!(
+            "[ablation/cache_placement] {label}: cold hit rate {:.1}% ({} local / {} remote), \
+             warm hit rate {:.1}%",
+            cold.profile.cache_hit_rate() * 100.0,
+            cold.profile.local_point_reads(),
+            cold.profile.remote_point_reads(),
+            warm.profile.cache_hit_rate() * 100.0,
+        );
+        if *label == "per_node_owner" {
+            // Owner routing + node-private caches: every resolve lands on
+            // the owning node, so no storage read ever crosses nodes.
+            assert_eq!(cold.profile.remote_point_reads(), 0, "{label}");
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation/cache_placement");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for (label, runner) in &runners {
+        group.bench_function(*label, |b| {
+            b.iter(|| black_box(runner.run(&job).unwrap().count))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_placement);
+criterion_main!(benches);

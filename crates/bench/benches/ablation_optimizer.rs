@@ -44,6 +44,7 @@ fn bench_optimizer(c: &mut Criterion) {
         smpe_threads: 256,
         cores_per_node: 8,
         seed: 42,
+        ..Fig7Config::default()
     })
     .expect("load fixture");
     let runner = JobRunner::new(fixture.cluster.clone(), ExecutorConfig::smpe(256));

@@ -23,6 +23,7 @@ fn bench_pool_size(c: &mut Criterion) {
         smpe_threads: 256,
         cores_per_node: 8,
         seed: 42,
+        ..Fig7Config::default()
     })
     .expect("load fixture");
     let job = q5_prime_job(&Q5Params::with_selectivity(3e-3)).unwrap();

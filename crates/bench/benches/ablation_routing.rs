@@ -24,6 +24,7 @@ fn bench_routing(c: &mut Criterion) {
         smpe_threads: 128,
         cores_per_node: 8,
         seed: 42,
+        ..Fig7Config::default()
     })
     .expect("load fixture");
     let job = q5_prime_job(&Q5Params::with_selectivity(3e-2)).unwrap();

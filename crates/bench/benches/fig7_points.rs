@@ -24,6 +24,7 @@ fn bench_fig7(c: &mut Criterion) {
         smpe_threads: 256,
         cores_per_node: 8,
         seed: 42,
+        ..Fig7Config::default()
     })
     .expect("load fixture");
 

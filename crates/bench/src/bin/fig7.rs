@@ -8,6 +8,11 @@
 //!   FIG7_NODES     simulated nodes         (default 4)
 //!   FIG7_THREADS   SMPE pool threads       (default 512)
 //!   FIG7_IO_SCALE  latency model scale     (default 1.0)
+//!   FIG7_CACHE     total record-cache capacity (default: no cache)
+//!
+//! Flags:
+//!   --profile      after each selectivity row, print the SMPE run's full
+//!                  execution profile (per-stage and per-node tables)
 //!
 //! Output: one row per selectivity with wall-clock (threads really sleep
 //! through the injected latencies, so overlap is physical) and the
@@ -30,6 +35,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 }
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
     let config = Fig7Config {
         nodes: env_usize("FIG7_NODES", 4),
         partitions: env_usize("FIG7_NODES", 4) * 8,
@@ -38,6 +44,10 @@ fn main() {
         smpe_threads: env_usize("FIG7_THREADS", 512),
         cores_per_node: 8,
         seed: 42,
+        record_cache: std::env::var("FIG7_CACHE")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        ..Fig7Config::default()
     };
     eprintln!(
         "[fig7] loading TPC-H SF={} on {} nodes …",
@@ -77,6 +87,9 @@ fn main() {
             speedup,
             p.rede_locality() * 100.0
         );
+        if profile {
+            print!("{}", p.rede_profile);
+        }
     }
     println!("# paper shape: ReDe w/ SMPE >> Impala at low/mid selectivity (>10x),");
     println!("# ReDe w/o SMPE only marginally better at very low selectivity,");

@@ -7,6 +7,10 @@
 //!   FIG9_CLAIMS  number of synthetic claims  (default 20000)
 //!   FIG9_NODES   simulated nodes             (default 4)
 //!   FIG9_SEED    generator seed              (default 42)
+//!
+//! Flags:
+//!   --profile    after each query row, print the ReDe run's full
+//!                execution profile (per-stage and per-node tables)
 
 use rede_bench::{run_fig9, Fig9Config};
 
@@ -18,6 +22,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 }
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
     let config = Fig9Config {
         nodes: env_usize("FIG9_NODES", 4),
         claims: env_usize("FIG9_CLAIMS", 20_000),
@@ -52,6 +57,9 @@ fn main() {
             row.qualifying_claims,
             row.total_expense
         );
+        if profile {
+            print!("{}", row.rede_profile);
+        }
     }
     println!("# (the paper omitted the plain-lake scan from Fig. 9 — footnote 3: \"a lot");
     println!("#  slower than the others\"; reproduced here for completeness)");

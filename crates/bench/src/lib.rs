@@ -13,9 +13,9 @@ use rede_baseline::engine::{Engine, EngineConfig};
 use rede_baseline::warehouse::Warehouse;
 use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
 use rede_claims::queries::{run_lake_scan, run_rede as run_claims_rede, run_warehouse, QuerySpec};
-use rede_common::Result;
+use rede_common::{ExecProfile, Result};
 use rede_core::exec::{ExecutorConfig, JobRunner};
-use rede_storage::{CostModel, IoModel, SimCluster};
+use rede_storage::{CachePlacement, CostModel, IoModel, SimCluster};
 use rede_tpch::{load_tpch, LoadOptions, Q5Params, TpchGenerator};
 use std::time::Duration;
 
@@ -36,6 +36,11 @@ pub struct Fig7Config {
     pub cores_per_node: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Total record-cache capacity across the cluster (`None` = no cache,
+    /// the paper's configuration).
+    pub record_cache: Option<usize>,
+    /// Where the record cache lives when one is configured.
+    pub cache_placement: CachePlacement,
 }
 
 impl Default for Fig7Config {
@@ -48,6 +53,8 @@ impl Default for Fig7Config {
             smpe_threads: 512,
             cores_per_node: 8,
             seed: 42,
+            record_cache: None,
+            cache_placement: CachePlacement::default(),
         }
     }
 }
@@ -67,10 +74,14 @@ pub struct Fig7Fixture {
 impl Fig7Fixture {
     /// Generate, load, and index the dataset under the latency model.
     pub fn build(config: Fig7Config) -> Result<Fig7Fixture> {
-        let cluster = SimCluster::builder()
+        let mut builder = SimCluster::builder()
             .nodes(config.nodes)
             .io_model(IoModel::hdd_like(config.io_scale))
-            .build()?;
+            .cache_placement(config.cache_placement);
+        if let Some(capacity) = config.record_cache {
+            builder = builder.record_cache(capacity);
+        }
+        let cluster = builder.build()?;
         let loaded = load_tpch(
             &cluster,
             TpchGenerator::new(config.scale_factor, config.seed),
@@ -166,6 +177,7 @@ impl Fig7Fixture {
             rede_accesses: smpe.metrics.record_accesses(),
             rede_local_reads: smpe.profile.local_point_reads(),
             rede_remote_reads: smpe.profile.remote_point_reads(),
+            rede_profile: smpe.profile,
         })
     }
 }
@@ -188,6 +200,9 @@ pub struct Fig7Point {
     pub rede_local_reads: u64,
     /// SMPE heap point reads that crossed nodes.
     pub rede_remote_reads: u64,
+    /// Full per-stage / per-node profile of the SMPE run (what `--profile`
+    /// prints).
+    pub rede_profile: ExecProfile,
 }
 
 impl Fig7Point {
@@ -248,6 +263,9 @@ pub struct Fig9Row {
     pub total_expense: i64,
     /// Number of qualifying claims.
     pub qualifying_claims: u64,
+    /// Per-stage / per-node profile of the ReDe run (what `--profile`
+    /// prints).
+    pub rede_profile: ExecProfile,
 }
 
 impl Fig9Row {
@@ -297,6 +315,7 @@ pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Row>> {
             lake_scan_accesses: scan.metrics.record_accesses(),
             total_expense: rede.total_expense,
             qualifying_claims: rede.qualifying_claims,
+            rede_profile: rede.profile,
         });
     }
     Ok(rows)
@@ -328,6 +347,7 @@ mod tests {
             smpe_threads: 32,
             cores_per_node: 4,
             seed: 1,
+            ..Fig7Config::default()
         })
         .unwrap();
         let point = fixture.run_point(0.01).unwrap();

@@ -27,7 +27,7 @@ use crate::gen::{Condition, ACNE, DIABETES, HYPERTENSION};
 use crate::interpret::HasMedicineFilter;
 use crate::{lake, normalize};
 use rede_baseline::warehouse::Warehouse;
-use rede_common::{MetricsSnapshot, RedeError, Result, Value};
+use rede_common::{ExecProfile, MetricsSnapshot, RedeError, Result, Value};
 use rede_core::exec::JobRunner;
 use rede_core::job::{Job, SeedInput};
 use rede_core::prebuilt::{BtreeRangeDereferencer, IndexEntryReferencer, LookupDereferencer};
@@ -73,6 +73,10 @@ pub struct QueryOutcome {
     pub qualifying_claims: u64,
     /// Storage counters for this run alone.
     pub metrics: MetricsSnapshot,
+    /// Per-stage / per-node execution profile. Only the ReDe runner
+    /// produces one; the warehouse and lake-scan paths execute outside the
+    /// job executor and report an empty profile.
+    pub profile: ExecProfile,
 }
 
 /// Build the ReDe job for a query: disease-index probes (one broadcast
@@ -115,6 +119,7 @@ pub fn run_rede(runner: &JobRunner, spec: &QuerySpec) -> Result<QueryOutcome> {
         total_expense: total,
         qualifying_claims: result.count,
         metrics: result.metrics,
+        profile: result.profile,
     })
 }
 
@@ -175,6 +180,7 @@ pub fn run_warehouse(wh: &Warehouse, spec: &QuerySpec) -> Result<QueryOutcome> {
         total_expense: results.iter().sum(),
         qualifying_claims: results.len() as u64,
         metrics: cluster.metrics().snapshot().since(&before),
+        profile: ExecProfile::default(),
     })
 }
 
@@ -236,6 +242,7 @@ pub fn run_lake_scan(cluster: &rede_storage::SimCluster, spec: &QuerySpec) -> Re
         total_expense,
         qualifying_claims,
         metrics: cluster.metrics().snapshot().since(&before),
+        profile: ExecProfile::default(),
     })
 }
 

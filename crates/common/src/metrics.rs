@@ -40,6 +40,8 @@ pub enum AccessKind {
 struct NodeIo {
     local_point_reads: AtomicU64,
     remote_point_reads: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 #[derive(Default)]
@@ -56,9 +58,9 @@ struct Inner {
     records_emitted: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
-    /// Point reads attributed to the node that *issued* them, grown on
-    /// demand to the highest node index seen. Kept outside
-    /// [`MetricsSnapshot`] (which stays `Copy`); read via
+    /// Point reads and record-cache accesses attributed to the node that
+    /// *issued* them, grown on demand to the highest node index seen. Kept
+    /// outside [`MetricsSnapshot`] (which stays `Copy`); read via
     /// [`Metrics::node_point_reads`].
     per_node: RwLock<Vec<Arc<NodeIo>>>,
 }
@@ -96,20 +98,13 @@ impl Metrics {
         ctr.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Record one point read issued *from* `node`, additionally split per
-    /// node. Called by the cluster's charged access path alongside
-    /// [`Metrics::record_access`]; feeds [`ExecProfile`]'s per-node
-    /// local/remote read breakdown.
-    pub fn record_point_read_at(&self, node: usize, local: bool) {
+    /// Run `f` against `node`'s counter block, growing the per-node table
+    /// on demand (first touch of the highest node index allocates).
+    fn with_node_io(&self, node: usize, f: impl FnOnce(&NodeIo)) {
         {
             let per_node = self.inner.per_node.read();
             if let Some(counters) = per_node.get(node) {
-                let ctr = if local {
-                    &counters.local_point_reads
-                } else {
-                    &counters.remote_point_reads
-                };
-                ctr.fetch_add(1, Ordering::Relaxed);
+                f(counters);
                 return;
             }
         }
@@ -117,26 +112,58 @@ impl Metrics {
         while per_node.len() <= node {
             per_node.push(Arc::new(NodeIo::default()));
         }
-        let ctr = if local {
-            &per_node[node].local_point_reads
-        } else {
-            &per_node[node].remote_point_reads
-        };
-        ctr.fetch_add(1, Ordering::Relaxed);
+        f(&per_node[node]);
     }
 
-    /// Per-node point-read counters captured now. Index = issuing node;
-    /// nodes that never issued a read may be absent from the tail.
-    pub fn node_point_reads(&self) -> Vec<NodePointReads> {
+    /// Record one point read issued *from* `node`, additionally split per
+    /// node. Called by the cluster's charged access path alongside
+    /// [`Metrics::record_access`]; feeds [`ExecProfile`]'s per-node
+    /// local/remote read breakdown.
+    pub fn record_point_read_at(&self, node: usize, local: bool) {
+        self.with_node_io(node, |c| {
+            let ctr = if local {
+                &c.local_point_reads
+            } else {
+                &c.remote_point_reads
+            };
+            ctr.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Count a record served from the record cache to `node` (the node
+    /// issuing the resolve). Increments both the aggregate and the
+    /// per-node counter so `local + remote + cache_hits` always sums to
+    /// the logical point reads a node issued.
+    pub fn record_cache_hit_at(&self, node: usize) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.with_node_io(node, |c| {
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Count a record-cache miss at `node` (the access fell through to a
+    /// charged storage read).
+    pub fn record_cache_miss_at(&self, node: usize) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.with_node_io(node, |c| {
+            c.cache_misses.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Per-node I/O counters captured now. Index = issuing node; nodes
+    /// that never issued a read may be absent from the tail.
+    pub fn node_point_reads(&self) -> Vec<NodeIoSnapshot> {
         self.inner
             .per_node
             .read()
             .iter()
             .enumerate()
-            .map(|(node, c)| NodePointReads {
+            .map(|(node, c)| NodeIoSnapshot {
                 node,
                 local: c.local_point_reads.load(Ordering::Relaxed),
                 remote: c.remote_point_reads.load(Ordering::Relaxed),
+                cache_hits: c.cache_hits.load(Ordering::Relaxed),
+                cache_misses: c.cache_misses.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -163,18 +190,6 @@ impl Metrics {
     #[inline]
     pub fn record_emit(&self) {
         self.inner.records_emitted.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Count a record served from the node-local record cache.
-    #[inline]
-    pub fn record_cache_hit(&self) {
-        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Count a record-cache miss (the access fell through to storage).
-    #[inline]
-    pub fn record_cache_miss(&self) {
-        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Capture the current counter values.
@@ -218,6 +233,8 @@ impl Metrics {
         for node in i.per_node.read().iter() {
             node.local_point_reads.store(0, Ordering::Relaxed);
             node.remote_point_reads.store(0, Ordering::Relaxed);
+            node.cache_hits.store(0, Ordering::Relaxed);
+            node.cache_misses.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -304,12 +321,27 @@ impl fmt::Display for MetricsSnapshot {
     }
 }
 
-/// Per-node point-read counts, attributed to the issuing node.
+/// Per-node I/O counts (point reads and record-cache accesses), all
+/// attributed to the *issuing* node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NodePointReads {
+pub struct NodeIoSnapshot {
     pub node: usize,
+    /// Point reads this node issued that its own storage served.
     pub local: u64,
+    /// Point reads this node issued that another node served.
     pub remote: u64,
+    /// Resolves this node issued that its record cache absorbed.
+    pub cache_hits: u64,
+    /// Resolves that missed the cache and fell through to a point read.
+    pub cache_misses: u64,
+}
+
+impl NodeIoSnapshot {
+    /// Logical point reads this node issued: every resolve, whether the
+    /// cache absorbed it or storage served it.
+    pub fn logical_point_reads(&self) -> u64 {
+        self.local + self.remote + self.cache_hits
+    }
 }
 
 /// Per-stage activity within one job run.
@@ -333,6 +365,21 @@ pub struct NodeProfile {
     pub local_point_reads: u64,
     /// Point reads this node issued that another node served.
     pub remote_point_reads: u64,
+    /// Resolves this node issued that its record cache absorbed.
+    pub cache_hits: u64,
+    /// Resolves that missed this node's cache (each pairs with exactly one
+    /// local or remote point read, so `local + remote == cache_misses`
+    /// whenever a cache is configured).
+    pub cache_misses: u64,
+}
+
+impl NodeProfile {
+    /// Logical point reads this node issued: cache hits plus the storage
+    /// reads (`local + remote + cache_hits`). Without a cache this is just
+    /// the storage reads.
+    pub fn logical_point_reads(&self) -> u64 {
+        self.local_point_reads + self.remote_point_reads + self.cache_hits
+    }
 }
 
 /// Execution profile of one job run: where tasks ran, where their reads
@@ -365,6 +412,8 @@ impl ExecProfile {
     }
 
     /// Fraction of point reads served locally (1.0 when there were none).
+    /// Cache hits are excluded: locality describes where *storage* reads
+    /// landed, and a hit never touched storage.
     pub fn locality(&self) -> f64 {
         let local = self.local_point_reads();
         let total = local + self.remote_point_reads();
@@ -372,6 +421,37 @@ impl ExecProfile {
             1.0
         } else {
             local as f64 / total as f64
+        }
+    }
+
+    /// Total record-cache hits across nodes.
+    pub fn cache_hits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cache_hits).sum()
+    }
+
+    /// Total record-cache misses across nodes.
+    pub fn cache_misses(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cache_misses).sum()
+    }
+
+    /// Logical point reads across nodes: `local + remote + cache_hits`,
+    /// i.e. every resolve the run issued whether or not a cache absorbed
+    /// it. This is the conservation quantity: per node it always equals
+    /// `cache_hits + cache_misses` when a cache is configured, and the
+    /// plain storage read count when not.
+    pub fn logical_point_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.logical_point_reads()).sum()
+    }
+
+    /// Fraction of logical point reads the record cache absorbed (0.0
+    /// when there were none, or no cache).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits();
+        let total = hits + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
         }
     }
 }
@@ -396,8 +476,13 @@ impl fmt::Display for ExecProfile {
         for n in &self.nodes {
             writeln!(
                 f,
-                "  node {}: {} enqueued, point reads {} local / {} remote",
-                n.node, n.enqueued, n.local_point_reads, n.remote_point_reads
+                "  node {}: {} enqueued, point reads {} local / {} remote, cache {}/{}",
+                n.node,
+                n.enqueued,
+                n.local_point_reads,
+                n.remote_point_reads,
+                n.cache_hits,
+                n.cache_hits + n.cache_misses
             )?;
         }
         Ok(())
@@ -460,26 +545,25 @@ mod tests {
         assert_eq!(nodes.len(), 3);
         assert_eq!(
             nodes[0],
-            NodePointReads {
+            NodeIoSnapshot {
                 node: 0,
                 local: 1,
-                remote: 0
+                ..Default::default()
             }
         );
         assert_eq!(
             nodes[1],
-            NodePointReads {
+            NodeIoSnapshot {
                 node: 1,
-                local: 0,
-                remote: 0
+                ..Default::default()
             }
         );
         assert_eq!(
             nodes[2],
-            NodePointReads {
+            NodeIoSnapshot {
                 node: 2,
-                local: 0,
-                remote: 2
+                remote: 2,
+                ..Default::default()
             }
         );
         m.reset();
@@ -487,6 +571,32 @@ mod tests {
             .node_point_reads()
             .iter()
             .all(|n| n.local == 0 && n.remote == 0));
+    }
+
+    #[test]
+    fn per_node_cache_counters_feed_both_levels() {
+        let m = Metrics::new();
+        m.record_cache_hit_at(1);
+        m.record_cache_hit_at(1);
+        m.record_cache_miss_at(0);
+        m.record_point_read_at(0, true); // the miss's storage read
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        let nodes = m.node_point_reads();
+        assert_eq!(nodes[1].cache_hits, 2);
+        assert_eq!(nodes[1].logical_point_reads(), 2);
+        assert_eq!(nodes[0].cache_misses, 1);
+        assert_eq!(nodes[0].local, 1);
+        assert_eq!(
+            nodes[0].logical_point_reads(),
+            nodes[0].cache_hits + nodes[0].cache_misses
+        );
+        m.reset();
+        assert!(m
+            .node_point_reads()
+            .iter()
+            .all(|n| n.cache_hits == 0 && n.cache_misses == 0));
     }
 
     #[test]
@@ -498,10 +608,15 @@ mod tests {
             enqueued: 4,
             local_point_reads: 3,
             remote_point_reads: 1,
+            cache_hits: 4,
+            cache_misses: 4,
         });
         assert_eq!(p.local_point_reads(), 3);
         assert_eq!(p.remote_point_reads(), 1);
         assert!((p.locality() - 0.75).abs() < 1e-9);
+        assert_eq!(p.cache_hits(), 4);
+        assert_eq!(p.logical_point_reads(), 8);
+        assert!((p.cache_hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -205,6 +205,8 @@ pub(crate) fn run(cluster: &SimCluster, job: &Job, config: &ExecutorConfig) -> R
                 enqueued: prof.node_tasks[node].load(Ordering::Relaxed),
                 local_point_reads: after.local.saturating_sub(before.local),
                 remote_point_reads: after.remote.saturating_sub(before.remote),
+                cache_hits: after.cache_hits.saturating_sub(before.cache_hits),
+                cache_misses: after.cache_misses.saturating_sub(before.cache_misses),
             }
         })
         .collect();

@@ -390,7 +390,7 @@ pub(crate) fn run(
 fn build_profile(
     state: &RunState,
     nodes: usize,
-    node_reads_before: &[rede_common::NodePointReads],
+    node_reads_before: &[rede_common::NodeIoSnapshot],
 ) -> ExecProfile {
     let prof = &state.prof;
     let stages = state
@@ -414,6 +414,8 @@ fn build_profile(
                 enqueued: prof.node_enqueued[node].load(Ordering::Relaxed),
                 local_point_reads: after.local.saturating_sub(before.local),
                 remote_point_reads: after.remote.saturating_sub(before.remote),
+                cache_hits: after.cache_hits.saturating_sub(before.cache_hits),
+                cache_misses: after.cache_misses.saturating_sub(before.cache_misses),
             }
         })
         .collect();

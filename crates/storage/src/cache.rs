@@ -149,22 +149,56 @@ impl Shard {
     }
 }
 
+/// Where the record cache lives relative to the cluster's nodes.
+///
+/// The paper's § V-C storage layer is *node-local*: each node caches the
+/// records it dereferences, which is what a real deployment can build (a
+/// node cannot hit on a record another node's memory holds). The
+/// cluster-wide variant — one pool shared by every node — is kept purely
+/// for ablation: it is physically unrealizable but shows how much of the
+/// hit rate comes from locality versus sheer capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePlacement {
+    /// One cache per node, keyed off the node issuing the resolve; the
+    /// configured capacity is split evenly across nodes (exact total).
+    #[default]
+    PerNode,
+    /// A single pool shared by all nodes (ablation baseline).
+    Shared,
+}
+
 /// Sharded exact-LRU record cache.
 pub struct RecordCache {
     shards: Vec<Mutex<Shard>>,
 }
 
 impl RecordCache {
-    /// Cache holding up to `capacity` records across `shards` shards (both
-    /// clamped to at least 1; per-shard capacity is the ceiling split).
+    /// Cache holding up to *exactly* `capacity` records across `shards`
+    /// shards (`shards` is clamped to `1..=capacity`). The capacity is
+    /// split evenly with the remainder spread one-per-shard, so the shard
+    /// capacities always sum to the requested bound — the earlier ceiling
+    /// split let an 8-shard cache of 1001 admit 1008 records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a cache that can hold nothing is
+    /// always a configuration mistake (disable the cache instead), and the
+    /// eviction path relies on every shard holding at least one record.
     pub fn new(capacity: usize, shards: usize) -> RecordCache {
-        let shards = shards.clamp(1, capacity.max(1));
-        let per_shard = capacity.max(1).div_ceil(shards);
+        assert!(capacity > 0, "record cache capacity must be at least 1");
+        let shards = shards.clamp(1, capacity);
+        let (base, extra) = (capacity / shards, capacity % shards);
         RecordCache {
             shards: (0..shards)
-                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
                 .collect(),
         }
+    }
+
+    /// Total records this cache can hold (the exact bound `len` never
+    /// exceeds).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity).sum()
     }
 
     fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -322,10 +356,36 @@ mod tests {
 
     #[test]
     fn stress_eviction_never_exceeds_capacity() {
-        let cache = RecordCache::new(16, 2);
+        // 13 across 4 shards does not divide evenly: the old ceiling split
+        // gave every shard 4 slots (16 total, a 3-record overshoot).
+        let cache = RecordCache::new(13, 4);
+        assert_eq!(cache.capacity(), 13);
         for i in 0..10_000 {
             cache.insert(key(i), rec(i));
-            assert!(cache.len() <= 16);
+            assert!(cache.len() <= 13, "len {} exceeds capacity", cache.len());
         }
+        // Every shard saw far more inserts than its share, so the cache
+        // must be exactly full — an undershoot would also be a split bug.
+        assert_eq!(cache.len(), 13);
+    }
+
+    #[test]
+    fn capacity_is_exact_for_any_shard_count() {
+        for capacity in [1, 2, 7, 13, 100, 1001] {
+            for shards in [1, 2, 3, 8, 64] {
+                let cache = RecordCache::new(capacity, shards);
+                assert_eq!(
+                    cache.capacity(),
+                    capacity,
+                    "capacity {capacity} split over {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        RecordCache::new(0, 4);
     }
 }

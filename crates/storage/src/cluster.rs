@@ -13,7 +13,7 @@
 //! round-robin layout the paper uses for its HDFS load.
 
 use crate::btree_file::{BtreeFile, IndexSpec};
-use crate::cache::{CacheKey, RecordCache};
+use crate::cache::{CacheKey, CachePlacement, RecordCache};
 use crate::catalog::{Catalog, StorageObject};
 use crate::heap_file::HeapFile;
 use crate::io_model::{IoModel, IopsLimiter};
@@ -42,13 +42,38 @@ impl FileSpec {
     }
 }
 
+/// The record cache in its configured placement. Every access names the
+/// node issuing the resolve so per-node caches stay node-private.
+enum CacheLayer {
+    /// One pool shared by all nodes (ablation baseline).
+    Shared(RecordCache),
+    /// One cache per node, indexed by the issuing node.
+    PerNode(Vec<RecordCache>),
+}
+
+impl CacheLayer {
+    fn get(&self, node: usize, key: &CacheKey) -> Option<Record> {
+        match self {
+            CacheLayer::Shared(cache) => cache.get(key),
+            CacheLayer::PerNode(caches) => caches[node].get(key),
+        }
+    }
+
+    fn insert(&self, node: usize, key: CacheKey, value: Record) {
+        match self {
+            CacheLayer::Shared(cache) => cache.insert(key, value),
+            CacheLayer::PerNode(caches) => caches[node].insert(key, value),
+        }
+    }
+}
+
 struct ClusterInner {
     nodes: usize,
     io: IoModel,
     metrics: Metrics,
     limiters: Vec<IopsLimiter>,
     catalog: Catalog,
-    cache: Option<RecordCache>,
+    cache: Option<CacheLayer>,
 }
 
 impl ClusterInner {
@@ -56,35 +81,56 @@ impl ClusterInner {
         partition % self.nodes
     }
 
+    /// Network component of a remote access: the difference between remote
+    /// and local point-read latency.
+    fn rtt(&self) -> std::time::Duration {
+        self.io
+            .remote_point_read
+            .saturating_sub(self.io.local_point_read)
+    }
+
     /// Pay for one point read of a record in `partition`, issued from
     /// `from_node`. Returns after the (possibly zero) injected latency.
+    ///
+    /// The owner's IOPS permit is held only for the *device* portion of
+    /// the latency; a remote read pays the network RTT after releasing it.
+    /// Wire time must not occupy a disk-queue slot, or one slow remote
+    /// reader would falsely throttle the owner's local readers.
     fn charge_point_read(&self, partition: usize, from_node: usize) {
         let owner = self.node_of_partition(partition);
-        let _permit = self.limiters[owner].acquire();
         let local = owner == from_node;
         self.metrics.record_point_read_at(from_node, local);
-        if local {
-            self.metrics.record_access(AccessKind::LocalPointRead);
+        {
+            let _permit = self.limiters[owner].acquire();
+            if local {
+                self.metrics.record_access(AccessKind::LocalPointRead);
+            } else {
+                self.metrics.record_access(AccessKind::RemotePointRead);
+            }
+            // Both kinds spend the same time on the owner's device; the
+            // remote surcharge is pure network and is paid below.
             self.io.pay_local_read();
-        } else {
-            self.metrics.record_access(AccessKind::RemotePointRead);
-            self.io.pay_remote_read();
+        }
+        if !local {
+            let rtt = self.rtt();
+            if !rtt.is_zero() {
+                std::thread::sleep(rtt);
+            }
         }
     }
 
     /// Pay for one index traversal in `partition` issued from `from_node`.
-    /// A remote traversal additionally pays the network component (the
-    /// difference between remote and local point-read latency).
+    /// A remote traversal additionally pays the network component, again
+    /// *outside* the owner's IOPS permit.
     fn charge_index_probe(&self, partition: usize, from_node: usize) {
         let owner = self.node_of_partition(partition);
-        let _permit = self.limiters[owner].acquire();
         self.metrics.record_access(AccessKind::IndexLookup);
-        self.io.pay_index_lookup();
+        {
+            let _permit = self.limiters[owner].acquire();
+            self.io.pay_index_lookup();
+        }
         if owner != from_node {
-            let rtt = self
-                .io
-                .remote_point_read
-                .saturating_sub(self.io.local_point_read);
+            let rtt = self.rtt();
             if !rtt.is_zero() {
                 std::thread::sleep(rtt);
             }
@@ -104,6 +150,7 @@ pub struct SimClusterBuilder {
     io: IoModel,
     metrics: Option<Metrics>,
     cache_capacity: Option<usize>,
+    cache_placement: CachePlacement,
 }
 
 impl SimClusterBuilder {
@@ -126,12 +173,24 @@ impl SimClusterBuilder {
         self
     }
 
-    /// Enable the node-local record cache (§ V-C) holding up to `capacity`
-    /// records. Cache hits skip the point-read latency and are counted as
-    /// `cache_hits` instead of storage accesses, so leave the cache off for
-    /// experiments that compare logical access counts.
+    /// Enable the record cache (§ V-C) holding up to `capacity` records
+    /// *in total across the cluster*. Under the default
+    /// [`CachePlacement::PerNode`] the budget is split evenly across
+    /// nodes, each node caching only what it resolves itself. Cache hits
+    /// skip the point-read latency and are counted as `cache_hits`
+    /// (aggregate and per issuing node) instead of storage accesses, so
+    /// leave the cache off for experiments that compare logical access
+    /// counts.
     pub fn record_cache(mut self, capacity: usize) -> Self {
         self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Choose where the record cache lives (default:
+    /// [`CachePlacement::PerNode`]). Only meaningful together with
+    /// [`SimClusterBuilder::record_cache`].
+    pub fn cache_placement(mut self, placement: CachePlacement) -> Self {
+        self.cache_placement = placement;
         self
     }
 
@@ -143,9 +202,38 @@ impl SimClusterBuilder {
         let limiters = (0..self.nodes)
             .map(|_| IopsLimiter::new(self.io.queue_depth))
             .collect();
-        let cache = self
-            .cache_capacity
-            .map(|capacity| RecordCache::new(capacity, (self.nodes * 4).max(4)));
+        let cache = match self.cache_capacity {
+            None => None,
+            Some(0) => {
+                return Err(RedeError::Config(
+                    "record cache capacity must be at least 1 (omit record_cache to disable)"
+                        .into(),
+                ));
+            }
+            Some(capacity) => match self.cache_placement {
+                CachePlacement::Shared => Some(CacheLayer::Shared(RecordCache::new(
+                    capacity,
+                    (self.nodes * 4).max(4),
+                ))),
+                CachePlacement::PerNode => {
+                    if capacity < self.nodes {
+                        return Err(RedeError::Config(format!(
+                            "per-node record cache needs capacity >= nodes \
+                             (capacity {capacity}, nodes {})",
+                            self.nodes
+                        )));
+                    }
+                    // Exact split of the total budget: node i gets the base
+                    // share plus one of the remainder slots.
+                    let (base, extra) = (capacity / self.nodes, capacity % self.nodes);
+                    Some(CacheLayer::PerNode(
+                        (0..self.nodes)
+                            .map(|i| RecordCache::new(base + usize::from(i < extra), 4))
+                            .collect(),
+                    ))
+                }
+            },
+        };
         Ok(SimCluster {
             inner: Arc::new(ClusterInner {
                 nodes: self.nodes,
@@ -167,6 +255,7 @@ impl SimCluster {
             io: IoModel::zero(),
             metrics: None,
             cache_capacity: None,
+            cache_placement: CachePlacement::default(),
         }
     }
 
@@ -268,7 +357,13 @@ impl SimCluster {
         let partition_key = ptr.partition_key.as_ref()?;
         match self.inner.catalog.get(&ptr.file).ok()? {
             StorageObject::Heap(heap) => match &ptr.key {
-                PointerKey::Physical(_) => partition_key.as_int().map(|p| p as usize),
+                // A negative or out-of-range physical partition is not
+                // routable; `resolve` rejects it, the oracle just answers
+                // "no placement known" (it must not fail the run).
+                PointerKey::Physical(_) => partition_key
+                    .as_int()
+                    .and_then(|p| usize::try_from(p).ok())
+                    .filter(|&p| p < heap.partitions()),
                 PointerKey::Logical(_) => Some(heap.partition_of(partition_key)),
             },
             StorageObject::Btree(index) => {
@@ -301,10 +396,19 @@ impl SimCluster {
             RedeError::Routing(format!("cannot resolve broadcast pointer {ptr:?}"))
         })?;
         let partition = match &ptr.key {
+            // A negative partition must not wrap through `as usize` into a
+            // huge index; reject it (and anything past the file's
+            // partition count) as a routing error.
             PointerKey::Physical(_) => partition_key
                 .as_int()
-                .ok_or_else(|| RedeError::Routing(format!("bad physical partition in {ptr:?}")))?
-                as usize,
+                .and_then(|p| usize::try_from(p).ok())
+                .filter(|&p| p < heap.partitions())
+                .ok_or_else(|| {
+                    RedeError::Routing(format!(
+                        "physical partition out of range in {ptr:?} (file has {} partitions)",
+                        heap.partitions()
+                    ))
+                })?,
             PointerKey::Logical(_) => heap.partition_of(partition_key),
         };
         if let Some(cache) = &self.inner.cache {
@@ -313,14 +417,17 @@ impl SimCluster {
                 partition,
                 key: ptr.key.clone(),
             };
-            if let Some(record) = cache.get(&cache_key) {
-                self.inner.metrics.record_cache_hit();
+            if let Some(record) = cache.get(from_node, &cache_key) {
+                // A hit is still a logical access by `from_node`: count it
+                // there so per-node totals always sum to the resolves
+                // issued, even when the cache absorbs all the I/O.
+                self.inner.metrics.record_cache_hit_at(from_node);
                 return Ok(record);
             }
-            self.inner.metrics.record_cache_miss();
+            self.inner.metrics.record_cache_miss_at(from_node);
             self.inner.charge_point_read(partition, from_node);
             let record = heap.get(partition, &ptr.key)?;
-            cache.insert(cache_key, record.clone());
+            cache.insert(from_node, cache_key, record.clone());
             return Ok(record);
         }
         self.inner.charge_point_read(partition, from_node);
@@ -805,11 +912,11 @@ mod tests {
         assert_eq!(per_node[other].remote, 1);
     }
 
-    #[test]
-    fn record_cache_serves_repeats_without_storage_access() {
+    fn cached_cluster(placement: CachePlacement) -> SimCluster {
         let c = SimCluster::builder()
             .nodes(2)
             .record_cache(64)
+            .cache_placement(placement)
             .build()
             .unwrap();
         let f = c
@@ -819,6 +926,37 @@ mod tests {
             f.insert(Value::Int(i), Record::from_text(&format!("r{i}")))
                 .unwrap();
         }
+        c
+    }
+
+    #[test]
+    fn per_node_cache_serves_repeats_on_the_same_node_only() {
+        let c = cached_cluster(CachePlacement::PerNode);
+        let ptr = Pointer::logical("part", Value::Int(5), Value::Int(5));
+        c.metrics().reset();
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "r5");
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "r5");
+        // Node 1 has its own cache: its first resolve must miss even
+        // though node 0 already holds the record.
+        assert_eq!(c.resolve(&ptr, 1).unwrap().text().unwrap(), "r5");
+        let s = c.metrics().snapshot();
+        assert_eq!(s.point_reads(), 2, "one first-touch read per node");
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.cache_hits, 1);
+        let per_node = c.metrics().node_point_reads();
+        assert_eq!(per_node[0].cache_hits, 1);
+        assert_eq!(per_node[0].cache_misses, 1);
+        assert_eq!(per_node[1].cache_hits, 0);
+        assert_eq!(per_node[1].cache_misses, 1);
+        // Conservation per node: every resolve is a hit or a storage read.
+        for n in &per_node {
+            assert_eq!(n.logical_point_reads(), n.cache_hits + n.cache_misses);
+        }
+    }
+
+    #[test]
+    fn shared_cache_serves_repeats_across_nodes() {
+        let c = cached_cluster(CachePlacement::Shared);
         let ptr = Pointer::logical("part", Value::Int(5), Value::Int(5));
         c.metrics().reset();
         assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "r5");
@@ -828,6 +966,57 @@ mod tests {
         assert_eq!(s.point_reads(), 1, "only the first resolve touches storage");
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_hits, 2);
+        // Hits are still attributed to the issuing node.
+        let per_node = c.metrics().node_point_reads();
+        assert_eq!(per_node[0].cache_hits, 1);
+        assert_eq!(per_node[1].cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_misconfigurations_are_rejected() {
+        assert!(matches!(
+            SimCluster::builder().nodes(2).record_cache(0).build(),
+            Err(RedeError::Config(_))
+        ));
+        // Per-node placement cannot split 3 slots across 4 nodes.
+        assert!(matches!(
+            SimCluster::builder().nodes(4).record_cache(3).build(),
+            Err(RedeError::Config(_))
+        ));
+        // The same budget is fine shared.
+        assert!(SimCluster::builder()
+            .nodes(4)
+            .record_cache(3)
+            .cache_placement(CachePlacement::Shared)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn resolve_rejects_negative_or_out_of_range_physical_partition() {
+        let c = cluster();
+        let f = loaded(&c, 8);
+        for bad in [-1i64, -3, f.partitions() as i64, i64::MIN] {
+            let ptr = Pointer {
+                file: Arc::from("part"),
+                partition_key: Some(Value::Int(bad)),
+                key: PointerKey::Physical(0),
+            };
+            assert!(
+                matches!(c.resolve(&ptr, 0), Err(RedeError::Routing(_))),
+                "partition {bad} must be a routing error, not a wrapped index"
+            );
+            // The routing oracle answers "unroutable" instead of failing.
+            assert_eq!(c.partition_of_pointer(&ptr), None);
+            assert_eq!(c.owner_of_pointer(&ptr), None);
+        }
+        // A non-integer physical partition key is equally unroutable.
+        let bad_key = Pointer {
+            file: Arc::from("part"),
+            partition_key: Some(Value::str("oops")),
+            key: PointerKey::Physical(0),
+        };
+        assert!(matches!(c.resolve(&bad_key, 0), Err(RedeError::Routing(_))));
     }
 
     #[test]

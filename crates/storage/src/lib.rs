@@ -36,7 +36,7 @@ pub mod record;
 
 pub use btree::BPlusTree;
 pub use btree_file::{BtreeFile, IndexEntry, IndexLocality, IndexSpec};
-pub use cache::{CacheKey, RecordCache};
+pub use cache::{CacheKey, CachePlacement, RecordCache};
 pub use cluster::{FileHandle, FileSpec, IndexHandle, SimCluster, SimClusterBuilder};
 pub use cost::{CostModel, CostReport};
 pub use heap_file::HeapFile;

@@ -1,10 +1,12 @@
-//! Property-based test of the LRU record cache against a reference model
-//! (a vector ordered by recency).
+//! Property-based tests of the LRU record cache: a single shard against a
+//! reference model (a vector ordered by recency), and the per-node cache
+//! layer against a per-node first-touch model.
 
 use proptest::prelude::*;
 use rede_common::Value;
 use rede_storage::cache::{CacheKey, RecordCache};
-use rede_storage::{PointerKey, Record};
+use rede_storage::{FileSpec, Partitioning, Pointer, PointerKey, Record, SimCluster};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -103,13 +105,68 @@ proptest! {
         for &k in &inserts {
             cache.insert(key(k), Record::from_text(&format!("v{k}")));
         }
-        // Per-shard capacity is the ceiling split, so the total may round up.
-        let per_shard = capacity.div_ceil(shards.clamp(1, capacity));
-        prop_assert!(cache.len() <= per_shard * shards);
+        // The shard capacities sum to exactly the requested bound.
+        prop_assert!(cache.len() <= capacity);
         for k in 0..200 {
             if let Some(r) = cache.get(&key(k)) {
                 prop_assert_eq!(r.text().unwrap(), format!("v{k}"));
             }
+        }
+    }
+
+    /// Per-node caches are node-private: with eviction impossible (ample
+    /// capacity), a node's first resolve of a key is always a miss — even
+    /// when another node already cached that record — and every repeat is
+    /// a hit. The per-node counters must match that model exactly, so a
+    /// record served (or counted) against the wrong node's cache is
+    /// detected.
+    #[test]
+    fn per_node_cache_never_serves_across_nodes(
+        accesses in prop::collection::vec((0usize..3, 0i64..24), 1..250),
+    ) {
+        let nodes = 3;
+        let cluster = SimCluster::builder()
+            .nodes(nodes)
+            .record_cache(3 * 1024) // 1024 per node: no eviction possible
+            .build()
+            .unwrap();
+        let file = cluster
+            .create_file(FileSpec::new("t", Partitioning::hash(4)))
+            .unwrap();
+        for i in 0..24i64 {
+            file.insert(Value::Int(i), Record::from_text(&format!("r{i}")))
+                .unwrap();
+        }
+        cluster.metrics().reset();
+
+        let mut seen: Vec<HashSet<i64>> = vec![HashSet::new(); nodes];
+        let mut expect_hits = vec![0u64; nodes];
+        let mut expect_misses = vec![0u64; nodes];
+        for &(node, k) in &accesses {
+            let ptr = Pointer::logical("t", Value::Int(k), Value::Int(k));
+            let record = cluster.resolve(&ptr, node).unwrap();
+            prop_assert_eq!(record.text().unwrap(), format!("r{k}"));
+            if seen[node].insert(k) {
+                expect_misses[node] += 1;
+            } else {
+                expect_hits[node] += 1;
+            }
+        }
+
+        let per_node = cluster.metrics().node_point_reads();
+        for node in 0..nodes {
+            let io = per_node.get(node).copied().unwrap_or_default();
+            prop_assert_eq!(
+                io.cache_hits, expect_hits[node],
+                "node {} hits diverge from the first-touch model", node
+            );
+            prop_assert_eq!(
+                io.cache_misses, expect_misses[node],
+                "node {} misses diverge from the first-touch model", node
+            );
+            // Every miss pays exactly one storage read issued by the node.
+            prop_assert_eq!(io.local + io.remote, io.cache_misses);
+            prop_assert_eq!(io.logical_point_reads(), io.cache_hits + io.cache_misses);
         }
     }
 }

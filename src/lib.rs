@@ -72,6 +72,7 @@ pub mod prelude {
         StageCtx,
     };
     pub use rede_storage::{
-        FileSpec, IoModel, Partitioning, Pointer, Record, SimCluster, SimClusterBuilder,
+        CachePlacement, FileSpec, IoModel, Partitioning, Pointer, Record, SimCluster,
+        SimClusterBuilder,
     };
 }

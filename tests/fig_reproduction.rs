@@ -16,6 +16,7 @@ fn fig7_cost_model_shape() {
         smpe_threads: 64,
         cores_per_node: 8,
         seed: 42,
+        ..Fig7Config::default()
     })
     .unwrap();
     // Model the points under the unscaled latency profile.

@@ -74,6 +74,59 @@ fn cache_preserves_results_and_absorbs_hot_fetches() {
     );
 }
 
+/// The per-node accounting must stay honest under SMPE concurrency: many
+/// pool threads race through `resolve`, and every one of their accesses
+/// has to land in exactly one node's hit or miss counter. For each node,
+/// every miss pays exactly one storage read issued by that node, and hits
+/// plus misses equal the node's logical point reads — so summed across
+/// nodes they reproduce the uncached run's storage read count exactly
+/// (no access lost or double-counted in the race between cache probe and
+/// counter update).
+#[test]
+fn per_node_counters_conserve_accesses_under_smpe() {
+    let job = q5_prime_job(&Q5Params::with_selectivity(0.2)).unwrap();
+    let plain = load(None);
+    let cached = load(Some(100_000));
+    let plain_run = JobRunner::new(plain, ExecutorConfig::smpe(32))
+        .run(&job)
+        .unwrap();
+    let cached_run = JobRunner::new(cached, ExecutorConfig::smpe(32))
+        .run(&job)
+        .unwrap();
+
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for n in &cached_run.profile.nodes {
+        // Every miss fell through to exactly one storage read issued by
+        // this node; hits never touched storage.
+        assert_eq!(
+            n.local_point_reads + n.remote_point_reads,
+            n.cache_misses,
+            "node {}: misses must match storage reads",
+            n.node
+        );
+        assert_eq!(
+            n.logical_point_reads(),
+            n.cache_hits + n.cache_misses,
+            "node {}: hits + misses must cover every resolve",
+            n.node
+        );
+        hits += n.cache_hits;
+        misses += n.cache_misses;
+    }
+    // The per-node counters agree with the aggregate ones…
+    assert_eq!(hits, cached_run.metrics.cache_hits);
+    assert_eq!(misses, cached_run.metrics.cache_misses);
+    assert!(hits > 0, "hot supplier fetches must hit");
+    // …and hits + misses across nodes equal the logical access count, i.e.
+    // the storage reads an identical uncached run performs.
+    assert_eq!(hits + misses, plain_run.metrics.point_reads());
+    assert_eq!(
+        cached_run.profile.logical_point_reads(),
+        plain_run.metrics.point_reads()
+    );
+}
+
 #[test]
 fn tiny_cache_still_correct_under_churn() {
     let job = q5_prime_job(&Q5Params::with_selectivity(0.1)).unwrap();
