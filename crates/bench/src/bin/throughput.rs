@@ -1,0 +1,110 @@
+//! Closed-loop multi-tenant throughput: K concurrent clients submitting
+//! alternating TPC-H Q5'/Q6 jobs to one `HarborScheduler`, reporting
+//! p50/p95/p99 job latency, throughput, and the per-client fairness ratio
+//! at each offered load.
+//!
+//! Every job's row count is checked against a serial reference run, so a
+//! passing sweep is also a concurrency-correctness result. The process
+//! exits non-zero if any load point's max/min completed-jobs ratio
+//! exceeds the starvation bound — CI runs this in smoke mode.
+//!
+//! Environment overrides (all optional):
+//!
+//! ```text
+//! THROUGHPUT_SF=0.005         TPC-H scale factor
+//! THROUGHPUT_NODES=4          simulated nodes
+//! THROUGHPUT_PARTITIONS=16    partitions per file
+//! THROUGHPUT_IO_SCALE=0.05    latency model scale
+//! THROUGHPUT_THREADS=256      scheduler pool threads
+//! THROUGHPUT_CLIENTS=2,4,8    comma-separated offered-load points
+//! THROUGHPUT_WINDOW_MS=1500   submission window per point
+//! THROUGHPUT_FAIRNESS_MAX=5.0 max tolerated max/min completed-jobs ratio
+//! THROUGHPUT_SEED=42          generator seed
+//! ```
+
+use rede_bench::{fmt_duration, run_throughput, Fig7Config, Fig7Fixture, ThroughputOptions};
+use std::time::Duration;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn client_points() -> Vec<usize> {
+    std::env::var("THROUGHPUT_CLIENTS")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&c: &usize| c > 0)
+                .collect()
+        })
+        .ok()
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 4, 8])
+}
+
+fn main() {
+    let config = Fig7Config {
+        nodes: env_or("THROUGHPUT_NODES", 4),
+        partitions: env_or("THROUGHPUT_PARTITIONS", 16),
+        scale_factor: env_or("THROUGHPUT_SF", 0.005),
+        io_scale: env_or("THROUGHPUT_IO_SCALE", 0.05),
+        smpe_threads: env_or("THROUGHPUT_THREADS", 256),
+        seed: env_or("THROUGHPUT_SEED", 42),
+        ..Fig7Config::default()
+    };
+    let window = Duration::from_millis(env_or("THROUGHPUT_WINDOW_MS", 1500));
+    let fairness_max: f64 = env_or("THROUGHPUT_FAIRNESS_MAX", 5.0);
+    let points = client_points();
+
+    eprintln!(
+        "loading TPC-H sf={} on {} nodes ({} partitions, io_scale {}) …",
+        config.scale_factor, config.nodes, config.partitions, config.io_scale
+    );
+    let fixture = Fig7Fixture::build(config).expect("fixture");
+    eprintln!(
+        "loaded: {} lineitem rows, {} orders rows",
+        fixture.lineitem_rows, fixture.orders_rows
+    );
+
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}  per-client",
+        "clients", "jobs", "jobs/s", "p50", "p95", "p99", "fairness"
+    );
+    let mut starved = false;
+    for clients in points {
+        let point = run_throughput(
+            &fixture,
+            &ThroughputOptions {
+                clients,
+                window,
+                ..ThroughputOptions::default()
+            },
+        )
+        .expect("throughput point");
+        let fairness = point.fairness_ratio();
+        println!(
+            "{:>8} {:>6} {:>10.2} {:>10} {:>10} {:>10} {:>10.2}  {:?}",
+            point.clients,
+            point.jobs,
+            point.throughput(),
+            fmt_duration(point.p50),
+            fmt_duration(point.p95),
+            fmt_duration(point.p99),
+            fairness,
+            point.per_client_completed,
+        );
+        if fairness > fairness_max {
+            eprintln!(
+                "FAIRNESS VIOLATION at {} clients: max/min completed-jobs ratio {:.2} > bound {:.2} ({:?})",
+                point.clients, fairness, fairness_max, point.per_client_completed
+            );
+            starved = true;
+        }
+    }
+    if starved {
+        std::process::exit(1);
+    }
+}

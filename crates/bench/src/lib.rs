@@ -15,8 +15,9 @@ use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
 use rede_claims::queries::{run_lake_scan, run_rede as run_claims_rede, run_warehouse, QuerySpec};
 use rede_common::{ExecProfile, Result};
 use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_core::scheduler::{HarborScheduler, SchedulerConfig, SubmitOptions};
 use rede_storage::{CachePlacement, CostModel, IoModel, SimCluster};
-use rede_tpch::{load_tpch, LoadOptions, Q5Params, TpchGenerator};
+use rede_tpch::{load_tpch, LoadOptions, Q5Params, Q6Params, TpchGenerator};
 use std::time::Duration;
 
 /// Configuration of the Fig. 7 experiment.
@@ -319,6 +320,158 @@ pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Row>> {
         });
     }
     Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant throughput: K closed-loop clients on one HarborScheduler.
+// ---------------------------------------------------------------------------
+
+/// Options for one closed-loop throughput point.
+#[derive(Debug, Clone)]
+pub struct ThroughputOptions {
+    /// Concurrent closed-loop clients (each waits for its job before
+    /// submitting the next).
+    pub clients: usize,
+    /// How long clients keep submitting. Every client always completes at
+    /// least one job, even past the window.
+    pub window: Duration,
+    /// Selectivity of the Q5' jobs (even-numbered submissions).
+    pub q5_selectivity: f64,
+}
+
+impl Default for ThroughputOptions {
+    fn default() -> Self {
+        ThroughputOptions {
+            clients: 4,
+            window: Duration::from_millis(1500),
+            q5_selectivity: 3e-2,
+        }
+    }
+}
+
+/// One measured load point of the throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Offered load: concurrent clients.
+    pub clients: usize,
+    /// Total jobs completed across all clients.
+    pub jobs: usize,
+    /// Wall-clock of the whole point (first submit → last completion).
+    pub wall: Duration,
+    /// Job-completion latency percentiles across all clients.
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    /// Jobs completed per client — the fairness signal.
+    pub per_client_completed: Vec<usize>,
+}
+
+impl ThroughputPoint {
+    /// Completed jobs per second of wall-clock.
+    pub fn throughput(&self) -> f64 {
+        self.jobs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Max/min completed-jobs ratio across clients. 1.0 is perfectly fair;
+    /// a starved client drives it toward infinity (min is ≥ 1 by
+    /// construction, so the ratio is always finite).
+    pub fn fairness_ratio(&self) -> f64 {
+        let max = *self.per_client_completed.iter().max().unwrap_or(&1) as f64;
+        let min = *self.per_client_completed.iter().min().unwrap_or(&1) as f64;
+        max / min.max(1.0)
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run one closed-loop load point: `clients` concurrent clients submit
+/// Q5'/Q6 jobs (alternating) against one shared [`HarborScheduler`] until
+/// the window closes, each waiting for its previous job before submitting
+/// the next. Every result is checked against serial reference counts, so
+/// the point doubles as a concurrency-correctness assertion.
+pub fn run_throughput(
+    fixture: &Fig7Fixture,
+    options: &ThroughputOptions,
+) -> Result<ThroughputPoint> {
+    let q5 = rede_tpch::q5_prime_job(&Q5Params::with_selectivity(options.q5_selectivity))?;
+    let q6 = rede_tpch::q6_job(&Q6Params::standard())?;
+
+    // Serial reference counts, before any concurrency.
+    let serial = fixture.smpe_runner();
+    let q5_expected = serial.run(&q5)?.count;
+    let q6_expected = serial.run(&q6)?.count;
+    drop(serial);
+
+    let scheduler = HarborScheduler::new(
+        fixture.cluster.clone(),
+        SchedulerConfig {
+            pool_threads: fixture.config.smpe_threads,
+            ..SchedulerConfig::default()
+        },
+    );
+    let start = std::time::Instant::now();
+    let deadline = start + options.window;
+    let workers: Vec<_> = (0..options.clients)
+        .map(|client| {
+            let scheduler = scheduler.clone();
+            let q5 = q5.clone();
+            let q6 = q6.clone();
+            std::thread::spawn(move || -> Result<(usize, Vec<Duration>)> {
+                let mut latencies = Vec::new();
+                let mut completed = 0usize;
+                loop {
+                    let is_q5 = (client + completed).is_multiple_of(2);
+                    let (job, expected) = if is_q5 {
+                        (&q5, q5_expected)
+                    } else {
+                        (&q6, q6_expected)
+                    };
+                    let submitted = std::time::Instant::now();
+                    let handle = scheduler
+                        .submit_with(job, SubmitOptions::new().tenant(format!("client-{client}")));
+                    let result = handle.wait()?;
+                    latencies.push(submitted.elapsed());
+                    completed += 1;
+                    if result.count != expected {
+                        return Err(rede_common::RedeError::Exec(format!(
+                            "client {client}: job '{}' returned {} rows (serial run: {expected})",
+                            if is_q5 { "q5'" } else { "q6" },
+                            result.count
+                        )));
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                Ok((completed, latencies))
+            })
+        })
+        .collect();
+
+    let mut per_client_completed = Vec::with_capacity(options.clients);
+    let mut latencies = Vec::new();
+    for worker in workers {
+        let (completed, mut lats) = worker.join().expect("client thread panicked")?;
+        per_client_completed.push(completed);
+        latencies.append(&mut lats);
+    }
+    let wall = start.elapsed();
+    latencies.sort();
+    Ok(ThroughputPoint {
+        clients: options.clients,
+        jobs: per_client_completed.iter().sum(),
+        wall,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        per_client_completed,
+    })
 }
 
 /// Format a duration in adaptive units for report tables.

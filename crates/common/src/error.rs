@@ -31,6 +31,8 @@ pub enum RedeError {
     Corrupt(String),
     /// Key/partition mismatch: a record was routed to the wrong partition.
     Routing(String),
+    /// The job was cancelled before it completed.
+    Cancelled(String),
 }
 
 impl RedeError {
@@ -46,6 +48,7 @@ impl RedeError {
             RedeError::Config(_) => "config",
             RedeError::Corrupt(_) => "corrupt",
             RedeError::Routing(_) => "routing",
+            RedeError::Cancelled(_) => "cancelled",
         }
     }
 }
@@ -62,6 +65,7 @@ impl fmt::Display for RedeError {
             RedeError::Config(m) => ("configuration error", m),
             RedeError::Corrupt(m) => ("corrupt record", m),
             RedeError::Routing(m) => ("routing error", m),
+            RedeError::Cancelled(m) => ("cancelled", m),
         };
         write!(f, "{kind}: {msg}")
     }
@@ -92,6 +96,7 @@ mod tests {
             RedeError::Config(String::new()),
             RedeError::Corrupt(String::new()),
             RedeError::Routing(String::new()),
+            RedeError::Cancelled(String::new()),
         ];
         let kinds: std::collections::BTreeSet<_> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errs.len());

@@ -27,7 +27,8 @@ pub use error::{RedeError, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
 pub use metrics::{
-    AccessKind, ExecProfile, Metrics, MetricsSnapshot, NodeIoSnapshot, NodeProfile, StageProfile,
+    AccessKind, ExecProfile, IoScope, Metrics, MetricsSnapshot, NodeIoSnapshot, NodeProfile,
+    StageProfile,
 };
 pub use rng::{SplitMix64, Xoshiro256};
 pub use value::{Date, Value, ValueType};

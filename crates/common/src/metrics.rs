@@ -13,7 +13,7 @@
 
 use parking_lot::RwLock;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Kinds of storage accesses the simulator distinguishes.
@@ -242,6 +242,67 @@ impl Metrics {
 impl fmt::Debug for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.snapshot().fmt(f)
+    }
+}
+
+/// Per-job I/O attribution scope.
+///
+/// The scheduler attaches one `IoScope` to every job it admits; storage
+/// handles carrying the scope mirror each charged access into the scope's
+/// private [`Metrics`] (in addition to the cluster-global counters), so a
+/// job's `ExecProfile` stays exact even when many jobs share the cluster.
+/// The scope also tracks IOPS permits currently held on the job's behalf —
+/// the quantity the cancellation path must drive back to zero.
+#[derive(Debug, Default)]
+pub struct IoScope {
+    job: u64,
+    metrics: Metrics,
+    permits_held: AtomicI64,
+}
+
+impl IoScope {
+    /// A fresh scope for the job with the given scheduler-assigned id.
+    pub fn new(job: u64) -> IoScope {
+        IoScope {
+            job,
+            metrics: Metrics::new(),
+            permits_held: AtomicI64::new(0),
+        }
+    }
+
+    /// The scheduler-assigned job id this scope attributes I/O to.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    /// The scope-private counters (one job's worth of accesses).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// IOPS permits currently held on this job's behalf. Zero whenever the
+    /// job is quiescent (completed, cancelled, or simply not mid-read).
+    pub fn permits_held(&self) -> i64 {
+        self.permits_held.load(Ordering::SeqCst)
+    }
+
+    /// RAII marker for one IOPS permit held under this scope; dropped when
+    /// the permit returns to the limiter.
+    pub fn hold_permit(&self) -> PermitHold<'_> {
+        self.permits_held.fetch_add(1, Ordering::SeqCst);
+        PermitHold { scope: self }
+    }
+}
+
+/// See [`IoScope::hold_permit`].
+#[derive(Debug)]
+pub struct PermitHold<'a> {
+    scope: &'a IoScope,
+}
+
+impl Drop for PermitHold<'_> {
+    fn drop(&mut self) {
+        self.scope.permits_held.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -617,6 +678,21 @@ mod tests {
         assert_eq!(p.cache_hits(), 4);
         assert_eq!(p.logical_point_reads(), 8);
         assert!((p.cache_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_scope_tracks_permits_and_private_counters() {
+        let scope = IoScope::new(7);
+        assert_eq!(scope.job(), 7);
+        assert_eq!(scope.permits_held(), 0);
+        {
+            let _a = scope.hold_permit();
+            let _b = scope.hold_permit();
+            assert_eq!(scope.permits_held(), 2);
+        }
+        assert_eq!(scope.permits_held(), 0);
+        scope.metrics().record_access(AccessKind::LocalPointRead);
+        assert_eq!(scope.metrics().snapshot().local_point_reads, 1);
     }
 
     #[test]

@@ -205,7 +205,7 @@ impl StructureAdvisor {
             recommendation.spec.clone(),
             interpreter,
         )
-        .build_background()
+        .spawn_build()
     }
 }
 

@@ -16,11 +16,11 @@
 pub mod partitioned;
 pub mod smpe;
 pub mod thread_pool;
+pub(crate) mod wrr;
 
 use crate::job::Job;
 use rede_common::{ExecProfile, MetricsSnapshot, Result};
 use rede_storage::{Record, SimCluster};
-use std::sync::Arc;
 use std::time::Duration;
 
 pub use thread_pool::ThreadPool;
@@ -47,6 +47,17 @@ pub enum RoutingPolicy {
     /// determined (e.g. into local indexes) fall back to producer routing.
     #[default]
     Owner,
+    /// Owner routing with backpressure awareness: route to the owner only
+    /// while the owner's stage-queue depth is at or below
+    /// `max_owner_backlog`; beyond it, keep the task on the producer so a
+    /// hot owner node does not become a dispatch bottleneck. `Hybrid {
+    /// max_owner_backlog: u64::MAX }` behaves exactly like [`Owner`];
+    /// `Hybrid { max_owner_backlog: 0 }` degenerates to near-producer
+    /// routing under load.
+    Hybrid {
+        /// Owner queue depth above which tasks stay on the producer node.
+        max_owner_backlog: u64,
+    },
 }
 
 /// Executor configuration.
@@ -114,7 +125,7 @@ impl ExecutorConfig {
 }
 
 /// Outcome of one job run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct JobResult {
     /// Number of records emitted by the final stage.
     pub count: u64,
@@ -130,24 +141,31 @@ pub struct JobResult {
 }
 
 /// Executes jobs against a cluster under a fixed configuration.
+///
+/// In SMPE mode the runner owns a [`smpe::Substrate`] — the shared pool,
+/// per-node dispatchers, and weighted stage queues — and submits each
+/// `run` as a weight-1 job. `run` may be called from many threads
+/// concurrently; the jobs share the substrate fairly. (The scheduler layer
+/// builds on the same substrate and adds admission, weights, and lazy
+/// structure coordination.)
 pub struct JobRunner {
     cluster: SimCluster,
     config: ExecutorConfig,
-    pool: Option<Arc<ThreadPool>>,
+    substrate: Option<smpe::Substrate>,
 }
 
 impl JobRunner {
-    /// Create a runner; the SMPE pool is spawned eagerly so run timings
-    /// exclude thread creation.
+    /// Create a runner; the SMPE pool and dispatchers are spawned eagerly
+    /// so run timings exclude thread creation.
     pub fn new(cluster: SimCluster, config: ExecutorConfig) -> JobRunner {
-        let pool = match config.mode {
-            ExecMode::Smpe => Some(Arc::new(ThreadPool::new(config.pool_threads, "rede-smpe"))),
+        let substrate = match config.mode {
+            ExecMode::Smpe => Some(smpe::Substrate::new(cluster.clone(), config.pool_threads)),
             ExecMode::Partitioned => None,
         };
         JobRunner {
             cluster,
             config,
-            pool,
+            substrate,
         }
     }
 
@@ -163,26 +181,27 @@ impl JobRunner {
 
     /// Execute a job to completion.
     pub fn run(&self, job: &Job) -> Result<JobResult> {
-        let before = self.cluster.metrics().snapshot();
-        let start = std::time::Instant::now();
-        let output = match self.config.mode {
-            ExecMode::Smpe => smpe::run(
-                &self.cluster,
-                job,
-                self.pool.as_ref().expect("smpe pool"),
-                &self.config,
-            )?,
-            ExecMode::Partitioned => partitioned::run(&self.cluster, job, &self.config)?,
-        };
-        let wall = start.elapsed();
-        let metrics = self.cluster.metrics().snapshot().since(&before);
-        Ok(JobResult {
-            count: output.count,
-            records: output.records,
-            wall,
-            metrics,
-            profile: output.profile,
-        })
+        match self.config.mode {
+            ExecMode::Smpe => {
+                let substrate = self.substrate.as_ref().expect("smpe substrate");
+                let state = substrate.submit(job, smpe::JobOptions::from_config(&self.config));
+                state.wait_result()
+            }
+            ExecMode::Partitioned => {
+                let before = self.cluster.metrics().snapshot();
+                let start = std::time::Instant::now();
+                let output = partitioned::run(&self.cluster, job, &self.config)?;
+                let wall = start.elapsed();
+                let metrics = self.cluster.metrics().snapshot().since(&before);
+                Ok(JobResult {
+                    count: output.count,
+                    records: output.records,
+                    wall,
+                    metrics,
+                    profile: output.profile,
+                })
+            }
+        }
     }
 }
 

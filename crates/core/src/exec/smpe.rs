@@ -1,49 +1,73 @@
-//! Scalable Massively Parallel Execution — Algorithm 1 of the paper.
+//! Scalable Massively Parallel Execution — Algorithm 1 of the paper —
+//! as a *shared, multi-job substrate*.
 //!
-//! The job is distributed to every node (`EXECUTESMPE`). Each node owns an
-//! unbounded stage queue and a dispatcher thread (`EXECUTESTAGES`): items
-//! dequeued with partition information run their stage's function —
-//! dereferencers on a pooled thread ("create a thread for each dereference
-//! function invocation"), referencers inline by default (the paper's
+//! The job is distributed to every node (`EXECUTESMPE`). Each node owns a
+//! stage queue and a dispatcher thread (`EXECUTESTAGES`): items dequeued
+//! with partition information run their stage's function — dereferencers
+//! on a pooled thread ("create a thread for each dereference function
+//! invocation"), referencers inline by default (the paper's
 //! no-thread-switch optimization); items *without* partition information
 //! are broadcast to all nodes' queues with the local flag set
 //! (`SETPARTITION(input, LOCAL); BROADCAST(input)`). Function outputs are
 //! re-enqueued tagged `stage + 1`; records emitted by the final stage are
 //! the job output.
 //!
-//! Termination uses a global in-flight task counter: it is incremented
+//! **Sharing.** Unlike the original per-run design, the dispatchers and
+//! the thread pool live in a [`Substrate`] that outlives any single job:
+//! many jobs run concurrently over the same per-node queues. Each node's
+//! queue is a weighted round-robin multi-queue (`wrr`) with one slot per
+//! job, so dispatch interleaves jobs by weight instead of FIFO order — a
+//! scan-heavy job that floods the queues cannot starve a point-lookup job
+//! of dispatch slots. Pool threads are fair-shared the same way: a job may
+//! occupy at most `pool_threads * weight / total_active_weight` pooled
+//! threads at once (min 1), enforced by the dispatcher's eligibility check.
+//!
+//! **Per-job accounting.** Every submitted job gets an [`IoScope`]; the
+//! job's storage accesses are mirrored into the scope (see
+//! `SimCluster::with_io_scope`), so its `JobResult` metrics and
+//! `ExecProfile` are exact even while other jobs share the cluster, and
+//! held IOPS permits are attributable for cancellation.
+//!
+//! **Termination** uses a per-job in-flight task counter: incremented
 //! *before* every enqueue and decremented only after a task has enqueued
-//! all of its outputs, so it can only reach zero when no work remains
-//! anywhere. The thread that observes zero closes every queue.
+//! all of its outputs, so it can only reach zero when none of the job's
+//! work remains anywhere. The thread that observes zero completes the job
+//! and wakes its waiters.
+//!
+//! **Cancellation.** `cancel` drains the job's queued tasks from every
+//! node; tasks already on pool threads finish their current invocation and
+//! then skip. IOPS permits are released as each in-flight read completes
+//! (permits are only ever held for a device-time window), so a cancelled
+//! job's permit count reaches zero as soon as its last in-flight task
+//! retires.
 //!
 //! **Routing.** A non-broadcast pointer names the partition its target
 //! record lives in, and partition placement is static — so the executor
 //! can enqueue the follow-up dereference on the *owning* node and turn a
 //! would-be remote read into a local one ([`RoutingPolicy::Owner`], the
 //! default). [`RoutingPolicy::Producer`] keeps the original
-//! enqueue-where-produced behaviour for ablation. Pointers whose placement
-//! the cluster cannot determine (local indexes probe every partition) fall
-//! back to producer routing either way.
+//! enqueue-where-produced behaviour for ablation, and
+//! [`RoutingPolicy::Hybrid`] routes to the owner only while the owner's
+//! queue backlog is at or below a threshold, falling back to the producer
+//! when the owner is overloaded. Pointers whose placement the cluster
+//! cannot determine fall back to producer routing under every policy.
 
 use super::thread_pool::ThreadPool;
-use super::{ExecutorConfig, RawOutput, RoutingPolicy};
+use super::wrr::WrrQueue;
+use super::{ExecutorConfig, JobResult, RoutingPolicy};
 use crate::job::{Job, Stage};
 use crate::traits::{DerefInput, StageCtx};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use rede_common::{ExecProfile, NodeProfile, RedeError, Result, StageProfile};
+use parking_lot::{Condvar, Mutex};
+use rede_common::{ExecProfile, IoScope, Metrics, NodeProfile, RedeError, Result, StageProfile};
 use rede_storage::{Pointer, Record, SimCluster};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// One queued unit of work: run stage `stage` on `item`.
-enum Msg {
-    Task(Task),
-    Stop,
-}
-
+/// One queued unit of work: run stage `stage` on `item` for `job`.
 struct Task {
+    job: Arc<JobState>,
     item: TaskItem,
     stage: usize,
     local_only: bool,
@@ -56,7 +80,63 @@ enum TaskItem {
     Record(Record),
 }
 
-/// Executor-side profile counters, sized once per run.
+/// One node's stage queue: a weighted multi-queue guarded by a mutex, a
+/// condvar for dispatcher wakeups, and a lock-free depth gauge (read by
+/// the hybrid router and the scheduler's stats without taking the lock).
+struct NodeQueue {
+    state: Mutex<WrrQueue<Task>>,
+    ready: Condvar,
+    depth: AtomicU64,
+}
+
+/// State shared by all dispatchers and jobs of one substrate.
+struct Shared {
+    queues: Vec<NodeQueue>,
+    /// Sum of the weights of jobs submitted and not yet finished; the
+    /// denominator of every job's pool-thread share.
+    active_weight: AtomicU64,
+    pool_threads: usize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// May this task be dispatched right now? Inline referencer tasks
+    /// always may (they cost a dispatcher, not a pool thread). Pooled
+    /// tasks are admitted only while their job is under its fair share of
+    /// pool threads: `pool_threads * weight / active_weight`, min 1.
+    /// Cancelled/failed jobs' tasks are always admitted — their bodies are
+    /// skipped, and draining them fast is what frees the job's resources.
+    fn eligible(&self, task: &Task) -> bool {
+        let job = &task.job;
+        if job.referencer_inline && matches!(task.item, TaskItem::Record(_)) {
+            return true;
+        }
+        if job.cancelled.load(Ordering::Relaxed) || job.failed.load(Ordering::Relaxed) {
+            return true;
+        }
+        job.pool_inflight.load(Ordering::Relaxed) < self.pool_cap(job)
+    }
+
+    /// A job's current fair share of pool threads.
+    fn pool_cap(&self, job: &JobState) -> u64 {
+        let total = self
+            .active_weight
+            .load(Ordering::Relaxed)
+            .max(u64::from(job.weight));
+        (self.pool_threads as u64 * u64::from(job.weight) / total).max(1)
+    }
+
+    /// Wake every node's dispatcher. Takes each queue lock so a dispatcher
+    /// between its eligibility check and its wait cannot miss the signal.
+    fn wake_all_dispatchers(&self) {
+        for nq in &self.queues {
+            let _guard = nq.state.lock();
+            nq.ready.notify_all();
+        }
+    }
+}
+
+/// Executor-side profile counters, sized once per job.
 struct ProfCounters {
     /// Tasks executed per stage.
     stage_tasks: Vec<AtomicU64>,
@@ -83,41 +163,168 @@ impl ProfCounters {
     }
 }
 
-/// Shared run state.
-struct RunState {
-    cluster: SimCluster,
+/// Options for one job submission (the substrate-level face of
+/// `ExecutorConfig` plus scheduler-only knobs).
+pub(crate) struct JobOptions {
+    pub weight: u32,
+    pub collect_outputs: bool,
+    pub referencer_inline: bool,
+    pub routing: RoutingPolicy,
+    pub label: Option<String>,
+    /// Bumped once when the job finishes, however it finishes (scheduler
+    /// stats).
+    pub on_finish: Option<Arc<AtomicU64>>,
+}
+
+impl JobOptions {
+    pub fn from_config(config: &ExecutorConfig) -> JobOptions {
+        JobOptions {
+            weight: 1,
+            collect_outputs: config.collect_outputs,
+            referencer_inline: config.referencer_inline,
+            routing: config.routing,
+            label: None,
+            on_finish: None,
+        }
+    }
+}
+
+/// All state of one submitted job. Shared by queued tasks, pool threads,
+/// and the `JobHandle` a client waits on.
+pub(crate) struct JobState {
+    id: u64,
+    label: Option<String>,
     job: Job,
-    queues: Vec<Sender<Msg>>,
-    in_flight: AtomicU64,
-    failed: AtomicBool,
-    errors: Mutex<Vec<RedeError>>,
-    out_count: AtomicU64,
-    out_records: Mutex<Vec<Record>>,
+    /// Scoped cluster handle: accesses made through it are mirrored into
+    /// `scope` in addition to the global counters.
+    cluster: SimCluster,
+    scope: Arc<IoScope>,
+    weight: u32,
     collect: bool,
     referencer_inline: bool,
     routing: RoutingPolicy,
+    started: Instant,
+    in_flight: AtomicU64,
+    /// Pooled tasks of this job currently occupying a pool thread.
+    pool_inflight: AtomicU64,
+    failed: AtomicBool,
+    cancelled: AtomicBool,
+    finished: AtomicBool,
+    errors: Mutex<Vec<RedeError>>,
+    out_count: AtomicU64,
+    out_records: Mutex<Vec<Record>>,
     prof: ProfCounters,
+    shared: Arc<Shared>,
+    done: Mutex<Option<Result<JobResult>>>,
+    done_cv: Condvar,
+    on_finish: Option<Arc<AtomicU64>>,
 }
 
-impl RunState {
-    /// Enqueue a task to `node`, accounting it in-flight first.
-    fn enqueue(&self, node: usize, task: Task) {
+impl JobState {
+    /// The substrate-assigned job id.
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The submitter-provided label (tenant name), if any.
+    pub(crate) fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// This job's I/O attribution scope.
+    pub(crate) fn scope(&self) -> &Arc<IoScope> {
+        &self.scope
+    }
+
+    /// Pooled tasks of this job currently on a pool thread.
+    pub(crate) fn pool_inflight(&self) -> u64 {
+        self.pool_inflight.load(Ordering::SeqCst)
+    }
+
+    /// True once a result (success, failure, or cancellation) is set.
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::SeqCst)
+    }
+
+    /// Block until the job finishes and return its result. Clones the
+    /// result so multiple waiters (and later `try_result` calls) all see
+    /// it.
+    pub(crate) fn wait_result(&self) -> Result<JobResult> {
+        let mut done = self.done.lock();
+        while done.is_none() {
+            self.done_cv.wait(&mut done);
+        }
+        done.clone().expect("loop exits only when set")
+    }
+
+    /// The result, if the job has finished.
+    pub(crate) fn try_result(&self) -> Option<Result<JobResult>> {
+        self.done.lock().clone()
+    }
+
+    /// Cancel the job: drain its queued tasks everywhere and let in-flight
+    /// invocations retire. Waiters get `RedeError::Cancelled`. Idempotent;
+    /// a no-op after the job finished.
+    pub(crate) fn cancel(&self) {
+        if self.finished.load(Ordering::SeqCst) || self.cancelled.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut drained: u64 = 0;
+        for q in &self.shared.queues {
+            let n = q.state.lock().drain_key(self.id) as u64;
+            if n > 0 {
+                q.depth.fetch_sub(n, Ordering::Relaxed);
+                drained += n;
+            }
+        }
+        if drained > 0 && self.in_flight.fetch_sub(drained, Ordering::SeqCst) == drained {
+            self.finish();
+        }
+        // Otherwise in-flight tasks observe `cancelled`, skip their
+        // bodies, and the last one to retire finishes the job.
+    }
+
+    /// Record into the global metrics and this job's scope.
+    #[inline]
+    fn tally(&self, f: impl Fn(&Metrics)) {
+        f(self.cluster.metrics());
+        f(self.scope.metrics());
+    }
+
+    /// Enqueue a task for this job onto `node`, accounting it in-flight
+    /// first.
+    fn enqueue(self: &Arc<Self>, node: usize, item: TaskItem, stage: usize, local_only: bool) {
         let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         self.prof.peak_in_flight.fetch_max(now, Ordering::Relaxed);
         self.prof.node_enqueued[node].fetch_add(1, Ordering::Relaxed);
-        self.cluster.metrics().record_queue_hop();
-        if self.queues[node].send(Msg::Task(task)).is_err() {
-            // Queue already closed (failure drain); balance the counter.
+        self.tally(|m| m.record_queue_hop());
+        if self.cancelled.load(Ordering::SeqCst) || self.shared.shutdown.load(Ordering::SeqCst) {
+            // Don't grow a cancelled job's backlog; balance the counter.
             self.task_done();
+            return;
         }
+        let q = &self.shared.queues[node];
+        {
+            let mut state = q.state.lock();
+            state.push(
+                self.id,
+                self.weight,
+                Task {
+                    job: self.clone(),
+                    item,
+                    stage,
+                    local_only,
+                },
+            );
+        }
+        q.depth.fetch_add(1, Ordering::Relaxed);
+        q.ready.notify_one();
     }
 
-    /// Mark one task finished; the observer of zero closes all queues.
+    /// Mark one task finished; the observer of zero completes the job.
     fn task_done(&self) {
         if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
-            for q in &self.queues {
-                let _ = q.send(Msg::Stop);
-            }
+            self.finish();
         }
     }
 
@@ -126,27 +333,71 @@ impl RunState {
         self.errors.lock().push(err);
     }
 
+    /// Complete the job exactly once: assemble the result, release the
+    /// job's fair-share weight, and wake every waiter.
+    fn finish(&self) {
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Drop any straggler slots (e.g. a task enqueued concurrently with
+        // cancellation); normally the slots are already empty.
+        for q in &self.shared.queues {
+            let dropped = q.state.lock().drain_key(self.id) as u64;
+            if dropped > 0 {
+                q.depth.fetch_sub(dropped, Ordering::Relaxed);
+            }
+        }
+        self.shared
+            .active_weight
+            .fetch_sub(u64::from(self.weight), Ordering::SeqCst);
+        // The remaining jobs' pool shares just grew; re-check blocked work.
+        self.shared.wake_all_dispatchers();
+        let result = if self.cancelled.load(Ordering::SeqCst) {
+            Err(RedeError::Cancelled(format!(
+                "job '{}' (id {})",
+                self.job.name(),
+                self.id
+            )))
+        } else {
+            let errors = self.errors.lock();
+            if let Some(first) = errors.first() {
+                Err(RedeError::Exec(format!(
+                    "job '{}' failed with {} error(s); first: {first}",
+                    self.job.name(),
+                    errors.len()
+                )))
+            } else {
+                drop(errors);
+                Ok(JobResult {
+                    count: self.out_count.load(Ordering::Relaxed),
+                    records: std::mem::take(&mut *self.out_records.lock()),
+                    wall: self.started.elapsed(),
+                    metrics: self.scope.metrics().snapshot(),
+                    profile: self.build_profile(),
+                })
+            }
+        };
+        if let Some(counter) = &self.on_finish {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        *self.done.lock() = Some(result);
+        self.done_cv.notify_all();
+    }
+
     /// Route one stage output produced at `node` while running `stage`.
-    fn handle_output(&self, node: usize, stage: usize, output: StageOutput) {
+    fn handle_output(self: &Arc<Self>, node: usize, stage: usize, output: StageOutput) {
         self.prof.stage_emits[stage].fetch_add(1, Ordering::Relaxed);
         let next = stage + 1;
         match output {
             StageOutput::Record(record) => {
                 if next >= self.job.stages().len() {
                     self.out_count.fetch_add(1, Ordering::Relaxed);
-                    self.cluster.metrics().record_emit();
+                    self.tally(|m| m.record_emit());
                     if self.collect {
                         self.out_records.lock().push(record);
                     }
                 } else {
-                    self.enqueue(
-                        node,
-                        Task {
-                            item: TaskItem::Record(record),
-                            stage: next,
-                            local_only: false,
-                        },
-                    );
+                    self.enqueue(node, TaskItem::Record(record), next, false);
                 }
             }
             StageOutput::Pointer(ptr) => {
@@ -157,35 +408,77 @@ impl RunState {
                 if ptr.is_broadcast() {
                     // Null partition information: replicate to every node's
                     // queue and have each node cover only its partitions.
-                    self.cluster.metrics().record_broadcast();
-                    for n in 0..self.queues.len() {
+                    self.tally(|m| m.record_broadcast());
+                    for n in 0..self.shared.queues.len() {
                         self.enqueue(
                             n,
-                            Task {
-                                item: TaskItem::Deref(DerefInput::Point(ptr.clone())),
-                                stage: next,
-                                local_only: true,
-                            },
+                            TaskItem::Deref(DerefInput::Point(ptr.clone())),
+                            next,
+                            true,
                         );
                     }
                 } else {
                     // The locality decision: a pointer with known placement
                     // runs its dereference on the owning node (a local
-                    // read) instead of wherever it was produced.
+                    // read) instead of wherever it was produced — unless
+                    // the hybrid policy sees the owner's queue overloaded.
                     let target = match self.routing {
-                        RoutingPolicy::Owner => self.cluster.owner_of_pointer(&ptr).unwrap_or(node),
                         RoutingPolicy::Producer => node,
+                        RoutingPolicy::Owner => self.cluster.owner_of_pointer(&ptr).unwrap_or(node),
+                        RoutingPolicy::Hybrid { max_owner_backlog } => {
+                            match self.cluster.owner_of_pointer(&ptr) {
+                                Some(owner)
+                                    if self.shared.queues[owner].depth.load(Ordering::Relaxed)
+                                        <= max_owner_backlog =>
+                                {
+                                    owner
+                                }
+                                _ => node,
+                            }
+                        }
                     };
-                    self.enqueue(
-                        target,
-                        Task {
-                            item: TaskItem::Deref(DerefInput::Point(ptr)),
-                            stage: next,
-                            local_only: false,
-                        },
-                    );
+                    self.enqueue(target, TaskItem::Deref(DerefInput::Point(ptr)), next, false);
                 }
             }
+        }
+    }
+
+    /// Assemble this job's [`ExecProfile`] from its counters and its
+    /// scope's per-node point-read split (absolute: the scope counts this
+    /// job alone).
+    fn build_profile(&self) -> ExecProfile {
+        let prof = &self.prof;
+        let stages = self
+            .job
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| StageProfile {
+                label: stage.label().to_string(),
+                tasks: prof.stage_tasks[i].load(Ordering::Relaxed),
+                emits: prof.stage_emits[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        let node_reads = self.scope.metrics().node_point_reads();
+        let nodes = (0..self.shared.queues.len())
+            .map(|node| {
+                let io = node_reads.get(node).copied().unwrap_or_default();
+                NodeProfile {
+                    node,
+                    enqueued: prof.node_enqueued[node].load(Ordering::Relaxed),
+                    local_point_reads: io.local,
+                    remote_point_reads: io.remote,
+                    cache_hits: io.cache_hits,
+                    cache_misses: io.cache_misses,
+                }
+            })
+            .collect();
+        ExecProfile {
+            stages,
+            nodes,
+            pool_spawns: prof.pool_spawns.load(Ordering::Relaxed),
+            inline_runs: prof.inline_runs.load(Ordering::Relaxed),
+            peak_in_flight: prof.peak_in_flight.load(Ordering::Relaxed),
         }
     }
 }
@@ -199,29 +492,31 @@ enum StageOutput {
 ///
 /// The stage body runs under `catch_unwind`: a panicking referencer or
 /// dereferencer becomes a job error instead of killing the thread with the
-/// in-flight count still held — which would leave the run hanging forever
-/// (the counter could never reach zero).
-fn process_task(state: &Arc<RunState>, node: usize, task: Task) {
-    if !state.failed.load(Ordering::SeqCst) {
-        state.prof.stage_tasks[task.stage].fetch_add(1, Ordering::Relaxed);
-        let result = catch_unwind(AssertUnwindSafe(|| run_stage_body(state, node, &task)))
+/// in-flight count still held — which would leave the job hanging forever
+/// (the counter could never reach zero). Cancelled and already-failed jobs
+/// skip the body so their backlog drains at queue speed.
+fn process_task(task: Task, node: usize) {
+    let job = task.job.clone();
+    if !job.failed.load(Ordering::SeqCst) && !job.cancelled.load(Ordering::SeqCst) {
+        job.prof.stage_tasks[task.stage].fetch_add(1, Ordering::Relaxed);
+        let result = catch_unwind(AssertUnwindSafe(|| run_stage_body(&job, node, &task)))
             .unwrap_or_else(|payload| {
                 let msg = panic_message(payload.as_ref());
                 Err(RedeError::Exec(format!(
                     "stage {} ('{}') panicked: {msg}",
                     task.stage,
-                    state.job.stages()[task.stage].label()
+                    job.job.stages()[task.stage].label()
                 )))
             });
         if let Err(e) = result {
-            state.fail(e);
+            job.fail(e);
         }
     }
-    state.task_done();
+    job.task_done();
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -232,13 +527,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 }
 
 /// The actual stage body (separated so `process_task` can guard it).
-fn run_stage_body(state: &Arc<RunState>, node: usize, task: &Task) -> Result<()> {
+fn run_stage_body(job: &Arc<JobState>, node: usize, task: &Task) -> Result<()> {
     let ctx = StageCtx {
-        cluster: state.cluster.clone(),
+        cluster: job.cluster.clone(),
         node,
         local_only: task.local_only,
     };
-    let stage = &state.job.stages()[task.stage];
+    let stage = &job.job.stages()[task.stage];
     match (&task.item, stage) {
         (TaskItem::Deref(input), Stage::Dereference { func, filter, .. }) => {
             let mut err = None;
@@ -254,7 +549,7 @@ fn run_stage_body(state: &Arc<RunState>, node: usize, task: &Task) -> Result<()>
                     None => true,
                 };
                 if keep {
-                    state.handle_output(node, task.stage, StageOutput::Record(record));
+                    job.handle_output(node, task.stage, StageOutput::Record(record));
                 }
             };
             let r = func.dereference(input, &ctx, &mut emit);
@@ -268,7 +563,7 @@ fn run_stage_body(state: &Arc<RunState>, node: usize, task: &Task) -> Result<()>
         }
         (TaskItem::Record(record), Stage::Reference { func, .. }) => {
             let mut emit = |ptr: Pointer| {
-                state.handle_output(node, task.stage, StageOutput::Pointer(ptr));
+                job.handle_output(node, task.stage, StageOutput::Pointer(ptr));
             };
             func.reference(record, &ctx, &mut emit)
         }
@@ -280,150 +575,170 @@ fn run_stage_body(state: &Arc<RunState>, node: usize, task: &Task) -> Result<()>
     }
 }
 
-/// Per-node dispatcher: drain the queue, spawning dereference invocations
-/// onto the pool and (by default) running reference invocations inline.
-fn dispatch(state: Arc<RunState>, node: usize, rx: Receiver<Msg>, pool: Arc<ThreadPool>) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Msg::Stop => break,
-            Msg::Task(task) => {
-                let inline = state.referencer_inline && matches!(task.item, TaskItem::Record(_));
-                if inline {
-                    state.prof.inline_runs.fetch_add(1, Ordering::Relaxed);
-                    process_task(&state, node, task);
-                } else {
-                    let state = state.clone();
-                    state.prof.pool_spawns.fetch_add(1, Ordering::Relaxed);
-                    state.cluster.metrics().record_task_spawn();
-                    pool.execute(move || process_task(&state, node, task));
+/// Per-node dispatcher: serve the weighted multi-queue, spawning
+/// dereference invocations onto the pool and (by default) running
+/// reference invocations inline. Lives for the substrate's lifetime.
+fn dispatch(shared: Arc<Shared>, node: usize, pool: Arc<ThreadPool>) {
+    let q = &shared.queues[node];
+    loop {
+        let task = {
+            let mut state = q.state.lock();
+            loop {
+                if let Some((_key, task)) = state.pop_where(|t| shared.eligible(t)) {
+                    break task;
                 }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q.ready.wait(&mut state);
             }
+        };
+        q.depth.fetch_sub(1, Ordering::Relaxed);
+        let job = task.job.clone();
+        let inline = job.referencer_inline && matches!(task.item, TaskItem::Record(_));
+        if inline {
+            job.prof.inline_runs.fetch_add(1, Ordering::Relaxed);
+            process_task(task, node);
+        } else {
+            job.prof.pool_spawns.fetch_add(1, Ordering::Relaxed);
+            job.pool_inflight.fetch_add(1, Ordering::SeqCst);
+            job.tally(|m| m.record_task_spawn());
+            let shared = shared.clone();
+            pool.execute(move || {
+                let job = task.job.clone();
+                process_task(task, node);
+                let prev = job.pool_inflight.fetch_sub(1, Ordering::SeqCst);
+                // Wake dispatchers only when this job was actually at its
+                // cap — work elsewhere can only have been blocked on *this*
+                // slot in that case, and an unconditional wake per task is
+                // a notify storm that dominates small jobs.
+                if prev >= shared.pool_cap(&job) {
+                    shared.wake_all_dispatchers();
+                }
+            });
         }
     }
 }
 
-/// Run a job under SMPE. See module docs.
-pub(crate) fn run(
-    cluster: &SimCluster,
-    job: &Job,
-    pool: &Arc<ThreadPool>,
-    config: &ExecutorConfig,
-) -> Result<RawOutput> {
-    let nodes = cluster.nodes();
-    let mut senders = Vec::with_capacity(nodes);
-    let mut receivers = Vec::with_capacity(nodes);
-    for _ in 0..nodes {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let state = Arc::new(RunState {
-        cluster: cluster.clone(),
-        job: job.clone(),
-        queues: senders,
-        in_flight: AtomicU64::new(0),
-        failed: AtomicBool::new(false),
-        errors: Mutex::new(Vec::new()),
-        out_count: AtomicU64::new(0),
-        out_records: Mutex::new(Vec::new()),
-        collect: config.collect_outputs,
-        referencer_inline: config.referencer_inline,
-        routing: config.routing,
-        prof: ProfCounters::new(job.stages().len(), nodes),
-    });
-    let node_reads_before = cluster.metrics().node_point_reads();
+/// The shared SMPE execution substrate: one thread pool plus one
+/// dispatcher and weighted stage queue per node, serving any number of
+/// concurrent jobs. `JobRunner` owns one for sequential use; the
+/// scheduler owns one and multiplexes clients onto it.
+pub(crate) struct Substrate {
+    cluster: SimCluster,
+    shared: Arc<Shared>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
 
-    // Seed every node: the initial stage runs everywhere, each node
-    // covering its locally placed partitions (lines 2-5 of Algorithm 1).
-    for node in 0..nodes {
-        for input in job.seed().to_inputs() {
-            state.enqueue(
-                node,
-                Task {
-                    item: TaskItem::Deref(input),
-                    stage: 0,
-                    local_only: true,
-                },
-            );
+impl Substrate {
+    /// Spawn the pool and the per-node dispatchers eagerly so job timings
+    /// exclude thread creation.
+    pub(crate) fn new(cluster: SimCluster, pool_threads: usize) -> Substrate {
+        let nodes = cluster.nodes();
+        let pool = Arc::new(ThreadPool::new(pool_threads, "rede-smpe"));
+        let shared = Arc::new(Shared {
+            queues: (0..nodes)
+                .map(|_| NodeQueue {
+                    state: Mutex::new(WrrQueue::new()),
+                    ready: Condvar::new(),
+                    depth: AtomicU64::new(0),
+                })
+                .collect(),
+            active_weight: AtomicU64::new(0),
+            pool_threads: pool_threads.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatchers = (0..nodes)
+            .map(|node| {
+                let shared = shared.clone();
+                let pool = pool.clone();
+                std::thread::Builder::new()
+                    .name(format!("rede-dispatch-{node}"))
+                    .spawn(move || dispatch(shared, node, pool))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        Substrate {
+            cluster,
+            shared,
+            dispatchers,
+            next_id: AtomicU64::new(1),
         }
     }
 
-    // One dispatcher thread per node (EXECUTESMPEEACH).
-    let dispatchers: Vec<_> = receivers
-        .into_iter()
-        .enumerate()
-        .map(|(node, rx)| {
-            let state = state.clone();
-            let pool = pool.clone();
-            std::thread::Builder::new()
-                .name(format!("rede-dispatch-{node}"))
-                .spawn(move || dispatch(state, node, rx, pool))
-                .expect("spawn dispatcher")
-        })
-        .collect();
-    for d in dispatchers {
-        d.join()
-            .map_err(|_| RedeError::Exec("dispatcher panicked".into()))?;
+    /// The cluster this substrate executes against.
+    pub(crate) fn cluster(&self) -> &SimCluster {
+        &self.cluster
     }
 
-    let errors = state.errors.lock();
-    if let Some(first) = errors.first() {
-        return Err(RedeError::Exec(format!(
-            "job '{}' failed with {} error(s); first: {first}",
-            job.name(),
-            errors.len()
-        )));
+    /// Current queued-task depth per node (scheduler stats gauge).
+    pub(crate) fn queue_depths(&self) -> Vec<u64> {
+        self.shared
+            .queues
+            .iter()
+            .map(|q| q.depth.load(Ordering::Relaxed))
+            .collect()
     }
-    drop(errors);
 
-    let records = std::mem::take(&mut *state.out_records.lock());
-    let profile = build_profile(&state, nodes, &node_reads_before);
-    Ok(RawOutput {
-        count: state.out_count.load(Ordering::Relaxed),
-        records,
-        profile,
-    })
+    /// Admit a job: seed stage 0 on every node and return its state (the
+    /// caller waits on it, polls it, or cancels it). Never blocks on the
+    /// job itself.
+    pub(crate) fn submit(&self, job: &Job, opts: JobOptions) -> Arc<JobState> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let scope = Arc::new(IoScope::new(id));
+        let weight = opts.weight.max(1);
+        self.shared
+            .active_weight
+            .fetch_add(u64::from(weight), Ordering::SeqCst);
+        let state = Arc::new(JobState {
+            id,
+            label: opts.label,
+            job: job.clone(),
+            cluster: self.cluster.with_io_scope(scope.clone()),
+            scope,
+            weight,
+            collect: opts.collect_outputs,
+            referencer_inline: opts.referencer_inline,
+            routing: opts.routing,
+            started: Instant::now(),
+            // One guard token held during seeding, so early tasks that
+            // complete instantly cannot drive the counter to zero before
+            // every seed is enqueued.
+            in_flight: AtomicU64::new(1),
+            pool_inflight: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            errors: Mutex::new(Vec::new()),
+            out_count: AtomicU64::new(0),
+            out_records: Mutex::new(Vec::new()),
+            prof: ProfCounters::new(job.stages().len(), self.shared.queues.len()),
+            shared: self.shared.clone(),
+            done: Mutex::new(None),
+            done_cv: Condvar::new(),
+            on_finish: opts.on_finish,
+        });
+        // Seed every node: the initial stage runs everywhere, each node
+        // covering its locally placed partitions (lines 2-5 of Algorithm 1).
+        for node in 0..self.shared.queues.len() {
+            for input in job.seed().to_inputs() {
+                state.enqueue(node, TaskItem::Deref(input), 0, true);
+            }
+        }
+        // Release the guard. A job with zero seed inputs finishes here,
+        // immediately, with an empty result (previously it would hang).
+        state.task_done();
+        state
+    }
 }
 
-/// Assemble this run's [`ExecProfile`] from the executor-side counters and
-/// the per-node point-read delta since the run started.
-fn build_profile(
-    state: &RunState,
-    nodes: usize,
-    node_reads_before: &[rede_common::NodeIoSnapshot],
-) -> ExecProfile {
-    let prof = &state.prof;
-    let stages = state
-        .job
-        .stages()
-        .iter()
-        .enumerate()
-        .map(|(i, stage)| StageProfile {
-            label: stage.label().to_string(),
-            tasks: prof.stage_tasks[i].load(Ordering::Relaxed),
-            emits: prof.stage_emits[i].load(Ordering::Relaxed),
-        })
-        .collect();
-    let node_reads_after = state.cluster.metrics().node_point_reads();
-    let node_profiles = (0..nodes)
-        .map(|node| {
-            let after = node_reads_after.get(node).copied().unwrap_or_default();
-            let before = node_reads_before.get(node).copied().unwrap_or_default();
-            NodeProfile {
-                node,
-                enqueued: prof.node_enqueued[node].load(Ordering::Relaxed),
-                local_point_reads: after.local.saturating_sub(before.local),
-                remote_point_reads: after.remote.saturating_sub(before.remote),
-                cache_hits: after.cache_hits.saturating_sub(before.cache_hits),
-                cache_misses: after.cache_misses.saturating_sub(before.cache_misses),
-            }
-        })
-        .collect();
-    ExecProfile {
-        stages,
-        nodes: node_profiles,
-        pool_spawns: prof.pool_spawns.load(Ordering::Relaxed),
-        inline_runs: prof.inline_runs.load(Ordering::Relaxed),
-        peak_in_flight: prof.peak_in_flight.load(Ordering::Relaxed),
+impl Drop for Substrate {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_all_dispatchers();
+        for d in self.dispatchers.drain(..) {
+            let _ = d.join();
+        }
     }
 }

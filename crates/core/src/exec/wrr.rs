@@ -1,0 +1,225 @@
+//! Weighted round-robin multi-queue — the fair-share heart of the shared
+//! SMPE substrate.
+//!
+//! One [`WrrQueue`] backs each node's dispatcher. Items are partitioned
+//! into per-key slots (one slot per job), and `pop_where` serves slots in
+//! deficit round-robin order: each slot gets `weight` credits per refill
+//! cycle, so over any window where several jobs have queued work, job `a`
+//! is served `weight_a / weight_b` times as often as job `b` — a
+//! scan-heavy job with thousands of queued tasks cannot starve a
+//! point-lookup job that enqueues one task at a time.
+//!
+//! The structure is not thread-safe by itself; the dispatcher wraps it in
+//! a mutex + condvar (see `smpe`).
+
+use std::collections::VecDeque;
+
+struct Slot<T> {
+    key: u64,
+    weight: u32,
+    credits: u32,
+    items: VecDeque<T>,
+}
+
+/// A multi-queue with per-key weighted fair service. Keys are job ids.
+pub(crate) struct WrrQueue<T> {
+    slots: Vec<Slot<T>>,
+    cursor: usize,
+    len: usize,
+}
+
+impl<T> WrrQueue<T> {
+    pub fn new() -> WrrQueue<T> {
+        WrrQueue {
+            slots: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Total queued items across all slots.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an item to `key`'s slot, creating the slot (with the given
+    /// weight and a full credit allowance) on first sight.
+    pub fn push(&mut self, key: u64, weight: u32, item: T) {
+        self.len += 1;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.key == key) {
+            slot.items.push_back(item);
+            return;
+        }
+        let weight = weight.max(1);
+        self.slots.push(Slot {
+            key,
+            weight,
+            credits: weight,
+            items: VecDeque::from([item]),
+        });
+    }
+
+    /// Serve the next item in weighted round-robin order, considering only
+    /// items for which `eligible` holds (the dispatcher uses this to skip
+    /// jobs at their pool-thread cap). Each served item costs its slot one
+    /// credit; when no creditable slot has eligible work but queued work
+    /// remains, every slot's credits refill to its weight and one more
+    /// pass runs. Returns the slot key alongside the item.
+    pub fn pop_where(&mut self, mut eligible: impl FnMut(&T) -> bool) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        for round in 0..2 {
+            let n = self.slots.len();
+            for step in 0..n {
+                let idx = (self.cursor + step) % n;
+                let slot = &mut self.slots[idx];
+                if slot.credits == 0 || slot.items.is_empty() {
+                    continue;
+                }
+                match slot.items.front() {
+                    Some(front) if eligible(front) => {}
+                    _ => continue,
+                }
+                slot.credits -= 1;
+                let item = slot.items.pop_front().expect("checked non-empty");
+                let key = slot.key;
+                self.len -= 1;
+                self.cursor = (idx + 1) % n;
+                return Some((key, item));
+            }
+            if round == 0 {
+                for slot in &mut self.slots {
+                    slot.credits = slot.weight;
+                }
+            }
+        }
+        // Work is queued but nothing is eligible right now.
+        None
+    }
+
+    /// Remove `key`'s slot entirely, dropping its queued items. Returns how
+    /// many items were dropped (the caller balances in-flight accounting).
+    pub fn drain_key(&mut self, key: u64) -> usize {
+        let Some(idx) = self.slots.iter().position(|s| s.key == key) else {
+            return 0;
+        };
+        let dropped = self.slots[idx].items.len();
+        self.len -= dropped;
+        self.slots.remove(idx);
+        if idx < self.cursor {
+            self.cursor -= 1;
+        }
+        if self.cursor >= self.slots.len() {
+            self.cursor = 0;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_order(q: &mut WrrQueue<&'static str>) -> Vec<(u64, &'static str)> {
+        let mut out = Vec::new();
+        while let Some(pair) = q.pop_where(|_| true) {
+            out.push(pair);
+        }
+        out
+    }
+
+    #[test]
+    fn single_key_is_fifo() {
+        let mut q = WrrQueue::new();
+        q.push(1, 1, "a");
+        q.push(1, 1, "b");
+        q.push(1, 1, "c");
+        let order: Vec<_> = drain_order(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_weights_interleave() {
+        let mut q = WrrQueue::new();
+        for i in 0..4 {
+            q.push(1, 1, "x");
+            let _ = i;
+        }
+        for _ in 0..4 {
+            q.push(2, 1, "y");
+        }
+        let keys: Vec<u64> = drain_order(&mut q).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn weights_set_the_service_ratio() {
+        let mut q = WrrQueue::new();
+        for _ in 0..30 {
+            q.push(1, 3, "heavy");
+            q.push(2, 1, "light");
+        }
+        let served = drain_order(&mut q);
+        // In the first 20 services, the 3:1 weighting must hold within
+        // one credit cycle of slack.
+        let heavy_first20 = served[..20].iter().filter(|(k, _)| *k == 1).count();
+        assert!(
+            (13..=17).contains(&heavy_first20),
+            "expected ~15 heavy services in the first 20, got {heavy_first20}"
+        );
+    }
+
+    #[test]
+    fn ineligible_items_are_skipped_not_lost() {
+        let mut q = WrrQueue::new();
+        q.push(1, 1, "blocked");
+        q.push(2, 1, "ready");
+        let (key, item) = q.pop_where(|it| *it != "blocked").unwrap();
+        assert_eq!((key, item), (2, "ready"));
+        // Only blocked work left: pop_where declines without dropping it.
+        assert!(q.pop_where(|it| *it != "blocked").is_none());
+        assert_eq!(q.len(), 1);
+        let (key, item) = q.pop_where(|_| true).unwrap();
+        assert_eq!((key, item), (1, "blocked"));
+    }
+
+    #[test]
+    fn drain_key_drops_only_that_slot() {
+        let mut q = WrrQueue::new();
+        for _ in 0..5 {
+            q.push(1, 1, "a");
+            q.push(2, 1, "b");
+        }
+        assert_eq!(q.drain_key(1), 5);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.drain_key(1), 0, "already drained");
+        let keys: Vec<u64> = drain_order(&mut q).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2; 5]);
+    }
+
+    #[test]
+    fn starvation_free_under_a_flooding_key() {
+        let mut q = WrrQueue::new();
+        for _ in 0..1000 {
+            q.push(1, 1, "flood");
+        }
+        q.push(2, 1, "single");
+        // The single-item job is served within one full credit cycle.
+        let served_keys: Vec<u64> = (0..3)
+            .filter_map(|_| q.pop_where(|_| true))
+            .map(|(k, _)| k)
+            .collect();
+        assert!(
+            served_keys.contains(&2),
+            "flooded key starved the single-task key: {served_keys:?}"
+        );
+    }
+}

@@ -33,6 +33,9 @@
 //! * [`exec`] — the SMPE executor, the partitioned baseline executor, and
 //!   the shared thread pool.
 //! * [`maintenance`] — lazy background index construction.
+//! * [`scheduler`] — the concurrent multi-job service layer: fair-share
+//!   admission over a shared SMPE substrate, per-job accounting, and
+//!   build-once coordination of lazy structure construction.
 //! * [`query`] — the higher-level declarative layer (§ V-A) compiling to
 //!   Reference–Dereference jobs.
 //! * [`optimizer`] — selectivity-based access-path choice (index job vs.
@@ -47,6 +50,7 @@ pub mod maintenance;
 pub mod optimizer;
 pub mod prebuilt;
 pub mod query;
+pub mod scheduler;
 pub mod traits;
 
 pub use advisor::{AdvisorConfig, PatternKind, StructureAdvisor, WorkloadTracker};
@@ -55,4 +59,8 @@ pub use job::{Job, JobBuilder, SeedInput, Stage};
 pub use maintenance::{IndexBuildReport, IndexBuilder};
 pub use optimizer::{EngineChoice, PlanEstimate, Planner, PlannerEnv};
 pub use query::{Query, QueryBuilder};
+pub use scheduler::{
+    EnsureOutcome, HarborScheduler, JobHandle, SchedulerConfig, SchedulerStats, StructureTicket,
+    SubmitOptions,
+};
 pub use traits::{DerefInput, Dereferencer, Filter, Interpreter, Referencer, StageCtx};

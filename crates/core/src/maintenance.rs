@@ -17,8 +17,9 @@
 //! [`BtreeFile`]: rede_storage::BtreeFile
 
 use crate::traits::Interpreter;
-use rede_common::{RedeError, Result, Value};
+use rede_common::{IoScope, RedeError, Result, Value};
 use rede_storage::{IndexEntry, IndexSpec, SimCluster};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -65,6 +66,24 @@ impl IndexBuilder {
     pub fn with_partition_key(mut self, interp: Arc<dyn Interpreter>) -> Self {
         self.partition_key = Some(interp);
         self
+    }
+
+    /// Attribute this build's storage accesses to `scope` (the scheduler
+    /// gives every coordinated build its own scope, so build I/O shows up
+    /// in per-job accounting rather than vanishing into the global pool).
+    pub fn with_io_scope(mut self, scope: Arc<IoScope>) -> Self {
+        self.cluster = self.cluster.with_io_scope(scope);
+        self
+    }
+
+    /// The spec this builder will realize.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// The cluster this builder writes into.
+    pub(crate) fn cluster(&self) -> &SimCluster {
+        &self.cluster
     }
 
     /// Build synchronously: register the index, scan the base file, insert
@@ -142,7 +161,11 @@ impl IndexBuilder {
         for ik in self.index_key.extract(record)? {
             let entry = IndexEntry::new(partition_key.clone(), record_key.clone()).to_record();
             if is_local {
-                index.insert_at(base_partition, ik, entry)?;
+                // Hinted insert: the builder *knows* which partition each
+                // key lands in, so record a placement hint alongside the
+                // entry. Hints make pointers into this local index
+                // owner-routable (see `SimCluster::partition_of_pointer`).
+                index.insert_at_hinted(base_partition, ik, entry)?;
             } else {
                 index.insert(ik, entry)?;
             }
@@ -151,11 +174,36 @@ impl IndexBuilder {
         Ok(inserted)
     }
 
-    /// Build on a background thread ("builds indexes … in the background").
+    /// Build on a detached background thread.
+    ///
+    /// The thread is panic-safe — a panicking interpreter surfaces as
+    /// `RedeError::Exec` through the join handle instead of poisoning the
+    /// handle with an opaque panic payload — but the handle itself is the
+    /// caller's problem: drop it unjoined and the build becomes a fire--
+    /// and-forget thread nobody supervises. Prefer
+    /// `HarborScheduler::ensure_index`, which coordinates duplicate
+    /// requests build-once, tracks the thread, and joins it on shutdown.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use HarborScheduler::ensure_index, which coordinates and supervises builds"
+    )]
     pub fn build_background(self) -> std::thread::JoinHandle<Result<IndexBuildReport>> {
+        self.spawn_build()
+    }
+
+    /// Spawn the build on a named thread with panic containment. Shared by
+    /// the deprecated `build_background` and the advisor's `apply`.
+    pub(crate) fn spawn_build(self) -> std::thread::JoinHandle<Result<IndexBuildReport>> {
         std::thread::Builder::new()
             .name(format!("rede-ixbuild-{}", self.spec.name))
-            .spawn(move || self.build())
+            .spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| self.build())).unwrap_or_else(|payload| {
+                    Err(RedeError::Exec(format!(
+                        "index build panicked: {}",
+                        crate::exec::smpe::panic_message(payload.as_ref())
+                    )))
+                })
+            })
             .expect("spawn index builder")
     }
 }
@@ -261,6 +309,7 @@ mod tests {
     #[test]
     fn background_build_completes() {
         let c = cluster_with_base();
+        #[allow(deprecated)]
         let handle = IndexBuilder::new(
             c.clone(),
             IndexSpec::global("bg", "base", 4),
@@ -270,6 +319,30 @@ mod tests {
         let report = handle.join().unwrap().unwrap();
         assert_eq!(report.entries, 200);
         assert!(c.index("bg").is_ok());
+    }
+
+    /// A panicking interpreter must not poison the background-build join
+    /// handle: the panic is contained and surfaces as a `RedeError`.
+    #[test]
+    fn background_build_contains_panics() {
+        struct Bomb;
+        impl Interpreter for Bomb {
+            fn extract(&self, _record: &rede_storage::Record) -> Result<Vec<Value>> {
+                panic!("interpreter exploded");
+            }
+        }
+        let c = cluster_with_base();
+        #[allow(deprecated)]
+        let handle = IndexBuilder::new(c, IndexSpec::global("boom", "base", 4), Arc::new(Bomb))
+            .build_background();
+        let result = handle.join().expect("thread must not die of the panic");
+        match result {
+            Err(RedeError::Exec(msg)) => assert!(
+                msg.contains("interpreter exploded"),
+                "panic message lost: {msg}"
+            ),
+            other => panic!("expected Exec error, got {other:?}"),
+        }
     }
 
     #[test]

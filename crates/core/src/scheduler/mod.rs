@@ -1,0 +1,557 @@
+//! HarborScheduler — the concurrent multi-job service layer.
+//!
+//! The executor ([`crate::exec`]) answers "how does *one* job run fast";
+//! this module answers "how do *many* tenants share one harbor". A
+//! [`HarborScheduler`] owns a single shared SMPE substrate (one thread
+//! pool, one dispatcher + weighted stage queue per node) and admits jobs
+//! from any number of concurrent clients:
+//!
+//! * **Fair-share admission.** Every job is submitted with a weight
+//!   (default 1). Dispatch is weighted round-robin over per-job stage
+//!   queues, and pooled threads are capped per job at
+//!   `pool_threads * weight / total_active_weight` — so a scan-heavy
+//!   tenant flooding the queues with thousands of dereference tasks
+//!   cannot starve a point-lookup tenant of dispatch slots, pool threads,
+//!   or (because its I/O is throttled with it) per-node IOPS permits.
+//! * **Per-job accounting.** Every job runs through an I/O scope: its
+//!   `JobResult` carries exact metrics and an execution profile even
+//!   while other jobs hammer the same cluster, preserving the per-job
+//!   conservation invariant `local + remote + cache hits == logical point
+//!   reads`.
+//! * **Build-once structure coordination.** [`ensure_index`] guarantees
+//!   that N concurrent requests for the same missing index run exactly
+//!   one supervised build; the other N−1 block on its completion
+//!   ([`builds`]).
+//! * **Cancellation.** [`JobHandle::cancel`] drains the job's queued
+//!   tasks from every node queue; in-flight invocations retire and the
+//!   job's pool slots and IOPS permits return to the commons.
+//!
+//! [`ensure_index`]: HarborScheduler::ensure_index
+
+mod builds;
+
+pub use builds::{EnsureOutcome, StructureTicket};
+
+use crate::exec::smpe::{JobOptions, JobState, Substrate};
+use crate::exec::RoutingPolicy;
+use crate::job::Job;
+use crate::maintenance::IndexBuilder;
+use crate::JobResult;
+use parking_lot::Mutex;
+use rede_common::Result;
+use rede_storage::SimCluster;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Scheduler configuration: the substrate knobs shared by all jobs.
+/// Per-job knobs (weight, output collection) live in [`SubmitOptions`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Total pooled threads shared by all jobs.
+    pub pool_threads: usize,
+    /// Run referencers inline on dispatchers (the paper's default).
+    pub referencer_inline: bool,
+    /// Pointer routing policy for every job.
+    pub routing: RoutingPolicy,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            pool_threads: 256,
+            referencer_inline: true,
+            routing: RoutingPolicy::default(),
+        }
+    }
+}
+
+/// Per-submission options.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Fair-share weight (0 is treated as 1). A weight-3 job gets three
+    /// times the dispatch slots and pool-thread share of a weight-1 job
+    /// while both have queued work.
+    pub weight: u32,
+    /// Collect output records into the result (otherwise only count).
+    pub collect_outputs: bool,
+    /// Client label carried on the handle (stats, debugging).
+    pub tenant: Option<String>,
+}
+
+impl SubmitOptions {
+    pub fn new() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Set the fair-share weight.
+    pub fn weight(mut self, weight: u32) -> SubmitOptions {
+        self.weight = weight;
+        self
+    }
+
+    /// Collect output records.
+    pub fn collecting(mut self) -> SubmitOptions {
+        self.collect_outputs = true;
+        self
+    }
+
+    /// Label the submission with a tenant name.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> SubmitOptions {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
+
+/// A client's handle on one submitted job. Cheap to clone; the job runs
+/// (or is cancelled) independently of how many handles exist.
+#[derive(Clone)]
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// Scheduler-assigned job id (also the id on the job's I/O scope).
+    pub fn id(&self) -> u64 {
+        self.state.id()
+    }
+
+    /// The tenant label given at submission, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.state.label()
+    }
+
+    /// Block until the job finishes; returns its result, an execution
+    /// error, or `RedeError::Cancelled`. Callable from any number of
+    /// threads; all see the same result.
+    pub fn wait(&self) -> Result<JobResult> {
+        self.state.wait_result()
+    }
+
+    /// The result if the job has finished, `None` while it is running.
+    pub fn try_result(&self) -> Option<Result<JobResult>> {
+        self.state.try_result()
+    }
+
+    /// True once a result is available.
+    pub fn is_finished(&self) -> bool {
+        self.state.is_finished()
+    }
+
+    /// Cancel the job: queued tasks are dropped everywhere, in-flight
+    /// invocations retire, waiters get `RedeError::Cancelled`. Idempotent.
+    pub fn cancel(&self) {
+        self.state.cancel()
+    }
+
+    /// IOPS permits currently held by this job's in-flight reads (0 once
+    /// the job has finished or a cancellation has drained).
+    pub fn permits_held(&self) -> i64 {
+        self.state.scope().permits_held()
+    }
+
+    /// Pooled threads currently occupied by this job.
+    pub fn pool_threads_held(&self) -> u64 {
+        self.state.pool_inflight()
+    }
+}
+
+/// Point-in-time scheduler observability counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs admitted and not yet finished.
+    pub active_jobs: usize,
+    /// Jobs finished (completed, failed, or cancelled) since creation.
+    pub completed_jobs: u64,
+    /// Coordinated index builds actually started.
+    pub builds_started: u64,
+    /// Index requests that coalesced onto an in-flight build.
+    pub builds_coalesced: u64,
+    /// Current stage-queue depth per node.
+    pub queue_depths: Vec<u64>,
+}
+
+struct Core {
+    substrate: Substrate,
+    config: SchedulerConfig,
+    /// Weak because jobs outlive client interest: a handle dropped without
+    /// `wait` must not pin the job state forever in this list.
+    active: Mutex<Vec<Weak<JobState>>>,
+    completed: Arc<AtomicU64>,
+    builds: Arc<builds::BuildRegistry>,
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        // Orderly shutdown: no job left running, no build thread leaked.
+        // The substrate's own Drop then stops the dispatchers.
+        let active = std::mem::take(&mut *self.active.lock());
+        for weak in &active {
+            if let Some(job) = weak.upgrade() {
+                job.cancel();
+            }
+        }
+        for weak in &active {
+            if let Some(job) = weak.upgrade() {
+                let _ = job.wait_result();
+            }
+        }
+        self.builds.join_all();
+    }
+}
+
+/// The multi-tenant job service. Cheap to clone — clones share one
+/// substrate; hand one to each client thread.
+#[derive(Clone)]
+pub struct HarborScheduler {
+    core: Arc<Core>,
+}
+
+impl HarborScheduler {
+    /// Stand up a scheduler over `cluster`: spawns the shared pool and
+    /// per-node dispatchers eagerly.
+    pub fn new(cluster: SimCluster, config: SchedulerConfig) -> HarborScheduler {
+        let substrate = Substrate::new(cluster, config.pool_threads);
+        HarborScheduler {
+            core: Arc::new(Core {
+                substrate,
+                config,
+                active: Mutex::new(Vec::new()),
+                completed: Arc::new(AtomicU64::new(0)),
+                builds: Arc::new(builds::BuildRegistry::new()),
+            }),
+        }
+    }
+
+    /// Scheduler with default configuration.
+    pub fn with_defaults(cluster: SimCluster) -> HarborScheduler {
+        HarborScheduler::new(cluster, SchedulerConfig::default())
+    }
+
+    /// The cluster jobs run against.
+    pub fn cluster(&self) -> &SimCluster {
+        self.core.substrate.cluster()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.core.config
+    }
+
+    /// Submit with default options (weight 1, counting only).
+    pub fn submit(&self, job: &Job) -> JobHandle {
+        self.submit_with(job, SubmitOptions::default())
+    }
+
+    /// Admit a job. Never blocks on the job: seeding is the only work done
+    /// on the caller's thread. Returns immediately with a waitable,
+    /// cancellable handle.
+    pub fn submit_with(&self, job: &Job, opts: SubmitOptions) -> JobHandle {
+        let core = &self.core;
+        let state = core.substrate.submit(
+            job,
+            JobOptions {
+                weight: opts.weight.max(1),
+                collect_outputs: opts.collect_outputs,
+                referencer_inline: core.config.referencer_inline,
+                routing: core.config.routing,
+                label: opts.tenant,
+                on_finish: Some(core.completed.clone()),
+            },
+        );
+        let mut active = core.active.lock();
+        // Prune entries for jobs that finished or lost all interest.
+        active.retain(|w| w.upgrade().is_some_and(|j| !j.is_finished()));
+        active.push(Arc::downgrade(&state));
+        drop(active);
+        JobHandle { state }
+    }
+
+    /// Ensure an index exists, building it at most once no matter how many
+    /// clients ask concurrently. Returns a ticket: `wait` blocks until the
+    /// structure is available (`AlreadyPresent` or `Built(report)`) or its
+    /// one build failed. A failed build cleans up its partial index, so a
+    /// later `ensure_index` retries from scratch.
+    pub fn ensure_index(&self, builder: IndexBuilder) -> StructureTicket {
+        self.core.builds.ensure(builder)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SchedulerStats {
+        let active_jobs = self
+            .core
+            .active
+            .lock()
+            .iter()
+            .filter(|w| w.upgrade().is_some_and(|j| !j.is_finished()))
+            .count();
+        SchedulerStats {
+            active_jobs,
+            completed_jobs: self.core.completed.load(Ordering::SeqCst),
+            builds_started: self.core.builds.started(),
+            builds_coalesced: self.core.builds.coalesced(),
+            queue_depths: self.core.substrate.queue_depths(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SeedInput;
+    use crate::prebuilt::{
+        BtreeRangeDereferencer, DelimitedInterpreter, FieldType, IndexEntryReferencer,
+        LookupDereferencer,
+    };
+    use crate::traits::Interpreter;
+    use rede_common::{RedeError, Value};
+    use rede_storage::{FileSpec, IndexSpec, IoModel, Partitioning, Record};
+    use std::sync::Barrier;
+    use std::time::{Duration, Instant};
+
+    /// 4-node cluster with a `base` file: key | key%7 | key*2.
+    fn cluster(rows: i64, io: IoModel) -> SimCluster {
+        let c = SimCluster::builder().nodes(4).io_model(io).build().unwrap();
+        let f = c
+            .create_file(FileSpec::new("base", Partitioning::hash(8)))
+            .unwrap();
+        for i in 0..rows {
+            f.insert(
+                Value::Int(i),
+                Record::from_text(&format!("{i}|{}|{}", i % 7, i * 2)),
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    fn weight_index_builder(c: &SimCluster) -> IndexBuilder {
+        IndexBuilder::new(
+            c.clone(),
+            IndexSpec::global("base.weight", "base", 8),
+            Arc::new(DelimitedInterpreter::pipe(2, FieldType::Int)),
+        )
+    }
+
+    /// Index-probe job over `base.weight` ∈ [lo, hi] fetching base records.
+    fn range_job(lo: i64, hi: i64) -> Job {
+        Job::builder("range")
+            .seed(SeedInput::Range {
+                file: "base.weight".into(),
+                lo: Value::Int(lo),
+                hi: Value::Int(hi),
+            })
+            .dereference(
+                "probe",
+                Arc::new(BtreeRangeDereferencer::new("base.weight")),
+            )
+            .reference("to-ptr", Arc::new(IndexEntryReferencer::new("base")))
+            .dereference("fetch", Arc::new(LookupDereferencer::new("base")))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn concurrent_clients_get_correct_independent_results() {
+        let c = cluster(400, IoModel::zero());
+        weight_index_builder(&c).build().unwrap();
+        let sched = HarborScheduler::with_defaults(c);
+        // Client k asks for weight ∈ [0, 2k] → keys 0..=k → k+1 records.
+        let handles: Vec<(u64, JobHandle)> = (0..12)
+            .map(|k| {
+                let job = range_job(0, 2 * k as i64);
+                (
+                    k + 1,
+                    sched.submit_with(&job, SubmitOptions::new().tenant(format!("client-{k}"))),
+                )
+            })
+            .collect();
+        for (expect, handle) in handles {
+            let result = handle.wait().unwrap();
+            assert_eq!(result.count, expect);
+            // Per-job conservation: every one of this job's logical point
+            // reads (one per fetched record) is accounted as a local
+            // read, a remote read, or a cache hit — in this job's scope
+            // alone, despite the 11 others sharing the cluster.
+            let resolved: u64 = result
+                .profile
+                .nodes
+                .iter()
+                .map(|n| n.local_point_reads + n.remote_point_reads + n.cache_hits)
+                .sum();
+            assert_eq!(
+                resolved, expect,
+                "per-job conservation broke for a concurrent job"
+            );
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.completed_jobs, 12);
+        assert_eq!(stats.active_jobs, 0);
+    }
+
+    #[test]
+    fn empty_seed_job_finishes_immediately_with_empty_result() {
+        let c = cluster(10, IoModel::zero());
+        let sched = HarborScheduler::with_defaults(c);
+        let job = Job::builder("empty")
+            .seed(SeedInput::Pointers(vec![]))
+            .dereference("fetch", Arc::new(LookupDereferencer::new("base")))
+            .build()
+            .unwrap();
+        let result = sched.submit(&job).wait().unwrap();
+        assert_eq!(result.count, 0);
+        assert!(result.records.is_empty());
+    }
+
+    /// An interpreter that works correctly but slowly — keeps a build in
+    /// flight long enough for concurrent requests to pile onto it.
+    struct Slow(DelimitedInterpreter, Duration);
+    impl Interpreter for Slow {
+        fn extract(&self, record: &Record) -> rede_common::Result<Vec<Value>> {
+            std::thread::sleep(self.1);
+            self.0.extract(record)
+        }
+    }
+
+    #[test]
+    fn duplicate_index_requests_trigger_exactly_one_build() {
+        let c = cluster(200, IoModel::zero());
+        let sched = HarborScheduler::with_defaults(c.clone());
+        let clients = 8;
+        let barrier = Arc::new(Barrier::new(clients));
+        let threads: Vec<_> = (0..clients)
+            .map(|_| {
+                let sched = sched.clone();
+                let c = c.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let builder = IndexBuilder::new(
+                        c,
+                        IndexSpec::global("base.weight", "base", 8),
+                        Arc::new(Slow(
+                            DelimitedInterpreter::pipe(2, FieldType::Int),
+                            Duration::from_millis(2),
+                        )),
+                    );
+                    barrier.wait();
+                    sched.ensure_index(builder).wait()
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = threads
+            .into_iter()
+            .map(|t| t.join().unwrap().unwrap())
+            .collect();
+        assert_eq!(
+            sched.stats().builds_started,
+            1,
+            "duplicate requests must coalesce into exactly one build"
+        );
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| matches!(o, EnsureOutcome::Built(_))),
+            "someone must have run (or ridden) the build"
+        );
+        for o in &outcomes {
+            if let EnsureOutcome::Built(report) = o {
+                assert_eq!(report.entries, 200);
+            }
+        }
+        assert_eq!(c.index("base.weight").unwrap().len(), 200);
+        // The structure now exists: a fresh request builds nothing.
+        let ticket = sched.ensure_index(weight_index_builder(&c));
+        assert!(matches!(
+            ticket.wait().unwrap(),
+            EnsureOutcome::AlreadyPresent
+        ));
+        assert_eq!(sched.stats().builds_started, 1);
+    }
+
+    struct Bomb;
+    impl Interpreter for Bomb {
+        fn extract(&self, _record: &Record) -> rede_common::Result<Vec<Value>> {
+            panic!("interpreter exploded");
+        }
+    }
+
+    #[test]
+    fn failed_build_cleans_up_so_a_retry_starts_fresh() {
+        let c = cluster(50, IoModel::zero());
+        let sched = HarborScheduler::with_defaults(c.clone());
+        let bad = IndexBuilder::new(
+            c.clone(),
+            IndexSpec::global("base.weight", "base", 8),
+            Arc::new(Bomb),
+        );
+        let err = sched.ensure_index(bad).wait().unwrap_err();
+        assert!(matches!(err, RedeError::Exec(_)), "got {err:?}");
+        assert!(
+            c.index("base.weight").is_err(),
+            "failed build must deregister its partial index"
+        );
+        // Retry with a working interpreter: a second build runs and wins.
+        let outcome = sched.ensure_index(weight_index_builder(&c)).wait().unwrap();
+        assert!(matches!(outcome, EnsureOutcome::Built(_)));
+        assert_eq!(sched.stats().builds_started, 2);
+        assert_eq!(c.index("base.weight").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn cancelled_job_frees_its_permits_and_pool_slots() {
+        // Real injected latency so the job is genuinely in flight when the
+        // cancel lands.
+        let c = cluster(3000, IoModel::hdd_like(0.5));
+        weight_index_builder(&c).build().unwrap();
+        let permits_before = c.available_iops_permits();
+        let sched = HarborScheduler::new(
+            c.clone(),
+            SchedulerConfig {
+                pool_threads: 16,
+                ..SchedulerConfig::default()
+            },
+        );
+        let handle = sched.submit(&range_job(0, 6000));
+        // Let it sink its teeth in, then cancel mid-flight.
+        std::thread::sleep(Duration::from_millis(30));
+        handle.cancel();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, RedeError::Cancelled(_)), "got {err:?}");
+        // In-flight reads retire on their own schedule; everything the job
+        // held must come back promptly.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let clean = handle.permits_held() == 0
+                && handle.pool_threads_held() == 0
+                && c.available_iops_permits() == permits_before;
+            if clean {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "cancelled job still holds resources: permits_held={} pool_held={} iops={:?}",
+                handle.permits_held(),
+                handle.pool_threads_held(),
+                c.available_iops_permits(),
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Cancelling again (or after finish) is a harmless no-op.
+        handle.cancel();
+        assert!(handle.is_finished());
+    }
+
+    #[test]
+    fn weighted_submission_options_are_respected() {
+        let c = cluster(100, IoModel::zero());
+        weight_index_builder(&c).build().unwrap();
+        let sched = HarborScheduler::with_defaults(c);
+        let handle = sched.submit_with(
+            &range_job(0, 200),
+            SubmitOptions::new().weight(4).collecting().tenant("t0"),
+        );
+        assert_eq!(handle.tenant(), Some("t0"));
+        let result = handle.wait().unwrap();
+        assert_eq!(result.count, 100);
+        assert_eq!(result.records.len(), 100, "collecting option must stick");
+    }
+}

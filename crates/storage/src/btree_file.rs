@@ -21,7 +21,8 @@ use crate::btree::BPlusTree;
 use crate::partitioner::{Partitioner, Partitioning};
 use crate::record::Record;
 use parking_lot::RwLock;
-use rede_common::{RedeError, Result, Value};
+use rede_common::{FxHashMap, RedeError, Result, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Placement of an index relative to its base file.
@@ -117,6 +118,17 @@ impl IndexEntry {
     }
 }
 
+/// Placement hints for a *local* index: the partition each key's postings
+/// were placed in at build time. `None` in the map marks a key seen in more
+/// than one partition (no single serving partition). Any insert that
+/// bypasses the hinted path taints the whole table — hints may then be
+/// stale, so the router stops trusting them. Hints never affect probe
+/// sets, only routing, so staleness can cost locality but never answers.
+struct PlacementHints {
+    map: RwLock<FxHashMap<Value, Option<usize>>>,
+    tainted: AtomicBool,
+}
+
 /// A partitioned B+-tree secondary index.
 pub struct BtreeFile {
     name: Arc<str>,
@@ -124,6 +136,7 @@ pub struct BtreeFile {
     locality: IndexLocality,
     partitioner: Arc<dyn Partitioner>,
     trees: Vec<RwLock<BPlusTree<Value, Vec<Record>>>>,
+    hints: Option<PlacementHints>,
 }
 
 impl BtreeFile {
@@ -133,12 +146,20 @@ impl BtreeFile {
         let trees = (0..partitioner.partitions())
             .map(|_| RwLock::new(BPlusTree::new()))
             .collect();
+        let hints = match spec.locality {
+            IndexLocality::Local => Some(PlacementHints {
+                map: RwLock::new(FxHashMap::default()),
+                tainted: AtomicBool::new(false),
+            }),
+            IndexLocality::Global => None,
+        };
         Ok(BtreeFile {
             name: Arc::from(spec.name.as_str()),
             base: Arc::from(spec.base.as_str()),
             locality: spec.locality.clone(),
             partitioner,
             trees,
+            hints,
         })
     }
 
@@ -183,7 +204,36 @@ impl BtreeFile {
 
     /// Insert an entry record under `key` into an explicit partition (used
     /// for local indexes, where placement follows the base record).
+    ///
+    /// For a local index this is the *unhinted* path: it taints any
+    /// placement hints, since the hint table can no longer claim to cover
+    /// every posting. Builders use [`BtreeFile::insert_at_hinted`].
     pub fn insert_at(&self, partition: usize, key: Value, entry: Record) -> Result<()> {
+        if let Some(hints) = &self.hints {
+            hints.tainted.store(true, Ordering::Relaxed);
+        }
+        self.insert_at_inner(partition, key, entry)
+    }
+
+    /// Insert an entry into an explicit partition *and* record where the
+    /// key's postings live, so pointers into this (local) index become
+    /// owner-routable. A key later seen in a second partition demotes its
+    /// hint to "ambiguous". No-op hint-wise for global indexes.
+    pub fn insert_at_hinted(&self, partition: usize, key: Value, entry: Record) -> Result<()> {
+        if let Some(hints) = &self.hints {
+            let mut map = hints.map.write();
+            map.entry(key.clone())
+                .and_modify(|hint| {
+                    if *hint != Some(partition) {
+                        *hint = None;
+                    }
+                })
+                .or_insert(Some(partition));
+        }
+        self.insert_at_inner(partition, key, entry)
+    }
+
+    fn insert_at_inner(&self, partition: usize, key: Value, entry: Record) -> Result<()> {
         let tree = self.trees.get(partition).ok_or_else(|| {
             RedeError::Routing(format!("{}: no partition {partition}", self.name))
         })?;
@@ -195,6 +245,26 @@ impl BtreeFile {
             }
         }
         Ok(())
+    }
+
+    /// The single partition known (from build-time placement hints) to hold
+    /// every posting for `key`, if the hint table is trusted. `None` when
+    /// the index is global (the partitioner already routes), the key is
+    /// unseen or ambiguous, or any unhinted insert tainted the table.
+    pub fn hint_partition_for_key(&self, key: &Value) -> Option<usize> {
+        let hints = self.hints.as_ref()?;
+        if hints.tainted.load(Ordering::Relaxed) {
+            return None;
+        }
+        hints.map.read().get(key).copied().flatten()
+    }
+
+    /// True when this (local) index has a hint table no unhinted insert
+    /// has invalidated. Always false for global indexes.
+    pub fn placement_hints_trusted(&self) -> bool {
+        self.hints
+            .as_ref()
+            .is_some_and(|h| !h.tainted.load(Ordering::Relaxed))
     }
 
     /// Insert an entry record under `key`, routing by the index's own
@@ -352,6 +422,67 @@ mod tests {
         assert!(ix
             .insert_at(99, Value::Int(1), Record::from_text("x"))
             .is_err());
+    }
+
+    #[test]
+    fn hinted_inserts_make_local_keys_routable() {
+        let ix = BtreeFile::new(&IndexSpec::local("ix", "base", 4)).unwrap();
+        ix.insert_at_hinted(
+            2,
+            Value::Int(7),
+            IndexEntry::new(Value::Int(7), Value::Int(7)).to_record(),
+        )
+        .unwrap();
+        assert!(ix.placement_hints_trusted());
+        assert_eq!(ix.hint_partition_for_key(&Value::Int(7)), Some(2));
+        // Unseen key: no hint, but the table stays trusted.
+        assert_eq!(ix.hint_partition_for_key(&Value::Int(8)), None);
+        // Probe sets are unchanged: hints steer routing, not lookups.
+        assert_eq!(
+            ix.probe_partitions_for_key(&Value::Int(7)),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn ambiguous_keys_lose_their_hint() {
+        let ix = BtreeFile::new(&IndexSpec::local("ix", "base", 4)).unwrap();
+        let entry = IndexEntry::new(Value::Int(1), Value::Int(1)).to_record();
+        ix.insert_at_hinted(0, Value::Int(1), entry.clone())
+            .unwrap();
+        ix.insert_at_hinted(3, Value::Int(1), entry.clone())
+            .unwrap();
+        assert!(ix.placement_hints_trusted());
+        assert_eq!(ix.hint_partition_for_key(&Value::Int(1)), None);
+        // Re-inserting into an already-hinted partition keeps the hint.
+        ix.insert_at_hinted(2, Value::Int(5), entry.clone())
+            .unwrap();
+        ix.insert_at_hinted(2, Value::Int(5), entry).unwrap();
+        assert_eq!(ix.hint_partition_for_key(&Value::Int(5)), Some(2));
+    }
+
+    #[test]
+    fn unhinted_insert_taints_the_table() {
+        let ix = BtreeFile::new(&IndexSpec::local("ix", "base", 4)).unwrap();
+        let entry = IndexEntry::new(Value::Int(1), Value::Int(1)).to_record();
+        ix.insert_at_hinted(0, Value::Int(1), entry.clone())
+            .unwrap();
+        assert_eq!(ix.hint_partition_for_key(&Value::Int(1)), Some(0));
+        ix.insert_at(1, Value::Int(2), entry).unwrap();
+        assert!(!ix.placement_hints_trusted());
+        assert_eq!(ix.hint_partition_for_key(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn global_indexes_never_carry_hints() {
+        let ix = global_index();
+        ix.insert(
+            Value::Int(1),
+            IndexEntry::new(Value::Int(1), Value::Int(1)).to_record(),
+        )
+        .unwrap();
+        assert!(!ix.placement_hints_trusted());
+        assert_eq!(ix.hint_partition_for_key(&Value::Int(1)), None);
     }
 
     #[test]

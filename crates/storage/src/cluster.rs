@@ -20,7 +20,7 @@ use crate::io_model::{IoModel, IopsLimiter};
 use crate::partitioner::Partitioning;
 use crate::pointer::{Pointer, PointerKey};
 use crate::record::Record;
-use rede_common::{AccessKind, Metrics, RedeError, Result, Value};
+use rede_common::{AccessKind, IoScope, Metrics, RedeError, Result, Value};
 use std::sync::Arc;
 
 /// Declarative description of a heap file.
@@ -88,60 +88,20 @@ impl ClusterInner {
             .remote_point_read
             .saturating_sub(self.io.local_point_read)
     }
-
-    /// Pay for one point read of a record in `partition`, issued from
-    /// `from_node`. Returns after the (possibly zero) injected latency.
-    ///
-    /// The owner's IOPS permit is held only for the *device* portion of
-    /// the latency; a remote read pays the network RTT after releasing it.
-    /// Wire time must not occupy a disk-queue slot, or one slow remote
-    /// reader would falsely throttle the owner's local readers.
-    fn charge_point_read(&self, partition: usize, from_node: usize) {
-        let owner = self.node_of_partition(partition);
-        let local = owner == from_node;
-        self.metrics.record_point_read_at(from_node, local);
-        {
-            let _permit = self.limiters[owner].acquire();
-            if local {
-                self.metrics.record_access(AccessKind::LocalPointRead);
-            } else {
-                self.metrics.record_access(AccessKind::RemotePointRead);
-            }
-            // Both kinds spend the same time on the owner's device; the
-            // remote surcharge is pure network and is paid below.
-            self.io.pay_local_read();
-        }
-        if !local {
-            let rtt = self.rtt();
-            if !rtt.is_zero() {
-                std::thread::sleep(rtt);
-            }
-        }
-    }
-
-    /// Pay for one index traversal in `partition` issued from `from_node`.
-    /// A remote traversal additionally pays the network component, again
-    /// *outside* the owner's IOPS permit.
-    fn charge_index_probe(&self, partition: usize, from_node: usize) {
-        let owner = self.node_of_partition(partition);
-        self.metrics.record_access(AccessKind::IndexLookup);
-        {
-            let _permit = self.limiters[owner].acquire();
-            self.io.pay_index_lookup();
-        }
-        if owner != from_node {
-            let rtt = self.rtt();
-            if !rtt.is_zero() {
-                std::thread::sleep(rtt);
-            }
-        }
-    }
 }
 
 /// Handle to a running simulated cluster. Cheap to clone.
+///
+/// A handle optionally carries an [`IoScope`]: scoped handles (created by
+/// [`SimCluster::with_io_scope`]) mirror every charged access into the
+/// scope's private metrics in addition to the cluster-global counters, and
+/// attribute held IOPS permits to the scope. The scheduler hands each job a
+/// scoped handle so per-job profiles stay exact under concurrency; clones
+/// (and the file/index handles they mint) inherit the scope.
 #[derive(Clone)]
 pub struct SimCluster {
     inner: Arc<ClusterInner>,
+    scope: Option<Arc<IoScope>>,
 }
 
 /// Builder for [`SimCluster`].
@@ -243,6 +203,7 @@ impl SimClusterBuilder {
                 catalog: Catalog::new(),
                 cache,
             }),
+            scope: None,
         })
     }
 }
@@ -272,6 +233,94 @@ impl SimCluster {
     /// The cluster-wide metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.inner.metrics
+    }
+
+    /// A handle to the same cluster that additionally attributes every
+    /// charged access to `scope` (per-job accounting). The global counters
+    /// keep accumulating; the scope's private metrics see only accesses
+    /// issued through this handle and its clones.
+    pub fn with_io_scope(&self, scope: Arc<IoScope>) -> SimCluster {
+        SimCluster {
+            inner: self.inner.clone(),
+            scope: Some(scope),
+        }
+    }
+
+    /// The attribution scope this handle carries, if any.
+    pub fn io_scope(&self) -> Option<&Arc<IoScope>> {
+        self.scope.as_ref()
+    }
+
+    /// Record into the global metrics and, when scoped, the scope's mirror.
+    #[inline]
+    fn tally(&self, f: impl Fn(&Metrics)) {
+        f(&self.inner.metrics);
+        if let Some(scope) = &self.scope {
+            f(scope.metrics());
+        }
+    }
+
+    /// Diagnostic: IOPS permits currently available on each node's limiter.
+    pub fn available_iops_permits(&self) -> Vec<usize> {
+        self.inner
+            .limiters
+            .iter()
+            .map(|l| l.available_permits())
+            .collect()
+    }
+
+    /// Pay for one point read of a record in `partition`, issued from
+    /// `from_node`. Returns after the (possibly zero) injected latency.
+    ///
+    /// The owner's IOPS permit is held only for the *device* portion of
+    /// the latency; a remote read pays the network RTT after releasing it.
+    /// Wire time must not occupy a disk-queue slot, or one slow remote
+    /// reader would falsely throttle the owner's local readers.
+    fn charge_point_read(&self, partition: usize, from_node: usize) {
+        let inner = &*self.inner;
+        let owner = inner.node_of_partition(partition);
+        let local = owner == from_node;
+        self.tally(|m| m.record_point_read_at(from_node, local));
+        {
+            let _permit = inner.limiters[owner].acquire();
+            let _held = self.scope.as_deref().map(IoScope::hold_permit);
+            self.tally(|m| {
+                m.record_access(if local {
+                    AccessKind::LocalPointRead
+                } else {
+                    AccessKind::RemotePointRead
+                })
+            });
+            // Both kinds spend the same time on the owner's device; the
+            // remote surcharge is pure network and is paid below.
+            inner.io.pay_local_read();
+        }
+        if !local {
+            let rtt = inner.rtt();
+            if !rtt.is_zero() {
+                std::thread::sleep(rtt);
+            }
+        }
+    }
+
+    /// Pay for one index traversal in `partition` issued from `from_node`.
+    /// A remote traversal additionally pays the network component, again
+    /// *outside* the owner's IOPS permit.
+    fn charge_index_probe(&self, partition: usize, from_node: usize) {
+        let inner = &*self.inner;
+        let owner = inner.node_of_partition(partition);
+        self.tally(|m| m.record_access(AccessKind::IndexLookup));
+        {
+            let _permit = inner.limiters[owner].acquire();
+            let _held = self.scope.as_deref().map(IoScope::hold_permit);
+            inner.io.pay_index_lookup();
+        }
+        if owner != from_node {
+            let rtt = inner.rtt();
+            if !rtt.is_zero() {
+                std::thread::sleep(rtt);
+            }
+        }
     }
 
     /// The configured I/O model.
@@ -319,6 +368,15 @@ impl SimCluster {
             index: self.inner.catalog.btree(name)?,
             cluster: self.clone(),
         })
+    }
+
+    /// Remove an index from the catalog (e.g. a failed build cleaning up
+    /// its partially built structure so a later build can start fresh).
+    /// Errors if `name` is absent or names a heap file.
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        self.inner.catalog.btree(name)?;
+        self.inner.catalog.deregister(name)?;
+        Ok(())
     }
 
     /// All indexes registered over `base`.
@@ -371,7 +429,13 @@ impl SimCluster {
                 let probes = index.probe_partitions_for_key(key);
                 match probes.as_slice() {
                     [single] => Some(*single),
-                    _ => None,
+                    // Local indexes probe every partition, so the probe set
+                    // pins nothing — but a placement hint recorded at build
+                    // time can still name the one partition holding the
+                    // key. Hints only steer routing; lookups keep probing
+                    // the full placement set, so a stale or missing hint
+                    // can never change an answer.
+                    _ => index.hint_partition_for_key(key),
                 }
             }
         }
@@ -421,16 +485,16 @@ impl SimCluster {
                 // A hit is still a logical access by `from_node`: count it
                 // there so per-node totals always sum to the resolves
                 // issued, even when the cache absorbs all the I/O.
-                self.inner.metrics.record_cache_hit_at(from_node);
+                self.tally(|m| m.record_cache_hit_at(from_node));
                 return Ok(record);
             }
-            self.inner.metrics.record_cache_miss_at(from_node);
-            self.inner.charge_point_read(partition, from_node);
+            self.tally(|m| m.record_cache_miss_at(from_node));
+            self.charge_point_read(partition, from_node);
             let record = heap.get(partition, &ptr.key)?;
             cache.insert(from_node, cache_key, record.clone());
             return Ok(record);
         }
-        self.inner.charge_point_read(partition, from_node);
+        self.charge_point_read(partition, from_node);
         heap.get(partition, &ptr.key)
     }
 }
@@ -487,9 +551,7 @@ impl FileHandle {
     /// latency is not modeled (the paper measures query time only).
     pub fn insert(&self, key: Value, record: Record) -> Result<(usize, usize)> {
         self.cluster
-            .inner
-            .metrics
-            .record_access(AccessKind::RecordWrite);
+            .tally(|m| m.record_access(AccessKind::RecordWrite));
         self.file.insert(&key.clone(), key, record)
     }
 
@@ -501,9 +563,7 @@ impl FileHandle {
         record: Record,
     ) -> Result<(usize, usize)> {
         self.cluster
-            .inner
-            .metrics
-            .record_access(AccessKind::RecordWrite);
+            .tally(|m| m.record_access(AccessKind::RecordWrite));
         self.file.insert(partition_key, key, record)
     }
 
@@ -519,9 +579,7 @@ impl FileHandle {
                 break;
             }
             self.cluster
-                .inner
-                .metrics
-                .record_accesses(AccessKind::ScannedRecord, rows.len() as u64);
+                .tally(|m| m.record_accesses(AccessKind::ScannedRecord, rows.len() as u64));
             self.cluster.inner.io.pay_scan(rows.len());
             for (k, r) in &rows {
                 f(k, r);
@@ -541,9 +599,7 @@ impl FileHandle {
         let rows = self.file.read_slots(partition, start, count);
         if !rows.is_empty() {
             self.cluster
-                .inner
-                .metrics
-                .record_accesses(AccessKind::ScannedRecord, rows.len() as u64);
+                .tally(|m| m.record_accesses(AccessKind::ScannedRecord, rows.len() as u64));
             self.cluster.inner.io.pay_scan(rows.len());
         }
         rows
@@ -592,9 +648,7 @@ impl IndexHandle {
     /// Charged as a record write.
     pub fn insert(&self, key: Value, entry: Record) -> Result<()> {
         self.cluster
-            .inner
-            .metrics
-            .record_access(AccessKind::RecordWrite);
+            .tally(|m| m.record_access(AccessKind::RecordWrite));
         self.index.insert(key, entry)
     }
 
@@ -602,10 +656,17 @@ impl IndexHandle {
     /// partition. Charged as a record write.
     pub fn insert_at(&self, partition: usize, key: Value, entry: Record) -> Result<()> {
         self.cluster
-            .inner
-            .metrics
-            .record_access(AccessKind::RecordWrite);
+            .tally(|m| m.record_access(AccessKind::RecordWrite));
         self.index.insert_at(partition, key, entry)
+    }
+
+    /// Insert an entry for a *local* index, recording a placement hint so
+    /// pointers into the index become owner-routable (builders' path; see
+    /// [`BtreeFile::insert_at_hinted`]). Charged as a record write.
+    pub fn insert_at_hinted(&self, partition: usize, key: Value, entry: Record) -> Result<()> {
+        self.cluster
+            .tally(|m| m.record_access(AccessKind::RecordWrite));
+        self.index.insert_at_hinted(partition, key, entry)
     }
 
     /// Charged exact-key probe: consults the partitions the placement
@@ -614,7 +675,7 @@ impl IndexHandle {
     pub fn lookup(&self, key: &Value, from_node: usize) -> Vec<Record> {
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_key(key) {
-            self.cluster.inner.charge_index_probe(p, from_node);
+            self.cluster.charge_index_probe(p, from_node);
             out.extend(self.index.lookup_in(p, key));
         }
         self.count_entries(out.len());
@@ -625,7 +686,7 @@ impl IndexHandle {
     pub fn range(&self, lo: &Value, hi: &Value, from_node: usize) -> Vec<Record> {
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_range(lo, hi) {
-            self.cluster.inner.charge_index_probe(p, from_node);
+            self.cluster.charge_index_probe(p, from_node);
             out.extend(self.index.range_in(p, lo, hi));
         }
         self.count_entries(out.len());
@@ -642,7 +703,7 @@ impl IndexHandle {
             if self.cluster.node_of_partition(p) != node {
                 continue;
             }
-            self.cluster.inner.charge_index_probe(p, node);
+            self.cluster.charge_index_probe(p, node);
             out.extend(self.index.lookup_in(p, key));
         }
         self.count_entries(out.len());
@@ -660,7 +721,7 @@ impl IndexHandle {
             if self.cluster.node_of_partition(p) != node {
                 continue;
             }
-            self.cluster.inner.charge_index_probe(p, node);
+            self.cluster.charge_index_probe(p, node);
             out.extend(self.index.range_in(p, lo, hi));
         }
         self.count_entries(out.len());
@@ -684,9 +745,7 @@ impl IndexHandle {
     fn count_entries(&self, n: usize) {
         if n > 0 {
             self.cluster
-                .inner
-                .metrics
-                .record_accesses(AccessKind::IndexEntryRead, n as u64);
+                .tally(|m| m.record_accesses(AccessKind::IndexEntryRead, n as u64));
         }
     }
 }
@@ -1045,6 +1104,69 @@ mod tests {
         let s = c.metrics().snapshot();
         assert_eq!(s.cache_hits + s.cache_misses, 200);
         assert!(s.cache_misses >= 100, "capacity 4 cannot hold the sweep");
+    }
+
+    #[test]
+    fn scoped_handle_mirrors_charges_and_tracks_permits() {
+        let c = cluster();
+        let f = loaded(&c, 64);
+        let scope = Arc::new(rede_common::IoScope::new(1));
+        let scoped = c.with_io_scope(scope.clone());
+
+        let key = Value::Int(5);
+        let ptr = Pointer::logical("part", key.clone(), key);
+        // Unscoped access: global only.
+        c.resolve(&ptr, 0).unwrap();
+        assert_eq!(scope.metrics().snapshot().point_reads(), 0);
+        // Scoped access: both global and scope see it.
+        scoped.resolve(&ptr, 0).unwrap();
+        assert_eq!(c.metrics().snapshot().point_reads(), 2);
+        assert_eq!(scope.metrics().snapshot().point_reads(), 1);
+        // Scoped per-node split attributes to the issuing node (0 here).
+        let partition = f.partition_of(&Value::Int(5));
+        let local = c.node_of_partition(partition) == 0;
+        let per_node = scope.metrics().node_point_reads();
+        assert_eq!(per_node[0].local, u64::from(local));
+        assert_eq!(per_node[0].remote, u64::from(!local));
+        // File/index handles minted from the scoped handle inherit it.
+        let sf = scoped.file("part").unwrap();
+        sf.scan_partition(0, |_, _| {});
+        assert_eq!(
+            scope.metrics().snapshot().scanned_records,
+            c.file("part").unwrap().partition_len(0) as u64
+        );
+        // Quiescent: no permits held, all limiters full.
+        assert_eq!(scope.permits_held(), 0);
+        let io = c.io_model();
+        assert!(c
+            .available_iops_permits()
+            .iter()
+            .all(|&p| p == io.queue_depth));
+    }
+
+    #[test]
+    fn hinted_local_index_pointers_become_routable() {
+        let c = cluster();
+        loaded(&c, 0);
+        let ix = c.create_index(IndexSpec::local("lix", "part", 8)).unwrap();
+        let key = Value::Int(7);
+        ix.insert_at_hinted(
+            5,
+            key.clone(),
+            IndexEntry::new(key.clone(), key.clone()).to_record(),
+        )
+        .unwrap();
+        let ptr = Pointer::logical("lix", key.clone(), key.clone());
+        assert_eq!(c.partition_of_pointer(&ptr), Some(5));
+        assert_eq!(c.owner_of_pointer(&ptr), Some(c.node_of_partition(5)));
+        // Unhinted writes invalidate the table: back to producer routing.
+        ix.insert_at(
+            2,
+            Value::Int(9),
+            IndexEntry::new(Value::Int(9), Value::Int(9)).to_record(),
+        )
+        .unwrap();
+        assert_eq!(c.partition_of_pointer(&ptr), None);
     }
 
     #[test]

@@ -67,18 +67,33 @@ fn main() -> Result<()> {
     );
 
     // --- register the access method; build the structure in background ---
-    let builder = IndexBuilder::new(
-        cluster.clone(),
-        IndexSpec::global("readings.temp", "readings", 8),
-        Arc::new(DelimitedInterpreter::pipe(2, FieldType::Int)),
-    );
-    let handle = builder.build_background();
+    // The scheduler coordinates lazy builds build-once: every client may
+    // ask for the structure, exactly one build runs, the rest coalesce.
+    let scheduler = HarborScheduler::with_defaults(cluster.clone());
+    let make_builder = || {
+        IndexBuilder::new(
+            cluster.clone(),
+            IndexSpec::global("readings.temp", "readings", 8),
+            Arc::new(DelimitedInterpreter::pipe(2, FieldType::Int)),
+        )
+    };
+    let ticket = scheduler.ensure_index(make_builder());
+    let duplicate = scheduler.ensure_index(make_builder()); // coalesces
     println!("index build running in the background …");
-    let report = handle.join().expect("builder thread").expect("build ok");
+    match ticket.wait()? {
+        EnsureOutcome::Built(report) => println!(
+            "built '{}' lazily: {} entries in {:?}",
+            report.index, report.entries, report.elapsed
+        ),
+        EnsureOutcome::AlreadyPresent => println!("structure was already there"),
+    }
+    duplicate.wait()?;
+    let stats = scheduler.stats();
     println!(
-        "built '{}' lazily: {} entries in {:?}",
-        report.index, report.entries, report.elapsed
+        "two requests, {} build started, {} coalesced — build-once held",
+        stats.builds_started, stats.builds_coalesced
     );
+    assert_eq!(stats.builds_started, 1);
 
     // --- after: the same query through the fresh structure ---------------
     let job = Job::builder("hot-readings")

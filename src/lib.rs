@@ -18,7 +18,9 @@
 //!   latency/cost model that stands in for the paper's 128-node HDD cluster.
 //! * [`core`] — the ReDe engine: the Reference–Dereference abstraction, the
 //!   SMPE executor (Algorithm 1 of the paper), the partitioned (non-SMPE)
-//!   executor, and lazy structure maintenance.
+//!   executor, lazy structure maintenance, and the `HarborScheduler`
+//!   multi-job service layer (fair-share admission, build-once structure
+//!   coordination).
 //! * [`baseline`] — the comparison systems: an Impala-like scan/hash-join
 //!   engine and a normalized data-warehouse comparator.
 //! * [`tpch`] — a deterministic TPC-H generator and the paper's Q5'
@@ -63,10 +65,14 @@ pub use rede_tpch as tpch;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use rede_common::{AccessKind, Date, Metrics, RedeError, Result, Value};
-    pub use rede_core::exec::{ExecMode, ExecutorConfig, JobRunner, RoutingPolicy};
+    pub use rede_core::exec::{ExecMode, ExecutorConfig, JobResult, JobRunner, RoutingPolicy};
     pub use rede_core::job::{Job, JobBuilder};
     pub use rede_core::maintenance::IndexBuilder;
     pub use rede_core::prebuilt::*;
+    pub use rede_core::scheduler::{
+        EnsureOutcome, HarborScheduler, JobHandle, SchedulerConfig, SchedulerStats,
+        StructureTicket, SubmitOptions,
+    };
     pub use rede_core::traits::{
         DerefInput, Dereferencer, Filter, FnFilter, FnInterpreter, Interpreter, Referencer,
         StageCtx,

@@ -1,0 +1,136 @@
+//! Scheduler concurrency stress: many simultaneous tenants on one
+//! `HarborScheduler` must get byte-identical answers to serial runs, and
+//! a cancelled tenant must return every resource it held.
+
+use lakeharbor::prelude::*;
+use rede_tpch::{load_tpch, q5_prime_job, q6_job, LoadOptions, Q5Params, Q6Params, TpchGenerator};
+use std::time::{Duration, Instant};
+
+fn fixture(io: IoModel) -> SimCluster {
+    let cluster = SimCluster::builder().nodes(4).io_model(io).build().unwrap();
+    load_tpch(
+        &cluster,
+        TpchGenerator::new(0.002, 7),
+        &LoadOptions {
+            partitions: Some(8),
+            date_indexes: true,
+            fk_indexes: true,
+        },
+    )
+    .unwrap();
+    cluster
+}
+
+/// Sorted raw bytes of a result's records — the strongest possible
+/// equality: not just the same count, the same payloads.
+fn sorted_bytes(result: &JobResult) -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = result.records.iter().map(|r| r.bytes().to_vec()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn twelve_concurrent_jobs_match_serial_runs_byte_for_byte() {
+    let cluster = fixture(IoModel::zero());
+
+    // The workload mix: three different jobs (two Q5' selectivities + Q6).
+    let jobs = [
+        q5_prime_job(&Q5Params::with_selectivity(3e-2)).unwrap(),
+        q5_prime_job(&Q5Params::with_selectivity(1e-1)).unwrap(),
+        q6_job(&Q6Params::standard()).unwrap(),
+    ];
+
+    // Serial ground truth, one job at a time on a plain runner.
+    let serial_runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(64).collecting());
+    let expected: Vec<Vec<Vec<u8>>> = jobs
+        .iter()
+        .map(|job| sorted_bytes(&serial_runner.run(job).unwrap()))
+        .collect();
+    assert!(
+        expected.iter().all(|e| !e.is_empty()),
+        "fixture must select rows for every job"
+    );
+    drop(serial_runner);
+
+    // 12 clients (4 per job kind, mixed weights) all in flight at once.
+    let scheduler = HarborScheduler::with_defaults(cluster);
+    let handles: Vec<(usize, JobHandle)> = (0..12)
+        .map(|client| {
+            let kind = client % jobs.len();
+            let opts = SubmitOptions::new()
+                .weight(1 + (client % 3) as u32)
+                .collecting()
+                .tenant(format!("tenant-{client}"));
+            (kind, scheduler.submit_with(&jobs[kind], opts))
+        })
+        .collect();
+
+    for (kind, handle) in handles {
+        let result = handle.wait().unwrap();
+        assert_eq!(
+            sorted_bytes(&result),
+            expected[kind],
+            "job kind {kind} diverged from its serial run under concurrency"
+        );
+    }
+    let stats = scheduler.stats();
+    assert_eq!(stats.completed_jobs, 12);
+    assert_eq!(stats.active_jobs, 0);
+    assert!(
+        stats.queue_depths.iter().all(|&d| d == 0),
+        "queues must be drained: {:?}",
+        stats.queue_depths
+    );
+}
+
+#[test]
+fn cancelled_tenant_returns_its_iops_permits_and_pool_slots() {
+    // Real injected latency so the victim job is mid-I/O when cancelled.
+    let cluster = fixture(IoModel::hdd_like(0.3));
+    let permits_at_rest = cluster.available_iops_permits();
+    let scheduler = HarborScheduler::new(
+        cluster.clone(),
+        SchedulerConfig {
+            pool_threads: 32,
+            ..SchedulerConfig::default()
+        },
+    );
+
+    let victim = scheduler.submit_with(
+        &q5_prime_job(&Q5Params::with_selectivity(3e-1)).unwrap(),
+        SubmitOptions::new().tenant("victim"),
+    );
+    let survivor = scheduler.submit_with(
+        &q6_job(&Q6Params::standard()).unwrap(),
+        SubmitOptions::new().collecting().tenant("survivor"),
+    );
+
+    std::thread::sleep(Duration::from_millis(25));
+    victim.cancel();
+    assert!(matches!(
+        victim.wait().unwrap_err(),
+        RedeError::Cancelled(_)
+    ));
+
+    // The survivor is untouched by its neighbour's cancellation.
+    let survivor_result = survivor.wait().unwrap();
+    assert!(survivor_result.count > 0);
+
+    // Everything the victim held flows back: its scope's permit count hits
+    // zero, its pool slots free, and the cluster's IOPS limiters return to
+    // their at-rest capacity.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while victim.permits_held() != 0
+        || victim.pool_threads_held() != 0
+        || cluster.available_iops_permits() != permits_at_rest
+    {
+        assert!(
+            Instant::now() < deadline,
+            "cancelled tenant still holds resources: permits={} pool={} cluster={:?}",
+            victim.permits_held(),
+            victim.pool_threads_held(),
+            cluster.available_iops_permits()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
