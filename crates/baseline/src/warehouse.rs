@@ -46,7 +46,7 @@ impl Warehouse {
         from_node: usize,
     ) -> Result<Vec<IndexEntry>> {
         let ix = self.cluster.index(index)?;
-        ix.lookup(key, from_node)
+        ix.lookup(key, from_node)?
             .iter()
             .map(IndexEntry::from_record)
             .collect()

@@ -31,6 +31,7 @@ fn fixture(placement: CachePlacement) -> Fig7Fixture {
         seed: 42,
         record_cache: Some(4096), // total budget, split per node when PerNode
         cache_placement: placement,
+        faults: None,
     })
     .expect("load fixture")
 }

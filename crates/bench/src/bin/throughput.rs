@@ -21,8 +21,16 @@
 //! THROUGHPUT_FAIRNESS_MAX=5.0 max tolerated max/min completed-jobs ratio
 //! THROUGHPUT_SEED=42          generator seed
 //! ```
+//!
+//! Chaos mode: `--faults seed=N` (flag) or `THROUGHPUT_FAULT_SEED=N`
+//! (env) runs the same sweep on a cluster with a deterministic fault
+//! plan — seeded transient read/probe failures, one brown-out window,
+//! one node-down window — and reports the recovery counters. Results are
+//! still checked against the serial reference, and leaked IOPS permits
+//! fail the run; chaos CI rides on this.
 
 use rede_bench::{fmt_duration, run_throughput, Fig7Config, Fig7Fixture, ThroughputOptions};
+use rede_storage::FaultPlan;
 use std::time::Duration;
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -45,14 +53,53 @@ fn client_points() -> Vec<usize> {
         .unwrap_or_else(|| vec![2, 4, 8])
 }
 
+/// `--faults seed=N` from argv, falling back to `THROUGHPUT_FAULT_SEED`.
+fn fault_seed() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--faults") {
+        let spec = args.get(pos + 1).unwrap_or_else(|| {
+            eprintln!("--faults requires an argument: seed=N");
+            std::process::exit(2);
+        });
+        let seed = spec
+            .strip_prefix("seed=")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("bad --faults argument '{spec}' (expected seed=N)");
+                std::process::exit(2);
+            });
+        return Some(seed);
+    }
+    std::env::var("THROUGHPUT_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// The canonical chaos plan: seeded transient faults on both access
+/// classes, one brown-out window, one node-down window (placement
+/// derived from the seed so different seeds stress different nodes).
+fn chaos_plan(seed: u64, nodes: usize) -> FaultPlan {
+    let mut plan = FaultPlan::transient(seed, 0.05).with_probe_fault_rate(0.05);
+    if nodes > 1 {
+        let down = (seed as usize) % nodes;
+        plan = plan
+            .with_brownout((down + 1) % nodes, 1_000..10_000, 4)
+            .with_node_down(down, 4_000..20_000);
+    }
+    plan
+}
+
 fn main() {
+    let fault_seed = fault_seed();
+    let nodes = env_or("THROUGHPUT_NODES", 4);
     let config = Fig7Config {
-        nodes: env_or("THROUGHPUT_NODES", 4),
+        nodes,
         partitions: env_or("THROUGHPUT_PARTITIONS", 16),
         scale_factor: env_or("THROUGHPUT_SF", 0.005),
         io_scale: env_or("THROUGHPUT_IO_SCALE", 0.05),
         smpe_threads: env_or("THROUGHPUT_THREADS", 256),
         seed: env_or("THROUGHPUT_SEED", 42),
+        faults: fault_seed.map(|seed| chaos_plan(seed, nodes)),
         ..Fig7Config::default()
     };
     let window = Duration::from_millis(env_or("THROUGHPUT_WINDOW_MS", 1500));
@@ -63,6 +110,9 @@ fn main() {
         "loading TPC-H sf={} on {} nodes ({} partitions, io_scale {}) …",
         config.scale_factor, config.nodes, config.partitions, config.io_scale
     );
+    if let Some(seed) = fault_seed {
+        eprintln!("chaos mode: fault seed {seed} (transient 5% + brown-out + node-down)");
+    }
     let fixture = Fig7Fixture::build(config).expect("fixture");
     eprintln!(
         "loaded: {} lineitem rows, {} orders rows",
@@ -96,6 +146,12 @@ fn main() {
             fairness,
             point.per_client_completed,
         );
+        if fault_seed.is_some() {
+            println!(
+                "{:>8} recovery: {} faults injected, {} retries, {} rerouted reads",
+                "", point.faults_injected, point.retries, point.rerouted_reads,
+            );
+        }
         if fairness > fairness_max {
             eprintln!(
                 "FAIRNESS VIOLATION at {} clients: max/min completed-jobs ratio {:.2} > bound {:.2} ({:?})",

@@ -16,7 +16,7 @@ use rede_claims::queries::{run_lake_scan, run_rede as run_claims_rede, run_wareh
 use rede_common::{ExecProfile, Result};
 use rede_core::exec::{ExecutorConfig, JobRunner};
 use rede_core::scheduler::{HarborScheduler, SchedulerConfig, SubmitOptions};
-use rede_storage::{CachePlacement, CostModel, IoModel, SimCluster};
+use rede_storage::{CachePlacement, CostModel, FaultPlan, IoModel, SimCluster};
 use rede_tpch::{load_tpch, LoadOptions, Q5Params, Q6Params, TpchGenerator};
 use std::time::Duration;
 
@@ -42,6 +42,9 @@ pub struct Fig7Config {
     pub record_cache: Option<usize>,
     /// Where the record cache lives when one is configured.
     pub cache_placement: CachePlacement,
+    /// Deterministic fault plan for chaos runs (`None` or an inert plan =
+    /// the regular fault-free cluster, with zero recovery-path overhead).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for Fig7Config {
@@ -56,6 +59,7 @@ impl Default for Fig7Config {
             seed: 42,
             record_cache: None,
             cache_placement: CachePlacement::default(),
+            faults: None,
         }
     }
 }
@@ -81,6 +85,9 @@ impl Fig7Fixture {
             .cache_placement(config.cache_placement);
         if let Some(capacity) = config.record_cache {
             builder = builder.record_cache(capacity);
+        }
+        if let Some(plan) = config.faults.clone() {
+            builder = builder.faults(plan);
         }
         let cluster = builder.build()?;
         let loaded = load_tpch(
@@ -364,6 +371,12 @@ pub struct ThroughputPoint {
     pub p99: Duration,
     /// Jobs completed per client — the fairness signal.
     pub per_client_completed: Vec<usize>,
+    /// Injected faults survived during this point (0 without a fault plan).
+    pub faults_injected: u64,
+    /// Stage-invocation retries taken to survive them.
+    pub retries: u64,
+    /// Reads replica-served around down nodes.
+    pub rerouted_reads: u64,
 }
 
 impl ThroughputPoint {
@@ -402,6 +415,13 @@ pub fn run_throughput(
     let q5 = rede_tpch::q5_prime_job(&Q5Params::with_selectivity(options.q5_selectivity))?;
     let q6 = rede_tpch::q6_job(&Q6Params::standard())?;
 
+    let permits_at_rest = fixture.cluster.available_iops_permits();
+    // Before the reference runs: under a fault plan each access site
+    // fails at most once globally, so the serial references consume most
+    // transient faults — the counters must cover them to show what the
+    // whole point survived.
+    let metrics_before = fixture.cluster.metrics().snapshot();
+
     // Serial reference counts, before any concurrency.
     let serial = fixture.smpe_runner();
     let q5_expected = serial.run(&q5)?.count;
@@ -433,8 +453,10 @@ pub fn run_throughput(
                         (&q6, q6_expected)
                     };
                     let submitted = std::time::Instant::now();
-                    let handle = scheduler
-                        .submit_with(job, SubmitOptions::new().tenant(format!("client-{client}")));
+                    let handle = scheduler.submit_with(
+                        job,
+                        SubmitOptions::new().tenant(format!("client-{client}")),
+                    )?;
                     let result = handle.wait()?;
                     latencies.push(submitted.elapsed());
                     completed += 1;
@@ -463,6 +485,19 @@ pub fn run_throughput(
     }
     let wall = start.elapsed();
     latencies.sort();
+
+    // Leak check: with every job complete, the IOPS limiters must be back
+    // at their at-rest capacity — a held permit here means a retry or
+    // recovery path leaked one.
+    drop(scheduler);
+    let permits_now = fixture.cluster.available_iops_permits();
+    if permits_now != permits_at_rest {
+        return Err(rede_common::RedeError::Exec(format!(
+            "IOPS permits leaked: at rest {permits_at_rest:?}, after run {permits_now:?}"
+        )));
+    }
+    let recovery = fixture.cluster.metrics().snapshot().since(&metrics_before);
+
     Ok(ThroughputPoint {
         clients: options.clients,
         jobs: per_client_completed.iter().sum(),
@@ -471,6 +506,9 @@ pub fn run_throughput(
         p95: percentile(&latencies, 0.95),
         p99: percentile(&latencies, 0.99),
         per_client_completed,
+        faults_injected: recovery.faults_injected,
+        retries: recovery.retries,
+        rerouted_reads: recovery.rerouted_reads,
     })
 }
 

@@ -93,7 +93,7 @@ mod tests {
         let expected: usize = (0..1_000)
             .filter(|&i| g.claim(i).disease_codes().any(|d| d == code))
             .count();
-        let hits = ix.lookup(&Value::str(code), 0);
+        let hits = ix.lookup(&Value::str(code), 0).unwrap();
         assert_eq!(hits.len(), expected);
         // Every entry resolves to a claim actually carrying the code.
         for entry in hits.iter().take(20) {

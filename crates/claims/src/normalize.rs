@@ -225,7 +225,7 @@ mod tests {
             .map(|i| g.claim(i))
             .find(|c| c.medicine_codes().count() > 0)
             .unwrap();
-        let hits = ix.lookup(&Value::Int(claim.claim_id), 0);
+        let hits = ix.lookup(&Value::Int(claim.claim_id), 0).unwrap();
         assert_eq!(hits.len(), claim.medicine_codes().count());
     }
 
@@ -247,7 +247,7 @@ mod tests {
             .map(|i| g.claim(i))
             .find(|c| c.treatment_codes().count() > 0)
             .unwrap();
-        let hits = ix.lookup(&Value::Int(claim.claim_id), 0);
+        let hits = ix.lookup(&Value::Int(claim.claim_id), 0).unwrap();
         assert_eq!(hits.len(), claim.treatment_codes().count());
     }
 }

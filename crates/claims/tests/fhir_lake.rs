@@ -127,5 +127,5 @@ fn fhir_condition_index_has_one_entry_per_diagnosis() {
         .filter(|&i| generator.claim(i).disease_codes().any(|d| d == code))
         .count();
     let ix = cluster.index("fhir_bundles.condition").unwrap();
-    assert_eq!(ix.lookup(&Value::str(code), 0).len(), expected);
+    assert_eq!(ix.lookup(&Value::str(code), 0).unwrap().len(), expected);
 }

@@ -33,6 +33,12 @@ pub enum RedeError {
     Routing(String),
     /// The job was cancelled before it completed.
     Cancelled(String),
+    /// A transient storage failure: the access may succeed if retried
+    /// (injected faults, brown-outs, momentary node unavailability).
+    Transient(String),
+    /// The scheduler refused admission: the submitting tenant already has
+    /// too many jobs queued or running.
+    Overloaded(String),
 }
 
 impl RedeError {
@@ -49,7 +55,15 @@ impl RedeError {
             RedeError::Corrupt(_) => "corrupt",
             RedeError::Routing(_) => "routing",
             RedeError::Cancelled(_) => "cancelled",
+            RedeError::Transient(_) => "transient",
+            RedeError::Overloaded(_) => "overloaded",
         }
+    }
+
+    /// Whether the error is worth retrying (the failure was momentary, not
+    /// structural). The executor's bounded-retry loop keys off this.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RedeError::Transient(_))
     }
 }
 
@@ -66,6 +80,8 @@ impl fmt::Display for RedeError {
             RedeError::Corrupt(m) => ("corrupt record", m),
             RedeError::Routing(m) => ("routing error", m),
             RedeError::Cancelled(m) => ("cancelled", m),
+            RedeError::Transient(m) => ("transient failure", m),
+            RedeError::Overloaded(m) => ("overloaded", m),
         };
         write!(f, "{kind}: {msg}")
     }
@@ -97,9 +113,18 @@ mod tests {
             RedeError::Corrupt(String::new()),
             RedeError::Routing(String::new()),
             RedeError::Cancelled(String::new()),
+            RedeError::Transient(String::new()),
+            RedeError::Overloaded(String::new()),
         ];
         let kinds: std::collections::BTreeSet<_> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn transient_is_the_only_retryable_kind() {
+        assert!(RedeError::Transient("blip".into()).is_transient());
+        assert!(!RedeError::Exec("boom".into()).is_transient());
+        assert!(!RedeError::Overloaded("queue full".into()).is_transient());
     }
 
     #[test]

@@ -58,6 +58,10 @@ struct Inner {
     records_emitted: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    retries: AtomicU64,
+    rerouted_reads: AtomicU64,
+    faults_injected: AtomicU64,
+    deadline_aborts: AtomicU64,
     /// Point reads and record-cache accesses attributed to the node that
     /// *issued* them, grown on demand to the highest node index seen. Kept
     /// outside [`MetricsSnapshot`] (which stays `Copy`); read via
@@ -192,6 +196,32 @@ impl Metrics {
         self.inner.records_emitted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one retried stage invocation (the executor re-ran a stage body
+    /// after a transient failure).
+    #[inline]
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one read served by a non-owner replica because the owning
+    /// node was down.
+    #[inline]
+    pub fn record_rerouted_read(&self) {
+        self.inner.rerouted_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one charged access the fault injector failed.
+    #[inline]
+    pub fn record_fault_injected(&self) {
+        self.inner.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one job aborted because it exceeded its deadline.
+    #[inline]
+    pub fn record_deadline_abort(&self) {
+        self.inner.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let i = &self.inner;
@@ -208,6 +238,10 @@ impl Metrics {
             records_emitted: i.records_emitted.load(Ordering::Relaxed),
             cache_hits: i.cache_hits.load(Ordering::Relaxed),
             cache_misses: i.cache_misses.load(Ordering::Relaxed),
+            retries: i.retries.load(Ordering::Relaxed),
+            rerouted_reads: i.rerouted_reads.load(Ordering::Relaxed),
+            faults_injected: i.faults_injected.load(Ordering::Relaxed),
+            deadline_aborts: i.deadline_aborts.load(Ordering::Relaxed),
         }
     }
 
@@ -227,6 +261,10 @@ impl Metrics {
             &i.records_emitted,
             &i.cache_hits,
             &i.cache_misses,
+            &i.retries,
+            &i.rerouted_reads,
+            &i.faults_injected,
+            &i.deadline_aborts,
         ] {
             ctr.store(0, Ordering::Relaxed);
         }
@@ -321,6 +359,14 @@ pub struct MetricsSnapshot {
     pub records_emitted: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Stage invocations re-run after a transient failure.
+    pub retries: u64,
+    /// Reads served by a non-owner replica because the owner was down.
+    pub rerouted_reads: u64,
+    /// Charged accesses the fault injector failed.
+    pub faults_injected: u64,
+    /// Jobs aborted for exceeding their deadline.
+    pub deadline_aborts: u64,
 }
 
 impl MetricsSnapshot {
@@ -356,6 +402,10 @@ impl MetricsSnapshot {
             records_emitted: self.records_emitted.saturating_sub(earlier.records_emitted),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            retries: self.retries.saturating_sub(earlier.retries),
+            rerouted_reads: self.rerouted_reads.saturating_sub(earlier.rerouted_reads),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            deadline_aborts: self.deadline_aborts.saturating_sub(earlier.deadline_aborts),
         }
     }
 }
@@ -378,7 +428,17 @@ impl fmt::Display for MetricsSnapshot {
             self.records_emitted,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
-        )
+        )?;
+        // Recovery counters are omitted entirely for clean runs so the
+        // rendered form of a fault-free snapshot is unchanged.
+        if self.retries + self.rerouted_reads + self.faults_injected + self.deadline_aborts > 0 {
+            write!(
+                f,
+                ", faults: {} injected / {} retries / {} rerouted / {} deadline aborts",
+                self.faults_injected, self.retries, self.rerouted_reads, self.deadline_aborts,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -459,6 +519,12 @@ pub struct ExecProfile {
     pub inline_runs: u64,
     /// Maximum number of simultaneously in-flight tasks.
     pub peak_in_flight: u64,
+    /// Stage invocations this job re-ran after a transient failure.
+    pub retries: u64,
+    /// Reads this job had served by a replica because the owner was down.
+    pub rerouted_reads: u64,
+    /// Charged accesses of this job the fault injector failed.
+    pub faults_injected: u64,
 }
 
 impl ExecProfile {
@@ -527,6 +593,13 @@ impl fmt::Display for ExecProfile {
             self.peak_in_flight,
             self.locality() * 100.0
         )?;
+        if self.retries + self.rerouted_reads + self.faults_injected > 0 {
+            writeln!(
+                f,
+                "  recovery: {} faults injected, {} retries, {} rerouted reads",
+                self.faults_injected, self.retries, self.rerouted_reads
+            )?;
+        }
         for s in &self.stages {
             writeln!(
                 f,
@@ -658,6 +731,28 @@ mod tests {
             .node_point_reads()
             .iter()
             .all(|n| n.cache_hits == 0 && n.cache_misses == 0));
+    }
+
+    #[test]
+    fn recovery_counters_round_trip() {
+        let m = Metrics::new();
+        m.record_retry();
+        m.record_retry();
+        m.record_rerouted_read();
+        m.record_fault_injected();
+        m.record_deadline_abort();
+        let s = m.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.rerouted_reads, 1);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.deadline_aborts, 1);
+        assert!(s.to_string().contains("faults: 1 injected"));
+        let delta = m.snapshot().since(&s);
+        assert_eq!(delta.retries, 0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        // A clean snapshot renders without any recovery suffix.
+        assert!(!m.snapshot().to_string().contains("faults:"));
     }
 
     #[test]

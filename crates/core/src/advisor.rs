@@ -322,7 +322,7 @@ mod tests {
         assert_eq!(report.entries, 1_000);
         let ix = c.index("orders.grp").unwrap();
         let expected = (0..1_000).filter(|i| i % 9 == 3).count();
-        assert_eq!(ix.lookup(&Value::Int(3), 0).len(), expected);
+        assert_eq!(ix.lookup(&Value::Int(3), 0).unwrap().len(), expected);
         // A second round no longer recommends it.
         assert!(advisor.recommend().is_empty());
     }

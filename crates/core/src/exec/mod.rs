@@ -16,7 +16,7 @@
 pub mod partitioned;
 pub mod smpe;
 pub mod thread_pool;
-pub(crate) mod wrr;
+pub mod wrr;
 
 use crate::job::Job;
 use rede_common::{ExecProfile, MetricsSnapshot, Result};
@@ -24,6 +24,7 @@ use rede_storage::{Record, SimCluster};
 use std::time::Duration;
 
 pub use thread_pool::ThreadPool;
+pub use wrr::WrrQueue;
 
 /// Which execution model to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -222,6 +222,9 @@ pub(crate) fn run(cluster: &SimCluster, job: &Job, config: &ExecutorConfig) -> R
         inline_runs,
         // One worker per node, each running one invocation at a time.
         peak_in_flight: cluster.nodes() as u64,
+        // The partitioned executor has no recovery machinery: a fault
+        // surfaces as a job error instead of a retry.
+        ..ExecProfile::default()
     };
 
     Ok(RawOutput {

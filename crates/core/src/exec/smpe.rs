@@ -63,7 +63,25 @@ use rede_storage::{Pointer, Record, SimCluster};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Bounded-retry envelope for transient storage faults. Only consulted
+/// when the cluster carries a fault injector; a perfect cluster never
+/// enters the retry path at all. The bound is generous because the
+/// injector fails each access site at most once: a stage invocation
+/// touching `k` fault-prone sites recovers after at most `k` retries, and
+/// no invocation in the workloads touches more than a handful of sites.
+const MAX_RETRIES: u32 = 16;
+/// First backoff; doubles per retry up to [`MAX_BACKOFF`].
+const INITIAL_BACKOFF: Duration = Duration::from_micros(20);
+const MAX_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Exponential backoff before retry number `attempt` (1-based).
+fn backoff(attempt: u32) -> Duration {
+    INITIAL_BACKOFF
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(MAX_BACKOFF)
+}
 
 /// One queued unit of work: run stage `stage` on `item` for `job`.
 struct Task {
@@ -97,6 +115,11 @@ struct Shared {
     active_weight: AtomicU64,
     pool_threads: usize,
     shutdown: AtomicBool,
+    /// The pool's panic counter. Stage panics are caught by
+    /// `process_task` before the pool's own guard can see them (and
+    /// inline referencers never reach the pool at all), so the catch
+    /// site feeds this counter directly.
+    panics: Arc<AtomicU64>,
 }
 
 impl Shared {
@@ -209,6 +232,9 @@ pub(crate) struct JobState {
     pool_inflight: AtomicU64,
     failed: AtomicBool,
     cancelled: AtomicBool,
+    /// Set when the cancellation was a deadline abort (changes the
+    /// reported error and feeds the `deadline_aborts` counter).
+    deadline_exceeded: AtomicBool,
     finished: AtomicBool,
     errors: Mutex<Vec<RedeError>>,
     out_count: AtomicU64,
@@ -260,6 +286,37 @@ impl JobState {
     /// The result, if the job has finished.
     pub(crate) fn try_result(&self) -> Option<Result<JobResult>> {
         self.done.lock().clone()
+    }
+
+    /// Block until the job finishes or `timeout` elapses. `None` means
+    /// the job is still running (it is *not* cancelled — pair with
+    /// [`JobState::cancel`] to abandon it).
+    pub(crate) fn wait_result_timeout(&self, timeout: Duration) -> Option<Result<JobResult>> {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock();
+        while done.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.done_cv.wait_for(&mut done, deadline - now);
+        }
+        done.clone()
+    }
+
+    /// Abort the job because its deadline passed: counts a deadline
+    /// abort and cancels through the normal path (queued tasks drained,
+    /// permits and pool slots returned as in-flight reads retire).
+    /// Returns whether this call actually initiated the abort.
+    pub(crate) fn deadline_abort(&self) -> bool {
+        if self.finished.load(Ordering::SeqCst)
+            || self.deadline_exceeded.swap(true, Ordering::SeqCst)
+        {
+            return false;
+        }
+        self.tally(|m| m.record_deadline_abort());
+        self.cancel();
+        true
     }
 
     /// Cancel the job: drain its queued tasks everywhere and let in-flight
@@ -353,8 +410,13 @@ impl JobState {
         // The remaining jobs' pool shares just grew; re-check blocked work.
         self.shared.wake_all_dispatchers();
         let result = if self.cancelled.load(Ordering::SeqCst) {
+            let reason = if self.deadline_exceeded.load(Ordering::SeqCst) {
+                " exceeded its deadline"
+            } else {
+                ""
+            };
             Err(RedeError::Cancelled(format!(
-                "job '{}' (id {})",
+                "job '{}' (id {}){reason}",
                 self.job.name(),
                 self.id
             )))
@@ -422,7 +484,7 @@ impl JobState {
                     // runs its dereference on the owning node (a local
                     // read) instead of wherever it was produced — unless
                     // the hybrid policy sees the owner's queue overloaded.
-                    let target = match self.routing {
+                    let mut target = match self.routing {
                         RoutingPolicy::Producer => node,
                         RoutingPolicy::Owner => self.cluster.owner_of_pointer(&ptr).unwrap_or(node),
                         RoutingPolicy::Hybrid { max_owner_backlog } => {
@@ -437,6 +499,17 @@ impl JobState {
                             }
                         }
                     };
+                    // A down owner would only replica-serve the read
+                    // anyway, so routing there buys no locality; keep the
+                    // task at its producer (the hybrid policy's fallback
+                    // path) and let the storage layer pick the replica.
+                    if target != node {
+                        if let Some(inj) = self.cluster.fault_injector() {
+                            if inj.is_node_down(target) {
+                                target = node;
+                            }
+                        }
+                    }
                     self.enqueue(target, TaskItem::Deref(DerefInput::Point(ptr)), next, false);
                 }
             }
@@ -473,12 +546,16 @@ impl JobState {
                 }
             })
             .collect();
+        let io = self.scope.metrics().snapshot();
         ExecProfile {
             stages,
             nodes,
             pool_spawns: prof.pool_spawns.load(Ordering::Relaxed),
             inline_runs: prof.inline_runs.load(Ordering::Relaxed),
             peak_in_flight: prof.peak_in_flight.load(Ordering::Relaxed),
+            retries: io.retries,
+            rerouted_reads: io.rerouted_reads,
+            faults_injected: io.faults_injected,
         }
     }
 }
@@ -499,8 +576,9 @@ fn process_task(task: Task, node: usize) {
     let job = task.job.clone();
     if !job.failed.load(Ordering::SeqCst) && !job.cancelled.load(Ordering::SeqCst) {
         job.prof.stage_tasks[task.stage].fetch_add(1, Ordering::Relaxed);
-        let result = catch_unwind(AssertUnwindSafe(|| run_stage_body(&job, node, &task)))
+        let result = catch_unwind(AssertUnwindSafe(|| run_stage_guarded(&job, node, &task)))
             .unwrap_or_else(|payload| {
+                job.shared.panics.fetch_add(1, Ordering::Relaxed);
                 let msg = panic_message(payload.as_ref());
                 Err(RedeError::Exec(format!(
                     "stage {} ('{}') panicked: {msg}",
@@ -526,8 +604,60 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// The actual stage body (separated so `process_task` can guard it).
-fn run_stage_body(job: &Arc<JobState>, node: usize, task: &Task) -> Result<()> {
+/// Run the stage body with transient-fault recovery.
+///
+/// The fault-free path streams every output straight into
+/// `handle_output`, exactly as without an injector: no buffering, no
+/// retry bookkeeping — a cluster built without a fault plan pays nothing
+/// for this layer. Under a fault plan, outputs are buffered per attempt
+/// and flushed only once the body succeeds, so a retried invocation never
+/// double-emits (emit counters live in `handle_output` and are likewise
+/// only bumped at flush time). Transient errors are retried up to
+/// [`MAX_RETRIES`] times with exponential backoff; because the injector
+/// fails each access site at most once, the first retry of any given site
+/// always passes. Retries stop early when the job was cancelled or
+/// already failed elsewhere — recovering work nobody will collect just
+/// delays the drain.
+fn run_stage_guarded(job: &Arc<JobState>, node: usize, task: &Task) -> Result<()> {
+    if job.cluster.fault_injector().is_none() {
+        return run_stage_body(job, node, task, &mut |out| {
+            job.handle_output(node, task.stage, out)
+        });
+    }
+    let mut attempt: u32 = 0;
+    loop {
+        let mut buffered: Vec<StageOutput> = Vec::new();
+        match run_stage_body(job, node, task, &mut |out| buffered.push(out)) {
+            Ok(()) => {
+                for out in buffered {
+                    job.handle_output(node, task.stage, out);
+                }
+                return Ok(());
+            }
+            Err(e)
+                if e.is_transient()
+                    && attempt < MAX_RETRIES
+                    && !job.cancelled.load(Ordering::SeqCst)
+                    && !job.failed.load(Ordering::SeqCst) =>
+            {
+                attempt += 1;
+                job.tally(|m| m.record_retry());
+                std::thread::sleep(backoff(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The actual stage body (separated so `run_stage_guarded` can retry it).
+/// All outputs go through `out`, which either streams into routing or
+/// buffers for a retryable attempt.
+fn run_stage_body(
+    job: &Arc<JobState>,
+    node: usize,
+    task: &Task,
+    out: &mut dyn FnMut(StageOutput),
+) -> Result<()> {
     let ctx = StageCtx {
         cluster: job.cluster.clone(),
         node,
@@ -549,7 +679,7 @@ fn run_stage_body(job: &Arc<JobState>, node: usize, task: &Task) -> Result<()> {
                     None => true,
                 };
                 if keep {
-                    job.handle_output(node, task.stage, StageOutput::Record(record));
+                    out(StageOutput::Record(record));
                 }
             };
             let r = func.dereference(input, &ctx, &mut emit);
@@ -563,7 +693,7 @@ fn run_stage_body(job: &Arc<JobState>, node: usize, task: &Task) -> Result<()> {
         }
         (TaskItem::Record(record), Stage::Reference { func, .. }) => {
             let mut emit = |ptr: Pointer| {
-                job.handle_output(node, task.stage, StageOutput::Pointer(ptr));
+                out(StageOutput::Pointer(ptr));
             };
             func.reference(record, &ctx, &mut emit)
         }
@@ -648,6 +778,7 @@ impl Substrate {
             active_weight: AtomicU64::new(0),
             pool_threads: pool_threads.max(1),
             shutdown: AtomicBool::new(false),
+            panics: pool.panic_counter(),
         });
         let dispatchers = (0..nodes)
             .map(|node| {
@@ -681,6 +812,12 @@ impl Substrate {
             .collect()
     }
 
+    /// Stage invocations that panicked (and were converted into job
+    /// errors) since the substrate was created.
+    pub(crate) fn pool_panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Admit a job: seed stage 0 on every node and return its state (the
     /// caller waits on it, polls it, or cancels it). Never blocks on the
     /// job itself.
@@ -709,6 +846,7 @@ impl Substrate {
             pool_inflight: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
+            deadline_exceeded: AtomicBool::new(false),
             finished: AtomicBool::new(false),
             errors: Mutex::new(Vec::new()),
             out_count: AtomicU64::new(0),

@@ -70,6 +70,13 @@ impl ThreadPool {
         self.panics.load(Ordering::Relaxed)
     }
 
+    /// Shared handle to the panic counter, for callers that catch panics
+    /// themselves (before this pool's own `catch_unwind` can see them)
+    /// but still want them surfaced through the same count.
+    pub fn panic_counter(&self) -> Arc<AtomicU64> {
+        self.panics.clone()
+    }
+
     /// Submit a closure; never blocks.
     pub fn execute(&self, work: impl FnOnce() + Send + 'static) {
         self.tx

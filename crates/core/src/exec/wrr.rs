@@ -22,10 +22,16 @@ struct Slot<T> {
 }
 
 /// A multi-queue with per-key weighted fair service. Keys are job ids.
-pub(crate) struct WrrQueue<T> {
+pub struct WrrQueue<T> {
     slots: Vec<Slot<T>>,
     cursor: usize,
     len: usize,
+}
+
+impl<T> Default for WrrQueue<T> {
+    fn default() -> Self {
+        WrrQueue::new()
+    }
 }
 
 impl<T> WrrQueue<T> {
@@ -38,12 +44,10 @@ impl<T> WrrQueue<T> {
     }
 
     /// Total queued items across all slots.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.len
     }
 
-    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -102,6 +106,22 @@ impl<T> WrrQueue<T> {
         }
         // Work is queued but nothing is eligible right now.
         None
+    }
+
+    /// Empty the whole queue, yielding every queued item exactly once in
+    /// (cursor-independent) slot order, each tagged with its key. Slots
+    /// are removed; the queue is reusable afterwards.
+    pub fn drain(&mut self) -> Vec<(u64, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        for slot in &mut self.slots {
+            for item in slot.items.drain(..) {
+                out.push((slot.key, item));
+            }
+        }
+        self.slots.clear();
+        self.cursor = 0;
+        self.len = 0;
+        out
     }
 
     /// Remove `key`'s slot entirely, dropping its queued items. Returns how

@@ -246,7 +246,7 @@ mod tests {
         let ix = c.index("base.group").unwrap();
         assert_eq!(ix.len(), 200);
         // Key 3 occurs for i in {3, 10, 17, ...}: ceil((200-3)/7) = 29 postings.
-        let hits = ix.lookup(&Value::Int(3), 0);
+        let hits = ix.lookup(&Value::Int(3), 0).unwrap();
         assert_eq!(hits.len(), 29);
         // Entries point back at real base records.
         let e = IndexEntry::from_record(&hits[0]).unwrap();
@@ -273,7 +273,7 @@ mod tests {
         assert_eq!(ix.len(), 200);
         // Entry for key i lives in the partition of base record i.
         let base = c.file("base").unwrap();
-        let hits = ix.lookup(&Value::Int(84), 0); // record 42
+        let hits = ix.lookup(&Value::Int(84), 0).unwrap(); // record 42
         assert_eq!(hits.len(), 1);
         let e = IndexEntry::from_record(&hits[0]).unwrap();
         assert_eq!(e.key, Value::Int(42));

@@ -45,9 +45,9 @@ impl Dereferencer for BtreeRangeDereferencer {
                     }
                 };
                 if ctx.local_only {
-                    ix.range_on_node(ctx.node, lo, hi)
+                    ix.range_on_node(ctx.node, lo, hi)?
                 } else {
-                    ix.range(lo, hi, ctx.node)
+                    ix.range(lo, hi, ctx.node)?
                 }
             }
             DerefInput::Point(p) => {
@@ -55,9 +55,9 @@ impl Dereferencer for BtreeRangeDereferencer {
                     RedeError::InvalidJob(format!("{}: point input must be logical", self.label))
                 })?;
                 if ctx.local_only {
-                    ix.lookup_on_node(ctx.node, key)
+                    ix.lookup_on_node(ctx.node, key)?
                 } else {
-                    ix.lookup(key, ctx.node)
+                    ix.lookup(key, ctx.node)?
                 }
             }
         };
@@ -106,9 +106,9 @@ impl Dereferencer for IndexLookupDereferencer {
         })?;
         let ix = ctx.cluster.index(&self.index)?;
         let entries = if ctx.local_only {
-            ix.lookup_on_node(ctx.node, key)
+            ix.lookup_on_node(ctx.node, key)?
         } else {
-            ix.lookup(key, ctx.node)
+            ix.lookup(key, ctx.node)?
         };
         for entry in entries {
             emit(entry);

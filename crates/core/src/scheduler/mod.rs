@@ -37,11 +37,12 @@ use crate::exec::RoutingPolicy;
 use crate::job::Job;
 use crate::maintenance::IndexBuilder;
 use crate::JobResult;
-use parking_lot::Mutex;
-use rede_common::Result;
+use parking_lot::{Condvar, Mutex};
+use rede_common::{RedeError, Result};
 use rede_storage::SimCluster;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 /// Scheduler configuration: the substrate knobs shared by all jobs.
 /// Per-job knobs (weight, output collection) live in [`SubmitOptions`].
@@ -53,6 +54,13 @@ pub struct SchedulerConfig {
     pub referencer_inline: bool,
     /// Pointer routing policy for every job.
     pub routing: RoutingPolicy,
+    /// Admission bound: the maximum number of unfinished jobs any single
+    /// tenant (grouped by the `tenant` label; unlabelled submissions form
+    /// one anonymous tenant) may have at once. A submission over the
+    /// bound is rejected with [`RedeError::Overloaded`] instead of
+    /// queued — fair-share weights keep admitted jobs honest, this keeps
+    /// the *backlog* honest. `None` (the default) admits everything.
+    pub max_tenant_queue_depth: Option<usize>,
 }
 
 impl Default for SchedulerConfig {
@@ -61,6 +69,7 @@ impl Default for SchedulerConfig {
             pool_threads: 256,
             referencer_inline: true,
             routing: RoutingPolicy::default(),
+            max_tenant_queue_depth: None,
         }
     }
 }
@@ -74,8 +83,13 @@ pub struct SubmitOptions {
     pub weight: u32,
     /// Collect output records into the result (otherwise only count).
     pub collect_outputs: bool,
-    /// Client label carried on the handle (stats, debugging).
+    /// Client label carried on the handle (stats, debugging, admission).
     pub tenant: Option<String>,
+    /// Abort the job if it has not finished within this span of its
+    /// admission. The abort rides the normal cancellation path (queued
+    /// tasks drained, permits and pool slots returned); waiters get
+    /// `RedeError::Cancelled` naming the deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl SubmitOptions {
@@ -100,6 +114,12 @@ impl SubmitOptions {
         self.tenant = Some(tenant.into());
         self
     }
+
+    /// Bound the job's total runtime.
+    pub fn deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// A client's handle on one submitted job. Cheap to clone; the job runs
@@ -107,6 +127,16 @@ impl SubmitOptions {
 #[derive(Clone)]
 pub struct JobHandle {
     state: Arc<JobState>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id())
+            .field("tenant", &self.tenant())
+            .field("finished", &self.is_finished())
+            .finish()
+    }
 }
 
 impl JobHandle {
@@ -130,6 +160,13 @@ impl JobHandle {
     /// The result if the job has finished, `None` while it is running.
     pub fn try_result(&self) -> Option<Result<JobResult>> {
         self.state.try_result()
+    }
+
+    /// Block until the job finishes or `timeout` elapses. `None` means
+    /// the timeout hit first; the job keeps running (pair with
+    /// [`JobHandle::cancel`] to abandon it instead).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobResult>> {
+        self.state.wait_result_timeout(timeout)
     }
 
     /// True once a result is available.
@@ -168,6 +205,86 @@ pub struct SchedulerStats {
     pub builds_coalesced: u64,
     /// Current stage-queue depth per node.
     pub queue_depths: Vec<u64>,
+    /// Stage invocations that panicked (each became a job error, never a
+    /// lost worker or a wedged dispatcher).
+    pub pool_panics: u64,
+    /// Jobs aborted by the deadline watcher.
+    pub deadline_aborts: u64,
+    /// Submissions refused by per-tenant admission control.
+    pub rejected_jobs: u64,
+}
+
+/// Watches admitted jobs' deadlines on one background thread and aborts
+/// the ones that blow them. Entries hold the job weakly: a job that
+/// finishes (or loses all interest) before its deadline just ages out of
+/// the list.
+struct DeadlineWatcher {
+    entries: Mutex<Vec<(Instant, Weak<JobState>)>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    aborts: Arc<AtomicU64>,
+}
+
+impl DeadlineWatcher {
+    fn new(aborts: Arc<AtomicU64>) -> DeadlineWatcher {
+        DeadlineWatcher {
+            entries: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            aborts,
+        }
+    }
+
+    /// Register a job to be aborted at `when` unless finished first.
+    fn watch(&self, when: Instant, job: &Arc<JobState>) {
+        let mut entries = self.entries.lock();
+        entries.push((when, Arc::downgrade(job)));
+        self.wake.notify_one();
+    }
+
+    fn run(&self) {
+        let mut entries = self.entries.lock();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            let mut next: Option<Instant> = None;
+            entries.retain(|(when, weak)| {
+                let Some(job) = weak.upgrade() else {
+                    return false;
+                };
+                if job.is_finished() {
+                    return false;
+                }
+                if *when <= now {
+                    if job.deadline_abort() {
+                        self.aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return false;
+                }
+                next = Some(next.map_or(*when, |n| n.min(*when)));
+                true
+            });
+            match next {
+                // `wait_for` re-checks on spurious wakes and new entries
+                // alike; the loop recomputes the earliest deadline.
+                Some(when) => {
+                    let pause = when.saturating_duration_since(Instant::now());
+                    if !pause.is_zero() {
+                        self.wake.wait_for(&mut entries, pause);
+                    }
+                }
+                None => self.wake.wait(&mut entries),
+            }
+        }
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _guard = self.entries.lock();
+        self.wake.notify_all();
+    }
 }
 
 struct Core {
@@ -178,6 +295,10 @@ struct Core {
     active: Mutex<Vec<Weak<JobState>>>,
     completed: Arc<AtomicU64>,
     builds: Arc<builds::BuildRegistry>,
+    deadlines: Arc<DeadlineWatcher>,
+    deadline_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    deadline_aborts: Arc<AtomicU64>,
+    rejected: AtomicU64,
 }
 
 impl Drop for Core {
@@ -196,6 +317,10 @@ impl Drop for Core {
             }
         }
         self.builds.join_all();
+        self.deadlines.stop();
+        if let Some(t) = self.deadline_thread.lock().take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -211,6 +336,13 @@ impl HarborScheduler {
     /// per-node dispatchers eagerly.
     pub fn new(cluster: SimCluster, config: SchedulerConfig) -> HarborScheduler {
         let substrate = Substrate::new(cluster, config.pool_threads);
+        let deadline_aborts = Arc::new(AtomicU64::new(0));
+        let deadlines = Arc::new(DeadlineWatcher::new(deadline_aborts.clone()));
+        let watcher = deadlines.clone();
+        let deadline_thread = std::thread::Builder::new()
+            .name("rede-deadline".into())
+            .spawn(move || watcher.run())
+            .expect("spawn deadline watcher");
         HarborScheduler {
             core: Arc::new(Core {
                 substrate,
@@ -218,6 +350,10 @@ impl HarborScheduler {
                 active: Mutex::new(Vec::new()),
                 completed: Arc::new(AtomicU64::new(0)),
                 builds: Arc::new(builds::BuildRegistry::new()),
+                deadlines,
+                deadline_thread: Mutex::new(Some(deadline_thread)),
+                deadline_aborts,
+                rejected: AtomicU64::new(0),
             }),
         }
     }
@@ -238,15 +374,36 @@ impl HarborScheduler {
     }
 
     /// Submit with default options (weight 1, counting only).
-    pub fn submit(&self, job: &Job) -> JobHandle {
+    pub fn submit(&self, job: &Job) -> Result<JobHandle> {
         self.submit_with(job, SubmitOptions::default())
     }
 
     /// Admit a job. Never blocks on the job: seeding is the only work done
     /// on the caller's thread. Returns immediately with a waitable,
-    /// cancellable handle.
-    pub fn submit_with(&self, job: &Job, opts: SubmitOptions) -> JobHandle {
+    /// cancellable handle — or `RedeError::Overloaded` when the tenant is
+    /// already at its admission bound.
+    pub fn submit_with(&self, job: &Job, opts: SubmitOptions) -> Result<JobHandle> {
         let core = &self.core;
+        // Admission check and registration under one lock, so two racing
+        // submissions from the same tenant cannot both sneak under the
+        // bound.
+        let mut active = core.active.lock();
+        active.retain(|w| w.upgrade().is_some_and(|j| !j.is_finished()));
+        if let Some(bound) = core.config.max_tenant_queue_depth {
+            let depth = active
+                .iter()
+                .filter_map(|w| w.upgrade())
+                .filter(|j| j.label() == opts.tenant.as_deref())
+                .count();
+            if depth >= bound {
+                core.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(RedeError::Overloaded(format!(
+                    "tenant '{}' has {depth} unfinished jobs (bound {bound})",
+                    opts.tenant.as_deref().unwrap_or("<anonymous>"),
+                )));
+            }
+        }
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
         let state = core.substrate.submit(
             job,
             JobOptions {
@@ -258,12 +415,12 @@ impl HarborScheduler {
                 on_finish: Some(core.completed.clone()),
             },
         );
-        let mut active = core.active.lock();
-        // Prune entries for jobs that finished or lost all interest.
-        active.retain(|w| w.upgrade().is_some_and(|j| !j.is_finished()));
         active.push(Arc::downgrade(&state));
         drop(active);
-        JobHandle { state }
+        if let Some(when) = deadline {
+            core.deadlines.watch(when, &state);
+        }
+        Ok(JobHandle { state })
     }
 
     /// Ensure an index exists, building it at most once no matter how many
@@ -290,6 +447,9 @@ impl HarborScheduler {
             builds_started: self.core.builds.started(),
             builds_coalesced: self.core.builds.coalesced(),
             queue_depths: self.core.substrate.queue_depths(),
+            pool_panics: self.core.substrate.pool_panics(),
+            deadline_aborts: self.core.deadline_aborts.load(Ordering::SeqCst),
+            rejected_jobs: self.core.rejected.load(Ordering::SeqCst),
         }
     }
 }
@@ -361,7 +521,9 @@ mod tests {
                 let job = range_job(0, 2 * k as i64);
                 (
                     k + 1,
-                    sched.submit_with(&job, SubmitOptions::new().tenant(format!("client-{k}"))),
+                    sched
+                        .submit_with(&job, SubmitOptions::new().tenant(format!("client-{k}")))
+                        .unwrap(),
                 )
             })
             .collect();
@@ -397,7 +559,7 @@ mod tests {
             .dereference("fetch", Arc::new(LookupDereferencer::new("base")))
             .build()
             .unwrap();
-        let result = sched.submit(&job).wait().unwrap();
+        let result = sched.submit(&job).unwrap().wait().unwrap();
         assert_eq!(result.count, 0);
         assert!(result.records.is_empty());
     }
@@ -510,7 +672,7 @@ mod tests {
                 ..SchedulerConfig::default()
             },
         );
-        let handle = sched.submit(&range_job(0, 6000));
+        let handle = sched.submit(&range_job(0, 6000)).unwrap();
         // Let it sink its teeth in, then cancel mid-flight.
         std::thread::sleep(Duration::from_millis(30));
         handle.cancel();
@@ -545,13 +707,170 @@ mod tests {
         let c = cluster(100, IoModel::zero());
         weight_index_builder(&c).build().unwrap();
         let sched = HarborScheduler::with_defaults(c);
-        let handle = sched.submit_with(
-            &range_job(0, 200),
-            SubmitOptions::new().weight(4).collecting().tenant("t0"),
-        );
+        let handle = sched
+            .submit_with(
+                &range_job(0, 200),
+                SubmitOptions::new().weight(4).collecting().tenant("t0"),
+            )
+            .unwrap();
         assert_eq!(handle.tenant(), Some("t0"));
         let result = handle.wait().unwrap();
         assert_eq!(result.count, 100);
         assert_eq!(result.records.len(), 100, "collecting option must stick");
+    }
+
+    #[test]
+    fn tenant_over_its_admission_bound_is_rejected() {
+        // Real latency keeps the admitted jobs unfinished while the
+        // over-bound submission arrives.
+        let c = cluster(2000, IoModel::hdd_like(0.5));
+        weight_index_builder(&c).build().unwrap();
+        let sched = HarborScheduler::new(
+            c,
+            SchedulerConfig {
+                max_tenant_queue_depth: Some(2),
+                ..SchedulerConfig::default()
+            },
+        );
+        let noisy = |s: &HarborScheduler| {
+            s.submit_with(&range_job(0, 4000), SubmitOptions::new().tenant("noisy"))
+        };
+        let a = noisy(&sched).unwrap();
+        let b = noisy(&sched).unwrap();
+        let err = noisy(&sched).unwrap_err();
+        assert!(matches!(err, RedeError::Overloaded(_)), "got {err:?}");
+        // Admission is per tenant: another tenant still gets in.
+        let other = sched
+            .submit_with(&range_job(0, 10), SubmitOptions::new().tenant("quiet"))
+            .unwrap();
+        assert_eq!(sched.stats().rejected_jobs, 1);
+        other.wait().unwrap();
+        a.wait().unwrap();
+        b.wait().unwrap();
+        // With the backlog drained the tenant is admittable again.
+        noisy(&sched).unwrap().wait().unwrap();
+        assert_eq!(sched.stats().rejected_jobs, 1);
+    }
+
+    #[test]
+    fn deadline_exceeded_job_aborts_and_returns_its_resources() {
+        let c = cluster(3000, IoModel::hdd_like(0.5));
+        weight_index_builder(&c).build().unwrap();
+        let permits_before = c.available_iops_permits();
+        let sched = HarborScheduler::new(
+            c.clone(),
+            SchedulerConfig {
+                pool_threads: 16,
+                ..SchedulerConfig::default()
+            },
+        );
+        let handle = sched
+            .submit_with(
+                &range_job(0, 6000),
+                SubmitOptions::new().deadline(Duration::from_millis(20)),
+            )
+            .unwrap();
+        let err = handle.wait().unwrap_err();
+        match err {
+            RedeError::Cancelled(msg) => {
+                assert!(
+                    msg.contains("deadline"),
+                    "abort must name the deadline: {msg}"
+                )
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(sched.stats().deadline_aborts, 1);
+        // Everything the job held comes back as its in-flight reads retire.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let clean = handle.permits_held() == 0
+                && handle.pool_threads_held() == 0
+                && c.available_iops_permits() == permits_before;
+            if clean {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "deadline-aborted job still holds resources: permits_held={} pool_held={}",
+                handle.permits_held(),
+                handle.pool_threads_held(),
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // A fast job under the same scheduler sails through its deadline.
+        let ok = sched
+            .submit_with(
+                &range_job(0, 20),
+                SubmitOptions::new().deadline(Duration::from_secs(30)),
+            )
+            .unwrap();
+        assert_eq!(ok.wait().unwrap().count, 11);
+        assert_eq!(sched.stats().deadline_aborts, 1);
+    }
+
+    #[test]
+    fn wait_timeout_reports_running_then_finished() {
+        let c = cluster(2000, IoModel::hdd_like(0.5));
+        weight_index_builder(&c).build().unwrap();
+        let sched = HarborScheduler::with_defaults(c);
+        let handle = sched.submit(&range_job(0, 4000)).unwrap();
+        // Far too short for this job: the first wait times out...
+        assert!(handle.wait_timeout(Duration::from_millis(1)).is_none());
+        assert!(!handle.is_finished(), "timeout must not cancel");
+        // ...and a patient wait sees the real result (the 2000-row fixture
+        // has every weight in [0, 4000)).
+        let result = handle
+            .wait_timeout(Duration::from_secs(60))
+            .expect("job finishes well within a minute")
+            .unwrap();
+        assert_eq!(result.count, 2000);
+    }
+
+    /// A referencer that panics on every record.
+    struct PanicReferencer;
+    impl crate::traits::Referencer for PanicReferencer {
+        fn reference(
+            &self,
+            _record: &Record,
+            _ctx: &crate::traits::StageCtx,
+            _emit: &mut dyn FnMut(rede_storage::Pointer),
+        ) -> rede_common::Result<()> {
+            panic!("referencer exploded");
+        }
+        fn name(&self) -> &str {
+            "panic-referencer"
+        }
+    }
+
+    #[test]
+    fn stage_panics_surface_in_stats_without_wedging_the_scheduler() {
+        let c = cluster(100, IoModel::zero());
+        weight_index_builder(&c).build().unwrap();
+        let sched = HarborScheduler::with_defaults(c);
+        assert_eq!(sched.stats().pool_panics, 0);
+        let bomb = Job::builder("bomb")
+            .seed(SeedInput::Range {
+                file: "base.weight".into(),
+                lo: Value::Int(0),
+                hi: Value::Int(4),
+            })
+            .dereference(
+                "probe",
+                Arc::new(BtreeRangeDereferencer::new("base.weight")),
+            )
+            .reference("boom", Arc::new(PanicReferencer))
+            .dereference("fetch", Arc::new(LookupDereferencer::new("base")))
+            .build()
+            .unwrap();
+        let err = sched.submit(&bomb).unwrap().wait().unwrap_err();
+        assert!(matches!(err, RedeError::Exec(_)), "got {err:?}");
+        assert!(
+            sched.stats().pool_panics >= 1,
+            "a panicking stage must be visible in scheduler stats"
+        );
+        // The dispatcher survived: ordinary work still completes.
+        let result = sched.submit(&range_job(0, 20)).unwrap().wait().unwrap();
+        assert_eq!(result.count, 11);
     }
 }

@@ -15,13 +15,47 @@
 use crate::btree_file::{BtreeFile, IndexSpec};
 use crate::cache::{CacheKey, CachePlacement, RecordCache};
 use crate::catalog::{Catalog, StorageObject};
+use crate::faults::{AccessClass, FaultDecision, FaultInjector, FaultPlan};
 use crate::heap_file::HeapFile;
 use crate::io_model::{IoModel, IopsLimiter};
 use crate::partitioner::Partitioning;
 use crate::pointer::{Pointer, PointerKey};
 use crate::record::Record;
-use rede_common::{AccessKind, IoScope, Metrics, RedeError, Result, Value};
+use rede_common::{AccessKind, FxHasher, IoScope, Metrics, RedeError, Result, Value};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Deterministic identity of a point-read access for fault decisions:
+/// depends only on *what* is read, never on when or by whom.
+fn read_site(file: &str, partition: usize, key: &PointerKey) -> u64 {
+    let mut h = FxHasher::default();
+    0u8.hash(&mut h);
+    file.hash(&mut h);
+    partition.hash(&mut h);
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Deterministic identity of an index-probe access (one partition of one
+/// probe's key range).
+fn probe_site(index: &str, partition: usize, lo: &Value, hi: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    1u8.hash(&mut h);
+    index.hash(&mut h);
+    partition.hash(&mut h);
+    lo.hash(&mut h);
+    hi.hash(&mut h);
+    h.finish()
+}
+
+/// Resolution of the fault gate for one charged access: which node's
+/// device serves it and how slowly.
+enum Gate {
+    /// Healthy (or browned-out) owner serves the access.
+    Pass { latency_mult: u32 },
+    /// The owner is down; a replica on `node` serves the access.
+    Replica { node: usize },
+}
 
 /// Declarative description of a heap file.
 #[derive(Debug, Clone)]
@@ -74,6 +108,10 @@ struct ClusterInner {
     limiters: Vec<IopsLimiter>,
     catalog: Catalog,
     cache: Option<CacheLayer>,
+    /// Absent unless the builder attached a non-inert [`FaultPlan`]; the
+    /// healthy hot path stays branch-for-branch identical to a cluster
+    /// built without faults.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ClusterInner {
@@ -111,6 +149,7 @@ pub struct SimClusterBuilder {
     metrics: Option<Metrics>,
     cache_capacity: Option<usize>,
     cache_placement: CachePlacement,
+    faults: Option<FaultPlan>,
 }
 
 impl SimClusterBuilder {
@@ -151,6 +190,15 @@ impl SimClusterBuilder {
     /// [`SimClusterBuilder::record_cache`].
     pub fn cache_placement(mut self, placement: CachePlacement) -> Self {
         self.cache_placement = placement;
+        self
+    }
+
+    /// Attach a seeded fault plan (see [`crate::faults`]). An inert plan
+    /// is dropped outright, so a `FaultPlan::new(seed)` with no faults
+    /// configured leaves the cluster bit-identical to one built without
+    /// this call.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -202,6 +250,10 @@ impl SimClusterBuilder {
                 limiters,
                 catalog: Catalog::new(),
                 cache,
+                faults: self
+                    .faults
+                    .filter(|plan| !plan.is_inert())
+                    .map(|plan| Arc::new(FaultInjector::new(plan))),
             }),
             scope: None,
         })
@@ -217,6 +269,7 @@ impl SimCluster {
             metrics: None,
             cache_capacity: None,
             cache_placement: CachePlacement::default(),
+            faults: None,
         }
     }
 
@@ -269,6 +322,45 @@ impl SimCluster {
             .collect()
     }
 
+    /// The fault injector attached at build time, if any. `None` means
+    /// the cluster is perfect (no plan, or an inert one) and the executor
+    /// may skip all recovery scaffolding.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.inner.faults.as_ref()
+    }
+
+    /// Consult the fault injector (when present) about one charged access
+    /// of `class` against a partition owned by `owner`. Failed accesses
+    /// count only `faults_injected` — the conservation counters
+    /// (`local`/`remote`/`cache_*`) never see an access that did not
+    /// complete — and replica-served accesses count `rerouted_reads`.
+    fn fault_gate(&self, class: AccessClass, owner: usize, site: u64) -> Result<Gate> {
+        let Some(inj) = &self.inner.faults else {
+            return Ok(Gate::Pass { latency_mult: 1 });
+        };
+        match inj.consult(class, owner, site) {
+            FaultDecision::Pass { latency_mult } => Ok(Gate::Pass { latency_mult }),
+            FaultDecision::Transient => {
+                self.tally(|m| m.record_fault_injected());
+                Err(RedeError::Transient(format!(
+                    "injected {class:?} fault on a partition owned by node {owner}"
+                )))
+            }
+            FaultDecision::OwnerDown => match inj.live_replica(owner, self.inner.nodes) {
+                Some(node) => {
+                    self.tally(|m| m.record_rerouted_read());
+                    Ok(Gate::Replica { node })
+                }
+                None => {
+                    self.tally(|m| m.record_fault_injected());
+                    Err(RedeError::Transient(format!(
+                        "node {owner} is down and no live replica holds its partitions"
+                    )))
+                }
+            },
+        }
+    }
+
     /// Pay for one point read of a record in `partition`, issued from
     /// `from_node`. Returns after the (possibly zero) injected latency.
     ///
@@ -276,13 +368,22 @@ impl SimCluster {
     /// the latency; a remote read pays the network RTT after releasing it.
     /// Wire time must not occupy a disk-queue slot, or one slow remote
     /// reader would falsely throttle the owner's local readers.
-    fn charge_point_read(&self, partition: usize, from_node: usize) {
+    ///
+    /// The fault gate runs first: an injected failure returns
+    /// `Err(Transient)` before any counter or permit moves, and a down
+    /// owner hands the device work to its replica node (whose limiter is
+    /// then the one charged).
+    fn charge_point_read(&self, partition: usize, from_node: usize, site: u64) -> Result<()> {
         let inner = &*self.inner;
         let owner = inner.node_of_partition(partition);
-        let local = owner == from_node;
+        let (device, mult) = match self.fault_gate(AccessClass::PointRead, owner, site)? {
+            Gate::Pass { latency_mult } => (owner, latency_mult),
+            Gate::Replica { node } => (node, 1),
+        };
+        let local = device == from_node;
         self.tally(|m| m.record_point_read_at(from_node, local));
         {
-            let _permit = inner.limiters[owner].acquire();
+            let _permit = inner.limiters[device].acquire();
             let _held = self.scope.as_deref().map(IoScope::hold_permit);
             self.tally(|m| {
                 m.record_access(if local {
@@ -291,9 +392,9 @@ impl SimCluster {
                     AccessKind::RemotePointRead
                 })
             });
-            // Both kinds spend the same time on the owner's device; the
+            // Both kinds spend the same time on the serving device; the
             // remote surcharge is pure network and is paid below.
-            inner.io.pay_local_read();
+            inner.io.pay_local_read_times(mult);
         }
         if !local {
             let rtt = inner.rtt();
@@ -301,26 +402,33 @@ impl SimCluster {
                 std::thread::sleep(rtt);
             }
         }
+        Ok(())
     }
 
     /// Pay for one index traversal in `partition` issued from `from_node`.
     /// A remote traversal additionally pays the network component, again
-    /// *outside* the owner's IOPS permit.
-    fn charge_index_probe(&self, partition: usize, from_node: usize) {
+    /// *outside* the owner's IOPS permit. Subject to the same fault gate
+    /// as point reads.
+    fn charge_index_probe(&self, partition: usize, from_node: usize, site: u64) -> Result<()> {
         let inner = &*self.inner;
         let owner = inner.node_of_partition(partition);
+        let (device, mult) = match self.fault_gate(AccessClass::IndexProbe, owner, site)? {
+            Gate::Pass { latency_mult } => (owner, latency_mult),
+            Gate::Replica { node } => (node, 1),
+        };
         self.tally(|m| m.record_access(AccessKind::IndexLookup));
         {
-            let _permit = inner.limiters[owner].acquire();
+            let _permit = inner.limiters[device].acquire();
             let _held = self.scope.as_deref().map(IoScope::hold_permit);
-            inner.io.pay_index_lookup();
+            inner.io.pay_index_lookup_times(mult);
         }
-        if owner != from_node {
+        if device != from_node {
             let rtt = inner.rtt();
             if !rtt.is_zero() {
                 std::thread::sleep(rtt);
             }
         }
+        Ok(())
     }
 
     /// The configured I/O model.
@@ -475,6 +583,7 @@ impl SimCluster {
                 })?,
             PointerKey::Logical(_) => heap.partition_of(partition_key),
         };
+        let site = read_site(&ptr.file, partition, &ptr.key);
         if let Some(cache) = &self.inner.cache {
             let cache_key = CacheKey {
                 file: ptr.file.clone(),
@@ -484,17 +593,22 @@ impl SimCluster {
             if let Some(record) = cache.get(from_node, &cache_key) {
                 // A hit is still a logical access by `from_node`: count it
                 // there so per-node totals always sum to the resolves
-                // issued, even when the cache absorbs all the I/O.
+                // issued, even when the cache absorbs all the I/O. Hits
+                // never consult the fault injector — they touch no storage.
                 self.tally(|m| m.record_cache_hit_at(from_node));
                 return Ok(record);
             }
+            // Charge before counting the miss: an injected failure must
+            // leave the conservation counters untouched, so every recorded
+            // miss pairs with exactly one recorded storage read even under
+            // faults.
+            self.charge_point_read(partition, from_node, site)?;
             self.tally(|m| m.record_cache_miss_at(from_node));
-            self.charge_point_read(partition, from_node);
             let record = heap.get(partition, &ptr.key)?;
             cache.insert(from_node, cache_key, record.clone());
             return Ok(record);
         }
-        self.charge_point_read(partition, from_node);
+        self.charge_point_read(partition, from_node, site)?;
         heap.get(partition, &ptr.key)
     }
 }
@@ -671,43 +785,46 @@ impl IndexHandle {
 
     /// Charged exact-key probe: consults the partitions the placement
     /// requires (one for global, all for local) and returns the matching
-    /// entry records.
-    pub fn lookup(&self, key: &Value, from_node: usize) -> Vec<Record> {
+    /// entry records. Fails only under injected faults.
+    pub fn lookup(&self, key: &Value, from_node: usize) -> Result<Vec<Record>> {
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_key(key) {
-            self.cluster.charge_index_probe(p, from_node);
+            let site = probe_site(self.index.name(), p, key, key);
+            self.cluster.charge_index_probe(p, from_node, site)?;
             out.extend(self.index.lookup_in(p, key));
         }
         self.count_entries(out.len());
-        out
+        Ok(out)
     }
 
     /// Charged inclusive range probe across the placement's partitions.
-    pub fn range(&self, lo: &Value, hi: &Value, from_node: usize) -> Vec<Record> {
+    pub fn range(&self, lo: &Value, hi: &Value, from_node: usize) -> Result<Vec<Record>> {
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_range(lo, hi) {
-            self.cluster.charge_index_probe(p, from_node);
+            let site = probe_site(self.index.name(), p, lo, hi);
+            self.cluster.charge_index_probe(p, from_node, site)?;
             out.extend(self.index.range_in(p, lo, hi));
         }
         self.count_entries(out.len());
-        out
+        Ok(out)
     }
 
     /// Charged exact-key probe restricted to the partitions placed on
     /// `node`. Used for broadcast-replicated pointers: each node covers its
     /// local partitions so the union over nodes probes the index exactly
     /// once (the paper's `SETPARTITION(input, LOCAL)`).
-    pub fn lookup_on_node(&self, node: usize, key: &Value) -> Vec<Record> {
+    pub fn lookup_on_node(&self, node: usize, key: &Value) -> Result<Vec<Record>> {
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_key(key) {
             if self.cluster.node_of_partition(p) != node {
                 continue;
             }
-            self.cluster.charge_index_probe(p, node);
+            let site = probe_site(self.index.name(), p, key, key);
+            self.cluster.charge_index_probe(p, node, site)?;
             out.extend(self.index.lookup_in(p, key));
         }
         self.count_entries(out.len());
-        out
+        Ok(out)
     }
 
     /// Charged range probe restricted to the partitions placed on `node`.
@@ -715,17 +832,18 @@ impl IndexHandle {
     /// This is the SMPE seed pattern: the job is distributed to every node
     /// and each node probes only its locally held index partitions, so the
     /// union over nodes covers the whole index with no duplicate work.
-    pub fn range_on_node(&self, node: usize, lo: &Value, hi: &Value) -> Vec<Record> {
+    pub fn range_on_node(&self, node: usize, lo: &Value, hi: &Value) -> Result<Vec<Record>> {
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_range(lo, hi) {
             if self.cluster.node_of_partition(p) != node {
                 continue;
             }
-            self.cluster.charge_index_probe(p, node);
+            let site = probe_site(self.index.name(), p, lo, hi);
+            self.cluster.charge_index_probe(p, node, site)?;
             out.extend(self.index.range_in(p, lo, hi));
         }
         self.count_entries(out.len());
-        out
+        Ok(out)
     }
 
     /// Estimate how many entries fall in `[lo, hi]` by sampling up to
@@ -847,7 +965,7 @@ mod tests {
         )
         .unwrap();
         c.metrics().reset();
-        let hits = ix.lookup(&Value::Int(1), 0);
+        let hits = ix.lookup(&Value::Int(1), 0).unwrap();
         assert_eq!(hits.len(), 1);
         let s = c.metrics().snapshot();
         assert_eq!(s.index_lookups, 1);
@@ -866,7 +984,7 @@ mod tests {
         )
         .unwrap();
         c.metrics().reset();
-        let hits = ix.lookup(&Value::Int(1), 0);
+        let hits = ix.lookup(&Value::Int(1), 0).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(c.metrics().snapshot().index_lookups, 8);
     }
@@ -889,6 +1007,7 @@ mod tests {
         for node in 0..c.nodes() {
             total += ix
                 .range_on_node(node, &Value::Int(0), &Value::Int(99))
+                .unwrap()
                 .len();
         }
         assert_eq!(
@@ -1167,6 +1286,142 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.partition_of_pointer(&ptr), None);
+    }
+
+    #[test]
+    fn inert_fault_plan_is_dropped() {
+        let c = SimCluster::builder()
+            .nodes(2)
+            .faults(FaultPlan::new(99))
+            .build()
+            .unwrap();
+        assert!(c.fault_injector().is_none());
+        let c = SimCluster::builder()
+            .nodes(2)
+            .faults(FaultPlan::transient(99, 0.5))
+            .build()
+            .unwrap();
+        assert!(c.fault_injector().is_some());
+    }
+
+    #[test]
+    fn transient_fault_fails_first_resolve_then_recovers() {
+        let c = SimCluster::builder()
+            .nodes(4)
+            .faults(FaultPlan::transient(0, 1.0))
+            .build()
+            .unwrap();
+        loaded(&c, 64);
+        let ptr = Pointer::logical("part", Value::Int(5), Value::Int(5));
+        let err = c.resolve(&ptr, 0).unwrap_err();
+        assert!(err.is_transient(), "expected transient, got {err}");
+        // The failed attempt recorded only the injected fault — the
+        // conservation counters never saw it.
+        let s = c.metrics().snapshot();
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.point_reads(), 0, "a failed attempt records no read");
+        // The site has burned its one fault: the retry succeeds.
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "row5");
+        let s = c.metrics().snapshot();
+        assert_eq!(s.point_reads(), 1);
+        assert_eq!(s.faults_injected, 1);
+        // A *different* record is a different site: its first touch fails.
+        let other = Pointer::logical("part", Value::Int(6), Value::Int(6));
+        assert!(c.resolve(&other, 0).unwrap_err().is_transient());
+        assert_eq!(c.metrics().snapshot().faults_injected, 2);
+    }
+
+    #[test]
+    fn down_node_reads_are_replica_served_with_identical_answers() {
+        let mut healthy_rows = Vec::new();
+        let healthy = cluster();
+        loaded(&healthy, 32);
+        for i in 0..32i64 {
+            let ptr = Pointer::logical("part", Value::Int(i), Value::Int(i));
+            healthy_rows.push(healthy.resolve(&ptr, 0).unwrap());
+        }
+
+        let c = SimCluster::builder()
+            .nodes(4)
+            .faults(FaultPlan::new(1).with_node_down(2, 0..10_000))
+            .build()
+            .unwrap();
+        loaded(&c, 32);
+        for (i, want) in healthy_rows.iter().enumerate() {
+            let ptr = Pointer::logical("part", Value::Int(i as i64), Value::Int(i as i64));
+            let got = c.resolve(&ptr, 0).unwrap();
+            assert_eq!(got.bytes(), want.bytes(), "row {i} must be byte-identical");
+        }
+        let s = c.metrics().snapshot();
+        assert!(s.rerouted_reads > 0, "node 2 owns some of the partitions");
+        assert_eq!(s.faults_injected, 0, "replica-served reads never fail");
+        assert_eq!(s.point_reads(), 32);
+    }
+
+    #[test]
+    fn down_node_with_no_live_replica_fails_transiently() {
+        let c = SimCluster::builder()
+            .nodes(1)
+            .faults(FaultPlan::new(1).with_node_down(0, 0..100))
+            .build()
+            .unwrap();
+        let f = c
+            .create_file(FileSpec::new("part", Partitioning::hash(2)))
+            .unwrap();
+        f.insert(Value::Int(1), Record::from_text("x")).unwrap();
+        let ptr = Pointer::logical("part", Value::Int(1), Value::Int(1));
+        assert!(c.resolve(&ptr, 0).unwrap_err().is_transient());
+        assert_eq!(c.metrics().snapshot().faults_injected, 1);
+    }
+
+    #[test]
+    fn failed_probe_leaves_probe_counters_clean() {
+        let c = SimCluster::builder()
+            .nodes(4)
+            .faults(FaultPlan::new(5).with_probe_fault_rate(1.0))
+            .build()
+            .unwrap();
+        loaded(&c, 0);
+        let ix = c.create_index(IndexSpec::global("ix", "part", 8)).unwrap();
+        ix.insert(
+            Value::Int(1),
+            IndexEntry::new(Value::Int(1), Value::Int(1)).to_record(),
+        )
+        .unwrap();
+        c.metrics().reset();
+        assert!(ix.lookup(&Value::Int(1), 0).unwrap_err().is_transient());
+        let s = c.metrics().snapshot();
+        assert_eq!(s.index_lookups, 0, "failed probes are not counted");
+        assert_eq!(s.faults_injected, 1);
+        // The retry probes the same site, which has already failed once.
+        let hits = ix.lookup(&Value::Int(1), 0).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(c.metrics().snapshot().index_lookups, 1);
+    }
+
+    #[test]
+    fn cache_hits_bypass_the_fault_gate() {
+        let c = SimCluster::builder()
+            .nodes(2)
+            .record_cache(64)
+            .faults(FaultPlan::transient(7, 1.0))
+            .build()
+            .unwrap();
+        let f = c
+            .create_file(FileSpec::new("part", Partitioning::hash(4)))
+            .unwrap();
+        f.insert(Value::Int(3), Record::from_text("r3")).unwrap();
+        let ptr = Pointer::logical("part", Value::Int(3), Value::Int(3));
+        assert!(c.resolve(&ptr, 0).unwrap_err().is_transient());
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "r3");
+        // Cached now: no storage touch, no consult, no new fault — and the
+        // miss recorded by the successful read pairs with its storage read.
+        assert_eq!(c.resolve(&ptr, 0).unwrap().text().unwrap(), "r3");
+        let s = c.metrics().snapshot();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.point_reads(), 1);
+        assert_eq!(s.faults_injected, 1);
     }
 
     #[test]

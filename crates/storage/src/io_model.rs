@@ -107,6 +107,19 @@ impl IoModel {
         maybe_sleep(self.index_lookup);
     }
 
+    /// Sleep for one local point read served `mult`× slower than healthy
+    /// (brown-out windows; `mult == 1` is exactly [`IoModel::pay_local_read`]).
+    #[inline]
+    pub fn pay_local_read_times(&self, mult: u32) {
+        maybe_sleep(self.local_point_read.saturating_mul(mult));
+    }
+
+    /// Sleep for one index traversal served `mult`× slower than healthy.
+    #[inline]
+    pub fn pay_index_lookup_times(&self, mult: u32) {
+        maybe_sleep(self.index_lookup.saturating_mul(mult));
+    }
+
     /// Total modeled cost of scanning `n` records. Computed in 128-bit
     /// nanosecond arithmetic: the earlier `saturating_mul(n as u32)`
     /// silently truncated batch sizes above `u32::MAX`, undercharging
@@ -255,6 +268,20 @@ mod tests {
         let mut m = IoModel::zero();
         m.scan_per_record = Duration::from_secs(u64::MAX / 1_000_000_000);
         assert_eq!(m.scan_cost(usize::MAX), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn brownout_multiplier_scales_device_cost() {
+        let m = IoModel::hdd_like(1.0);
+        assert_eq!(
+            m.local_point_read.saturating_mul(3),
+            m.local_point_read * 3,
+            "multiplied latency must not saturate at realistic scales"
+        );
+        // mult 1 must be indistinguishable from the healthy path (both are
+        // a single sleep of `local_point_read`), so the zero-fault path
+        // pays nothing extra.
+        assert_eq!(m.local_point_read.saturating_mul(1), m.local_point_read);
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn remote_index_probe_does_not_hold_the_permit_through_the_rtt() {
         let (c_remote, ix_remote, key_remote) = (c.clone(), ix.clone(), key.clone());
         let remote = s.spawn(move || {
             let t = Instant::now();
-            let hits = ix_remote.lookup(&key_remote, remote_node);
+            let hits = ix_remote.lookup(&key_remote, remote_node).unwrap();
             assert_eq!(hits.len(), 1);
             drop(c_remote);
             t.elapsed()
@@ -57,7 +57,7 @@ fn remote_index_probe_does_not_hold_the_permit_through_the_rtt() {
         // 400ms RTT sleep, then probe locally against the same owner.
         std::thread::sleep(Duration::from_millis(100));
         let t = Instant::now();
-        let hits = ix.lookup(&key, owner);
+        let hits = ix.lookup(&key, owner).unwrap();
         let local_elapsed = t.elapsed();
         assert_eq!(hits.len(), 1);
         let remote_elapsed = remote.join().unwrap();

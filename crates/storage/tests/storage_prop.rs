@@ -87,9 +87,9 @@ proptest! {
             ix.insert(Value::Int(k), IndexEntry::new(Value::Int(v), Value::Int(v)).to_record())
                 .unwrap();
         }
-        let global = ix.range(&Value::Int(0), &Value::Int(49), 0).len();
+        let global = ix.range(&Value::Int(0), &Value::Int(49), 0).unwrap().len();
         let per_node: usize = (0..nodes)
-            .map(|n| ix.range_on_node(n, &Value::Int(0), &Value::Int(49)).len())
+            .map(|n| ix.range_on_node(n, &Value::Int(0), &Value::Int(49)).unwrap().len())
             .sum();
         prop_assert_eq!(global, entries.len());
         prop_assert_eq!(per_node, entries.len());

@@ -250,7 +250,7 @@ mod tests {
         let (c, loaded) = loaded();
         let ix = c.index(names::LINEITEM_BY_ORDERKEY).unwrap();
         let expected = loaded.generator.order_with_lines(17).lines.len();
-        let hits = ix.lookup(&Value::Int(17), 0);
+        let hits = ix.lookup(&Value::Int(17), 0).unwrap();
         assert_eq!(hits.len(), expected);
         for entry in hits {
             let e = rede_storage::IndexEntry::from_record(&entry).unwrap();
@@ -270,7 +270,7 @@ mod tests {
         let lo = Value::Date(rede_common::Date::from_ymd(1993, 1, 1));
         let hi = Value::Date(rede_common::Date::from_ymd(1993, 12, 31));
         let ix = c.index(names::ORDERS_BY_DATE).unwrap();
-        let via_index = ix.range(&lo, &hi, 0).len();
+        let via_index = ix.range(&lo, &hi, 0).unwrap().len();
         // Ground truth by scanning.
         let orders = c.file(names::ORDERS).unwrap();
         let mut via_scan = 0;

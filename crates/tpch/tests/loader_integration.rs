@@ -68,7 +68,7 @@ fn date_index_entry_count_matches_orders() {
     // And the full-domain range returns them all.
     let lo = Value::Date(Date::from_ymd(1992, 1, 1));
     let hi = Value::Date(Date::from_ymd(1998, 12, 31));
-    assert_eq!(ix.range(&lo, &hi, 0).len(), loaded.orders_rows);
+    assert_eq!(ix.range(&lo, &hi, 0).unwrap().len(), loaded.orders_rows);
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn fk_index_covers_every_lineitem() {
     // Summing postings over all order keys reproduces the total.
     let mut covered = 0usize;
     for k in 1..=loaded.orders_rows as i64 {
-        covered += ix.lookup(&Value::Int(k), 0).len();
+        covered += ix.lookup(&Value::Int(k), 0).unwrap().len();
     }
     assert_eq!(covered, loaded.lineitem_rows);
 }
@@ -90,7 +90,10 @@ fn selectivity_ground_truth_matches_index_counts() {
     let ix = cluster.index(names::ORDERS_BY_DATE).unwrap();
     for sel in [0.01, 0.1, 0.5] {
         let (lo, hi) = selectivity_date_range(sel);
-        let selected = ix.range(&Value::Date(lo), &Value::Date(hi), 0).len();
+        let selected = ix
+            .range(&Value::Date(lo), &Value::Date(hi), 0)
+            .unwrap()
+            .len();
         // Ground truth from the generator.
         let expected = (1..=loaded.orders_rows as i64)
             .filter(|&k| {

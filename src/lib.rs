@@ -78,7 +78,7 @@ pub mod prelude {
         StageCtx,
     };
     pub use rede_storage::{
-        CachePlacement, FileSpec, IoModel, Partitioning, Pointer, Record, SimCluster,
-        SimClusterBuilder,
+        Brownout, CachePlacement, DownWindow, FaultInjector, FaultPlan, FileSpec, IoModel,
+        Partitioning, Pointer, Record, SimCluster, SimClusterBuilder,
     };
 }

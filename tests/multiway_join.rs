@@ -150,6 +150,7 @@ fn hop_counts_add_up() {
         .index(names::ORDERS_BY_CUSTKEY)
         .unwrap()
         .lookup(&Value::Int(7), 0)
+        .unwrap()
         .len() as u64;
     // Point reads = orders fetched + lineitems fetched.
     assert_eq!(

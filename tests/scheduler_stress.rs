@@ -61,7 +61,7 @@ fn twelve_concurrent_jobs_match_serial_runs_byte_for_byte() {
                 .weight(1 + (client % 3) as u32)
                 .collecting()
                 .tenant(format!("tenant-{client}"));
-            (kind, scheduler.submit_with(&jobs[kind], opts))
+            (kind, scheduler.submit_with(&jobs[kind], opts).unwrap())
         })
         .collect();
 
@@ -96,14 +96,18 @@ fn cancelled_tenant_returns_its_iops_permits_and_pool_slots() {
         },
     );
 
-    let victim = scheduler.submit_with(
-        &q5_prime_job(&Q5Params::with_selectivity(3e-1)).unwrap(),
-        SubmitOptions::new().tenant("victim"),
-    );
-    let survivor = scheduler.submit_with(
-        &q6_job(&Q6Params::standard()).unwrap(),
-        SubmitOptions::new().collecting().tenant("survivor"),
-    );
+    let victim = scheduler
+        .submit_with(
+            &q5_prime_job(&Q5Params::with_selectivity(3e-1)).unwrap(),
+            SubmitOptions::new().tenant("victim"),
+        )
+        .unwrap();
+    let survivor = scheduler
+        .submit_with(
+            &q6_job(&Q6Params::standard()).unwrap(),
+            SubmitOptions::new().collecting().tenant("survivor"),
+        )
+        .unwrap();
 
     std::thread::sleep(Duration::from_millis(25));
     victim.cancel();
