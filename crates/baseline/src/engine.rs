@@ -10,7 +10,7 @@
 use crate::expr::Expr;
 use crate::ops::{HashJoinOp, MemSource, Operator};
 use crate::row::{RowBatch, RowParser};
-use crate::scan::parallel_scan;
+use crate::scan::{parallel_scan_with_locality, ShuffleLocality};
 use rede_common::{MetricsSnapshot, Result};
 use rede_storage::SimCluster;
 use std::time::Duration;
@@ -23,6 +23,9 @@ pub struct EngineConfig {
     pub cores_per_node: usize,
     /// Grace hash-join fanout.
     pub join_fanout: usize,
+    /// How scans relate to partition placement (see [`ShuffleLocality`]).
+    /// The default keeps the original implicit, uncharged model.
+    pub shuffle: ShuffleLocality,
 }
 
 impl Default for EngineConfig {
@@ -30,7 +33,16 @@ impl Default for EngineConfig {
         EngineConfig {
             cores_per_node: 16,
             join_fanout: 32,
+            shuffle: ShuffleLocality::Implicit,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Use a specific shuffle-locality model.
+    pub fn with_shuffle(mut self, shuffle: ShuffleLocality) -> EngineConfig {
+        self.shuffle = shuffle;
+        self
     }
 }
 
@@ -112,12 +124,13 @@ impl Engine {
 
     fn scan(&self, spec: &TableScanSpec) -> Result<Vec<RowBatch>> {
         let file = self.cluster.file(&spec.file)?;
-        parallel_scan(
+        parallel_scan_with_locality(
             &self.cluster,
             &file,
             &spec.parser,
             spec.predicate.as_ref(),
             self.scan_workers(),
+            self.config.shuffle,
         )
     }
 
@@ -224,6 +237,7 @@ mod tests {
             EngineConfig {
                 cores_per_node: 4,
                 join_fanout: 8,
+                ..EngineConfig::default()
             },
         );
         // orders with o_d == 3 (10 orders) joined to their 3 lines each.
@@ -252,6 +266,7 @@ mod tests {
             EngineConfig {
                 cores_per_node: 2,
                 join_fanout: 4,
+                ..EngineConfig::default()
             },
         );
         let plan = SpjPlan {
@@ -279,6 +294,44 @@ mod tests {
             final_predicate: None,
         };
         assert_eq!(engine.execute(&plan).unwrap().rows.len(), 25);
+    }
+
+    #[test]
+    fn shuffle_locality_changes_cost_not_answers() {
+        let plan = || SpjPlan {
+            base: TableScanSpec::new("orders", orders_parser())
+                .with_predicate(Expr::col(1).eq(Expr::lit(3i64))),
+            joins: vec![JoinSpec {
+                left_key: 0,
+                table: TableScanSpec::new("lines", lines_parser()),
+                right_key: 1,
+            }],
+            final_predicate: None,
+        };
+        let implicit = {
+            let c = fixture();
+            Engine::new(c, EngineConfig::default())
+                .execute(&plan())
+                .unwrap()
+        };
+        assert_eq!(implicit.metrics.remote_rtts, 0);
+        for shuffle in [ShuffleLocality::Remote, ShuffleLocality::Local] {
+            let c = fixture();
+            let engine = Engine::new(
+                c,
+                EngineConfig {
+                    cores_per_node: 2,
+                    ..EngineConfig::default()
+                }
+                .with_shuffle(shuffle),
+            );
+            let result = engine.execute(&plan()).unwrap();
+            assert_eq!(result.rows.len(), implicit.rows.len(), "{shuffle:?}");
+            assert_eq!(
+                result.metrics.scanned_records,
+                implicit.metrics.scanned_records
+            );
+        }
     }
 
     #[test]

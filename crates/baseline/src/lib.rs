@@ -28,4 +28,5 @@ pub use engine::{Engine, EngineConfig, JoinSpec, SpjPlan, SpjResult, TableScanSp
 pub use expr::Expr;
 pub use ops::{HashAggregateOp, HashJoinOp, MemSource, Operator};
 pub use row::{ColType, Row, RowBatch, RowParser, Schema};
+pub use scan::{parallel_scan, parallel_scan_with_locality, ShuffleLocality};
 pub use warehouse::Warehouse;

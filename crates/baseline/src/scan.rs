@@ -12,13 +12,32 @@ use crate::row::{RowBatch, RowParser};
 use parking_lot::Mutex;
 use rede_common::{RedeError, Result};
 use rede_storage::{FileHandle, SimCluster};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
 
 const SCAN_BATCH: usize = 1024;
 
+/// How the engine's scan shuffle relates to partition placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleLocality {
+    /// Placement-blind and uncharged — the engine's original model, where
+    /// "placement is implicit" and every partition streams at local cost
+    /// regardless of which worker reads it.
+    #[default]
+    Implicit,
+    /// Placement-blind worker assignment with a *charged* shuffle: every
+    /// scan batch a worker pulls from a partition its home node does not
+    /// own pays one network RTT (and counts one remote RTT).
+    Remote,
+    /// Locality-aware shuffle: workers drain their home node's partitions
+    /// first (free local streams) and only steal still-unscanned remote
+    /// partitions — paying the RTT per batch — once their own node is dry.
+    Local,
+}
+
 /// Scan `file` in full with `workers` threads, parse every record with
 /// `parser`, keep rows passing `predicate` (if any). Returns the surviving
-/// batches.
+/// batches. Placement-blind and shuffle-uncharged
+/// ([`ShuffleLocality::Implicit`]).
 pub fn parallel_scan(
     cluster: &SimCluster,
     file: &FileHandle,
@@ -26,26 +45,72 @@ pub fn parallel_scan(
     predicate: Option<&Expr>,
     workers: usize,
 ) -> Result<Vec<RowBatch>> {
+    parallel_scan_with_locality(
+        cluster,
+        file,
+        parser,
+        predicate,
+        workers,
+        ShuffleLocality::Implicit,
+    )
+}
+
+/// [`parallel_scan`] with an explicit shuffle-locality model. Worker `w`'s
+/// home node is `w % nodes`; under the charged models, every scan batch
+/// pulled from a partition owned elsewhere pays one network RTT.
+pub fn parallel_scan_with_locality(
+    cluster: &SimCluster,
+    file: &FileHandle,
+    parser: &RowParser,
+    predicate: Option<&Expr>,
+    workers: usize,
+    locality: ShuffleLocality,
+) -> Result<Vec<RowBatch>> {
     let workers = workers.max(1);
-    let next_partition = AtomicUsize::new(0);
     let partitions = file.partitions();
+    let nodes = cluster.nodes().max(1);
+    // Work lists: one global FIFO for the placement-blind modes, one per
+    // node for locality-aware draining-then-stealing.
+    let queues: Vec<Mutex<VecDeque<usize>>> = match locality {
+        ShuffleLocality::Implicit | ShuffleLocality::Remote => {
+            vec![Mutex::new((0..partitions).collect())]
+        }
+        ShuffleLocality::Local => {
+            let mut per_node: Vec<VecDeque<usize>> = vec![VecDeque::new(); nodes];
+            for p in 0..partitions {
+                per_node[cluster.node_of_partition(p)].push_back(p);
+            }
+            per_node.into_iter().map(Mutex::new).collect()
+        }
+    };
     let out: Mutex<Vec<RowBatch>> = Mutex::new(Vec::new());
     let errors: Mutex<Vec<RedeError>> = Mutex::new(Vec::new());
-    let _ = cluster; // placement is implicit: scans stream every partition
+    let charged = locality != ShuffleLocality::Implicit;
 
     std::thread::scope(|s| {
-        for _ in 0..workers.min(partitions.max(1)) {
-            s.spawn(|| loop {
-                let p = next_partition.fetch_add(1, Ordering::Relaxed);
-                if p >= partitions {
-                    return;
-                }
+        let queues = &queues;
+        let out = &out;
+        let errors = &errors;
+        for w in 0..workers.min(partitions.max(1)) {
+            let home = w % nodes;
+            s.spawn(move || loop {
+                let p = match queues.len() {
+                    1 => queues[0].lock().pop_front(),
+                    n => (0..n).find_map(|i| queues[(home + i) % n].lock().pop_front()),
+                };
+                let Some(p) = p else { return };
+                let remote = charged && cluster.node_of_partition(p) != home;
                 let mut rows = Vec::new();
                 let mut start = 0;
                 loop {
                     let slots = file.read_slots(p, start, SCAN_BATCH);
                     if slots.is_empty() {
                         break;
+                    }
+                    if remote {
+                        // One shuffle hop per pulled batch.
+                        cluster.metrics().record_remote_rtt();
+                        cluster.io_model().pay_shuffle();
                     }
                     start += slots.len();
                     for (_, record) in &slots {
@@ -159,5 +224,52 @@ mod tests {
         let (c, f, parser) = fixture(0);
         let batches = parallel_scan(&c, &f, &parser, None, 4).unwrap();
         assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn implicit_shuffle_charges_no_rtts() {
+        let (c, f, parser) = fixture(500);
+        let batches = parallel_scan(&c, &f, &parser, None, 8).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 500);
+        assert_eq!(c.metrics().snapshot().remote_rtts, 0);
+    }
+
+    #[test]
+    fn remote_shuffle_pays_one_rtt_per_cross_node_batch() {
+        let (c, f, parser) = fixture(500);
+        // One worker, home node 0: the two partitions owned by node 1 are
+        // each one remote batch (500 rows < SCAN_BATCH per partition).
+        let batches =
+            parallel_scan_with_locality(&c, &f, &parser, None, 1, ShuffleLocality::Remote).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 500);
+        let remote_partitions = (0..f.partitions())
+            .filter(|&p| c.node_of_partition(p) != 0)
+            .count() as u64;
+        assert_eq!(remote_partitions, 2);
+        assert_eq!(c.metrics().snapshot().remote_rtts, remote_partitions);
+    }
+
+    #[test]
+    fn local_shuffle_covers_every_partition_and_steals_at_rtt_cost() {
+        let (c, f, parser) = fixture(500);
+        // A single worker (home 0) must still scan node 1's partitions —
+        // by stealing them, at one RTT per batch, after its own are dry.
+        let batches =
+            parallel_scan_with_locality(&c, &f, &parser, None, 1, ShuffleLocality::Local).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 500);
+        assert_eq!(c.metrics().snapshot().remote_rtts, 2, "stolen partitions");
+
+        // With a worker per node, locality-aware scheduling never *needs*
+        // to steal; it may only pay at most what the blind model pays.
+        let (c2, f2, parser2) = fixture(500);
+        let batches =
+            parallel_scan_with_locality(&c2, &f2, &parser2, None, 2, ShuffleLocality::Local)
+                .unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 500);
+        assert!(c2.metrics().snapshot().remote_rtts <= 2);
     }
 }

@@ -1,0 +1,318 @@
+//! Ablation: owner-coalesced batched dereference.
+//!
+//! Runs the same join job on a deliberately *remote-heavy* configuration —
+//! producer routing on a 4-node cluster (≈¾ of FK-hop dereferences cross
+//! nodes) under an RTT-dominant latency model — with batching off vs. on
+//! at several batch bounds. Unbatched, every remote pointer pays its own
+//! fabric RTT; coalesced, a batch of n pays one RTT + n× device time, so
+//! the wall-clock gap here is precisely the amortized-RTT win the
+//! dispatcher-side coalescing buys.
+//!
+//! Besides the timed criterion runs, the bench measures each config's
+//! throughput and RTT-sleep counts outside the timed region and writes
+//! them to `BENCH_smpe.json` at the workspace root (the committed file is
+//! the tracked baseline; CI regenerates and gates on it). Sanity asserts:
+//! all configs agree on the answer, batching strictly reduces RTT sleeps,
+//! and the remote-heavy batched wall is at least 2× faster than unbatched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rede_common::Value;
+use rede_core::exec::{Batching, ExecutorConfig, JobRunner, RoutingPolicy};
+use rede_core::job::{Job, SeedInput};
+use rede_core::maintenance::IndexBuilder;
+use rede_core::prebuilt::{
+    BtreeRangeDereferencer, DelimitedInterpreter, FieldType, IndexEntryReferencer,
+    IndexLookupDereferencer, InterpretReferencer, LookupDereferencer,
+};
+use rede_storage::{FileSpec, IndexSpec, IoModel, Partitioning, Record, SimCluster};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PARTS: i64 = 400;
+const LINES_PER_PART: i64 = 3;
+const POOL: usize = 32;
+
+/// RTT-dominant latency model: device time is tens of µs, the fabric RTT
+/// half a millisecond. `hdd_like` is the opposite regime (RTT/local ≈ 0.3,
+/// seek-dominated), where batching can only win modestly; this is the
+/// disaggregated-storage shape where per-pointer RTTs dominate and
+/// coalescing pays directly.
+fn remote_heavy_io() -> IoModel {
+    IoModel {
+        local_point_read: Duration::from_micros(20),
+        remote_point_read: Duration::from_micros(520),
+        scan_per_record: Duration::ZERO,
+        index_lookup: Duration::from_micros(10),
+        scan_batch: 1024,
+        queue_depth: 1008,
+    }
+}
+
+/// Same shape as the batching-equivalence fixture: `part` (local
+/// retailprice index) joined to `lineitem` (global FK index), with the FK
+/// hop crossing partitions on a 4-node cluster.
+fn fixture() -> SimCluster {
+    let c = SimCluster::builder()
+        .nodes(4)
+        .io_model(remote_heavy_io())
+        .build()
+        .unwrap();
+    let part = c
+        .create_file(FileSpec::new("part", Partitioning::hash(8)))
+        .unwrap();
+    for i in 0..PARTS {
+        part.insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i * 10)))
+            .unwrap();
+    }
+    let lineitem = c
+        .create_file(FileSpec::new("lineitem", Partitioning::hash(8)))
+        .unwrap();
+    let mut order = 0i64;
+    for p in 0..PARTS {
+        for l in 0..LINES_PER_PART {
+            order += 1;
+            lineitem
+                .insert_with_partition_key(
+                    &Value::Int(order),
+                    Value::Int(order),
+                    Record::from_text(&format!("{order}|{p}|{}", l + 1)),
+                )
+                .unwrap();
+        }
+    }
+    IndexBuilder::new(
+        c.clone(),
+        IndexSpec::local("part.p_retailprice", "part", 8),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .build()
+    .unwrap();
+    IndexBuilder::new(
+        c.clone(),
+        IndexSpec::global("lineitem.l_partkey", "lineitem", 8),
+        Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+    )
+    .with_partition_key(Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)))
+    .build()
+    .unwrap();
+    c
+}
+
+fn join_job() -> Job {
+    Job::builder("part-lineitem-join")
+        .seed(SeedInput::Range {
+            file: "part.p_retailprice".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(PARTS * 10),
+        })
+        .dereference(
+            "deref-0",
+            Arc::new(BtreeRangeDereferencer::new("part.p_retailprice")),
+        )
+        .reference("ref-1", Arc::new(IndexEntryReferencer::new("part")))
+        .dereference("deref-1", Arc::new(LookupDereferencer::new("part")))
+        .reference(
+            "ref-2",
+            Arc::new(InterpretReferencer::new(
+                "lineitem.l_partkey",
+                Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)),
+            )),
+        )
+        .dereference(
+            "deref-2",
+            Arc::new(IndexLookupDereferencer::new("lineitem.l_partkey")),
+        )
+        .reference("ref-3", Arc::new(IndexEntryReferencer::new("lineitem")))
+        .dereference("deref-3", Arc::new(LookupDereferencer::new("lineitem")))
+        .build()
+        .unwrap()
+}
+
+/// Measured numbers for one batching config, averaged over `runs`.
+struct ConfigPoint {
+    name: &'static str,
+    max_batch: usize,
+    wall: Duration,
+    count: u64,
+    pointers: u64,
+    remote_rtts: u64,
+    batches_issued: u64,
+    batched_reads: u64,
+    mean_batch_size: f64,
+}
+
+impl ConfigPoint {
+    /// Pointer dereferences per second of job wall-clock.
+    fn throughput(&self) -> f64 {
+        self.pointers as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn measure(runner: &JobRunner, job: &Job, name: &'static str, max_batch: usize) -> ConfigPoint {
+    const RUNS: u32 = 3;
+    let mut wall = Duration::ZERO;
+    let mut last = None;
+    for _ in 0..RUNS {
+        let result = runner.run(job).unwrap();
+        wall += result.wall;
+        last = Some(result);
+    }
+    let result = last.unwrap();
+    ConfigPoint {
+        name,
+        max_batch,
+        wall: wall / RUNS,
+        count: result.count,
+        pointers: result.profile.local_point_reads()
+            + result.profile.remote_point_reads()
+            + result
+                .profile
+                .nodes
+                .iter()
+                .map(|n| n.cache_hits)
+                .sum::<u64>(),
+        remote_rtts: result.profile.remote_rtts,
+        batches_issued: result.profile.batches_issued,
+        batched_reads: result.profile.batched_reads,
+        mean_batch_size: result.profile.mean_batch_size(),
+    }
+}
+
+/// Render the measured points as the committed `BENCH_smpe.json` baseline.
+fn write_baseline(points: &[ConfigPoint]) {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"config\": \"{}\",\n",
+                    "      \"max_batch\": {},\n",
+                    "      \"wall_ms\": {:.2},\n",
+                    "      \"output_rows\": {},\n",
+                    "      \"point_dereferences\": {},\n",
+                    "      \"throughput_pointers_per_sec\": {:.0},\n",
+                    "      \"remote_rtt_sleeps\": {},\n",
+                    "      \"batches_issued\": {},\n",
+                    "      \"batched_reads\": {},\n",
+                    "      \"mean_batch_size\": {:.2}\n",
+                    "    }}"
+                ),
+                p.name,
+                p.max_batch,
+                p.wall.as_secs_f64() * 1e3,
+                p.count,
+                p.pointers,
+                p.throughput(),
+                p.remote_rtts,
+                p.batches_issued,
+                p.batched_reads,
+                p.mean_batch_size,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ablation_batching\",\n",
+            "  \"workload\": \"part⋈lineitem join, {} pointers, producer routing, ",
+            "4 nodes, RTT-dominant io (local 20µs / remote 520µs), pool {}\",\n",
+            "  \"configs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        points[0].pointers,
+        POOL,
+        rows.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_smpe.json");
+    std::fs::write(&path, json).expect("write BENCH_smpe.json");
+    eprintln!("[ablation/batching] wrote {}", path.display());
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let cluster = fixture();
+    let job = join_job();
+    let runner_with = |batching| {
+        JobRunner::new(
+            cluster.clone(),
+            ExecutorConfig::smpe(POOL)
+                .with_routing(RoutingPolicy::Producer)
+                .with_batching(batching),
+        )
+    };
+    let configs: Vec<(&'static str, Batching)> = vec![
+        ("unbatched", Batching::off()),
+        ("batched_7", Batching::max(7)),
+        ("batched_default", Batching::default()),
+    ];
+
+    // Sanity + baseline measurement outside the timed region.
+    let points: Vec<ConfigPoint> = configs
+        .iter()
+        .map(|(name, batching)| measure(&runner_with(*batching), &job, name, batching.max_batch))
+        .collect();
+    let off = &points[0];
+    assert!(
+        off.remote_rtts >= off.pointers / 2,
+        "workload must be remote-heavy: {} RTTs for {} pointers",
+        off.remote_rtts,
+        off.pointers
+    );
+    for p in &points[1..] {
+        assert_eq!(
+            p.count, off.count,
+            "[{}] batching changed the answer",
+            p.name
+        );
+        assert!(
+            p.batches_issued > 0 && p.mean_batch_size > 1.0,
+            "[{}] pointer flood must form batches",
+            p.name
+        );
+        assert!(
+            p.remote_rtts < off.remote_rtts,
+            "[{}] batching must amortize RTT sleeps: {} vs {}",
+            p.name,
+            p.remote_rtts,
+            off.remote_rtts
+        );
+    }
+    // The acceptance gate: on the remote-heavy config, coalescing at the
+    // default bound cuts remote point-read wall time at least 2×. The
+    // sleeps are real and hundreds of µs each, so the margin is wide.
+    let best = points.last().unwrap();
+    assert!(
+        off.wall >= best.wall * 2,
+        "default batching must be ≥2× faster remote-heavy: {:?} vs {:?}",
+        off.wall,
+        best.wall
+    );
+    for p in &points {
+        eprintln!(
+            "[ablation/batching] {:>15}: wall {:>8.2?}  {:>7.0} ptrs/s  {:>5} RTT sleeps  {:>4} batches (mean {:.1})",
+            p.name,
+            p.wall,
+            p.throughput(),
+            p.remote_rtts,
+            p.batches_issued,
+            p.mean_batch_size
+        );
+    }
+    write_baseline(&points);
+
+    let mut group = c.benchmark_group("ablation/batching");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for (name, batching) in configs {
+        let runner = runner_with(batching);
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(runner.run(&job).unwrap().count))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

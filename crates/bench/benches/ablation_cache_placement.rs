@@ -32,6 +32,7 @@ fn fixture(placement: CachePlacement) -> Fig7Fixture {
         record_cache: Some(4096), // total budget, split per node when PerNode
         cache_placement: placement,
         faults: None,
+        ..Fig7Config::default()
     })
     .expect("load fixture")
 }

@@ -53,6 +53,7 @@ fn bench_optimizer(c: &mut Criterion) {
         EngineConfig {
             cores_per_node: 8,
             join_fanout: 32,
+            ..EngineConfig::default()
         },
     );
     let planner = Planner::new(

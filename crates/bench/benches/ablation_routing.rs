@@ -10,9 +10,10 @@
 //! measured runs double as a check that all policies agree on the answer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rede_baseline::{Engine, EngineConfig, ShuffleLocality};
 use rede_bench::{Fig7Config, Fig7Fixture};
 use rede_core::exec::{ExecutorConfig, JobRunner, RoutingPolicy};
-use rede_tpch::{q5_prime_job, Q5Params};
+use rede_tpch::{q5_prime_job, q5_prime_plan, Q5Params};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -40,9 +41,11 @@ fn bench_routing(c: &mut Criterion) {
     );
     let hybrid = JobRunner::new(
         fixture.cluster.clone(),
-        ExecutorConfig::smpe(128).with_routing(RoutingPolicy::Hybrid {
-            max_owner_backlog: 64,
-        }),
+        ExecutorConfig::smpe(128).with_routing(RoutingPolicy::hybrid_with_backlog(64)),
+    );
+    let adaptive = JobRunner::new(
+        fixture.cluster.clone(),
+        ExecutorConfig::smpe(128).with_routing(RoutingPolicy::hybrid()),
     );
 
     // Sanity outside the timed region: same answer, and the owner policy
@@ -51,21 +54,25 @@ fn bench_routing(c: &mut Criterion) {
     let a = owner.run(&job).unwrap();
     let b = producer.run(&job).unwrap();
     let h = hybrid.run(&job).unwrap();
+    let ad = adaptive.run(&job).unwrap();
     assert_eq!(a.count, b.count, "routing changed the answer");
     assert_eq!(a.count, h.count, "hybrid routing changed the answer");
+    assert_eq!(a.count, ad.count, "adaptive hybrid changed the answer");
     assert!(a.profile.remote_point_reads() < b.profile.remote_point_reads());
     assert!(
         h.profile.remote_point_reads() <= b.profile.remote_point_reads(),
         "hybrid must never be more remote than pure producer routing"
     );
     eprintln!(
-        "[ablation/routing] owner: {} local / {} remote; producer: {} local / {} remote; hybrid(64): {} local / {} remote",
+        "[ablation/routing] owner: {} local / {} remote; producer: {} local / {} remote; hybrid(64): {} local / {} remote; hybrid(adaptive): {} local / {} remote",
         a.profile.local_point_reads(),
         a.profile.remote_point_reads(),
         b.profile.local_point_reads(),
         b.profile.remote_point_reads(),
         h.profile.local_point_reads(),
-        h.profile.remote_point_reads()
+        h.profile.remote_point_reads(),
+        ad.profile.local_point_reads(),
+        ad.profile.remote_point_reads()
     );
 
     let mut group = c.benchmark_group("ablation/routing");
@@ -81,6 +88,52 @@ fn bench_routing(c: &mut Criterion) {
     group.bench_function("hybrid_backlog64", |bch| {
         bch.iter(|| black_box(hybrid.run(&job).unwrap().count))
     });
+    group.bench_function("hybrid_adaptive", |bch| {
+        bch.iter(|| black_box(adaptive.run(&job).unwrap().count))
+    });
+    group.finish();
+
+    // The baseline-engine analogue of pointer routing: shuffle locality.
+    // A placement-blind charged shuffle pays one RTT per cross-node scan
+    // batch; locality-aware workers drain their own node first. Answers
+    // must agree with the uncharged model; only the cost moves.
+    let plan = q5_prime_plan(&Q5Params::with_selectivity(3e-2));
+    let engine_with = |shuffle| {
+        Engine::new(
+            fixture.cluster.clone(),
+            EngineConfig {
+                cores_per_node: 8,
+                join_fanout: 32,
+                shuffle,
+            },
+        )
+    };
+    let implicit_rows = engine_with(ShuffleLocality::Implicit)
+        .execute(&plan)
+        .unwrap()
+        .rows
+        .len();
+    let mut group = c.benchmark_group("ablation/shuffle_locality");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for shuffle in [ShuffleLocality::Remote, ShuffleLocality::Local] {
+        let engine = engine_with(shuffle);
+        let result = engine.execute(&plan).unwrap();
+        assert_eq!(
+            result.rows.len(),
+            implicit_rows,
+            "shuffle locality changed the answer"
+        );
+        eprintln!(
+            "[ablation/shuffle] {shuffle:?}: {} shuffle RTTs",
+            result.metrics.remote_rtts
+        );
+        let name = format!("{shuffle:?}").to_lowercase();
+        group.bench_function(&name, |bch| {
+            bch.iter(|| black_box(engine.execute(&plan).unwrap().rows.len()))
+        });
+    }
     group.finish();
 }
 

@@ -35,6 +35,7 @@ fn bench_fig7(c: &mut Criterion) {
         EngineConfig {
             cores_per_node: 8,
             join_fanout: 32,
+            ..EngineConfig::default()
         },
     );
 

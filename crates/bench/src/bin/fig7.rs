@@ -68,6 +68,11 @@ fn main() {
         config.nodes, config.scale_factor, config.smpe_threads, config.io_scale
     );
     println!(
+        "# baseline shuffle locality: {:?} (see `ablation_routing` for the charged\n\
+         # Remote/Local shuffle models); ReDe point reads use owner-coalesced batching",
+        config.shuffle
+    );
+    println!(
         "{:>12} {:>8} {:>22} {:>22} {:>22} {:>10} {:>9}",
         "selectivity", "rows", "impala", "rede-w/o-smpe", "rede-w/-smpe", "speedup", "locality"
     );

@@ -11,6 +11,7 @@
 
 use rede_baseline::engine::{Engine, EngineConfig};
 use rede_baseline::warehouse::Warehouse;
+use rede_baseline::ShuffleLocality;
 use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
 use rede_claims::queries::{run_lake_scan, run_rede as run_claims_rede, run_warehouse, QuerySpec};
 use rede_common::{ExecProfile, Result};
@@ -45,6 +46,9 @@ pub struct Fig7Config {
     /// Deterministic fault plan for chaos runs (`None` or an inert plan =
     /// the regular fault-free cluster, with zero recovery-path overhead).
     pub faults: Option<FaultPlan>,
+    /// Baseline scan shuffle-locality model (default: the original
+    /// implicit, uncharged shuffle).
+    pub shuffle: ShuffleLocality,
 }
 
 impl Default for Fig7Config {
@@ -60,6 +64,7 @@ impl Default for Fig7Config {
             record_cache: None,
             cache_placement: CachePlacement::default(),
             faults: None,
+            shuffle: ShuffleLocality::default(),
         }
     }
 }
@@ -124,6 +129,7 @@ impl Fig7Fixture {
             EngineConfig {
                 cores_per_node: self.config.cores_per_node,
                 join_fanout: 32,
+                shuffle: self.config.shuffle,
             },
         )
     }

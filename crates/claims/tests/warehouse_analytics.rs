@@ -55,6 +55,7 @@ fn per_hospital_expense_totals_match_generator() {
         EngineConfig {
             cores_per_node: 4,
             join_fanout: 16,
+            ..EngineConfig::default()
         },
     );
 
@@ -107,6 +108,7 @@ fn diagnosis_join_counts_match_generator() {
         EngineConfig {
             cores_per_node: 4,
             join_fanout: 16,
+            ..EngineConfig::default()
         },
     );
 
@@ -147,6 +149,7 @@ fn dpc_fraction_survives_normalization() {
         EngineConfig {
             cores_per_node: 2,
             join_fanout: 8,
+            ..EngineConfig::default()
         },
     );
     // type column is "piecework" or "DPC:<code>"; count claims per kind via

@@ -62,6 +62,9 @@ struct Inner {
     rerouted_reads: AtomicU64,
     faults_injected: AtomicU64,
     deadline_aborts: AtomicU64,
+    batched_reads: AtomicU64,
+    batches_issued: AtomicU64,
+    remote_rtts: AtomicU64,
     /// Point reads and record-cache accesses attributed to the node that
     /// *issued* them, grown on demand to the highest node index seen. Kept
     /// outside [`MetricsSnapshot`] (which stays `Copy`); read via
@@ -222,6 +225,29 @@ impl Metrics {
         self.inner.deadline_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` charged accesses executed through a coalesced batch (the
+    /// per-access counters move too; this tracks how much of the traffic
+    /// rode the vectorized path).
+    #[inline]
+    pub fn record_batched_reads(&self, n: u64) {
+        self.inner.batched_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one batch issued against a serving node (one IOPS
+    /// acquisition + at most one RTT, however many accesses it carried).
+    #[inline]
+    pub fn record_batch_issued(&self) {
+        self.inner.batches_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one network round-trip actually slept (remote accesses pay
+    /// exactly one each on the scalar path; a remote batch pays one for
+    /// the whole group — the amortization this counter makes visible).
+    #[inline]
+    pub fn record_remote_rtt(&self) {
+        self.inner.remote_rtts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let i = &self.inner;
@@ -242,6 +268,9 @@ impl Metrics {
             rerouted_reads: i.rerouted_reads.load(Ordering::Relaxed),
             faults_injected: i.faults_injected.load(Ordering::Relaxed),
             deadline_aborts: i.deadline_aborts.load(Ordering::Relaxed),
+            batched_reads: i.batched_reads.load(Ordering::Relaxed),
+            batches_issued: i.batches_issued.load(Ordering::Relaxed),
+            remote_rtts: i.remote_rtts.load(Ordering::Relaxed),
         }
     }
 
@@ -265,6 +294,9 @@ impl Metrics {
             &i.rerouted_reads,
             &i.faults_injected,
             &i.deadline_aborts,
+            &i.batched_reads,
+            &i.batches_issued,
+            &i.remote_rtts,
         ] {
             ctr.store(0, Ordering::Relaxed);
         }
@@ -367,6 +399,12 @@ pub struct MetricsSnapshot {
     pub faults_injected: u64,
     /// Jobs aborted for exceeding their deadline.
     pub deadline_aborts: u64,
+    /// Charged accesses executed through a coalesced batch.
+    pub batched_reads: u64,
+    /// Batches issued (one IOPS acquisition + at most one RTT each).
+    pub batches_issued: u64,
+    /// Network round-trips actually slept.
+    pub remote_rtts: u64,
 }
 
 impl MetricsSnapshot {
@@ -406,6 +444,9 @@ impl MetricsSnapshot {
             rerouted_reads: self.rerouted_reads.saturating_sub(earlier.rerouted_reads),
             faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
             deadline_aborts: self.deadline_aborts.saturating_sub(earlier.deadline_aborts),
+            batched_reads: self.batched_reads.saturating_sub(earlier.batched_reads),
+            batches_issued: self.batches_issued.saturating_sub(earlier.batches_issued),
+            remote_rtts: self.remote_rtts.saturating_sub(earlier.remote_rtts),
         }
     }
 }
@@ -436,6 +477,15 @@ impl fmt::Display for MetricsSnapshot {
                 f,
                 ", faults: {} injected / {} retries / {} rerouted / {} deadline aborts",
                 self.faults_injected, self.retries, self.rerouted_reads, self.deadline_aborts,
+            )?;
+        }
+        // Batching counters are likewise omitted when no batch was issued,
+        // so unbatched runs render exactly as before.
+        if self.batches_issued > 0 {
+            write!(
+                f,
+                ", batching: {} reads in {} batches ({} rtts)",
+                self.batched_reads, self.batches_issued, self.remote_rtts,
             )?;
         }
         Ok(())
@@ -525,6 +575,14 @@ pub struct ExecProfile {
     pub rerouted_reads: u64,
     /// Charged accesses of this job the fault injector failed.
     pub faults_injected: u64,
+    /// Charged accesses this job executed through coalesced batches.
+    pub batched_reads: u64,
+    /// Batches this job issued (one IOPS acquisition + ≤1 RTT each).
+    pub batches_issued: u64,
+    /// Network round-trips this job actually slept. On the scalar path
+    /// this equals the remote accesses; batching drives it down by
+    /// roughly the mean batch size.
+    pub remote_rtts: u64,
 }
 
 impl ExecProfile {
@@ -581,6 +639,16 @@ impl ExecProfile {
             hits as f64 / total as f64
         }
     }
+
+    /// Mean accesses per issued batch (0.0 when no batch was issued) —
+    /// the RTT amortization factor for remote-heavy stages.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_issued == 0 {
+            0.0
+        } else {
+            self.batched_reads as f64 / self.batches_issued as f64
+        }
+    }
 }
 
 impl fmt::Display for ExecProfile {
@@ -598,6 +666,16 @@ impl fmt::Display for ExecProfile {
                 f,
                 "  recovery: {} faults injected, {} retries, {} rerouted reads",
                 self.faults_injected, self.retries, self.rerouted_reads
+            )?;
+        }
+        if self.batches_issued > 0 {
+            writeln!(
+                f,
+                "  batching: {} reads in {} batches (mean {:.1}), {} rtts slept",
+                self.batched_reads,
+                self.batches_issued,
+                self.mean_batch_size(),
+                self.remote_rtts
             )?;
         }
         for s in &self.stages {
@@ -753,6 +831,38 @@ mod tests {
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         // A clean snapshot renders without any recovery suffix.
         assert!(!m.snapshot().to_string().contains("faults:"));
+    }
+
+    #[test]
+    fn batching_counters_round_trip() {
+        let m = Metrics::new();
+        m.record_batched_reads(7);
+        m.record_batch_issued();
+        m.record_batch_issued();
+        m.record_remote_rtt();
+        let s = m.snapshot();
+        assert_eq!(s.batched_reads, 7);
+        assert_eq!(s.batches_issued, 2);
+        assert_eq!(s.remote_rtts, 1);
+        assert!(s.to_string().contains("batching: 7 reads in 2 batches"));
+        let delta = m.snapshot().since(&s);
+        assert_eq!(delta.batched_reads, 0);
+        assert_eq!(delta.batches_issued, 0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        // An unbatched snapshot renders without the batching suffix.
+        assert!(!m.snapshot().to_string().contains("batching:"));
+    }
+
+    #[test]
+    fn exec_profile_mean_batch_size() {
+        let mut p = ExecProfile::default();
+        assert_eq!(p.mean_batch_size(), 0.0);
+        p.batched_reads = 30;
+        p.batches_issued = 4;
+        p.remote_rtts = 4;
+        assert!((p.mean_batch_size() - 7.5).abs() < 1e-9);
+        assert!(p.to_string().contains("30 reads in 4 batches"));
     }
 
     #[test]

@@ -49,16 +49,89 @@ pub enum RoutingPolicy {
     #[default]
     Owner,
     /// Owner routing with backpressure awareness: route to the owner only
-    /// while the owner's stage-queue depth is at or below
-    /// `max_owner_backlog`; beyond it, keep the task on the producer so a
-    /// hot owner node does not become a dispatch bottleneck. `Hybrid {
-    /// max_owner_backlog: u64::MAX }` behaves exactly like [`Owner`];
-    /// `Hybrid { max_owner_backlog: 0 }` degenerates to near-producer
-    /// routing under load.
+    /// while the owner's stage-queue backlog is below a threshold; beyond
+    /// it, keep the task on the producer so a hot owner node does not
+    /// become a dispatch bottleneck.
+    ///
+    /// By default (`max_owner_backlog: None`) the threshold is *adaptive*:
+    /// each node's dispatcher keeps an EWMA of its observed service rate,
+    /// and the allowed backlog is however many tasks that node can drain
+    /// within a fixed target delay — a deliberately slowed node therefore
+    /// sheds owner-routed work automatically. `Some(n)` overrides the
+    /// adaptation with a static cap: `Some(u64::MAX)` behaves exactly like
+    /// [`Owner`], `Some(0)` degenerates to near-producer routing under
+    /// load.
     Hybrid {
-        /// Owner queue depth above which tasks stay on the producer node.
-        max_owner_backlog: u64,
+        /// Static owner-backlog cap, or `None` to derive it from each
+        /// node's observed service rate.
+        max_owner_backlog: Option<u64>,
     },
+}
+
+impl RoutingPolicy {
+    /// Hybrid routing with the adaptive (service-rate-derived) backlog
+    /// threshold.
+    pub fn hybrid() -> RoutingPolicy {
+        RoutingPolicy::Hybrid {
+            max_owner_backlog: None,
+        }
+    }
+
+    /// Hybrid routing with a static backlog cap (the pre-adaptive
+    /// behaviour; kept as an override).
+    pub fn hybrid_with_backlog(max_owner_backlog: u64) -> RoutingPolicy {
+        RoutingPolicy::Hybrid {
+            max_owner_backlog: Some(max_owner_backlog),
+        }
+    }
+}
+
+/// Pointer-batching knobs for SMPE's dispatcher (see
+/// [`smpe`]): same-(job, stage, owner) point dereferences are coalesced
+/// into one batched storage call, amortizing dispatch, IOPS admission, and
+/// — for remote owners — the network RTT across the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batching {
+    /// Largest number of pointers coalesced into one batch. `1` disables
+    /// coalescing entirely (bit-identical to the per-pointer path).
+    pub max_batch: usize,
+    /// How long an under-full batch may wait for company when the node's
+    /// queues are otherwise empty. A batch never lingers while other work
+    /// is runnable, so a trickle of pointers is never stalled behind the
+    /// clock.
+    pub linger: Duration,
+}
+
+impl Default for Batching {
+    fn default() -> Self {
+        Batching {
+            max_batch: 32,
+            linger: Duration::from_micros(100),
+        }
+    }
+}
+
+impl Batching {
+    /// Batching disabled: every pointer executes on the scalar path.
+    pub fn off() -> Batching {
+        Batching {
+            max_batch: 1,
+            linger: Duration::ZERO,
+        }
+    }
+
+    /// Batching with a given batch-size bound and the default linger.
+    pub fn max(max_batch: usize) -> Batching {
+        Batching {
+            max_batch: max_batch.max(1),
+            ..Batching::default()
+        }
+    }
+
+    /// True when coalescing can ever group two pointers.
+    pub fn is_enabled(&self) -> bool {
+        self.max_batch > 1
+    }
 }
 
 /// Executor configuration.
@@ -80,6 +153,8 @@ pub struct ExecutorConfig {
     pub collect_outputs: bool,
     /// How SMPE routes non-broadcast pointer tasks across nodes.
     pub routing: RoutingPolicy,
+    /// Dispatcher-side pointer coalescing (default on; see [`Batching`]).
+    pub batching: Batching,
 }
 
 impl Default for ExecutorConfig {
@@ -90,6 +165,7 @@ impl Default for ExecutorConfig {
             referencer_inline: true,
             collect_outputs: false,
             routing: RoutingPolicy::default(),
+            batching: Batching::default(),
         }
     }
 }
@@ -121,6 +197,13 @@ impl ExecutorConfig {
     /// Use a specific pointer-routing policy.
     pub fn with_routing(mut self, routing: RoutingPolicy) -> ExecutorConfig {
         self.routing = routing;
+        self
+    }
+
+    /// Use specific pointer-batching knobs ([`Batching::off`] restores the
+    /// strict per-pointer execution model).
+    pub fn with_batching(mut self, batching: Batching) -> ExecutorConfig {
+        self.batching = batching;
         self
     }
 }

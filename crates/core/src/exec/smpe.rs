@@ -54,7 +54,7 @@
 
 use super::thread_pool::ThreadPool;
 use super::wrr::WrrQueue;
-use super::{ExecutorConfig, JobResult, RoutingPolicy};
+use super::{Batching, ExecutorConfig, JobResult, RoutingPolicy};
 use crate::job::{Job, Stage};
 use crate::traits::{DerefInput, StageCtx};
 use parking_lot::{Condvar, Mutex};
@@ -89,6 +89,12 @@ struct Task {
     item: TaskItem,
     stage: usize,
     local_only: bool,
+    /// The node owning the pointer's target partition, when known at
+    /// enqueue time. This is the dispatcher's batch key: same-(job, stage,
+    /// owner) point-dereference tasks coalesce into one storage call.
+    /// `None` (seeds, broadcasts, records, unroutable pointers) means the
+    /// task is never coalesced.
+    owner: Option<usize>,
 }
 
 enum TaskItem {
@@ -105,6 +111,69 @@ struct NodeQueue {
     state: Mutex<WrrQueue<Task>>,
     ready: Condvar,
     depth: AtomicU64,
+    /// EWMA of this dispatcher's busy inter-service gap; powers the
+    /// adaptive hybrid-routing backlog threshold.
+    service: ServiceEwma,
+}
+
+/// How long a task routed to an owner node may acceptably sit in that
+/// node's queue before hybrid routing prefers the producer. The adaptive
+/// backlog threshold is however many tasks the node drains in this window
+/// at its observed service rate.
+const HYBRID_TARGET_DELAY: Duration = Duration::from_millis(2);
+/// Adaptive threshold clamp: never shed below this backlog (a briefly
+/// idle node must stay owner-routable) …
+const MIN_ADAPTIVE_BACKLOG: u64 = 4;
+/// … and never tolerate more than this (matches the old static ceiling's
+/// order of magnitude).
+const MAX_ADAPTIVE_BACKLOG: u64 = 4096;
+/// Threshold used before a node has any service-rate observations; the
+/// pre-adaptive static default.
+const DEFAULT_OWNER_BACKLOG: u64 = 64;
+
+/// Exponentially weighted moving average of a dispatcher's inter-service
+/// gap (1/8 smoothing). Only gaps where the dispatcher did *not* sleep are
+/// observed, so an idle node never looks slow — only a genuinely
+/// slow-draining one does.
+///
+/// Single writer (the owning dispatcher thread), lock-free readers (every
+/// producer running the hybrid routing decision).
+struct ServiceEwma {
+    /// Smoothed gap in nanoseconds; 0 = no observation yet.
+    gap_nanos: AtomicU64,
+}
+
+impl ServiceEwma {
+    fn new() -> ServiceEwma {
+        ServiceEwma {
+            gap_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold one observed busy gap into the average.
+    fn observe(&self, gap: Duration) {
+        let gap = gap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let old = self.gap_nanos.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            gap.max(1)
+        } else {
+            (old - old / 8 + gap / 8).max(1)
+        };
+        self.gap_nanos.store(new, Ordering::Relaxed);
+    }
+
+    /// The backlog this node can drain within `target_delay` at its
+    /// observed service rate, clamped to
+    /// [`MIN_ADAPTIVE_BACKLOG`, `MAX_ADAPTIVE_BACKLOG`];
+    /// [`DEFAULT_OWNER_BACKLOG`] before any observation.
+    fn allowed_backlog(&self, target_delay: Duration) -> u64 {
+        let gap = self.gap_nanos.load(Ordering::Relaxed);
+        if gap == 0 {
+            return DEFAULT_OWNER_BACKLOG;
+        }
+        let delay = target_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+        (delay / gap).clamp(MIN_ADAPTIVE_BACKLOG, MAX_ADAPTIVE_BACKLOG)
+    }
 }
 
 /// State shared by all dispatchers and jobs of one substrate.
@@ -193,6 +262,7 @@ pub(crate) struct JobOptions {
     pub collect_outputs: bool,
     pub referencer_inline: bool,
     pub routing: RoutingPolicy,
+    pub batching: Batching,
     pub label: Option<String>,
     /// Bumped once when the job finishes, however it finishes (scheduler
     /// stats).
@@ -206,6 +276,7 @@ impl JobOptions {
             collect_outputs: config.collect_outputs,
             referencer_inline: config.referencer_inline,
             routing: config.routing,
+            batching: config.batching,
             label: None,
             on_finish: None,
         }
@@ -226,6 +297,7 @@ pub(crate) struct JobState {
     collect: bool,
     referencer_inline: bool,
     routing: RoutingPolicy,
+    batching: Batching,
     started: Instant,
     in_flight: AtomicU64,
     /// Pooled tasks of this job currently occupying a pool thread.
@@ -349,8 +421,16 @@ impl JobState {
     }
 
     /// Enqueue a task for this job onto `node`, accounting it in-flight
-    /// first.
-    fn enqueue(self: &Arc<Self>, node: usize, item: TaskItem, stage: usize, local_only: bool) {
+    /// first. `owner` is the batch key for coalescible point dereferences
+    /// (`None` opts the task out of coalescing).
+    fn enqueue(
+        self: &Arc<Self>,
+        node: usize,
+        item: TaskItem,
+        stage: usize,
+        local_only: bool,
+        owner: Option<usize>,
+    ) {
         let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         self.prof.peak_in_flight.fetch_max(now, Ordering::Relaxed);
         self.prof.node_enqueued[node].fetch_add(1, Ordering::Relaxed);
@@ -371,6 +451,7 @@ impl JobState {
                     item,
                     stage,
                     local_only,
+                    owner,
                 },
             );
         }
@@ -459,7 +540,7 @@ impl JobState {
                         self.out_records.lock().push(record);
                     }
                 } else {
-                    self.enqueue(node, TaskItem::Record(record), next, false);
+                    self.enqueue(node, TaskItem::Record(record), next, false, None);
                 }
             }
             StageOutput::Pointer(ptr) => {
@@ -477,6 +558,7 @@ impl JobState {
                             TaskItem::Deref(DerefInput::Point(ptr.clone())),
                             next,
                             true,
+                            None,
                         );
                     }
                 } else {
@@ -484,20 +566,29 @@ impl JobState {
                     // runs its dereference on the owning node (a local
                     // read) instead of wherever it was produced — unless
                     // the hybrid policy sees the owner's queue overloaded.
+                    // The owner, when known, doubles as the dispatcher's
+                    // batch key whatever node the task lands on.
+                    let owner = self.cluster.owner_of_pointer(&ptr);
                     let mut target = match self.routing {
                         RoutingPolicy::Producer => node,
-                        RoutingPolicy::Owner => self.cluster.owner_of_pointer(&ptr).unwrap_or(node),
-                        RoutingPolicy::Hybrid { max_owner_backlog } => {
-                            match self.cluster.owner_of_pointer(&ptr) {
-                                Some(owner)
-                                    if self.shared.queues[owner].depth.load(Ordering::Relaxed)
-                                        <= max_owner_backlog =>
+                        RoutingPolicy::Owner => owner.unwrap_or(node),
+                        RoutingPolicy::Hybrid { max_owner_backlog } => match owner {
+                            Some(owner) => {
+                                let threshold = max_owner_backlog.unwrap_or_else(|| {
+                                    self.shared.queues[owner]
+                                        .service
+                                        .allowed_backlog(HYBRID_TARGET_DELAY)
+                                });
+                                if self.shared.queues[owner].depth.load(Ordering::Relaxed)
+                                    <= threshold
                                 {
                                     owner
+                                } else {
+                                    node
                                 }
-                                _ => node,
                             }
-                        }
+                            None => node,
+                        },
                     };
                     // A down owner would only replica-serve the read
                     // anyway, so routing there buys no locality; keep the
@@ -510,7 +601,13 @@ impl JobState {
                             }
                         }
                     }
-                    self.enqueue(target, TaskItem::Deref(DerefInput::Point(ptr)), next, false);
+                    self.enqueue(
+                        target,
+                        TaskItem::Deref(DerefInput::Point(ptr)),
+                        next,
+                        false,
+                        owner,
+                    );
                 }
             }
         }
@@ -556,6 +653,9 @@ impl JobState {
             retries: io.retries,
             rerouted_reads: io.rerouted_reads,
             faults_injected: io.faults_injected,
+            batched_reads: io.batched_reads,
+            batches_issued: io.batches_issued,
+            remote_rtts: io.remote_rtts,
         }
     }
 }
@@ -705,26 +805,236 @@ fn run_stage_body(
     }
 }
 
+/// Execute a coalesced batch of same-(job, stage, owner) point-dereference
+/// tasks on one pool thread. Mirrors [`process_task`]'s contract per item:
+/// every task's in-flight token is released exactly once, panics become
+/// job errors, and cancelled/failed jobs skip the bodies.
+fn process_batch(tasks: Vec<Task>, node: usize) {
+    let job = tasks[0].job.clone();
+    let stage = tasks[0].stage;
+    if !job.failed.load(Ordering::SeqCst) && !job.cancelled.load(Ordering::SeqCst) {
+        job.prof.stage_tasks[stage].fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            run_stage_batch(&job, node, stage, &tasks)
+        })) {
+            job.shared.panics.fetch_add(1, Ordering::Relaxed);
+            let msg = panic_message(payload.as_ref());
+            job.fail(RedeError::Exec(format!(
+                "stage {} ('{}') panicked in a batched invocation: {msg}",
+                stage,
+                job.job.stages()[stage].label()
+            )));
+        }
+    }
+    for _ in &tasks {
+        job.task_done();
+    }
+}
+
+/// Run one batched dereference with per-item fault recovery.
+///
+/// Fault-free clusters stream every record straight into routing, exactly
+/// like the scalar fast path. Under a fault plan, each item's outputs are
+/// buffered (post-filter, like the scalar retry path) and flushed exactly
+/// once when that item succeeds; only the transient-failed subset is
+/// re-executed, so batchmates of a faulty site are never re-read and never
+/// double-emit. Item errors fail the job individually, matching what the
+/// same tasks would have done unbatched.
+fn run_stage_batch(job: &Arc<JobState>, node: usize, stage_idx: usize, tasks: &[Task]) {
+    let stage = &job.job.stages()[stage_idx];
+    let Stage::Dereference { func, filter, .. } = stage else {
+        job.fail(RedeError::Exec(format!(
+            "stage {} ('{}') received mismatched input",
+            stage_idx,
+            stage.label()
+        )));
+        return;
+    };
+    let ctx = StageCtx {
+        cluster: job.cluster.clone(),
+        node,
+        local_only: false,
+    };
+    let inputs: Vec<DerefInput> = tasks
+        .iter()
+        .map(|t| match &t.item {
+            TaskItem::Deref(input) => input.clone(),
+            TaskItem::Record(_) => unreachable!("only point dereferences are coalesced"),
+        })
+        .collect();
+    // Filter application identical to the scalar body: the first filter
+    // error poisons its item, records keep streaming past it unemitted.
+    let apply_filter = |record: &Record, slot: &mut Option<RedeError>| -> bool {
+        match filter {
+            Some(f) => match f.matches(record) {
+                Ok(keep) => keep,
+                Err(e) => {
+                    slot.get_or_insert(e);
+                    false
+                }
+            },
+            None => true,
+        }
+    };
+
+    if job.cluster.fault_injector().is_none() {
+        let mut filter_errs: Vec<Option<RedeError>> = (0..inputs.len()).map(|_| None).collect();
+        let results = func.dereference_batch(&inputs, &ctx, &mut |idx, record| {
+            if apply_filter(&record, &mut filter_errs[idx]) {
+                job.handle_output(node, stage_idx, StageOutput::Record(record));
+            }
+        });
+        for (result, ferr) in results.into_iter().zip(filter_errs) {
+            match (result, ferr) {
+                (Err(e), _) | (Ok(()), Some(e)) => job.fail(e),
+                (Ok(()), None) => {}
+            }
+        }
+        return;
+    }
+
+    let mut pending: Vec<usize> = (0..inputs.len()).collect();
+    let mut attempts: Vec<u32> = vec![0; inputs.len()];
+    let mut round: u32 = 0;
+    while !pending.is_empty() {
+        let sub_inputs: Vec<DerefInput> = pending.iter().map(|&i| inputs[i].clone()).collect();
+        let mut buffers: Vec<Vec<Record>> = (0..pending.len()).map(|_| Vec::new()).collect();
+        let mut filter_errs: Vec<Option<RedeError>> = (0..pending.len()).map(|_| None).collect();
+        let results = func.dereference_batch(&sub_inputs, &ctx, &mut |pos, record| {
+            if apply_filter(&record, &mut filter_errs[pos]) {
+                buffers[pos].push(record);
+            }
+        });
+        let mut retry: Vec<usize> = Vec::new();
+        for ((pos, result), (buffer, ferr)) in results
+            .into_iter()
+            .enumerate()
+            .zip(buffers.into_iter().zip(filter_errs))
+        {
+            let idx = pending[pos];
+            match (result, ferr) {
+                (Ok(()), None) => {
+                    // Success: flush this item's outputs exactly once.
+                    for record in buffer {
+                        job.handle_output(node, stage_idx, StageOutput::Record(record));
+                    }
+                }
+                (Err(e), _)
+                    if e.is_transient()
+                        && attempts[idx] < MAX_RETRIES
+                        && !job.cancelled.load(Ordering::SeqCst)
+                        && !job.failed.load(Ordering::SeqCst) =>
+                {
+                    attempts[idx] += 1;
+                    job.tally(|m| m.record_retry());
+                    retry.push(idx);
+                }
+                (Err(e), _) | (Ok(()), Some(e)) => job.fail(e),
+            }
+        }
+        if retry.is_empty() {
+            return;
+        }
+        round += 1;
+        std::thread::sleep(backoff(round));
+        pending = retry;
+    }
+}
+
 /// Per-node dispatcher: serve the weighted multi-queue, spawning
 /// dereference invocations onto the pool and (by default) running
 /// reference invocations inline. Lives for the substrate's lifetime.
+///
+/// **Coalescing.** When the popped task is a batchable point dereference
+/// (known owner, job batching enabled), the dispatcher pulls up to
+/// `max_batch - 1` same-(stage, owner) batchmates out of the same job
+/// slot. The extras ride the WRR credit and pool slot the lead task
+/// already paid for — a batch is *one* dispatch and one pooled thread, so
+/// fairness (measured in dispatches) and the pool-share cap are
+/// unaffected. If the queue is otherwise empty and the batch is under
+/// `max_batch`, the dispatcher lingers up to `linger` for stragglers; the
+/// wait aborts as soon as any non-matching work arrives, so a trickle of
+/// other tasks is never stalled behind the clock.
 fn dispatch(shared: Arc<Shared>, node: usize, pool: Arc<ThreadPool>) {
     let q = &shared.queues[node];
+    let mut last_pop: Option<Instant> = None;
     loop {
-        let task = {
+        let mut batch: Vec<Task> = Vec::new();
+        let (task, waited) = {
             let mut state = q.state.lock();
-            loop {
-                if let Some((_key, task)) = state.pop_where(|t| shared.eligible(t)) {
+            let mut waited = false;
+            let task = loop {
+                if let Some((key, task)) = state.pop_where(|t| shared.eligible(t)) {
+                    let limit = if task.owner.is_some() && task.job.batching.is_enabled() {
+                        task.job.batching.max_batch - 1
+                    } else {
+                        0
+                    };
+                    if limit > 0 {
+                        let (stage, owner) = (task.stage, task.owner);
+                        let same_group = |t: &Task| t.stage == stage && t.owner == owner;
+                        batch = state.take_matching(key, limit, same_group);
+                        let linger = task.job.batching.linger;
+                        if batch.len() < limit && !linger.is_zero() && state.is_empty() {
+                            let deadline = Instant::now() + linger;
+                            while batch.len() < limit && !shared.shutdown.load(Ordering::SeqCst) {
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    break;
+                                }
+                                let timed_out = q.ready.wait_for(&mut state, deadline - now);
+                                batch.extend(state.take_matching(
+                                    key,
+                                    limit - batch.len(),
+                                    same_group,
+                                ));
+                                if timed_out || !state.is_empty() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
                     break task;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                waited = true;
                 q.ready.wait(&mut state);
-            }
+            };
+            (task, waited)
         };
-        q.depth.fetch_sub(1, Ordering::Relaxed);
+        let now = Instant::now();
+        if let Some(prev) = last_pop {
+            // Only busy gaps feed the service-rate EWMA: a dispatcher that
+            // slept was idle, not slow.
+            if !waited {
+                q.service.observe(now.duration_since(prev));
+            }
+        }
+        last_pop = Some(now);
+        q.depth.fetch_sub(1 + batch.len() as u64, Ordering::Relaxed);
         let job = task.job.clone();
+        if !batch.is_empty() {
+            // Batched point dereferences always run pooled (they do I/O),
+            // occupying a single pool slot for the whole batch.
+            job.prof.pool_spawns.fetch_add(1, Ordering::Relaxed);
+            job.pool_inflight.fetch_add(1, Ordering::SeqCst);
+            job.tally(|m| m.record_task_spawn());
+            let shared = shared.clone();
+            let mut tasks = Vec::with_capacity(1 + batch.len());
+            tasks.push(task);
+            tasks.append(&mut batch);
+            pool.execute(move || {
+                let job = tasks[0].job.clone();
+                process_batch(tasks, node);
+                let prev = job.pool_inflight.fetch_sub(1, Ordering::SeqCst);
+                if prev >= shared.pool_cap(&job) {
+                    shared.wake_all_dispatchers();
+                }
+            });
+            continue;
+        }
         let inline = job.referencer_inline && matches!(task.item, TaskItem::Record(_));
         if inline {
             job.prof.inline_runs.fetch_add(1, Ordering::Relaxed);
@@ -773,6 +1083,7 @@ impl Substrate {
                     state: Mutex::new(WrrQueue::new()),
                     ready: Condvar::new(),
                     depth: AtomicU64::new(0),
+                    service: ServiceEwma::new(),
                 })
                 .collect(),
             active_weight: AtomicU64::new(0),
@@ -838,6 +1149,7 @@ impl Substrate {
             collect: opts.collect_outputs,
             referencer_inline: opts.referencer_inline,
             routing: opts.routing,
+            batching: opts.batching,
             started: Instant::now(),
             // One guard token held during seeding, so early tasks that
             // complete instantly cannot drive the counter to zero before
@@ -861,7 +1173,7 @@ impl Substrate {
         // covering its locally placed partitions (lines 2-5 of Algorithm 1).
         for node in 0..self.shared.queues.len() {
             for input in job.seed().to_inputs() {
-                state.enqueue(node, TaskItem::Deref(input), 0, true);
+                state.enqueue(node, TaskItem::Deref(input), 0, true, None);
             }
         }
         // Release the guard. A job with zero seed inputs finishes here,
@@ -878,5 +1190,64 @@ impl Drop for Substrate {
         for d in self.dispatchers.drain(..) {
             let _ = d.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_backlog_tracks_a_deliberately_slowed_node() {
+        let fast = ServiceEwma::new();
+        let slow = ServiceEwma::new();
+        // Before any observation both fall back to the static default.
+        assert_eq!(
+            fast.allowed_backlog(HYBRID_TARGET_DELAY),
+            DEFAULT_OWNER_BACKLOG
+        );
+        for _ in 0..64 {
+            fast.observe(Duration::from_micros(10));
+            slow.observe(Duration::from_millis(1));
+        }
+        let fast_cap = fast.allowed_backlog(HYBRID_TARGET_DELAY);
+        let slow_cap = slow.allowed_backlog(HYBRID_TARGET_DELAY);
+        // 2ms of tolerated delay / 10µs per task ≈ 200 tasks; at 1ms per
+        // task the same delay only covers 2, clamped up to the floor.
+        assert!(
+            slow_cap < fast_cap,
+            "slowed node must shed owner-routed work earlier: slow={slow_cap} fast={fast_cap}"
+        );
+        assert_eq!(slow_cap, MIN_ADAPTIVE_BACKLOG);
+        assert!((150..=250).contains(&fast_cap), "fast cap {fast_cap}");
+
+        // A healthy node that *becomes* slow converges: the threshold
+        // drops as the EWMA absorbs the new gaps.
+        let before = fast.allowed_backlog(HYBRID_TARGET_DELAY);
+        for _ in 0..64 {
+            fast.observe(Duration::from_millis(1));
+        }
+        let after = fast.allowed_backlog(HYBRID_TARGET_DELAY);
+        assert!(
+            after < before / 4,
+            "threshold must track the slowdown: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn adaptive_backlog_clamps_to_ceiling() {
+        let e = ServiceEwma::new();
+        for _ in 0..64 {
+            e.observe(Duration::from_nanos(1));
+        }
+        assert_eq!(e.allowed_backlog(HYBRID_TARGET_DELAY), MAX_ADAPTIVE_BACKLOG);
+    }
+
+    #[test]
+    fn batching_knobs() {
+        assert!(Batching::default().is_enabled());
+        assert!(!Batching::off().is_enabled());
+        assert_eq!(Batching::max(0).max_batch, 1, "max clamps to at least 1");
+        assert_eq!(Batching::max(7).max_batch, 7);
     }
 }

@@ -108,6 +108,38 @@ impl<T> WrrQueue<T> {
         None
     }
 
+    /// Take up to `limit` additional items from `key`'s slot for which
+    /// `matches` holds, preserving FIFO order among the taken items and
+    /// among the ones left behind. Used by the dispatcher to coalesce a
+    /// just-popped task with its queued batchmates: the extras ride the
+    /// credit already spent by `pop_where`, so batching never lets a slot
+    /// exceed its weighted share of *dispatches* (a batch is one service).
+    pub fn take_matching(
+        &mut self,
+        key: u64,
+        limit: usize,
+        mut matches: impl FnMut(&T) -> bool,
+    ) -> Vec<T> {
+        let mut taken = Vec::new();
+        if limit == 0 {
+            return taken;
+        }
+        let Some(slot) = self.slots.iter_mut().find(|s| s.key == key) else {
+            return taken;
+        };
+        let mut kept = VecDeque::with_capacity(slot.items.len());
+        while let Some(item) = slot.items.pop_front() {
+            if taken.len() < limit && matches(&item) {
+                taken.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        slot.items = kept;
+        self.len -= taken.len();
+        taken
+    }
+
     /// Empty the whole queue, yielding every queued item exactly once in
     /// (cursor-independent) slot order, each tagged with its key. Slots
     /// are removed; the queue is reusable afterwards.
@@ -223,6 +255,26 @@ mod tests {
         assert_eq!(q.drain_key(1), 0, "already drained");
         let keys: Vec<u64> = drain_order(&mut q).into_iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![2; 5]);
+    }
+
+    #[test]
+    fn take_matching_preserves_order_and_respects_limit() {
+        let mut q = WrrQueue::new();
+        for item in ["a1", "b1", "a2", "b2", "a3", "a4"] {
+            q.push(1, 1, item);
+        }
+        q.push(2, 1, "other");
+        let taken = q.take_matching(1, 3, |it| it.starts_with('a'));
+        assert_eq!(taken, vec!["a1", "a2", "a3"]);
+        assert_eq!(q.len(), 4);
+        // Untaken items keep their FIFO order; other slots are untouched.
+        let rest: Vec<_> = drain_order(&mut q);
+        assert_eq!(rest, vec![(1, "b1"), (2, "other"), (1, "b2"), (1, "a4")]);
+        // Unknown keys and zero limits are no-ops.
+        assert!(q.take_matching(9, 4, |_| true).is_empty());
+        q.push(1, 1, "x");
+        assert!(q.take_matching(1, 0, |_| true).is_empty());
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

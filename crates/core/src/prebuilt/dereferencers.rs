@@ -116,6 +116,51 @@ impl Dereferencer for IndexLookupDereferencer {
         Ok(())
     }
 
+    fn dereference_batch(
+        &self,
+        inputs: &[DerefInput],
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(usize, Record),
+    ) -> Vec<Result<()>> {
+        // Local-only probes are already restricted to node-held partitions
+        // and gain nothing from coalescing; keep the scalar loop. Same if
+        // the index is missing — each scalar call reports the error.
+        let ix = match (ctx.local_only, ctx.cluster.index(&self.index)) {
+            (false, Ok(ix)) => ix,
+            _ => {
+                return inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, input)| self.dereference(input, ctx, &mut |r| emit(idx, r)))
+                    .collect();
+            }
+        };
+        let mut out: Vec<Option<Result<()>>> = (0..inputs.len()).map(|_| None).collect();
+        let mut probes = Vec::with_capacity(inputs.len());
+        for (idx, input) in inputs.iter().enumerate() {
+            match input.as_point().and_then(|p| p.logical_key()) {
+                Some(key) => probes.push((idx, key.clone())),
+                None => {
+                    out[idx] = Some(Err(RedeError::InvalidJob(format!(
+                        "{}: expected a logical point input",
+                        self.label
+                    ))));
+                }
+            }
+        }
+        let keys: Vec<rede_common::Value> = probes.iter().map(|(_, key)| key.clone()).collect();
+        for (&(idx, _), result) in probes.iter().zip(ix.lookup_batch(&keys, ctx.node)) {
+            out[idx] = Some(result.map(|entries| {
+                for entry in entries {
+                    emit(idx, entry);
+                }
+            }));
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every input validated or probed"))
+            .collect()
+    }
+
     fn name(&self) -> &str {
         &self.label
     }
@@ -159,6 +204,40 @@ impl Dereferencer for LookupDereferencer {
         }
         emit(ctx.cluster.resolve(ptr, ctx.node)?);
         Ok(())
+    }
+
+    fn dereference_batch(
+        &self,
+        inputs: &[DerefInput],
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(usize, Record),
+    ) -> Vec<Result<()>> {
+        let mut out: Vec<Option<Result<()>>> = (0..inputs.len()).map(|_| None).collect();
+        let mut ptrs = Vec::with_capacity(inputs.len());
+        for (idx, input) in inputs.iter().enumerate() {
+            match input.as_point() {
+                Some(ptr) if *ptr.file == self.file => ptrs.push((idx, ptr)),
+                Some(ptr) => {
+                    out[idx] = Some(Err(RedeError::InvalidJob(format!(
+                        "{}: pointer targets '{}'",
+                        self.label, ptr.file
+                    ))));
+                }
+                None => {
+                    out[idx] = Some(Err(RedeError::InvalidJob(format!(
+                        "{}: expected a point input",
+                        self.label
+                    ))));
+                }
+            }
+        }
+        let refs: Vec<&rede_storage::Pointer> = ptrs.iter().map(|&(_, ptr)| ptr).collect();
+        for (&(idx, _), result) in ptrs.iter().zip(ctx.cluster.resolve_batch(&refs, ctx.node)) {
+            out[idx] = Some(result.map(|record| emit(idx, record)));
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every input validated or resolved"))
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -266,6 +345,51 @@ mod tests {
             .dereference(&DerefInput::Range(p.clone(), p), &ctx, &mut |r| sink
                 .push(r))
             .is_err());
+    }
+
+    #[test]
+    fn lookup_deref_batch_matches_scalar_and_isolates_errors() {
+        let c = fixture();
+        let ctx = StageCtx::new(c, 0);
+        let d = LookupDereferencer::new("base");
+        let inputs: Vec<DerefInput> = (0..20i64)
+            .map(|i| DerefInput::Point(Pointer::logical("base", Value::Int(i), Value::Int(i))))
+            .collect();
+        let mut tagged: Vec<(usize, Record)> = Vec::new();
+        let results = d.dereference_batch(&inputs, &ctx, &mut |idx, r| tagged.push((idx, r)));
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(tagged.len(), 20);
+        for (idx, record) in &tagged {
+            assert_eq!(record.text().unwrap(), format!("{idx}|{}", idx % 10));
+        }
+        // A mis-targeted pointer fails its own slot only.
+        let mut inputs = inputs;
+        inputs[3] = DerefInput::Point(Pointer::logical("other", Value::Int(3), Value::Int(3)));
+        let mut count = 0;
+        let results = d.dereference_batch(&inputs, &ctx, &mut |_, _| count += 1);
+        assert!(results[3].is_err());
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 19);
+        assert_eq!(count, 19);
+    }
+
+    #[test]
+    fn index_lookup_batch_matches_scalar() {
+        let c = fixture();
+        let ctx = StageCtx::new(c.clone(), 1);
+        let d = IndexLookupDereferencer::new("mod10");
+        let inputs: Vec<DerefInput> = (0..10i64)
+            .map(|i| DerefInput::Point(Pointer::logical("mod10", Value::Int(i), Value::Int(i))))
+            .collect();
+        let mut batched: Vec<Vec<Record>> = vec![Vec::new(); inputs.len()];
+        let results = d.dereference_batch(&inputs, &ctx, &mut |idx, r| batched[idx].push(r));
+        assert!(results.iter().all(|r| r.is_ok()));
+        for (input, got) in inputs.iter().zip(&batched) {
+            assert_eq!(got, &run_deref(&d, input.clone(), &ctx), "postings differ");
+        }
+        assert!(
+            c.metrics().snapshot().batches_issued > 0,
+            "global-index batch must take the amortized path"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod builds;
 pub use builds::{EnsureOutcome, StructureTicket};
 
 use crate::exec::smpe::{JobOptions, JobState, Substrate};
-use crate::exec::RoutingPolicy;
+use crate::exec::{Batching, RoutingPolicy};
 use crate::job::Job;
 use crate::maintenance::IndexBuilder;
 use crate::JobResult;
@@ -54,6 +54,9 @@ pub struct SchedulerConfig {
     pub referencer_inline: bool,
     /// Pointer routing policy for every job.
     pub routing: RoutingPolicy,
+    /// Dispatcher-side pointer coalescing for every job (default on; see
+    /// [`Batching`]).
+    pub batching: Batching,
     /// Admission bound: the maximum number of unfinished jobs any single
     /// tenant (grouped by the `tenant` label; unlabelled submissions form
     /// one anonymous tenant) may have at once. A submission over the
@@ -69,6 +72,7 @@ impl Default for SchedulerConfig {
             pool_threads: 256,
             referencer_inline: true,
             routing: RoutingPolicy::default(),
+            batching: Batching::default(),
             max_tenant_queue_depth: None,
         }
     }
@@ -411,6 +415,7 @@ impl HarborScheduler {
                 collect_outputs: opts.collect_outputs,
                 referencer_inline: core.config.referencer_inline,
                 routing: core.config.routing,
+                batching: core.config.batching,
                 label: opts.tenant,
                 on_finish: Some(core.completed.clone()),
             },

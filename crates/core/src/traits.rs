@@ -105,6 +105,29 @@ pub trait Dereferencer: Send + Sync {
         emit: &mut dyn FnMut(Record),
     ) -> Result<()>;
 
+    /// Resolve a batch of inputs in one call. Each located record is
+    /// passed to `emit` tagged with the index of the input that produced
+    /// it; the returned vector holds one result per input, in input order,
+    /// so items succeed or fail independently.
+    ///
+    /// The default implementation loops the scalar path and is exactly
+    /// equivalent to per-input dereferencing. Implementations backed by
+    /// charged storage override it to amortize fixed per-request costs
+    /// (IOPS admission, network RTT, root-to-leaf descents) across the
+    /// batch — see `LookupDereferencer` and `IndexLookupDereferencer`.
+    fn dereference_batch(
+        &self,
+        inputs: &[DerefInput],
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(usize, Record),
+    ) -> Vec<Result<()>> {
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(idx, input)| self.dereference(input, ctx, &mut |r| emit(idx, r)))
+            .collect()
+    }
+
     /// Human-readable name for diagnostics.
     fn name(&self) -> &str {
         "dereferencer"

@@ -164,13 +164,7 @@ fn hybrid_routing_is_owner_when_tolerant_and_always_correct() {
 
     // Unbounded backlog tolerance: the owner's queue can never look "too
     // deep", so hybrid degenerates to pure owner routing — all-local reads.
-    let relaxed = run_with(
-        &c,
-        &job,
-        RoutingPolicy::Hybrid {
-            max_owner_backlog: u64::MAX,
-        },
-    );
+    let relaxed = run_with(&c, &job, RoutingPolicy::hybrid_with_backlog(u64::MAX));
     assert_eq!(relaxed.count, producer.count);
     assert_eq!(
         sorted_texts(&relaxed.records),
@@ -186,13 +180,7 @@ fn hybrid_routing_is_owner_when_tolerant_and_always_correct() {
     // Zero tolerance: any backlog at the owner keeps the task on the
     // producer. The split between local and remote may shift with load,
     // but the answer is identical and the read total is conserved.
-    let strict = run_with(
-        &c,
-        &job,
-        RoutingPolicy::Hybrid {
-            max_owner_backlog: 0,
-        },
-    );
+    let strict = run_with(&c, &job, RoutingPolicy::hybrid_with_backlog(0));
     assert_eq!(
         sorted_texts(&strict.records),
         sorted_texts(&producer.records)

@@ -93,6 +93,68 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         self.root.get_mut(key)
     }
 
+    /// Vectorized lookup: probe every key, sharing root-to-leaf descents
+    /// across probes that land in the same leaf.
+    ///
+    /// Keys are visited in sorted order; after each descent the leaf's
+    /// upper separator bound is remembered, and any subsequent key still
+    /// under that bound is served by binary search in the same leaf
+    /// without touching the interior. For keys clustered by partition this
+    /// collapses `n` descents into roughly `n / (order/2)`.
+    ///
+    /// Returns the values in **input** order plus the number of descents
+    /// actually performed (`<= keys.len()`; diagnostics and tests).
+    pub fn get_many<'a>(&'a self, keys: &[K]) -> (Vec<Option<&'a V>>, usize) {
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        let mut out: Vec<Option<&'a V>> = vec![None; keys.len()];
+        let mut cur: Option<(&'a Node<K, V>, Option<&'a K>)> = None;
+        let mut descents = 0usize;
+        for i in order {
+            let key = &keys[i];
+            // A leaf covers all keys strictly below its path's tightest
+            // upper separator; sorted visiting order guarantees the lower
+            // bound, so `key < upper` alone decides reuse.
+            let reusable = match &cur {
+                Some((_, upper)) => upper.is_none_or(|u| key < u),
+                None => false,
+            };
+            if !reusable {
+                cur = Some(self.descend_with_bound(key));
+                descents += 1;
+            }
+            let (leaf, _) = cur.expect("descended above");
+            let Node::Leaf {
+                keys: leaf_keys,
+                values,
+            } = leaf
+            else {
+                unreachable!("descent ends at a leaf")
+            };
+            out[i] = leaf_keys.binary_search(key).ok().map(|j| &values[j]);
+        }
+        (out, descents)
+    }
+
+    /// Walk root→leaf for `key`, returning the leaf and the tightest upper
+    /// separator bound along the path (`None` on the rightmost spine).
+    fn descend_with_bound<'a>(&'a self, key: &K) -> (&'a Node<K, V>, Option<&'a K>) {
+        let mut node = &self.root;
+        let mut upper: Option<&'a K> = None;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    if idx < keys.len() {
+                        upper = Some(&keys[idx]);
+                    }
+                    node = &children[idx];
+                }
+                Node::Leaf { .. } => return (node, upper),
+            }
+        }
+    }
+
     /// True if the key is present.
     pub fn contains_key(&self, key: &K) -> bool {
         self.get(key).is_some()
@@ -477,6 +539,62 @@ mod tests {
     #[should_panic(expected = "order must be")]
     fn tiny_order_rejected() {
         let _: BPlusTree<i64, ()> = BPlusTree::with_order(2);
+    }
+
+    #[test]
+    fn get_many_matches_get_in_input_order() {
+        let t = tree_with(5000, 8);
+        let mut rng = rede_common::Xoshiro256::new(7);
+        let keys: Vec<i64> = (0..400).map(|_| rng.gen_range(6000) as i64 - 500).collect();
+        let (got, descents) = t.get_many(&keys);
+        assert_eq!(got.len(), keys.len());
+        assert!(descents <= keys.len());
+        for (k, v) in keys.iter().zip(&got) {
+            assert_eq!(*v, t.get(k), "mismatch at key {k}");
+        }
+    }
+
+    #[test]
+    fn get_many_shares_descents_across_adjacent_keys() {
+        let t = tree_with(10_000, 64);
+        // A dense run of adjacent keys spans few leaves: descents must be
+        // roughly n / (keys-per-leaf), far below one per probe.
+        let keys: Vec<i64> = (2000..2512).collect();
+        let (got, descents) = t.get_many(&keys);
+        assert!(got.iter().all(|v| v.is_some()));
+        assert!(
+            descents <= keys.len() / 8,
+            "512 adjacent probes took {descents} descents; descent sharing broken"
+        );
+        // Input order is preserved even when probe order is shuffled.
+        let mut shuffled = keys.clone();
+        rede_common::Xoshiro256::new(3).shuffle(&mut shuffled);
+        let (got2, _) = t.get_many(&shuffled);
+        for (k, v) in shuffled.iter().zip(&got2) {
+            assert_eq!(*v, Some(&(k * 10)));
+        }
+    }
+
+    #[test]
+    fn get_many_handles_duplicates_misses_and_empty() {
+        let t = tree_with(100, 4);
+        let keys = vec![5, 5, -1, 200, 5, 99];
+        let (got, _) = t.get_many(&keys);
+        assert_eq!(got[0], Some(&50));
+        assert_eq!(got[1], Some(&50));
+        assert_eq!(got[2], None);
+        assert_eq!(got[3], None);
+        assert_eq!(got[4], Some(&50));
+        assert_eq!(got[5], Some(&990));
+        let (empty, descents) = t.get_many(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(descents, 0);
+        // A lone-leaf tree still answers.
+        let mut small = BPlusTree::with_order(4);
+        small.insert(1i64, 1i64);
+        let (one, d) = small.get_many(&[1, 2]);
+        assert_eq!(one, vec![Some(&1), None]);
+        assert_eq!(d, 1);
     }
 
     #[test]

@@ -284,6 +284,22 @@ impl BtreeFile {
             .unwrap_or_default()
     }
 
+    /// Vectorized exact-key probe of one partition. Probes all `keys` in a
+    /// single pass that sorts them and shares the root-to-leaf descent
+    /// across adjacent probes, so a batch of keys landing in the same leaf
+    /// pays one traversal instead of one per key. Returns the postings per
+    /// key in *input* order (empty where absent) plus the number of
+    /// root-to-leaf descents actually performed.
+    pub fn lookup_batch(&self, partition: usize, keys: &[Value]) -> (Vec<Vec<Record>>, usize) {
+        let tree = self.trees[partition].read();
+        let (hits, descents) = tree.get_many(keys);
+        let postings = hits
+            .into_iter()
+            .map(|h| h.cloned().unwrap_or_default())
+            .collect();
+        (postings, descents)
+    }
+
     /// Inclusive range probe of one partition, in key order.
     pub fn range_in(&self, partition: usize, lo: &Value, hi: &Value) -> Vec<Record> {
         let tree = self.trees[partition].read();
@@ -396,6 +412,33 @@ mod tests {
         assert_eq!(ix.lookup_in(p, &Value::Int(42)).len(), 5);
         assert_eq!(ix.len(), 5);
         assert_eq!(ix.distinct_keys_in(p), 1);
+    }
+
+    #[test]
+    fn lookup_batch_matches_scalar_lookups_and_shares_descents() {
+        let ix = BtreeFile::new(&IndexSpec::global("ix", "base", 1)).unwrap();
+        for i in 0..512i64 {
+            for dup in 0..(1 + i % 3) {
+                ix.insert(
+                    Value::Int(i),
+                    IndexEntry::new(Value::Int(dup), Value::Int(i)).to_record(),
+                )
+                .unwrap();
+            }
+        }
+        // Shuffled probe set with misses and duplicates mixed in.
+        let keys: Vec<Value> = (0..128i64).map(|i| Value::Int((i * 37) % 600)).collect();
+        let (batched, descents) = ix.lookup_batch(0, &keys);
+        assert_eq!(batched.len(), keys.len());
+        for (key, postings) in keys.iter().zip(&batched) {
+            assert_eq!(postings, &ix.lookup_in(0, key), "key {key:?}");
+        }
+        // Shared descents: far fewer traversals than probes.
+        assert!(
+            descents < keys.len(),
+            "expected shared descents, got {descents} for {} keys",
+            keys.len()
+        );
     }
 
     #[test]

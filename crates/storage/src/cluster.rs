@@ -397,6 +397,7 @@ impl SimCluster {
             inner.io.pay_local_read_times(mult);
         }
         if !local {
+            self.tally(|m| m.record_remote_rtt());
             let rtt = inner.rtt();
             if !rtt.is_zero() {
                 std::thread::sleep(rtt);
@@ -423,6 +424,7 @@ impl SimCluster {
             inner.io.pay_index_lookup_times(mult);
         }
         if device != from_node {
+            self.tally(|m| m.record_remote_rtt());
             let rtt = inner.rtt();
             if !rtt.is_zero() {
                 std::thread::sleep(rtt);
@@ -563,26 +565,7 @@ impl SimCluster {
     /// be resolved directly (the executor materializes them per partition
     /// first).
     pub fn resolve(&self, ptr: &Pointer, from_node: usize) -> Result<Record> {
-        let heap = self.inner.catalog.heap(&ptr.file)?;
-        let partition_key = ptr.partition_key.as_ref().ok_or_else(|| {
-            RedeError::Routing(format!("cannot resolve broadcast pointer {ptr:?}"))
-        })?;
-        let partition = match &ptr.key {
-            // A negative partition must not wrap through `as usize` into a
-            // huge index; reject it (and anything past the file's
-            // partition count) as a routing error.
-            PointerKey::Physical(_) => partition_key
-                .as_int()
-                .and_then(|p| usize::try_from(p).ok())
-                .filter(|&p| p < heap.partitions())
-                .ok_or_else(|| {
-                    RedeError::Routing(format!(
-                        "physical partition out of range in {ptr:?} (file has {} partitions)",
-                        heap.partitions()
-                    ))
-                })?,
-            PointerKey::Logical(_) => heap.partition_of(partition_key),
-        };
+        let (heap, partition) = self.route_resolve(ptr)?;
         let site = read_site(&ptr.file, partition, &ptr.key);
         if let Some(cache) = &self.inner.cache {
             let cache_key = CacheKey {
@@ -610,6 +593,192 @@ impl SimCluster {
         }
         self.charge_point_read(partition, from_node, site)?;
         heap.get(partition, &ptr.key)
+    }
+
+    /// Routing half of [`SimCluster::resolve`]: pointer → (heap, partition),
+    /// with broadcast and out-of-range physical pointers rejected. Touches
+    /// no counters or latency.
+    fn route_resolve(&self, ptr: &Pointer) -> Result<(Arc<HeapFile>, usize)> {
+        let heap = self.inner.catalog.heap(&ptr.file)?;
+        let partition_key = ptr.partition_key.as_ref().ok_or_else(|| {
+            RedeError::Routing(format!("cannot resolve broadcast pointer {ptr:?}"))
+        })?;
+        let partition = match &ptr.key {
+            // A negative partition must not wrap through `as usize` into a
+            // huge index; reject it (and anything past the file's
+            // partition count) as a routing error.
+            PointerKey::Physical(_) => partition_key
+                .as_int()
+                .and_then(|p| usize::try_from(p).ok())
+                .filter(|&p| p < heap.partitions())
+                .ok_or_else(|| {
+                    RedeError::Routing(format!(
+                        "physical partition out of range in {ptr:?} (file has {} partitions)",
+                        heap.partitions()
+                    ))
+                })?,
+            PointerKey::Logical(_) => heap.partition_of(partition_key),
+        };
+        Ok((heap, partition))
+    }
+
+    /// Resolve a batch of pointers issued from `from_node`, amortizing the
+    /// fixed per-request costs that [`SimCluster::resolve`] pays per
+    /// pointer. Results come back in input order; each item succeeds or
+    /// fails independently (a transient fault on one site never poisons its
+    /// batchmates).
+    ///
+    /// Semantics relative to the scalar path, per item:
+    ///
+    /// * the per-node record cache is probed up front for the whole batch
+    ///   (hits counted per item, exactly as scalar resolves would);
+    /// * the fault gate is consulted once per *site*, in input order, so
+    ///   injection decisions are identical to scalar execution;
+    /// * surviving misses are grouped by *serving device* (post
+    ///   replica-redirect) and each group pays one IOPS permit, one summed
+    ///   device sleep ([`IoModel::pay_read_batch`]), and — when the device
+    ///   is not `from_node` — a single network RTT for the whole group.
+    ///
+    /// Every conservation counter moves exactly as under scalar execution
+    /// (`local + remote + cache_hits == logical point reads`, per job and
+    /// per node); the amortization is visible only in wall time and in the
+    /// `remote_rtts` / `batched_reads` / `batches_issued` counters. One
+    /// divergence: duplicate pointers inside a batch each charge a storage
+    /// read (the up-front cache probe runs before any insert), where a
+    /// scalar loop would serve the repeat from cache — conservation still
+    /// holds, the split just shifts from `cache_hits` to reads.
+    ///
+    /// A single-pointer batch delegates to [`SimCluster::resolve`] and is
+    /// bit-identical to it, batch counters included (none move).
+    pub fn resolve_batch(&self, ptrs: &[&Pointer], from_node: usize) -> Vec<Result<Record>> {
+        if let [ptr] = ptrs {
+            return vec![self.resolve(ptr, from_node)];
+        }
+        let inner = &*self.inner;
+        let mut out: Vec<Option<Result<Record>>> = (0..ptrs.len()).map(|_| None).collect();
+
+        // Route everything and probe the cache up front; survivors are the
+        // storage misses the batch actually pays for.
+        struct Miss {
+            idx: usize,
+            heap: Arc<HeapFile>,
+            partition: usize,
+            site: u64,
+        }
+        let mut misses: Vec<Miss> = Vec::new();
+        for (idx, ptr) in ptrs.iter().enumerate() {
+            match self.route_resolve(ptr) {
+                Err(e) => out[idx] = Some(Err(e)),
+                Ok((heap, partition)) => {
+                    if let Some(cache) = &inner.cache {
+                        let cache_key = CacheKey {
+                            file: ptr.file.clone(),
+                            partition,
+                            key: ptr.key.clone(),
+                        };
+                        if let Some(record) = cache.get(from_node, &cache_key) {
+                            self.tally(|m| m.record_cache_hit_at(from_node));
+                            out[idx] = Some(Ok(record));
+                            continue;
+                        }
+                    }
+                    let site = read_site(&ptr.file, partition, &ptr.key);
+                    misses.push(Miss {
+                        idx,
+                        heap,
+                        partition,
+                        site,
+                    });
+                }
+            }
+        }
+
+        // Fault-gate each site in input order (injection decisions match
+        // scalar execution exactly), then group the survivors by the device
+        // that serves them. Insertion-ordered Vec keeps grouping
+        // deterministic; device counts are tiny.
+        let mut groups: Vec<(usize, Vec<(Miss, u32)>)> = Vec::new();
+        for miss in misses {
+            let owner = inner.node_of_partition(miss.partition);
+            match self.fault_gate(AccessClass::PointRead, owner, miss.site) {
+                Err(e) => out[miss.idx] = Some(Err(e)),
+                Ok(gate) => {
+                    let (device, mult) = match gate {
+                        Gate::Pass { latency_mult } => (owner, latency_mult),
+                        Gate::Replica { node } => (node, 1),
+                    };
+                    match groups.iter_mut().find(|(d, _)| *d == device) {
+                        Some((_, items)) => items.push((miss, mult)),
+                        None => groups.push((device, vec![(miss, mult)])),
+                    }
+                }
+            }
+        }
+
+        for (device, items) in groups {
+            let local = device == from_node;
+            let n = items.len() as u64;
+            self.tally(|m| {
+                for _ in &items {
+                    m.record_point_read_at(from_node, local);
+                }
+            });
+            let mults: Vec<u32> = items.iter().map(|&(_, mult)| mult).collect();
+            {
+                let _permit = inner.limiters[device].acquire();
+                let _held = self.scope.as_deref().map(IoScope::hold_permit);
+                self.tally(|m| {
+                    m.record_accesses(
+                        if local {
+                            AccessKind::LocalPointRead
+                        } else {
+                            AccessKind::RemotePointRead
+                        },
+                        n,
+                    )
+                });
+                inner.io.pay_read_batch(&mults);
+            }
+            if !local {
+                // The whole group rides one round trip: this is the
+                // amortization the batch path exists for.
+                self.tally(|m| m.record_remote_rtt());
+                let rtt = inner.rtt();
+                if !rtt.is_zero() {
+                    std::thread::sleep(rtt);
+                }
+            }
+            self.tally(|m| {
+                m.record_batched_reads(n);
+                m.record_batch_issued();
+            });
+            for (miss, _) in items {
+                let ptr = ptrs[miss.idx];
+                if inner.cache.is_some() {
+                    self.tally(|m| m.record_cache_miss_at(from_node));
+                }
+                match miss.heap.get(miss.partition, &ptr.key) {
+                    Ok(record) => {
+                        if let Some(cache) = &inner.cache {
+                            cache.insert(
+                                from_node,
+                                CacheKey {
+                                    file: ptr.file.clone(),
+                                    partition: miss.partition,
+                                    key: ptr.key.clone(),
+                                },
+                                record.clone(),
+                            );
+                        }
+                        out[miss.idx] = Some(Ok(record));
+                    }
+                    Err(e) => out[miss.idx] = Some(Err(e)),
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch item resolved or failed"))
+            .collect()
     }
 }
 
@@ -795,6 +964,105 @@ impl IndexHandle {
         }
         self.count_entries(out.len());
         Ok(out)
+    }
+
+    /// Charged vectorized exact-key probe of a batch of keys issued from
+    /// `from_node`, returning each key's postings in input order.
+    ///
+    /// Keys whose placement pins them to a single partition (global
+    /// indexes, hinted local keys) are batched: the fault gate still runs
+    /// once per probe site in input order, survivors are grouped by serving
+    /// device, and each group pays one IOPS permit, a summed device sleep
+    /// ([`IoModel::pay_index_batch`]), and at most one network RTT —
+    /// while the trees underneath are probed with the shared-descent
+    /// [`BtreeFile::lookup_batch`]. Keys that must consult every partition
+    /// (unhinted local indexes) fall back to the scalar path per key.
+    ///
+    /// Charged `index_lookups` stay one per probe, exactly as scalar
+    /// lookups would record them; the batch shows up only in wall time and
+    /// the `remote_rtts` / `batched_reads` / `batches_issued` counters. A
+    /// single-key batch delegates to [`IndexHandle::lookup`] outright.
+    pub fn lookup_batch(&self, keys: &[Value], from_node: usize) -> Vec<Result<Vec<Record>>> {
+        if let [key] = keys {
+            return vec![self.lookup(key, from_node)];
+        }
+        let inner = &*self.cluster.inner;
+        let mut out: Vec<Option<Result<Vec<Record>>>> = (0..keys.len()).map(|_| None).collect();
+        let mut singles: Vec<(usize, usize)> = Vec::new();
+        for (idx, key) in keys.iter().enumerate() {
+            match self.index.probe_partitions_for_key(key)[..] {
+                [p] => singles.push((idx, p)),
+                _ => out[idx] = Some(self.lookup(key, from_node)),
+            }
+        }
+        // Fault-gate each probe site in input order (decisions identical to
+        // scalar execution), grouping survivors by serving device.
+        // (device, [(input index, partition, brown-out multiplier)]) per group.
+        type ProbeGroup = (usize, Vec<(usize, usize, u32)>);
+        let mut groups: Vec<ProbeGroup> = Vec::new();
+        for (idx, partition) in singles {
+            let key = &keys[idx];
+            let site = probe_site(self.index.name(), partition, key, key);
+            let owner = inner.node_of_partition(partition);
+            match self
+                .cluster
+                .fault_gate(AccessClass::IndexProbe, owner, site)
+            {
+                Err(e) => out[idx] = Some(Err(e)),
+                Ok(gate) => {
+                    let (device, mult) = match gate {
+                        Gate::Pass { latency_mult } => (owner, latency_mult),
+                        Gate::Replica { node } => (node, 1),
+                    };
+                    match groups.iter_mut().find(|(d, _)| *d == device) {
+                        Some((_, items)) => items.push((idx, partition, mult)),
+                        None => groups.push((device, vec![(idx, partition, mult)])),
+                    }
+                }
+            }
+        }
+        for (device, items) in groups {
+            let local = device == from_node;
+            let n = items.len() as u64;
+            let mults: Vec<u32> = items.iter().map(|&(_, _, mult)| mult).collect();
+            {
+                let _permit = inner.limiters[device].acquire();
+                let _held = self.cluster.scope.as_deref().map(IoScope::hold_permit);
+                self.cluster
+                    .tally(|m| m.record_accesses(AccessKind::IndexLookup, n));
+                inner.io.pay_index_batch(&mults);
+            }
+            if !local {
+                self.cluster.tally(|m| m.record_remote_rtt());
+                let rtt = inner.rtt();
+                if !rtt.is_zero() {
+                    std::thread::sleep(rtt);
+                }
+            }
+            self.cluster.tally(|m| {
+                m.record_batched_reads(n);
+                m.record_batch_issued();
+            });
+            // One shared-descent pass per partition this device serves.
+            let mut by_partition: Vec<(usize, Vec<usize>)> = Vec::new();
+            for &(idx, partition, _) in &items {
+                match by_partition.iter_mut().find(|(p, _)| *p == partition) {
+                    Some((_, idxs)) => idxs.push(idx),
+                    None => by_partition.push((partition, vec![idx])),
+                }
+            }
+            for (partition, idxs) in by_partition {
+                let probe_keys: Vec<Value> = idxs.iter().map(|&i| keys[i].clone()).collect();
+                let (postings, _descents) = self.index.lookup_batch(partition, &probe_keys);
+                for (i, hits) in idxs.into_iter().zip(postings) {
+                    self.count_entries(hits.len());
+                    out[i] = Some(Ok(hits));
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch key probed or failed"))
+            .collect()
     }
 
     /// Charged inclusive range probe across the placement's partitions.
@@ -1422,6 +1690,199 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.point_reads(), 1);
         assert_eq!(s.faults_injected, 1);
+    }
+
+    #[test]
+    fn resolve_batch_matches_scalar_with_exact_conservation() {
+        let scalar_c = cluster();
+        loaded(&scalar_c, 64);
+        let batch_c = cluster();
+        loaded(&batch_c, 64);
+        let ptrs: Vec<Pointer> = (0..32i64)
+            .map(|i| Pointer::logical("part", Value::Int(i), Value::Int(i)))
+            .collect();
+        let from_node = 1;
+        let scalar: Vec<Record> = ptrs
+            .iter()
+            .map(|p| scalar_c.resolve(p, from_node).unwrap())
+            .collect();
+        let refs: Vec<&Pointer> = ptrs.iter().collect();
+        let batched: Vec<Record> = batch_c
+            .resolve_batch(&refs, from_node)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        for (i, (a, b)) in scalar.iter().zip(&batched).enumerate() {
+            assert_eq!(a.bytes(), b.bytes(), "row {i} must be byte-identical");
+        }
+        let s = scalar_c.metrics().snapshot();
+        let b = batch_c.metrics().snapshot();
+        // Conservation counters identical; only the amortization differs.
+        assert_eq!(s.local_point_reads, b.local_point_reads);
+        assert_eq!(s.remote_point_reads, b.remote_point_reads);
+        assert_eq!(b.batched_reads, 32);
+        // One group per serving device; 4 nodes → at most 4 batches, and
+        // the remote groups paid one RTT each instead of one per read.
+        assert_eq!(b.batches_issued, 4);
+        assert_eq!(b.remote_rtts, 3, "three remote device groups");
+        assert_eq!(
+            s.remote_rtts, s.remote_point_reads,
+            "scalar path pays one RTT per remote read"
+        );
+        let per_node = batch_c.metrics().node_point_reads();
+        assert_eq!(
+            per_node[from_node].logical_point_reads(),
+            32,
+            "all accesses attributed to the issuing node"
+        );
+    }
+
+    #[test]
+    fn resolve_batch_of_one_is_the_scalar_path() {
+        let c = cluster();
+        loaded(&c, 8);
+        let ptr = Pointer::logical("part", Value::Int(3), Value::Int(3));
+        let got = c.resolve_batch(&[&ptr], 0);
+        assert_eq!(got.len(), 1);
+        got[0].as_ref().unwrap();
+        let s = c.metrics().snapshot();
+        assert_eq!(s.point_reads(), 1);
+        assert_eq!(s.batched_reads, 0, "no batch counters on the n=1 path");
+        assert_eq!(s.batches_issued, 0);
+    }
+
+    #[test]
+    fn resolve_batch_cache_probe_runs_up_front() {
+        let c = cached_cluster(CachePlacement::PerNode);
+        let ptrs: Vec<Pointer> = (0..8i64)
+            .map(|i| Pointer::logical("part", Value::Int(i), Value::Int(i)))
+            .collect();
+        let refs: Vec<&Pointer> = ptrs.iter().collect();
+        c.metrics().reset();
+        for r in c.resolve_batch(&refs, 0) {
+            r.unwrap();
+        }
+        // Second pass: all hits, no storage touch, no new batches.
+        for r in c.resolve_batch(&refs, 0) {
+            r.unwrap();
+        }
+        let s = c.metrics().snapshot();
+        assert_eq!(s.cache_hits, 8);
+        assert_eq!(s.cache_misses, 8);
+        assert_eq!(s.point_reads(), 8);
+        assert_eq!(s.batched_reads, 8);
+        // Conservation per node after mixed hit/miss batches.
+        for n in &c.metrics().node_point_reads() {
+            assert_eq!(n.logical_point_reads(), n.cache_hits + n.cache_misses);
+        }
+    }
+
+    #[test]
+    fn resolve_batch_faults_fail_items_independently() {
+        let c = SimCluster::builder()
+            .nodes(4)
+            .faults(FaultPlan::transient(0, 1.0))
+            .build()
+            .unwrap();
+        loaded(&c, 16);
+        let ptrs: Vec<Pointer> = (0..16i64)
+            .map(|i| Pointer::logical("part", Value::Int(i), Value::Int(i)))
+            .collect();
+        let refs: Vec<&Pointer> = ptrs.iter().collect();
+        let first = c.resolve_batch(&refs, 0);
+        // Every site fails its first touch; nothing succeeds, nothing is
+        // charged to the conservation counters.
+        assert!(first
+            .iter()
+            .all(|r| r.as_ref().is_err_and(|e| e.is_transient())));
+        let s = c.metrics().snapshot();
+        assert_eq!(s.point_reads(), 0);
+        assert_eq!(s.faults_injected, 16);
+        // Retry: each site has burned its one fault, the whole batch lands.
+        let retry = c.resolve_batch(&refs, 0);
+        assert!(retry.iter().all(|r| r.is_ok()));
+        let s = c.metrics().snapshot();
+        assert_eq!(s.point_reads(), 16);
+        assert_eq!(s.faults_injected, 16, "no new faults on retry");
+        assert_eq!(s.batched_reads, 16);
+    }
+
+    #[test]
+    fn resolve_batch_serves_down_owner_from_replica() {
+        let c = SimCluster::builder()
+            .nodes(4)
+            .faults(FaultPlan::new(1).with_node_down(2, 0..10_000))
+            .build()
+            .unwrap();
+        loaded(&c, 32);
+        let ptrs: Vec<Pointer> = (0..32i64)
+            .map(|i| Pointer::logical("part", Value::Int(i), Value::Int(i)))
+            .collect();
+        let refs: Vec<&Pointer> = ptrs.iter().collect();
+        for r in c.resolve_batch(&refs, 0) {
+            r.unwrap();
+        }
+        let s = c.metrics().snapshot();
+        assert!(s.rerouted_reads > 0, "node 2 owns some partitions");
+        assert_eq!(s.faults_injected, 0);
+        assert_eq!(s.point_reads(), 32);
+    }
+
+    #[test]
+    fn index_lookup_batch_matches_scalar_lookups() {
+        let c = cluster();
+        loaded(&c, 0);
+        let ix = c.create_index(IndexSpec::global("ix", "part", 8)).unwrap();
+        for i in 0..64i64 {
+            ix.insert(
+                Value::Int(i),
+                IndexEntry::new(Value::Int(i), Value::Int(i)).to_record(),
+            )
+            .unwrap();
+        }
+        let keys: Vec<Value> = (0..48i64).map(|i| Value::Int((i * 3) % 80)).collect();
+        c.metrics().reset();
+        let scalar: Vec<Vec<Record>> = keys.iter().map(|k| ix.lookup(k, 0).unwrap()).collect();
+        let s = c.metrics().snapshot();
+        c.metrics().reset();
+        let batched: Vec<Vec<Record>> = ix
+            .lookup_batch(&keys, 0)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let b = c.metrics().snapshot();
+        assert_eq!(scalar, batched);
+        assert_eq!(s.index_lookups, b.index_lookups, "one charge per probe");
+        assert_eq!(s.index_entries_read, b.index_entries_read);
+        assert_eq!(b.batched_reads, keys.len() as u64);
+        assert!(b.batches_issued <= 4, "at most one group per device");
+        assert!(b.remote_rtts < s.remote_rtts, "RTTs amortized per group");
+    }
+
+    #[test]
+    fn index_lookup_batch_falls_back_for_unhinted_local_keys() {
+        let c = cluster();
+        loaded(&c, 0);
+        let ix = c.create_index(IndexSpec::local("lix", "part", 8)).unwrap();
+        for i in 0..16i64 {
+            ix.insert_at(
+                (i % 8) as usize,
+                Value::Int(i),
+                IndexEntry::new(Value::Int(i), Value::Int(i)).to_record(),
+            )
+            .unwrap();
+        }
+        let keys: Vec<Value> = (0..16i64).map(Value::Int).collect();
+        c.metrics().reset();
+        let batched = ix.lookup_batch(&keys, 0);
+        for (key, hits) in keys.iter().zip(&batched) {
+            assert_eq!(hits.as_ref().unwrap(), &ix.lookup(key, 0).unwrap());
+        }
+        let s = c.metrics().snapshot();
+        assert_eq!(
+            s.batched_reads, 0,
+            "unhinted local keys take the scalar path"
+        );
     }
 
     #[test]

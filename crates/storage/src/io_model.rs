@@ -140,6 +140,72 @@ impl IoModel {
             maybe_sleep(self.scan_cost(n));
         }
     }
+
+    /// Network RTT component of a remote access: `remote − local`. The
+    /// fixed per-request cost batching amortizes.
+    #[inline]
+    pub fn rtt(&self) -> Duration {
+        self.remote_point_read.saturating_sub(self.local_point_read)
+    }
+
+    /// Sleep one network RTT for a shuffle hop: a scan batch pulled across
+    /// nodes by a placement-blind external-table scan (the baseline
+    /// engine's charged shuffle model).
+    #[inline]
+    pub fn pay_shuffle(&self) {
+        maybe_sleep(self.rtt());
+    }
+
+    /// Total device time of a batch of point reads, one entry per access
+    /// with its brown-out multiplier (`mult == 1` healthy). 128-bit
+    /// saturating nanosecond math, like [`IoModel::scan_cost`].
+    pub fn batch_read_cost(&self, mults: &[u32]) -> Duration {
+        batch_cost(self.local_point_read, mults)
+    }
+
+    /// Sleep once for a whole batch's point-read device time.
+    #[inline]
+    pub fn pay_read_batch(&self, mults: &[u32]) {
+        maybe_sleep(self.batch_read_cost(mults));
+    }
+
+    /// Total device time of a batch of index traversals.
+    pub fn batch_index_cost(&self, mults: &[u32]) -> Duration {
+        batch_cost(self.index_lookup, mults)
+    }
+
+    /// Sleep once for a whole batch's index-traversal device time.
+    #[inline]
+    pub fn pay_index_batch(&self, mults: &[u32]) {
+        maybe_sleep(self.batch_index_cost(mults));
+    }
+
+    /// Sleep the total cost of a healthy remote batch of `n` point reads:
+    /// one RTT plus `n`× per-record device time. (The cluster's charged
+    /// path splits the same total into device-time-under-permit + RTT
+    /// after release; this one-sleep form is the modeled equivalent.)
+    #[inline]
+    pub fn pay_remote_batch(&self, n: usize) {
+        let ns = self
+            .local_point_read
+            .as_nanos()
+            .saturating_mul(n as u128)
+            .min(u64::MAX as u128) as u64;
+        maybe_sleep(self.rtt().saturating_add(Duration::from_nanos(ns)));
+    }
+}
+
+/// Σ base × mult over a batch, saturating at `u64::MAX` nanoseconds.
+fn batch_cost(base: Duration, mults: &[u32]) -> Duration {
+    let total: u128 = mults
+        .iter()
+        .map(|&m| base.as_nanos().saturating_mul(m as u128))
+        .fold(0u128, u128::saturating_add);
+    if total > u64::MAX as u128 {
+        Duration::from_nanos(u64::MAX)
+    } else {
+        Duration::from_nanos(total as u64)
+    }
 }
 
 #[inline]
@@ -233,6 +299,54 @@ mod tests {
     fn zero_model_is_zero() {
         assert!(IoModel::zero().is_zero());
         assert!(!IoModel::hdd_like(1.0).is_zero());
+    }
+
+    /// Regression: `is_zero` must consider *every* latency field — a model
+    /// with only an index-lookup or scan cost is not zero, or a gated
+    /// "zero-cost" cluster would silently sleep through those accesses.
+    #[test]
+    fn is_zero_audits_every_latency_field() {
+        let fields: [fn(&mut IoModel, Duration); 4] = [
+            |m, d| m.local_point_read = d,
+            |m, d| m.remote_point_read = d,
+            |m, d| m.scan_per_record = d,
+            |m, d| m.index_lookup = d,
+        ];
+        for (i, set) in fields.iter().enumerate() {
+            let mut m = IoModel::zero();
+            set(&mut m, Duration::from_micros(1));
+            assert!(!m.is_zero(), "field {i} alone must defeat is_zero");
+        }
+        // Queue depth and scan batching are not latencies.
+        let mut m = IoModel::zero();
+        m.queue_depth = 4;
+        m.scan_batch = 1;
+        assert!(m.is_zero());
+    }
+
+    #[test]
+    fn batch_costs_sum_per_access_device_time() {
+        let m = IoModel::hdd_like(1.0);
+        assert_eq!(m.batch_read_cost(&[1, 1, 1]), m.local_point_read * 3);
+        // Brown-out multipliers apply per access.
+        assert_eq!(m.batch_read_cost(&[1, 4]), m.local_point_read * 5);
+        assert_eq!(m.batch_index_cost(&[2, 2]), m.index_lookup * 4);
+        assert_eq!(m.batch_read_cost(&[]), Duration::ZERO);
+        // One remote batch of n pays one RTT + n× device time: strictly
+        // less than n scalar remote reads for n > 1.
+        let batched = m.rtt() + m.batch_read_cost(&[1; 8]);
+        assert!(batched < m.remote_point_read * 8);
+        assert_eq!(m.rtt(), m.remote_point_read - m.local_point_read);
+    }
+
+    #[test]
+    fn batch_cost_saturates_instead_of_overflowing() {
+        let mut m = IoModel::zero();
+        m.local_point_read = Duration::from_secs(u64::MAX / 1_000_000_000);
+        assert_eq!(
+            m.batch_read_cost(&[u32::MAX, u32::MAX]),
+            Duration::from_nanos(u64::MAX)
+        );
     }
 
     #[test]

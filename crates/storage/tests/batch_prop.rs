@@ -1,0 +1,163 @@
+//! Property-based equivalence of the batched dereference path.
+//!
+//! `SimCluster::resolve_batch` is a pure performance transformation over
+//! per-pointer `resolve`: across random issuing nodes × cache placements ×
+//! fault seeds × batch bounds, the batched side must return byte-identical
+//! records, keep the conservation invariant `local + remote + cache hits ==
+//! logical point reads` exact on every node, and — for batch size 1 —
+//! degenerate to *exactly* the scalar path, counter for counter.
+
+use proptest::prelude::*;
+use rede_common::Value;
+use rede_storage::cache::CachePlacement;
+use rede_storage::{FaultPlan, FileSpec, Partitioning, Pointer, Record, SimCluster};
+
+const KEYS: i64 = 60;
+const NODES: usize = 3;
+
+fn build_cluster(cache: Option<CachePlacement>, fault_seed: Option<u64>) -> SimCluster {
+    let mut b = SimCluster::builder().nodes(NODES);
+    if let Some(placement) = cache {
+        b = b.record_cache(NODES * 1024).cache_placement(placement);
+    }
+    if let Some(seed) = fault_seed {
+        b = b.faults(FaultPlan::transient(seed, 0.3));
+    }
+    let cluster = b.build().unwrap();
+    let file = cluster
+        .create_file(FileSpec::new("t", Partitioning::hash(8)))
+        .unwrap();
+    for i in 0..KEYS {
+        file.insert(Value::Int(i), Record::from_text(&format!("r{i}")))
+            .unwrap();
+    }
+    cluster.metrics().reset();
+    cluster
+}
+
+fn ptr(k: i64) -> Pointer {
+    Pointer::logical("t", Value::Int(k), Value::Int(k))
+}
+
+/// Resolve one pointer to success, retrying transient faults (the
+/// executor's retry loop, minus the backoff).
+fn resolve_retrying(c: &SimCluster, p: &Pointer, node: usize) -> Record {
+    for _ in 0..32 {
+        match c.resolve(p, node) {
+            Ok(r) => return r,
+            Err(e) if e.is_transient() => continue,
+            Err(e) => panic!("non-transient fault in transient plan: {e}"),
+        }
+    }
+    panic!("pointer never resolved within the retry bound");
+}
+
+/// Resolve a chunk through the batch path to success, retrying only the
+/// transient-failed slots as a sub-batch (the executor's per-item retry).
+fn resolve_batch_retrying(c: &SimCluster, ptrs: &[&Pointer], node: usize) -> Vec<Record> {
+    let mut out: Vec<Option<Record>> = vec![None; ptrs.len()];
+    let mut pending: Vec<usize> = (0..ptrs.len()).collect();
+    for _ in 0..32 {
+        let chunk: Vec<&Pointer> = pending.iter().map(|&i| ptrs[i]).collect();
+        let results = c.resolve_batch(&chunk, node);
+        let mut retry = Vec::new();
+        for (pos, result) in results.into_iter().enumerate() {
+            let idx = pending[pos];
+            match result {
+                Ok(r) => out[idx] = Some(r),
+                Err(e) if e.is_transient() => retry.push(idx),
+                Err(e) => panic!("non-transient fault in transient plan: {e}"),
+            }
+        }
+        if retry.is_empty() {
+            return out.into_iter().map(|r| r.unwrap()).collect();
+        }
+        pending = retry;
+    }
+    panic!("batch never resolved within the retry bound");
+}
+
+fn assert_conservation(c: &SimCluster, tag: &str) {
+    for io in c.metrics().node_point_reads() {
+        assert_eq!(
+            io.local + io.remote + io.cache_hits,
+            io.logical_point_reads(),
+            "[{tag}] node {} conservation broken",
+            io.node
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_resolve_is_byte_identical_and_conserving(
+        keys in prop::collection::vec(0i64..KEYS, 1..80),
+        from_node in 0usize..NODES,
+        cache in prop_oneof![
+            Just(None),
+            Just(Some(CachePlacement::PerNode)),
+            Just(Some(CachePlacement::Shared)),
+        ],
+        fault_seed in prop_oneof![Just(None), (0u64..1000).prop_map(Some)],
+        batch in (0usize..4).prop_map(|i| [1usize, 2, 7, 64][i]),
+    ) {
+        let scalar = build_cluster(cache, fault_seed);
+        let batched = build_cluster(cache, fault_seed);
+        let ptrs: Vec<Pointer> = keys.iter().map(|&k| ptr(k)).collect();
+
+        let scalar_records: Vec<Record> = ptrs
+            .iter()
+            .map(|p| resolve_retrying(&scalar, p, from_node))
+            .collect();
+        let mut batched_records = Vec::with_capacity(ptrs.len());
+        for chunk in ptrs.chunks(batch) {
+            let refs: Vec<&Pointer> = chunk.iter().collect();
+            batched_records.extend(resolve_batch_retrying(&batched, &refs, from_node));
+        }
+
+        // Byte-identical results, in input order.
+        prop_assert_eq!(scalar_records.len(), batched_records.len());
+        for (i, (s, b)) in scalar_records.iter().zip(&batched_records).enumerate() {
+            prop_assert_eq!(s.bytes(), b.bytes(), "record {} diverged", i);
+            prop_assert_eq!(s.text().unwrap(), format!("r{}", keys[i]));
+        }
+
+        assert_conservation(&scalar, "scalar");
+        assert_conservation(&batched, "batched");
+
+        let s = scalar.metrics().snapshot();
+        let b = batched.metrics().snapshot();
+        // Same sites touched under the same seed: identical fault counts.
+        prop_assert_eq!(s.faults_injected, b.faults_injected);
+        prop_assert_eq!(
+            s.local_point_reads + s.remote_point_reads + s.cache_hits,
+            b.local_point_reads + b.remote_point_reads + b.cache_hits,
+            "total logical reads must agree"
+        );
+        if cache.is_none() {
+            // Without a cache every logical read is a storage read on both
+            // sides (duplicate keys inside one batch only diverge through
+            // the cache), so the local/remote split matches exactly.
+            prop_assert_eq!(s.local_point_reads, b.local_point_reads);
+            prop_assert_eq!(s.remote_point_reads, b.remote_point_reads);
+            if fault_seed.is_none() {
+                // One RTT per remote read scalar-side, one per remote batch
+                // group batched-side: amortization can only reduce RTTs.
+                prop_assert_eq!(s.remote_rtts, s.remote_point_reads);
+                prop_assert!(b.remote_rtts <= s.remote_rtts);
+            }
+        }
+        if batch == 1 {
+            // Batch size 1 is the scalar path, counter for counter.
+            prop_assert_eq!(b.batches_issued, 0);
+            prop_assert_eq!(b.batched_reads, 0);
+            prop_assert_eq!(s.local_point_reads, b.local_point_reads);
+            prop_assert_eq!(s.remote_point_reads, b.remote_point_reads);
+            prop_assert_eq!(s.cache_hits, b.cache_hits);
+            prop_assert_eq!(s.cache_misses, b.cache_misses);
+            prop_assert_eq!(s.remote_rtts, b.remote_rtts);
+        }
+    }
+}

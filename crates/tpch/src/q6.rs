@@ -210,6 +210,7 @@ mod tests {
             EngineConfig {
                 cores_per_node: 4,
                 join_fanout: 8,
+                ..EngineConfig::default()
             },
         );
         let scan = engine.execute(&q6_plan(&params)).unwrap();

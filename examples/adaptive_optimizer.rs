@@ -43,6 +43,7 @@ fn main() -> Result<()> {
         EngineConfig {
             cores_per_node: 8,
             join_fanout: 32,
+            ..EngineConfig::default()
         },
     );
     let planner = Planner::new(

@@ -57,6 +57,7 @@ fn main() -> Result<()> {
         EngineConfig {
             cores_per_node: 8,
             join_fanout: 8,
+            ..EngineConfig::default()
         },
     );
     let before = engine.execute(&plan)?;

@@ -132,6 +132,7 @@ fn main() -> Result<()> {
         EngineConfig {
             cores_per_node: 8,
             join_fanout: 32,
+            ..EngineConfig::default()
         },
     );
     let impala = engine.execute(&plan)?;

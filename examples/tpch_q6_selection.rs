@@ -74,6 +74,7 @@ fn main() -> Result<()> {
         EngineConfig {
             cores_per_node: 8,
             join_fanout: 8,
+            ..EngineConfig::default()
         },
     );
     let t = std::time::Instant::now();

@@ -46,6 +46,7 @@ fn fig7_cost_model_shape() {
             rede_baseline::engine::EngineConfig {
                 cores_per_node: 8,
                 join_fanout: 16,
+                ..rede_baseline::engine::EngineConfig::default()
             },
         );
         let smpe = runner.run(&job).unwrap();
@@ -79,6 +80,7 @@ fn fig7_cost_model_shape() {
             rede_baseline::engine::EngineConfig {
                 cores_per_node: 8,
                 join_fanout: 16,
+                ..rede_baseline::engine::EngineConfig::default()
             },
         );
         let smpe = runner.run(&job).unwrap();

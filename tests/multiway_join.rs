@@ -109,6 +109,7 @@ fn three_hop_join_matches_baseline() {
         EngineConfig {
             cores_per_node: 4,
             join_fanout: 16,
+            ..Default::default()
         },
     );
     let scan = engine.execute(&baseline_plan(&custkeys)).unwrap();

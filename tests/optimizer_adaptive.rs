@@ -90,6 +90,7 @@ fn planner_choice_agrees_with_measured_cost_model() {
         EngineConfig {
             cores_per_node: 8,
             join_fanout: 16,
+            ..Default::default()
         },
     );
     let io = IoModel::hdd_like(1.0);

@@ -36,6 +36,7 @@ fn three_systems_agree_across_selectivities() {
         EngineConfig {
             cores_per_node: 4,
             join_fanout: 16,
+            ..Default::default()
         },
     );
 
@@ -87,6 +88,7 @@ fn rede_access_count_scales_with_selectivity_but_baseline_is_flat() {
         EngineConfig {
             cores_per_node: 4,
             join_fanout: 16,
+            ..Default::default()
         },
     );
 
