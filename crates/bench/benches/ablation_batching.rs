@@ -24,7 +24,7 @@ use rede_core::prebuilt::{
     BtreeRangeDereferencer, DelimitedInterpreter, FieldType, IndexEntryReferencer,
     IndexLookupDereferencer, InterpretReferencer, LookupDereferencer,
 };
-use rede_storage::{FileSpec, IndexSpec, IoModel, Partitioning, Record, SimCluster};
+use rede_storage::{FabricConfig, FileSpec, IndexSpec, IoModel, Partitioning, Record, SimCluster};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +32,10 @@ use std::time::Duration;
 const PARTS: i64 = 400;
 const LINES_PER_PART: i64 = 3;
 const POOL: usize = 32;
+
+/// The window-sweep fixture: a 128-node fabric, the paper's cluster scale.
+const FABRIC_NODES: usize = 128;
+const FABRIC_PARTS: i64 = 1280;
 
 /// RTT-dominant latency model: device time is tens of µs, the fabric RTT
 /// half a millisecond. `hdd_like` is the opposite regime (RTT/local ≈ 0.3,
@@ -49,27 +53,46 @@ fn remote_heavy_io() -> IoModel {
     }
 }
 
+/// Fabric-saturation latency model for the 128-node sweep: device time is
+/// single-digit µs, the round trip fifty milliseconds (a WAN-ish
+/// disaggregated fabric). Synchronously, a 32-thread pool can keep at
+/// most 32 such round trips in the air — each sleep pins the thread that
+/// issued it; the event-driven fabric is bounded by nodes × window
+/// instead. The RTT is deliberately huge relative to per-dispatch CPU
+/// cost so the sweep measures the *architecture*, not the host's ability
+/// to context-switch 160 simulator threads.
+fn fabric_heavy_io() -> IoModel {
+    IoModel {
+        local_point_read: Duration::from_micros(5),
+        remote_point_read: Duration::from_millis(50),
+        scan_per_record: Duration::ZERO,
+        index_lookup: Duration::from_micros(2),
+        scan_batch: 1024,
+        queue_depth: 1008,
+    }
+}
+
 /// Same shape as the batching-equivalence fixture: `part` (local
 /// retailprice index) joined to `lineitem` (global FK index), with the FK
-/// hop crossing partitions on a 4-node cluster.
-fn fixture() -> SimCluster {
+/// hop crossing partitions.
+fn fixture_with(nodes: usize, parts: i64, partitions: usize, io: IoModel) -> SimCluster {
     let c = SimCluster::builder()
-        .nodes(4)
-        .io_model(remote_heavy_io())
+        .nodes(nodes)
+        .io_model(io)
         .build()
         .unwrap();
     let part = c
-        .create_file(FileSpec::new("part", Partitioning::hash(8)))
+        .create_file(FileSpec::new("part", Partitioning::hash(partitions)))
         .unwrap();
-    for i in 0..PARTS {
+    for i in 0..parts {
         part.insert(Value::Int(i), Record::from_text(&format!("{i}|{}", i * 10)))
             .unwrap();
     }
     let lineitem = c
-        .create_file(FileSpec::new("lineitem", Partitioning::hash(8)))
+        .create_file(FileSpec::new("lineitem", Partitioning::hash(partitions)))
         .unwrap();
     let mut order = 0i64;
-    for p in 0..PARTS {
+    for p in 0..parts {
         for l in 0..LINES_PER_PART {
             order += 1;
             lineitem
@@ -83,14 +106,14 @@ fn fixture() -> SimCluster {
     }
     IndexBuilder::new(
         c.clone(),
-        IndexSpec::local("part.p_retailprice", "part", 8),
+        IndexSpec::local("part.p_retailprice", "part", partitions),
         Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
     )
     .build()
     .unwrap();
     IndexBuilder::new(
         c.clone(),
-        IndexSpec::global("lineitem.l_partkey", "lineitem", 8),
+        IndexSpec::global("lineitem.l_partkey", "lineitem", partitions),
         Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
     )
     .with_partition_key(Arc::new(DelimitedInterpreter::pipe(0, FieldType::Int)))
@@ -99,12 +122,16 @@ fn fixture() -> SimCluster {
     c
 }
 
-fn join_job() -> Job {
+fn fixture() -> SimCluster {
+    fixture_with(4, PARTS, 8, remote_heavy_io())
+}
+
+fn join_job_with(parts: i64) -> Job {
     Job::builder("part-lineitem-join")
         .seed(SeedInput::Range {
             file: "part.p_retailprice".into(),
             lo: Value::Int(0),
-            hi: Value::Int(PARTS * 10),
+            hi: Value::Int(parts * 10),
         })
         .dereference(
             "deref-0",
@@ -129,10 +156,16 @@ fn join_job() -> Job {
         .unwrap()
 }
 
+fn join_job() -> Job {
+    join_job_with(PARTS)
+}
+
 /// Measured numbers for one batching config, averaged over `runs`.
 struct ConfigPoint {
     name: &'static str,
     max_batch: usize,
+    /// Fabric window (0 = synchronous path, no fabric).
+    window: usize,
     wall: Duration,
     count: u64,
     pointers: u64,
@@ -140,6 +173,11 @@ struct ConfigPoint {
     batches_issued: u64,
     batched_reads: u64,
     mean_batch_size: f64,
+    /// Peak concurrent remote round trips in the air (sync: bounded by the
+    /// pool; fabric: bounded by nodes × window).
+    inflight_peak: u64,
+    fabric_completions: u64,
+    window_stalls: u64,
 }
 
 impl ConfigPoint {
@@ -149,7 +187,13 @@ impl ConfigPoint {
     }
 }
 
-fn measure(runner: &JobRunner, job: &Job, name: &'static str, max_batch: usize) -> ConfigPoint {
+fn measure(
+    runner: &JobRunner,
+    job: &Job,
+    name: &'static str,
+    max_batch: usize,
+    window: usize,
+) -> ConfigPoint {
     const RUNS: u32 = 3;
     let mut wall = Duration::ZERO;
     let mut last = None;
@@ -162,6 +206,7 @@ fn measure(runner: &JobRunner, job: &Job, name: &'static str, max_batch: usize) 
     ConfigPoint {
         name,
         max_batch,
+        window,
         wall: wall / RUNS,
         count: result.count,
         pointers: result.profile.local_point_reads()
@@ -176,6 +221,9 @@ fn measure(runner: &JobRunner, job: &Job, name: &'static str, max_batch: usize) 
         batches_issued: result.profile.batches_issued,
         batched_reads: result.profile.batched_reads,
         mean_batch_size: result.profile.mean_batch_size(),
+        inflight_peak: result.profile.inflight_peak,
+        fabric_completions: result.profile.fabric_completions,
+        window_stalls: result.profile.window_stalls,
     }
 }
 
@@ -189,6 +237,7 @@ fn write_baseline(points: &[ConfigPoint]) {
                     "    {{\n",
                     "      \"config\": \"{}\",\n",
                     "      \"max_batch\": {},\n",
+                    "      \"fabric_window\": {},\n",
                     "      \"wall_ms\": {:.2},\n",
                     "      \"output_rows\": {},\n",
                     "      \"point_dereferences\": {},\n",
@@ -196,11 +245,15 @@ fn write_baseline(points: &[ConfigPoint]) {
                     "      \"remote_rtt_sleeps\": {},\n",
                     "      \"batches_issued\": {},\n",
                     "      \"batched_reads\": {},\n",
-                    "      \"mean_batch_size\": {:.2}\n",
+                    "      \"mean_batch_size\": {:.2},\n",
+                    "      \"inflight_peak\": {},\n",
+                    "      \"fabric_completions\": {},\n",
+                    "      \"window_stalls\": {}\n",
                     "    }}"
                 ),
                 p.name,
                 p.max_batch,
+                p.window,
                 p.wall.as_secs_f64() * 1e3,
                 p.count,
                 p.pointers,
@@ -209,6 +262,9 @@ fn write_baseline(points: &[ConfigPoint]) {
                 p.batches_issued,
                 p.batched_reads,
                 p.mean_batch_size,
+                p.inflight_peak,
+                p.fabric_completions,
+                p.window_stalls,
             )
         })
         .collect();
@@ -216,13 +272,15 @@ fn write_baseline(points: &[ConfigPoint]) {
         concat!(
             "{{\n",
             "  \"bench\": \"ablation_batching\",\n",
-            "  \"workload\": \"part⋈lineitem join, {} pointers, producer routing, ",
-            "4 nodes, RTT-dominant io (local 20µs / remote 520µs), pool {}\",\n",
+            "  \"workload\": \"part⋈lineitem join, producer routing, pool {}; ",
+            "batching rows: 4 nodes, RTT-dominant io (local 20µs / remote 520µs); ",
+            "fabric_* rows: {} nodes, fabric-saturation io (local 5µs / remote 2ms), ",
+            "window sweep K in {{1,4,16,64}}\",\n",
             "  \"configs\": [\n{}\n  ]\n",
             "}}\n"
         ),
-        points[0].pointers,
         POOL,
+        FABRIC_NODES,
         rows.join(",\n")
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_smpe.json");
@@ -248,9 +306,9 @@ fn bench_batching(c: &mut Criterion) {
     ];
 
     // Sanity + baseline measurement outside the timed region.
-    let points: Vec<ConfigPoint> = configs
+    let mut points: Vec<ConfigPoint> = configs
         .iter()
-        .map(|(name, batching)| measure(&runner_with(*batching), &job, name, batching.max_batch))
+        .map(|(name, batching)| measure(&runner_with(*batching), &job, name, batching.max_batch, 0))
         .collect();
     let off = &points[0];
     assert!(
@@ -288,15 +346,100 @@ fn bench_batching(c: &mut Criterion) {
         off.wall,
         best.wall
     );
+    // ── Fabric window sweep ────────────────────────────────────────────
+    // The headline of the event-driven fabric: a 32-thread pool driving a
+    // 128-node cluster whose round trips are 2 ms. Synchronously the pool
+    // can hold at most 32 round trips in the air (each occupies the thread
+    // that issued it); with per-node windows the same pool saturates the
+    // whole fabric, so peak in-flight concurrency and throughput both
+    // climb while every answer stays byte-identical.
+    let fabric_cluster = fixture_with(FABRIC_NODES, FABRIC_PARTS, FABRIC_NODES, fabric_heavy_io());
+    let fabric_job = join_job_with(FABRIC_PARTS);
+    let fabric_runner = |window: usize| {
+        let mut config = ExecutorConfig::smpe(POOL)
+            .with_routing(RoutingPolicy::Producer)
+            .with_batching(Batching::default());
+        if window > 0 {
+            config = config.with_fabric(FabricConfig::window(window));
+        }
+        JobRunner::new(fabric_cluster.clone(), config)
+    };
+    let sweep: Vec<(&'static str, usize)> = vec![
+        ("fabric_sync", 0),
+        ("fabric_k1", 1),
+        ("fabric_k4", 4),
+        ("fabric_k16", 16),
+        ("fabric_k64", 64),
+    ];
+    let fabric_points: Vec<ConfigPoint> = sweep
+        .iter()
+        .map(|(name, window)| {
+            measure(
+                &fabric_runner(*window),
+                &fabric_job,
+                name,
+                Batching::default().max_batch,
+                *window,
+            )
+        })
+        .collect();
+    let sync = &fabric_points[0];
+    // Batching is on for the whole sweep, so RTT sleeps count per
+    // coalesced owner group; remote-dominance shows in where the *reads*
+    // landed (127/128 partitions are foreign under producer routing).
+    assert!(
+        sync.remote_rtts > FABRIC_NODES as u64,
+        "the fabric sweep must be remote-dominant: only {} remote groups",
+        sync.remote_rtts,
+    );
+    for p in &fabric_points[1..] {
+        assert_eq!(
+            p.count, sync.count,
+            "[{}] the fabric changed the answer",
+            p.name
+        );
+        assert!(
+            p.fabric_completions > 0,
+            "[{}] remote round trips must ride the fabric",
+            p.name
+        );
+    }
+    points.extend(fabric_points);
+
     for p in &points {
         eprintln!(
-            "[ablation/batching] {:>15}: wall {:>8.2?}  {:>7.0} ptrs/s  {:>5} RTT sleeps  {:>4} batches (mean {:.1})",
+            "[ablation/batching] {:>15}: wall {:>8.2?}  {:>7.0} ptrs/s  {:>5} RTT sleeps  {:>4} batches (mean {:.1})  inflight_peak {:>4}  completions {:>5}  stalls {:>5}",
             p.name,
             p.wall,
             p.throughput(),
             p.remote_rtts,
             p.batches_issued,
-            p.mean_batch_size
+            p.mean_batch_size,
+            p.inflight_peak,
+            p.fabric_completions,
+            p.window_stalls,
+        );
+    }
+    let sync = points.iter().find(|p| p.name == "fabric_sync").unwrap();
+    // Acceptance gates: any window K ≥ 4 must (a) hold at least 4× more
+    // remote round trips in the air than the thread-bound synchronous
+    // path ever can, and (b) not lose throughput to it.
+    for p in points.iter().filter(|p| p.window >= 4) {
+        assert!(
+            p.inflight_peak >= sync.inflight_peak * 4,
+            "[{}] windowed flight concurrency must beat the pool-bound sync \
+             peak 4×: {} vs {}",
+            p.name,
+            p.inflight_peak,
+            sync.inflight_peak
+        );
+        assert!(
+            p.throughput() >= sync.throughput(),
+            "[{}] a windowed run must not be slower than synchronous: \
+             {:.0} vs {:.0} ptrs/s",
+            p.name,
+            p.throughput(),
+            sync.throughput()
         );
     }
     write_baseline(&points);
@@ -309,6 +452,12 @@ fn bench_batching(c: &mut Criterion) {
         let runner = runner_with(batching);
         group.bench_function(name, |bch| {
             bch.iter(|| black_box(runner.run(&job).unwrap().count))
+        });
+    }
+    for (name, window) in [("fabric_sync", 0usize), ("fabric_k16", 16)] {
+        let runner = fabric_runner(window);
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(runner.run(&fabric_job).unwrap().count))
         });
     }
     group.finish();

@@ -65,6 +65,14 @@ struct Inner {
     batched_reads: AtomicU64,
     batches_issued: AtomicU64,
     remote_rtts: AtomicU64,
+    fabric_completions: AtomicU64,
+    window_stalls: AtomicU64,
+    /// Remote flights currently in the air (gauge, not in the snapshot):
+    /// incremented when a remote group starts its round trip — whether
+    /// slept synchronously or parked in the fabric — and decremented at
+    /// completion. `inflight_peak` is its high-water mark.
+    flights_in_flight: AtomicU64,
+    inflight_peak: AtomicU64,
     /// Point reads and record-cache accesses attributed to the node that
     /// *issued* them, grown on demand to the highest node index seen. Kept
     /// outside [`MetricsSnapshot`] (which stays `Copy`); read via
@@ -248,6 +256,43 @@ impl Metrics {
         self.inner.remote_rtts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one remote batch delivered back through the event-driven
+    /// fabric (zero on the synchronous path).
+    #[inline]
+    pub fn record_fabric_completion(&self) {
+        self.inner
+            .fabric_completions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one fabric submission that found its node's in-flight window
+    /// full and had to queue behind an outstanding flight.
+    #[inline]
+    pub fn record_window_stall(&self) {
+        self.inner.window_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark one remote round trip entering the air; pairs with
+    /// [`Metrics::record_flight_end`]. Also advances `inflight_peak`, the
+    /// high-water mark of concurrent remote flights — the quantity the
+    /// fabric exists to raise past the pool size.
+    #[inline]
+    pub fn record_flight_begin(&self) {
+        let now = self.inner.flights_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inner.inflight_peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// Mark one remote round trip landing.
+    #[inline]
+    pub fn record_flight_end(&self) {
+        self.inner.flights_in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Remote flights currently in the air (0 whenever quiescent).
+    pub fn flights_in_flight(&self) -> u64 {
+        self.inner.flights_in_flight.load(Ordering::SeqCst)
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let i = &self.inner;
@@ -271,6 +316,9 @@ impl Metrics {
             batched_reads: i.batched_reads.load(Ordering::Relaxed),
             batches_issued: i.batches_issued.load(Ordering::Relaxed),
             remote_rtts: i.remote_rtts.load(Ordering::Relaxed),
+            fabric_completions: i.fabric_completions.load(Ordering::Relaxed),
+            window_stalls: i.window_stalls.load(Ordering::Relaxed),
+            inflight_peak: i.inflight_peak.load(Ordering::SeqCst),
         }
     }
 
@@ -297,6 +345,10 @@ impl Metrics {
             &i.batched_reads,
             &i.batches_issued,
             &i.remote_rtts,
+            &i.fabric_completions,
+            &i.window_stalls,
+            &i.flights_in_flight,
+            &i.inflight_peak,
         ] {
             ctr.store(0, Ordering::Relaxed);
         }
@@ -405,6 +457,13 @@ pub struct MetricsSnapshot {
     pub batches_issued: u64,
     /// Network round-trips actually slept.
     pub remote_rtts: u64,
+    /// Remote batches delivered through the event-driven fabric.
+    pub fabric_completions: u64,
+    /// Fabric submissions that queued behind a full in-flight window.
+    pub window_stalls: u64,
+    /// High-water mark of concurrent remote flights (monotone until
+    /// [`Metrics::reset`]).
+    pub inflight_peak: u64,
 }
 
 impl MetricsSnapshot {
@@ -447,6 +506,13 @@ impl MetricsSnapshot {
             batched_reads: self.batched_reads.saturating_sub(earlier.batched_reads),
             batches_issued: self.batches_issued.saturating_sub(earlier.batches_issued),
             remote_rtts: self.remote_rtts.saturating_sub(earlier.remote_rtts),
+            fabric_completions: self
+                .fabric_completions
+                .saturating_sub(earlier.fabric_completions),
+            window_stalls: self.window_stalls.saturating_sub(earlier.window_stalls),
+            // The peak is monotone between resets, so the difference is
+            // how much higher the high-water mark climbed in the window.
+            inflight_peak: self.inflight_peak.saturating_sub(earlier.inflight_peak),
         }
     }
 }
@@ -486,6 +552,15 @@ impl fmt::Display for MetricsSnapshot {
                 f,
                 ", batching: {} reads in {} batches ({} rtts)",
                 self.batched_reads, self.batches_issued, self.remote_rtts,
+            )?;
+        }
+        // Fabric counters render only when the event-driven path ran, so
+        // synchronous runs keep their exact pre-fabric form.
+        if self.fabric_completions + self.window_stalls > 0 {
+            write!(
+                f,
+                ", fabric: {} completions / {} window stalls (peak {} in flight)",
+                self.fabric_completions, self.window_stalls, self.inflight_peak,
             )?;
         }
         Ok(())
@@ -583,6 +658,16 @@ pub struct ExecProfile {
     /// this equals the remote accesses; batching drives it down by
     /// roughly the mean batch size.
     pub remote_rtts: u64,
+    /// Remote batches of this job delivered through the event-driven
+    /// fabric instead of a pool-thread sleep.
+    pub fabric_completions: u64,
+    /// Fabric submissions of this job that queued behind a full per-node
+    /// in-flight window.
+    pub window_stalls: u64,
+    /// High-water mark of this job's concurrent remote flights. On the
+    /// synchronous path it is bounded by the pool size (each flight parks
+    /// a thread); through the fabric it is bounded by nodes × window.
+    pub inflight_peak: u64,
 }
 
 impl ExecProfile {
@@ -676,6 +761,13 @@ impl fmt::Display for ExecProfile {
                 self.batches_issued,
                 self.mean_batch_size(),
                 self.remote_rtts
+            )?;
+        }
+        if self.fabric_completions + self.window_stalls > 0 {
+            writeln!(
+                f,
+                "  fabric: {} completions, {} window stalls, peak {} in flight",
+                self.fabric_completions, self.window_stalls, self.inflight_peak
             )?;
         }
         for s in &self.stages {
@@ -852,6 +944,28 @@ mod tests {
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         // An unbatched snapshot renders without the batching suffix.
         assert!(!m.snapshot().to_string().contains("batching:"));
+    }
+
+    #[test]
+    fn fabric_counters_round_trip() {
+        let m = Metrics::new();
+        m.record_flight_begin();
+        m.record_flight_begin();
+        assert_eq!(m.flights_in_flight(), 2);
+        m.record_flight_end();
+        m.record_fabric_completion();
+        m.record_window_stall();
+        let s = m.snapshot();
+        assert_eq!(s.fabric_completions, 1);
+        assert_eq!(s.window_stalls, 1);
+        assert_eq!(s.inflight_peak, 2, "peak survives the flight landing");
+        assert!(s.to_string().contains("fabric: 1 completions"));
+        m.record_flight_end();
+        assert_eq!(m.flights_in_flight(), 0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        // A synchronous-path snapshot renders without the fabric suffix.
+        assert!(!m.snapshot().to_string().contains("fabric:"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod wrr;
 
 use crate::job::Job;
 use rede_common::{ExecProfile, MetricsSnapshot, Result};
-use rede_storage::{Record, SimCluster};
+use rede_storage::{FabricConfig, Record, SimCluster};
 use std::time::Duration;
 
 pub use thread_pool::ThreadPool;
@@ -155,6 +155,13 @@ pub struct ExecutorConfig {
     pub routing: RoutingPolicy,
     /// Dispatcher-side pointer coalescing (default on; see [`Batching`]).
     pub batching: Batching,
+    /// Event-driven completion layer for remote round trips. `None` (the
+    /// default) keeps the synchronous model: a pool thread sleeps the RTT
+    /// of every remote batch inline. `Some(fabric)` submits remote batches
+    /// to a per-node in-flight window instead, freeing the pool thread as
+    /// soon as the charged (device-time) half of the access completes —
+    /// see `rede_storage::fabric` and the smpe module docs.
+    pub fabric: Option<FabricConfig>,
 }
 
 impl Default for ExecutorConfig {
@@ -166,6 +173,7 @@ impl Default for ExecutorConfig {
             collect_outputs: false,
             routing: RoutingPolicy::default(),
             batching: Batching::default(),
+            fabric: None,
         }
     }
 }
@@ -206,6 +214,13 @@ impl ExecutorConfig {
         self.batching = batching;
         self
     }
+
+    /// Run remote round trips through the event-driven fabric with the
+    /// given per-node in-flight window.
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> ExecutorConfig {
+        self.fabric = Some(fabric);
+        self
+    }
 }
 
 /// Outcome of one job run.
@@ -243,7 +258,11 @@ impl JobRunner {
     /// so run timings exclude thread creation.
     pub fn new(cluster: SimCluster, config: ExecutorConfig) -> JobRunner {
         let substrate = match config.mode {
-            ExecMode::Smpe => Some(smpe::Substrate::new(cluster.clone(), config.pool_threads)),
+            ExecMode::Smpe => Some(smpe::Substrate::new(
+                cluster.clone(),
+                config.pool_threads,
+                config.fabric,
+            )),
             ExecMode::Partitioned => None,
         };
         JobRunner {

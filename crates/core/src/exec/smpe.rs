@@ -41,6 +41,22 @@
 //! job's permit count reaches zero as soon as its last in-flight task
 //! retires.
 //!
+//! **Async fabric.** With a [`FabricConfig`], the batched dereference path
+//! is split into a *submit* half and a *complete* half. The submit half
+//! runs on a pool thread and performs every charged access synchronously —
+//! fault injection, IOPS admission, device time, all counters — but
+//! instead of sleeping the remote round-trip inline it hands the batch's
+//! buffered outputs to the [`SimFabric`] with a computed completion
+//! deadline and returns, freeing the pool thread. Each node owns a window
+//! of at most `window` batches in flight; the fabric's timer thread fires
+//! due completions, which re-enqueue a `FlightDone` continuation on the
+//! submitting node's weighted queue. The dispatcher routes the buffered
+//! outputs inline (pure CPU work), so pool threads never block on
+//! simulated network latency. The continuation carries the batch's
+//! in-flight tokens; a job therefore cannot finish — and cancellation
+//! cannot complete — until every one of its flights has landed and
+//! returned its tokens.
+//!
 //! **Routing.** A non-broadcast pointer names the partition its target
 //! record lives in, and partition placement is static — so the executor
 //! can enqueue the follow-up dereference on the *owning* node and turn a
@@ -59,7 +75,7 @@ use crate::job::{Job, Stage};
 use crate::traits::{DerefInput, StageCtx};
 use parking_lot::{Condvar, Mutex};
 use rede_common::{ExecProfile, IoScope, Metrics, NodeProfile, RedeError, Result, StageProfile};
-use rede_storage::{Pointer, Record, SimCluster};
+use rede_storage::{FabricConfig, Pointer, Record, SimCluster, SimFabric};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -102,6 +118,25 @@ enum TaskItem {
     Deref(DerefInput),
     /// Input for a reference stage.
     Record(Record),
+    /// Continuation of a fabric flight: the batch's buffered outputs,
+    /// ready to route now the simulated round trip has landed. Carries
+    /// the `tokens` in-flight tokens of the submitted batch (lead +
+    /// batchmates), released only after the outputs are routed — the
+    /// dispatcher handles it inline (it is pure CPU work) and it is
+    /// always dispatch-eligible (it holds no pool thread).
+    FlightDone { outputs: Vec<Record>, tokens: u64 },
+}
+
+impl Task {
+    /// How many of the job's in-flight tokens this queued task holds. A
+    /// drain (cancellation, straggler sweep) must release exactly this
+    /// many per dropped task.
+    fn held_tokens(&self) -> u64 {
+        match &self.item {
+            TaskItem::FlightDone { tokens, .. } => *tokens,
+            _ => 1,
+        }
+    }
 }
 
 /// One node's stage queue: a weighted multi-queue guarded by a mutex, a
@@ -189,6 +224,9 @@ struct Shared {
     /// inline referencers never reach the pool at all), so the catch
     /// site feeds this counter directly.
     panics: Arc<AtomicU64>,
+    /// Event-driven completion layer for remote round trips; `None` keeps
+    /// the synchronous sleep-inline model.
+    fabric: Option<Arc<SimFabric>>,
 }
 
 impl Shared {
@@ -200,6 +238,11 @@ impl Shared {
     /// skipped, and draining them fast is what frees the job's resources.
     fn eligible(&self, task: &Task) -> bool {
         let job = &task.job;
+        // Flight continuations cost the dispatcher, never a pool thread,
+        // and holding them back would strand their in-flight tokens.
+        if matches!(task.item, TaskItem::FlightDone { .. }) {
+            return true;
+        }
         if job.referencer_inline && matches!(task.item, TaskItem::Record(_)) {
             return true;
         }
@@ -394,16 +437,26 @@ impl JobState {
     /// Cancel the job: drain its queued tasks everywhere and let in-flight
     /// invocations retire. Waiters get `RedeError::Cancelled`. Idempotent;
     /// a no-op after the job finished.
+    ///
+    /// Fabric flights in the air are *not* (and cannot be) snatched back:
+    /// their in-flight tokens return when each flight's completion fires,
+    /// observes `cancelled`, and releases them without routing — so a
+    /// cancelled job finishes within one round-trip of its slowest
+    /// outstanding flight, with every fabric slot and token accounted.
     pub(crate) fn cancel(&self) {
         if self.finished.load(Ordering::SeqCst) || self.cancelled.swap(true, Ordering::SeqCst) {
             return;
         }
         let mut drained: u64 = 0;
         for q in &self.shared.queues {
-            let n = q.state.lock().drain_key(self.id) as u64;
-            if n > 0 {
-                q.depth.fetch_sub(n, Ordering::Relaxed);
-                drained += n;
+            // Tasks are collected under the lock but dropped outside it: a
+            // queued flight continuation can hold many in-flight tokens
+            // (so the count alone is not enough), and dropping payloads
+            // under the queue lock would stall the dispatcher.
+            let tasks = q.state.lock().drain_key(self.id);
+            if !tasks.is_empty() {
+                q.depth.fetch_sub(tasks.len() as u64, Ordering::Relaxed);
+                drained += tasks.iter().map(Task::held_tokens).sum::<u64>();
             }
         }
         if drained > 0 && self.in_flight.fetch_sub(drained, Ordering::SeqCst) == drained {
@@ -461,9 +514,63 @@ impl JobState {
 
     /// Mark one task finished; the observer of zero completes the job.
     fn task_done(&self) {
-        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+        self.tasks_done(1);
+    }
+
+    /// Release `n` in-flight tokens at once (a landed fabric flight
+    /// returns its whole batch's tokens together).
+    fn tasks_done(&self, n: u64) {
+        if n > 0 && self.in_flight.fetch_sub(n, Ordering::SeqCst) == n {
             self.finish();
         }
+    }
+
+    /// Fabric completion handler, called on the fabric's timer thread when
+    /// a submitted batch's simulated round trip lands: re-enqueue the
+    /// continuation on the submitting node's weighted queue so the
+    /// dispatcher routes the buffered outputs. The batch's in-flight
+    /// tokens transfer into the queued task; if the job was cancelled (or
+    /// the substrate is shutting down) the outputs are dropped and the
+    /// tokens released here, which is what lets a cancelled job's last
+    /// outstanding flight complete it.
+    ///
+    /// Deliberately *not* routed through [`JobState::enqueue`]: the
+    /// continuation is the second half of an already-counted dispatch, so
+    /// it must not count a queue hop or a node enqueue of its own — the
+    /// fabric path's executor counters stay comparable with the
+    /// synchronous path's.
+    fn complete_flight(
+        self: &Arc<Self>,
+        node: usize,
+        stage: usize,
+        outputs: Vec<Record>,
+        tokens: u64,
+    ) {
+        self.tally(|m| {
+            m.record_fabric_completion();
+            m.record_flight_end();
+        });
+        if self.cancelled.load(Ordering::SeqCst) || self.shared.shutdown.load(Ordering::SeqCst) {
+            self.tasks_done(tokens);
+            return;
+        }
+        let q = &self.shared.queues[node];
+        {
+            let mut state = q.state.lock();
+            state.push(
+                self.id,
+                self.weight,
+                Task {
+                    job: self.clone(),
+                    item: TaskItem::FlightDone { outputs, tokens },
+                    stage,
+                    local_only: false,
+                    owner: None,
+                },
+            );
+        }
+        q.depth.fetch_add(1, Ordering::Relaxed);
+        q.ready.notify_one();
     }
 
     fn fail(&self, err: RedeError) {
@@ -478,11 +585,12 @@ impl JobState {
             return;
         }
         // Drop any straggler slots (e.g. a task enqueued concurrently with
-        // cancellation); normally the slots are already empty.
+        // cancellation); normally the slots are already empty. Stragglers
+        // are dropped outside the queue lock.
         for q in &self.shared.queues {
-            let dropped = q.state.lock().drain_key(self.id) as u64;
-            if dropped > 0 {
-                q.depth.fetch_sub(dropped, Ordering::Relaxed);
+            let dropped = q.state.lock().drain_key(self.id);
+            if !dropped.is_empty() {
+                q.depth.fetch_sub(dropped.len() as u64, Ordering::Relaxed);
             }
         }
         self.shared
@@ -656,6 +764,9 @@ impl JobState {
             batched_reads: io.batched_reads,
             batches_issued: io.batches_issued,
             remote_rtts: io.remote_rtts,
+            fabric_completions: io.fabric_completions,
+            window_stalls: io.window_stalls,
+            inflight_peak: io.inflight_peak,
         }
     }
 }
@@ -805,30 +916,95 @@ fn run_stage_body(
     }
 }
 
+/// Route a landed flight's buffered outputs. Runs inline on the
+/// dispatcher — by the time a flight lands, all that remains is pure CPU
+/// routing work. Releases the batch's in-flight tokens exactly once;
+/// cancelled and failed jobs skip the routing so their backlog drains.
+fn process_flight_done(task: Task, node: usize) {
+    let job = task.job.clone();
+    let TaskItem::FlightDone { outputs, tokens } = task.item else {
+        unreachable!("caller matched FlightDone");
+    };
+    if !job.failed.load(Ordering::SeqCst) && !job.cancelled.load(Ordering::SeqCst) {
+        for record in outputs {
+            job.handle_output(node, task.stage, StageOutput::Record(record));
+        }
+    }
+    job.tasks_done(tokens);
+}
+
 /// Execute a coalesced batch of same-(job, stage, owner) point-dereference
 /// tasks on one pool thread. Mirrors [`process_task`]'s contract per item:
 /// every task's in-flight token is released exactly once, panics become
 /// job errors, and cancelled/failed jobs skip the bodies.
+///
+/// With a fabric configured, the batch runs its *submit* half here — all
+/// charged accesses, outputs buffered — and, when any remote round trip
+/// was deferred, arms a flight instead of releasing the tokens: they
+/// travel with the flight and return through
+/// [`JobState::complete_flight`] when it lands.
 fn process_batch(tasks: Vec<Task>, node: usize) {
     let job = tasks[0].job.clone();
     let stage = tasks[0].stage;
-    if !job.failed.load(Ordering::SeqCst) && !job.cancelled.load(Ordering::SeqCst) {
-        job.prof.stage_tasks[stage].fetch_add(tasks.len() as u64, Ordering::Relaxed);
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
-            run_stage_batch(&job, node, stage, &tasks)
+    if job.failed.load(Ordering::SeqCst) || job.cancelled.load(Ordering::SeqCst) {
+        job.tasks_done(tasks.len() as u64);
+        return;
+    }
+    job.prof.stage_tasks[stage].fetch_add(tasks.len() as u64, Ordering::Relaxed);
+    if let Some(fabric) = job.shared.fabric.clone() {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_stage_batch_submit(&job, node, stage, &tasks)
         })) {
-            job.shared.panics.fetch_add(1, Ordering::Relaxed);
-            let msg = panic_message(payload.as_ref());
-            job.fail(RedeError::Exec(format!(
-                "stage {} ('{}') panicked in a batched invocation: {msg}",
-                stage,
-                job.job.stages()[stage].label()
-            )));
+            Ok((outputs, delay)) if !delay.is_zero() => {
+                // Remote work is in the air: arm the flight and keep the
+                // batch's tokens until the completion lands.
+                let tokens = tasks.len() as u64;
+                job.tally(|m| m.record_flight_begin());
+                let flight_job = job.clone();
+                let stalled = fabric.submit(
+                    node,
+                    delay,
+                    Box::new(move || {
+                        flight_job.complete_flight(node, stage, outputs, tokens);
+                    }),
+                );
+                if stalled {
+                    job.tally(|m| m.record_window_stall());
+                }
+                return;
+            }
+            Ok((outputs, _)) => {
+                // Entirely local (or cache-served): nothing in the air,
+                // route immediately, exactly like the synchronous path.
+                for record in outputs {
+                    job.handle_output(node, stage, StageOutput::Record(record));
+                }
+            }
+            Err(payload) => {
+                job.shared.panics.fetch_add(1, Ordering::Relaxed);
+                let msg = panic_message(payload.as_ref());
+                job.fail(RedeError::Exec(format!(
+                    "stage {} ('{}') panicked in a batched invocation: {msg}",
+                    stage,
+                    job.job.stages()[stage].label()
+                )));
+            }
         }
+        job.tasks_done(tasks.len() as u64);
+        return;
     }
-    for _ in &tasks {
-        job.task_done();
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+        run_stage_batch(&job, node, stage, &tasks)
+    })) {
+        job.shared.panics.fetch_add(1, Ordering::Relaxed);
+        let msg = panic_message(payload.as_ref());
+        job.fail(RedeError::Exec(format!(
+            "stage {} ('{}') panicked in a batched invocation: {msg}",
+            stage,
+            job.job.stages()[stage].label()
+        )));
     }
+    job.tasks_done(tasks.len() as u64);
 }
 
 /// Run one batched dereference with per-item fault recovery.
@@ -859,7 +1035,7 @@ fn run_stage_batch(job: &Arc<JobState>, node: usize, stage_idx: usize, tasks: &[
         .iter()
         .map(|t| match &t.item {
             TaskItem::Deref(input) => input.clone(),
-            TaskItem::Record(_) => unreachable!("only point dereferences are coalesced"),
+            _ => unreachable!("only point dereferences are coalesced"),
         })
         .collect();
     // Filter application identical to the scalar body: the first filter
@@ -941,6 +1117,131 @@ fn run_stage_batch(job: &Arc<JobState>, node: usize, stage_idx: usize, tasks: &[
     }
 }
 
+/// The *submit* half of the fabric path: run one batched dereference with
+/// per-item fault recovery, buffering every post-filter output instead of
+/// routing it, and return the buffered outputs together with the deferred
+/// remote delay the caller must observe before routing them.
+///
+/// Every charged access happens here, synchronously, in input order —
+/// fault injection fires at submit time exactly as on the synchronous
+/// path, so seeded chaos runs take identical fault decisions; IOPS
+/// admission, device time, and all counters are likewise identical. Only
+/// the round-trip *wait* is returned instead of slept. Under faults, each
+/// retry round's deferred delay accumulates into the total: retry rounds
+/// model sequential round trips, so the flight's completion deadline is
+/// their sum (backoffs are slept inline before the flight is armed,
+/// exactly like the synchronous retry path). One deliberate deviation:
+/// items that succeed in an early round have their outputs held until the
+/// whole batch's flight lands, where the synchronous path flushes them
+/// per-round — results are identical, only the modeled latency of the
+/// lucky items is slightly pessimistic. Item errors fail the job at
+/// submit, matching the synchronous path.
+fn run_stage_batch_submit(
+    job: &Arc<JobState>,
+    node: usize,
+    stage_idx: usize,
+    tasks: &[Task],
+) -> (Vec<Record>, Duration) {
+    let stage = &job.job.stages()[stage_idx];
+    let Stage::Dereference { func, filter, .. } = stage else {
+        job.fail(RedeError::Exec(format!(
+            "stage {} ('{}') received mismatched input",
+            stage_idx,
+            stage.label()
+        )));
+        return (Vec::new(), Duration::ZERO);
+    };
+    let ctx = StageCtx {
+        cluster: job.cluster.clone(),
+        node,
+        local_only: false,
+    };
+    let inputs: Vec<DerefInput> = tasks
+        .iter()
+        .map(|t| match &t.item {
+            TaskItem::Deref(input) => input.clone(),
+            _ => unreachable!("only point dereferences are coalesced"),
+        })
+        .collect();
+    let apply_filter = |record: &Record, slot: &mut Option<RedeError>| -> bool {
+        match filter {
+            Some(f) => match f.matches(record) {
+                Ok(keep) => keep,
+                Err(e) => {
+                    slot.get_or_insert(e);
+                    false
+                }
+            },
+            None => true,
+        }
+    };
+
+    if job.cluster.fault_injector().is_none() {
+        let mut outputs: Vec<Record> = Vec::new();
+        let mut filter_errs: Vec<Option<RedeError>> = (0..inputs.len()).map(|_| None).collect();
+        let (results, deferred) =
+            func.dereference_batch_split(&inputs, &ctx, &mut |idx, record| {
+                if apply_filter(&record, &mut filter_errs[idx]) {
+                    outputs.push(record);
+                }
+            });
+        for (result, ferr) in results.into_iter().zip(filter_errs) {
+            match (result, ferr) {
+                (Err(e), _) | (Ok(()), Some(e)) => job.fail(e),
+                (Ok(()), None) => {}
+            }
+        }
+        return (outputs, deferred);
+    }
+
+    let mut outputs: Vec<Record> = Vec::new();
+    let mut total_delay = Duration::ZERO;
+    let mut pending: Vec<usize> = (0..inputs.len()).collect();
+    let mut attempts: Vec<u32> = vec![0; inputs.len()];
+    let mut round: u32 = 0;
+    while !pending.is_empty() {
+        let sub_inputs: Vec<DerefInput> = pending.iter().map(|&i| inputs[i].clone()).collect();
+        let mut buffers: Vec<Vec<Record>> = (0..pending.len()).map(|_| Vec::new()).collect();
+        let mut filter_errs: Vec<Option<RedeError>> = (0..pending.len()).map(|_| None).collect();
+        let (results, deferred) =
+            func.dereference_batch_split(&sub_inputs, &ctx, &mut |pos, record| {
+                if apply_filter(&record, &mut filter_errs[pos]) {
+                    buffers[pos].push(record);
+                }
+            });
+        total_delay += deferred;
+        let mut retry: Vec<usize> = Vec::new();
+        for ((pos, result), (buffer, ferr)) in results
+            .into_iter()
+            .enumerate()
+            .zip(buffers.into_iter().zip(filter_errs))
+        {
+            let idx = pending[pos];
+            match (result, ferr) {
+                (Ok(()), None) => outputs.extend(buffer),
+                (Err(e), _)
+                    if e.is_transient()
+                        && attempts[idx] < MAX_RETRIES
+                        && !job.cancelled.load(Ordering::SeqCst)
+                        && !job.failed.load(Ordering::SeqCst) =>
+                {
+                    attempts[idx] += 1;
+                    job.tally(|m| m.record_retry());
+                    retry.push(idx);
+                }
+                (Err(e), _) | (Ok(()), Some(e)) => job.fail(e),
+            }
+        }
+        if retry.is_empty() {
+            break;
+        }
+        round += 1;
+        std::thread::sleep(backoff(round));
+        pending = retry;
+    }
+    (outputs, total_delay)
+}
+
 /// Per-node dispatcher: serve the weighted multi-queue, spawning
 /// dereference invocations onto the pool and (by default) running
 /// reference invocations inline. Lives for the substrate's lifetime.
@@ -975,6 +1276,16 @@ fn dispatch(shared: Arc<Shared>, node: usize, pool: Arc<ThreadPool>) {
                         let same_group = |t: &Task| t.stage == stage && t.owner == owner;
                         batch = state.take_matching(key, limit, same_group);
                         let linger = task.job.batching.linger;
+                        // Flush invariant: once a lead task is popped, it
+                        // and every batchmate taken so far are *committed*
+                        // — all exits from the linger loop below (deadline,
+                        // shutdown flag, straggler arrival, foreign work)
+                        // fall through to dispatch, never back to the
+                        // queue. A deadline-armed batch therefore always
+                        // flushes; the only thing the linger can cost is
+                        // time, bounded by `linger` itself. (Pinned by
+                        // `straggler_pointer_flushes_after_linger` in
+                        // tests/fabric_equivalence.rs.)
                         if batch.len() < limit && !linger.is_zero() && state.is_empty() {
                             let deadline = Instant::now() + linger;
                             while batch.len() < limit && !shared.shutdown.load(Ordering::SeqCst) {
@@ -1015,7 +1326,25 @@ fn dispatch(shared: Arc<Shared>, node: usize, pool: Arc<ThreadPool>) {
         last_pop = Some(now);
         q.depth.fetch_sub(1 + batch.len() as u64, Ordering::Relaxed);
         let job = task.job.clone();
-        if !batch.is_empty() {
+        if matches!(task.item, TaskItem::FlightDone { .. }) {
+            // A landed flight's continuation: route its buffered outputs
+            // right here. It never coalesces (owner is None), costs no
+            // pool thread, and releases the batch's in-flight tokens.
+            debug_assert!(batch.is_empty(), "flight continuations never batch");
+            process_flight_done(task, node);
+            continue;
+        }
+        // With a fabric configured, a *singleton* pointer dereference also
+        // rides the batch-submit path: scalar dereference sleeps its RTT
+        // inline on the pool thread, which is exactly what the fabric
+        // exists to avoid. A one-task batch is counter-identical to the
+        // scalar path (the substrate only tallies batch counters for
+        // multi-pointer calls), so this changes scheduling, not numbers.
+        let fabric_single = batch.is_empty()
+            && shared.fabric.is_some()
+            && task.owner.is_some()
+            && task.job.batching.is_enabled();
+        if !batch.is_empty() || fabric_single {
             // Batched point dereferences always run pooled (they do I/O),
             // occupying a single pool slot for the whole batch.
             job.prof.pool_spawns.fetch_add(1, Ordering::Relaxed);
@@ -1073,8 +1402,14 @@ pub(crate) struct Substrate {
 
 impl Substrate {
     /// Spawn the pool and the per-node dispatchers eagerly so job timings
-    /// exclude thread creation.
-    pub(crate) fn new(cluster: SimCluster, pool_threads: usize) -> Substrate {
+    /// exclude thread creation. A fabric config additionally spawns the
+    /// completion-timer thread and routes batched remote round trips
+    /// through per-node in-flight windows instead of inline sleeps.
+    pub(crate) fn new(
+        cluster: SimCluster,
+        pool_threads: usize,
+        fabric: Option<FabricConfig>,
+    ) -> Substrate {
         let nodes = cluster.nodes();
         let pool = Arc::new(ThreadPool::new(pool_threads, "rede-smpe"));
         let shared = Arc::new(Shared {
@@ -1090,6 +1425,7 @@ impl Substrate {
             pool_threads: pool_threads.max(1),
             shutdown: AtomicBool::new(false),
             panics: pool.panic_counter(),
+            fabric: fabric.map(|cfg| Arc::new(SimFabric::new(cfg))),
         });
         let dispatchers = (0..nodes)
             .map(|node| {
@@ -1127,6 +1463,12 @@ impl Substrate {
     /// errors) since the substrate was created.
     pub(crate) fn pool_panics(&self) -> u64 {
         self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Flights currently armed or window-queued in the fabric; always 0
+    /// without a fabric (and, at rest, with one).
+    pub(crate) fn fabric_in_flight(&self) -> usize {
+        self.shared.fabric.as_ref().map_or(0, |f| f.in_flight())
     }
 
     /// Admit a job: seed stage 0 on every node and return its state (the
@@ -1185,6 +1527,13 @@ impl Substrate {
 
 impl Drop for Substrate {
     fn drop(&mut self) {
+        // Land every outstanding flight *before* stopping the dispatchers:
+        // fabric shutdown fires all completions, whose continuations (or
+        // token releases) must still find live queues so no job is left
+        // holding tokens a dead fabric can never return.
+        if let Some(fabric) = &self.shared.fabric {
+            fabric.shutdown();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake_all_dispatchers();
         for d in self.dispatchers.drain(..) {

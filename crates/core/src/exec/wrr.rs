@@ -156,22 +156,23 @@ impl<T> WrrQueue<T> {
         out
     }
 
-    /// Remove `key`'s slot entirely, dropping its queued items. Returns how
-    /// many items were dropped (the caller balances in-flight accounting).
-    pub fn drain_key(&mut self, key: u64) -> usize {
+    /// Remove `key`'s slot entirely, returning its queued items (the
+    /// caller balances in-flight accounting — a fabric-completion item can
+    /// hold many task tokens, so a bare count is not enough — and drops
+    /// the items outside the queue lock).
+    pub fn drain_key(&mut self, key: u64) -> Vec<T> {
         let Some(idx) = self.slots.iter().position(|s| s.key == key) else {
-            return 0;
+            return Vec::new();
         };
-        let dropped = self.slots[idx].items.len();
-        self.len -= dropped;
-        self.slots.remove(idx);
+        let slot = self.slots.remove(idx);
+        self.len -= slot.items.len();
         if idx < self.cursor {
             self.cursor -= 1;
         }
         if self.cursor >= self.slots.len() {
             self.cursor = 0;
         }
-        dropped
+        slot.items.into()
     }
 }
 
@@ -250,9 +251,9 @@ mod tests {
             q.push(1, 1, "a");
             q.push(2, 1, "b");
         }
-        assert_eq!(q.drain_key(1), 5);
+        assert_eq!(q.drain_key(1), vec!["a"; 5]);
         assert_eq!(q.len(), 5);
-        assert_eq!(q.drain_key(1), 0, "already drained");
+        assert!(q.drain_key(1).is_empty(), "already drained");
         let keys: Vec<u64> = drain_order(&mut q).into_iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![2; 5]);
     }

@@ -161,6 +161,54 @@ impl Dereferencer for IndexLookupDereferencer {
             .collect()
     }
 
+    fn dereference_batch_split(
+        &self,
+        inputs: &[DerefInput],
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(usize, Record),
+    ) -> (Vec<Result<()>>, std::time::Duration) {
+        // Same fallbacks as `dereference_batch`: local-only probes and a
+        // missing index take the scalar loop, which has no deferred RTT.
+        let ix = match (ctx.local_only, ctx.cluster.index(&self.index)) {
+            (false, Ok(ix)) => ix,
+            _ => {
+                let results = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, input)| self.dereference(input, ctx, &mut |r| emit(idx, r)))
+                    .collect();
+                return (results, std::time::Duration::ZERO);
+            }
+        };
+        let mut out: Vec<Option<Result<()>>> = (0..inputs.len()).map(|_| None).collect();
+        let mut probes = Vec::with_capacity(inputs.len());
+        for (idx, input) in inputs.iter().enumerate() {
+            match input.as_point().and_then(|p| p.logical_key()) {
+                Some(key) => probes.push((idx, key.clone())),
+                None => {
+                    out[idx] = Some(Err(RedeError::InvalidJob(format!(
+                        "{}: expected a logical point input",
+                        self.label
+                    ))));
+                }
+            }
+        }
+        let keys: Vec<rede_common::Value> = probes.iter().map(|(_, key)| key.clone()).collect();
+        let (results, deferred) = ix.lookup_batch_submit(&keys, ctx.node);
+        for (&(idx, _), result) in probes.iter().zip(results) {
+            out[idx] = Some(result.map(|entries| {
+                for entry in entries {
+                    emit(idx, entry);
+                }
+            }));
+        }
+        let results = out
+            .into_iter()
+            .map(|slot| slot.expect("every input validated or probed"))
+            .collect();
+        (results, deferred)
+    }
+
     fn name(&self) -> &str {
         &self.label
     }
@@ -238,6 +286,43 @@ impl Dereferencer for LookupDereferencer {
         out.into_iter()
             .map(|slot| slot.expect("every input validated or resolved"))
             .collect()
+    }
+
+    fn dereference_batch_split(
+        &self,
+        inputs: &[DerefInput],
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(usize, Record),
+    ) -> (Vec<Result<()>>, std::time::Duration) {
+        let mut out: Vec<Option<Result<()>>> = (0..inputs.len()).map(|_| None).collect();
+        let mut ptrs = Vec::with_capacity(inputs.len());
+        for (idx, input) in inputs.iter().enumerate() {
+            match input.as_point() {
+                Some(ptr) if *ptr.file == self.file => ptrs.push((idx, ptr)),
+                Some(ptr) => {
+                    out[idx] = Some(Err(RedeError::InvalidJob(format!(
+                        "{}: pointer targets '{}'",
+                        self.label, ptr.file
+                    ))));
+                }
+                None => {
+                    out[idx] = Some(Err(RedeError::InvalidJob(format!(
+                        "{}: expected a point input",
+                        self.label
+                    ))));
+                }
+            }
+        }
+        let refs: Vec<&rede_storage::Pointer> = ptrs.iter().map(|&(_, ptr)| ptr).collect();
+        let (results, deferred) = ctx.cluster.resolve_batch_submit(&refs, ctx.node);
+        for (&(idx, _), result) in ptrs.iter().zip(results) {
+            out[idx] = Some(result.map(|record| emit(idx, record)));
+        }
+        let results = out
+            .into_iter()
+            .map(|slot| slot.expect("every input validated or resolved"))
+            .collect();
+        (results, deferred)
     }
 
     fn name(&self) -> &str {

@@ -39,7 +39,7 @@ use crate::maintenance::IndexBuilder;
 use crate::JobResult;
 use parking_lot::{Condvar, Mutex};
 use rede_common::{RedeError, Result};
-use rede_storage::SimCluster;
+use rede_storage::{FabricConfig, SimCluster};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -64,6 +64,12 @@ pub struct SchedulerConfig {
     /// queued — fair-share weights keep admitted jobs honest, this keeps
     /// the *backlog* honest. `None` (the default) admits everything.
     pub max_tenant_queue_depth: Option<usize>,
+    /// Event-driven completion layer for remote round trips, shared by
+    /// all jobs. `None` (the default) keeps the synchronous model where a
+    /// pool thread sleeps each remote batch's RTT inline; `Some(fabric)`
+    /// submits remote batches to per-node in-flight windows instead (see
+    /// `rede_storage::fabric`).
+    pub fabric: Option<FabricConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -74,6 +80,7 @@ impl Default for SchedulerConfig {
             routing: RoutingPolicy::default(),
             batching: Batching::default(),
             max_tenant_queue_depth: None,
+            fabric: None,
         }
     }
 }
@@ -216,6 +223,9 @@ pub struct SchedulerStats {
     pub deadline_aborts: u64,
     /// Submissions refused by per-tenant admission control.
     pub rejected_jobs: u64,
+    /// Fabric flights currently armed or window-queued; always 0 without
+    /// a configured fabric, and 0 at rest with one (every flight lands).
+    pub fabric_in_flight: usize,
 }
 
 /// Watches admitted jobs' deadlines on one background thread and aborts
@@ -339,7 +349,7 @@ impl HarborScheduler {
     /// Stand up a scheduler over `cluster`: spawns the shared pool and
     /// per-node dispatchers eagerly.
     pub fn new(cluster: SimCluster, config: SchedulerConfig) -> HarborScheduler {
-        let substrate = Substrate::new(cluster, config.pool_threads);
+        let substrate = Substrate::new(cluster, config.pool_threads, config.fabric);
         let deadline_aborts = Arc::new(AtomicU64::new(0));
         let deadlines = Arc::new(DeadlineWatcher::new(deadline_aborts.clone()));
         let watcher = deadlines.clone();
@@ -455,6 +465,7 @@ impl HarborScheduler {
             pool_panics: self.core.substrate.pool_panics(),
             deadline_aborts: self.core.deadline_aborts.load(Ordering::SeqCst),
             rejected_jobs: self.core.rejected.load(Ordering::SeqCst),
+            fabric_in_flight: self.core.substrate.fabric_in_flight(),
         }
     }
 }

@@ -128,6 +128,34 @@ pub trait Dereferencer: Send + Sync {
             .collect()
     }
 
+    /// Resolve a batch of inputs with the remote round-trip *deferred*.
+    ///
+    /// Identical to [`Dereferencer::dereference_batch`] except that instead
+    /// of sleeping the network RTT inline, the implementation returns the
+    /// delay the caller must observe before treating the batch as complete.
+    /// The async fabric uses this to submit the batch, park the delay on a
+    /// completion queue, and free the pool thread; `Duration::ZERO` means
+    /// the batch was entirely local (or the dereferencer has no charged
+    /// remote path) and the results are immediately final.
+    ///
+    /// All charged accounting — fault injection, IOPS admission, device
+    /// time, counters — still happens synchronously inside this call, in
+    /// input order; only the RTT wait moves to the caller. The default
+    /// implementation delegates to `dereference_batch` (which sleeps any
+    /// RTT inline) and returns zero, so custom dereferencers are
+    /// fabric-compatible without changes.
+    fn dereference_batch_split(
+        &self,
+        inputs: &[DerefInput],
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(usize, Record),
+    ) -> (Vec<Result<()>>, std::time::Duration) {
+        (
+            self.dereference_batch(inputs, ctx, emit),
+            std::time::Duration::ZERO,
+        )
+    }
+
     /// Human-readable name for diagnostics.
     fn name(&self) -> &str {
         "dereferencer"

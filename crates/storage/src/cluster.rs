@@ -24,6 +24,7 @@ use crate::record::Record;
 use rede_common::{AccessKind, FxHasher, IoScope, Metrics, RedeError, Result, Value};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Deterministic identity of a point-read access for fault decisions:
 /// depends only on *what* is read, never on when or by whom.
@@ -121,7 +122,7 @@ impl ClusterInner {
 
     /// Network component of a remote access: the difference between remote
     /// and local point-read latency.
-    fn rtt(&self) -> std::time::Duration {
+    fn rtt(&self) -> Duration {
         self.io
             .remote_point_read
             .saturating_sub(self.io.local_point_read)
@@ -400,7 +401,12 @@ impl SimCluster {
             self.tally(|m| m.record_remote_rtt());
             let rtt = inner.rtt();
             if !rtt.is_zero() {
+                // A synchronous RTT sleep is one flight in the air: the
+                // gauge makes the pool-bound concurrency of this path
+                // directly comparable to the fabric's in-flight peak.
+                self.tally(|m| m.record_flight_begin());
                 std::thread::sleep(rtt);
+                self.tally(|m| m.record_flight_end());
             }
         }
         Ok(())
@@ -427,7 +433,9 @@ impl SimCluster {
             self.tally(|m| m.record_remote_rtt());
             let rtt = inner.rtt();
             if !rtt.is_zero() {
+                self.tally(|m| m.record_flight_begin());
                 std::thread::sleep(rtt);
+                self.tally(|m| m.record_flight_end());
             }
         }
         Ok(())
@@ -654,7 +662,48 @@ impl SimCluster {
         if let [ptr] = ptrs {
             return vec![self.resolve(ptr, from_node)];
         }
+        self.resolve_batch_impl(ptrs, from_node, false).0
+    }
+
+    /// Submit half of [`SimCluster::resolve_batch`] for the event-driven
+    /// fabric: the entire charged path runs synchronously on the calling
+    /// thread — cache probes, fault gating in input order, per-group IOPS
+    /// permit and device sleep, heap reads, cache inserts — **except** the
+    /// network round trip, whose modeled delay is returned instead of
+    /// slept. A zero return means every group was local (or the model has
+    /// no RTT) and there is nothing to put in the air.
+    ///
+    /// Every counter moves exactly as [`SimCluster::resolve_batch`] would
+    /// move it (`remote_rtts` included — one per remote group, charged at
+    /// submit), so a fabric run is counter-identical to a synchronous one.
+    /// Remote groups of one submission share a single returned delay
+    /// rather than summing: they are all in the air at once, which is
+    /// precisely the overlap an event-driven fabric models (the
+    /// synchronous path sleeps them back-to-back only because one thread
+    /// holds them all). Cache inserts land at submit time — before the
+    /// modeled round trip completes — a visible anachronism only to
+    /// wall-clock observers, never to any counter or output byte.
+    ///
+    /// Unlike `resolve_batch`, a single-pointer submission takes the
+    /// grouped path (its RTT must still be deferred); batch counters stay
+    /// untouched for it, keeping scalar-counter equality.
+    pub fn resolve_batch_submit(
+        &self,
+        ptrs: &[&Pointer],
+        from_node: usize,
+    ) -> (Vec<Result<Record>>, Duration) {
+        self.resolve_batch_impl(ptrs, from_node, true)
+    }
+
+    fn resolve_batch_impl(
+        &self,
+        ptrs: &[&Pointer],
+        from_node: usize,
+        defer_rtt: bool,
+    ) -> (Vec<Result<Record>>, Duration) {
         let inner = &*self.inner;
+        let count_batch = ptrs.len() > 1;
+        let mut deferred = Duration::ZERO;
         let mut out: Vec<Option<Result<Record>>> = (0..ptrs.len()).map(|_| None).collect();
 
         // Route everything and probe the cache up front; survivors are the
@@ -744,14 +793,20 @@ impl SimCluster {
                 // amortization the batch path exists for.
                 self.tally(|m| m.record_remote_rtt());
                 let rtt = inner.rtt();
-                if !rtt.is_zero() {
+                if defer_rtt {
+                    deferred = deferred.max(rtt);
+                } else if !rtt.is_zero() {
+                    self.tally(|m| m.record_flight_begin());
                     std::thread::sleep(rtt);
+                    self.tally(|m| m.record_flight_end());
                 }
             }
-            self.tally(|m| {
-                m.record_batched_reads(n);
-                m.record_batch_issued();
-            });
+            if count_batch {
+                self.tally(|m| {
+                    m.record_batched_reads(n);
+                    m.record_batch_issued();
+                });
+            }
             for (miss, _) in items {
                 let ptr = ptrs[miss.idx];
                 if inner.cache.is_some() {
@@ -776,9 +831,11 @@ impl SimCluster {
                 }
             }
         }
-        out.into_iter()
+        let results = out
+            .into_iter()
             .map(|slot| slot.expect("every batch item resolved or failed"))
-            .collect()
+            .collect();
+        (results, deferred)
     }
 }
 
@@ -986,7 +1043,33 @@ impl IndexHandle {
         if let [key] = keys {
             return vec![self.lookup(key, from_node)];
         }
+        self.lookup_batch_impl(keys, from_node, false).0
+    }
+
+    /// Submit half of [`IndexHandle::lookup_batch`] for the event-driven
+    /// fabric: identical charged path and counters, but remote groups'
+    /// round trips are returned as one deferred delay instead of slept
+    /// (see [`SimCluster::resolve_batch_submit`] for the exact contract).
+    /// Keys that must consult every partition (unhinted local indexes)
+    /// still take the scalar path inline, synchronous RTT included — they
+    /// have no single serving device to put in the air.
+    pub fn lookup_batch_submit(
+        &self,
+        keys: &[Value],
+        from_node: usize,
+    ) -> (Vec<Result<Vec<Record>>>, Duration) {
+        self.lookup_batch_impl(keys, from_node, true)
+    }
+
+    fn lookup_batch_impl(
+        &self,
+        keys: &[Value],
+        from_node: usize,
+        defer_rtt: bool,
+    ) -> (Vec<Result<Vec<Record>>>, Duration) {
         let inner = &*self.cluster.inner;
+        let count_batch = keys.len() > 1;
+        let mut deferred = Duration::ZERO;
         let mut out: Vec<Option<Result<Vec<Record>>>> = (0..keys.len()).map(|_| None).collect();
         let mut singles: Vec<(usize, usize)> = Vec::new();
         for (idx, key) in keys.iter().enumerate() {
@@ -1035,14 +1118,20 @@ impl IndexHandle {
             if !local {
                 self.cluster.tally(|m| m.record_remote_rtt());
                 let rtt = inner.rtt();
-                if !rtt.is_zero() {
+                if defer_rtt {
+                    deferred = deferred.max(rtt);
+                } else if !rtt.is_zero() {
+                    self.cluster.tally(|m| m.record_flight_begin());
                     std::thread::sleep(rtt);
+                    self.cluster.tally(|m| m.record_flight_end());
                 }
             }
-            self.cluster.tally(|m| {
-                m.record_batched_reads(n);
-                m.record_batch_issued();
-            });
+            if count_batch {
+                self.cluster.tally(|m| {
+                    m.record_batched_reads(n);
+                    m.record_batch_issued();
+                });
+            }
             // One shared-descent pass per partition this device serves.
             let mut by_partition: Vec<(usize, Vec<usize>)> = Vec::new();
             for &(idx, partition, _) in &items {
@@ -1060,9 +1149,11 @@ impl IndexHandle {
                 }
             }
         }
-        out.into_iter()
+        let results = out
+            .into_iter()
             .map(|slot| slot.expect("every batch key probed or failed"))
-            .collect()
+            .collect();
+        (results, deferred)
     }
 
     /// Charged inclusive range probe across the placement's partitions.

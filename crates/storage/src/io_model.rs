@@ -70,7 +70,19 @@ impl IoModel {
     /// (remote:local ≈ 1.3:1). `scale = 1.0` compresses everything ~10×
     /// below real hardware so experiments run in seconds.
     pub fn hdd_like(scale: f64) -> IoModel {
-        let us = |x: f64| Duration::from_nanos((x * 1000.0 * scale) as u64);
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "IoModel::hdd_like scale must be finite and non-negative, got {scale}"
+        );
+        // `as u64` on an out-of-range f64 saturates since Rust 1.45, but the
+        // *product* `x * 1000.0 * scale` can itself overflow to infinity for
+        // huge scales; clamp explicitly so any such model saturates at
+        // u64::MAX nanoseconds instead of depending on cast edge cases (the
+        // same treatment `scan_cost` got for its batch multiplication).
+        let us = |x: f64| {
+            let ns = (x * 1000.0 * scale).min(u64::MAX as f64);
+            Duration::from_nanos(ns as u64)
+        };
         IoModel {
             local_point_read: us(500.0),
             remote_point_read: us(650.0),
@@ -355,6 +367,36 @@ mod tests {
         let b = IoModel::hdd_like(2.0);
         assert_eq!(b.local_point_read, a.local_point_read * 2);
         assert_eq!(a.queue_depth, 1008);
+    }
+
+    #[test]
+    fn hdd_like_saturates_on_huge_scale_instead_of_wrapping() {
+        // 500 µs × 1e300 overflows any integer width; the model must pin at
+        // u64::MAX nanoseconds, not wrap to something small.
+        let m = IoModel::hdd_like(1e300);
+        assert_eq!(m.local_point_read, Duration::from_nanos(u64::MAX));
+        assert_eq!(m.remote_point_read, Duration::from_nanos(u64::MAX));
+        // A merely-large finite scale must stay exact (no premature clamp).
+        let big = IoModel::hdd_like(1e6);
+        assert_eq!(big.local_point_read, Duration::from_millis(500_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn hdd_like_rejects_negative_scale() {
+        let _ = IoModel::hdd_like(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn hdd_like_rejects_nan_scale() {
+        let _ = IoModel::hdd_like(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn hdd_like_rejects_infinite_scale() {
+        let _ = IoModel::hdd_like(f64::INFINITY);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cache;
 pub mod catalog;
 pub mod cluster;
 pub mod cost;
+pub mod fabric;
 pub mod faults;
 pub mod heap_file;
 pub mod io_model;
@@ -40,6 +41,7 @@ pub use btree_file::{BtreeFile, IndexEntry, IndexLocality, IndexSpec};
 pub use cache::{CacheKey, CachePlacement, RecordCache};
 pub use cluster::{FileHandle, FileSpec, IndexHandle, SimCluster, SimClusterBuilder};
 pub use cost::{CostModel, CostReport};
+pub use fabric::{FabricConfig, SimFabric};
 pub use faults::{AccessClass, Brownout, DownWindow, FaultDecision, FaultInjector, FaultPlan};
 pub use heap_file::HeapFile;
 pub use io_model::{IoModel, IopsLimiter};

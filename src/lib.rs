@@ -65,7 +65,9 @@ pub use rede_tpch as tpch;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use rede_common::{AccessKind, Date, Metrics, RedeError, Result, Value};
-    pub use rede_core::exec::{ExecMode, ExecutorConfig, JobResult, JobRunner, RoutingPolicy};
+    pub use rede_core::exec::{
+        Batching, ExecMode, ExecutorConfig, JobResult, JobRunner, RoutingPolicy,
+    };
     pub use rede_core::job::{Job, JobBuilder};
     pub use rede_core::maintenance::IndexBuilder;
     pub use rede_core::prebuilt::*;
@@ -78,7 +80,7 @@ pub mod prelude {
         StageCtx,
     };
     pub use rede_storage::{
-        Brownout, CachePlacement, DownWindow, FaultInjector, FaultPlan, FileSpec, IoModel,
-        Partitioning, Pointer, Record, SimCluster, SimClusterBuilder,
+        Brownout, CachePlacement, DownWindow, FabricConfig, FaultInjector, FaultPlan, FileSpec,
+        IoModel, Partitioning, Pointer, Record, SimCluster, SimClusterBuilder,
     };
 }

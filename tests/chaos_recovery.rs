@@ -60,9 +60,16 @@ fn sorted_bytes(result: &JobResult) -> Vec<Vec<u8>> {
 }
 
 /// Run every job through a scheduler on `cluster`, collecting outputs.
+/// Asserts IOPS-permit conservation around the whole run: whatever the
+/// fault shape did mid-batch (fault aborts between device groups,
+/// replica reroutes, retries), every per-device-group permit acquired by
+/// `resolve_batch`/`lookup_batch` must be back by the time the jobs have
+/// all completed — permits are RAII-scoped to the device-time window and
+/// never survive an abort.
 fn run_all(cluster: &SimCluster) -> Vec<JobResult> {
+    let permits_at_rest = cluster.available_iops_permits();
     let sched = HarborScheduler::with_defaults(cluster.clone());
-    jobs()
+    let results: Vec<JobResult> = jobs()
         .iter()
         .map(|job| {
             sched
@@ -71,7 +78,13 @@ fn run_all(cluster: &SimCluster) -> Vec<JobResult> {
                 .wait()
                 .unwrap()
         })
-        .collect()
+        .collect();
+    assert_eq!(
+        cluster.available_iops_permits(),
+        permits_at_rest,
+        "a chaos run leaked or over-released IOPS permits"
+    );
+    results
 }
 
 /// The invariants every faulted run must preserve against its fault-free

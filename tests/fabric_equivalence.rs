@@ -1,0 +1,394 @@
+//! Fabric equivalence: the event-driven completion layer must change
+//! *timing* only — never answers, counters, or resource accounting.
+//!
+//! The same TPC-H Q5'/Q6 jobs run against an RTT-dominant cluster twice:
+//! once on the synchronous path (pool threads sleep each remote batch's
+//! round trip inline) and once per fabric window K ∈ {1, 8, 64}. For
+//! every window, routing policy, and fault seed the fabric run must be
+//! byte-identical, keep the read-conservation invariant, and return every
+//! IOPS permit. A separate test cancels a job while flights are
+//! provably in the air and asserts that every fabric slot, permit, and
+//! pool thread flows back. The linger-flush pin
+//! (`straggler_pointer_flushes_after_linger`) lives here too: a
+//! deadline-armed under-full batch must always flush, with or without
+//! its straggler.
+
+use lakeharbor::prelude::*;
+use lakeharbor::storage::{IndexEntry, IndexSpec};
+use rede_core::job::SeedInput;
+use rede_tpch::{load_tpch, q5_prime_job, q6_job, LoadOptions, Q5Params, Q6Params, TpchGenerator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency model where the network round trip dwarfs device time: the
+/// regime the fabric exists for. 100 µs RTT on a 2 µs local read.
+fn rtt_heavy_io() -> IoModel {
+    IoModel {
+        local_point_read: Duration::from_micros(2),
+        remote_point_read: Duration::from_micros(102),
+        scan_per_record: Duration::ZERO,
+        index_lookup: Duration::from_micros(1),
+        scan_batch: 1024,
+        queue_depth: 1008,
+    }
+}
+
+fn fixture(io: IoModel, faults: Option<FaultPlan>) -> SimCluster {
+    let mut builder = SimCluster::builder()
+        .nodes(4)
+        .io_model(io)
+        .record_cache(512);
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    let cluster = builder.build().unwrap();
+    load_tpch(
+        &cluster,
+        TpchGenerator::new(0.002, 7),
+        &LoadOptions {
+            partitions: Some(8),
+            date_indexes: true,
+            fk_indexes: true,
+        },
+    )
+    .unwrap();
+    cluster
+}
+
+fn sorted_bytes(result: &JobResult) -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = result.records.iter().map(|r| r.bytes().to_vec()).collect();
+    v.sort();
+    v
+}
+
+/// Run Q5' and Q6 through a scheduler with the given routing and fabric
+/// setting, asserting permit conservation around the whole run.
+fn run_all(
+    cluster: &SimCluster,
+    routing: RoutingPolicy,
+    fabric: Option<FabricConfig>,
+) -> Vec<JobResult> {
+    let permits_at_rest = cluster.available_iops_permits();
+    let sched = HarborScheduler::new(
+        cluster.clone(),
+        SchedulerConfig {
+            pool_threads: 32,
+            routing,
+            fabric,
+            ..SchedulerConfig::default()
+        },
+    );
+    let jobs = [
+        q5_prime_job(&Q5Params::with_selectivity(3e-2)).unwrap(),
+        q6_job(&Q6Params::standard()).unwrap(),
+    ];
+    let results: Vec<JobResult> = jobs
+        .iter()
+        .map(|job| {
+            sched
+                .submit_with(job, SubmitOptions::new().collecting())
+                .unwrap()
+                .wait()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        sched.stats().fabric_in_flight,
+        0,
+        "flights must all land by the time their jobs complete"
+    );
+    assert_eq!(
+        cluster.available_iops_permits(),
+        permits_at_rest,
+        "a run leaked or over-released IOPS permits"
+    );
+    results
+}
+
+/// The invariants a fabric run must preserve against its synchronous
+/// reference.
+fn assert_equivalent(fabric: &[JobResult], sync: &[JobResult], label: &str) {
+    for (f, s) in fabric.iter().zip(sync) {
+        assert_eq!(
+            sorted_bytes(f),
+            sorted_bytes(s),
+            "{label}: the fabric changed an answer"
+        );
+        // Logical-resolve conservation: every record fetch is exactly one
+        // cache hit or one successful charged read, whichever path slept
+        // (or deferred) the round trip. The hit/read split may legally
+        // shift with timing (cache inserts land at submit time), but the
+        // sum is the job's logical point-read count and must be exact.
+        assert_eq!(
+            f.metrics.point_reads() + f.metrics.cache_hits,
+            s.metrics.point_reads() + s.metrics.cache_hits,
+            "{label}: fabric leaked into the read-conservation counters"
+        );
+        for n in &f.profile.nodes {
+            assert_eq!(
+                n.local_point_reads + n.remote_point_reads,
+                n.cache_misses,
+                "{label}: node {}: misses and storage reads must pair",
+                n.node
+            );
+        }
+        // Fault recovery is identical at submit time.
+        assert_eq!(
+            f.metrics.faults_injected, s.metrics.faults_injected,
+            "{label}: fault decisions must be unchanged at submit time"
+        );
+        assert_eq!(f.metrics.retries, f.profile.retries, "{label}");
+        assert_eq!(
+            f.metrics.fabric_completions, f.profile.fabric_completions,
+            "{label}: profile must mirror the scope's fabric counters"
+        );
+    }
+}
+
+#[test]
+fn fabric_grid_matches_synchronous_path() {
+    for routing in [RoutingPolicy::Producer, RoutingPolicy::Owner] {
+        for fault_seed in [None, Some(7u64)] {
+            let plan = |seed: Option<u64>| {
+                seed.map(|s| FaultPlan::transient(s, 0.1).with_probe_fault_rate(0.1))
+            };
+            let sync = run_all(&fixture(rtt_heavy_io(), plan(fault_seed)), routing, None);
+            for window in [1usize, 8, 64] {
+                let label = format!("routing={routing:?} faults={fault_seed:?} K={window}");
+                let cluster = fixture(rtt_heavy_io(), plan(fault_seed));
+                let results = run_all(&cluster, routing, Some(FabricConfig::window(window)));
+                assert_equivalent(&results, &sync, &label);
+                // Remote batches really flew through the fabric (producer
+                // routing guarantees remote reads on this fixture).
+                let completions: u64 = results.iter().map(|r| r.metrics.fabric_completions).sum();
+                let remote: u64 = results.iter().map(|r| r.metrics.remote_rtts).sum();
+                if matches!(routing, RoutingPolicy::Producer) {
+                    assert!(remote > 0, "{label}: fixture must exercise remote reads");
+                }
+                if remote > 0 {
+                    assert!(
+                        completions > 0,
+                        "{label}: remote round trips must ride the fabric"
+                    );
+                }
+                // A K=1 window on a batched workload must report stalls;
+                // they are the window doing its job, not an error.
+                if window == 1 && completions > 1 {
+                    let stalls: u64 = results.iter().map(|r| r.metrics.window_stalls).sum();
+                    assert!(stalls > 0, "{label}: a window of 1 cannot avoid stalling");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_mid_flight_returns_every_slot_permit_and_thread() {
+    // A fat RTT so flights stay in the air long enough to observe, and a
+    // small window so the submit side also queues behind it.
+    let io = IoModel {
+        remote_point_read: Duration::from_millis(20),
+        ..rtt_heavy_io()
+    };
+    let cluster = fixture(io, None);
+    let permits_at_rest = cluster.available_iops_permits();
+    let sched = HarborScheduler::new(
+        cluster.clone(),
+        SchedulerConfig {
+            pool_threads: 32,
+            routing: RoutingPolicy::Producer,
+            fabric: Some(FabricConfig::window(2)),
+            ..SchedulerConfig::default()
+        },
+    );
+    let handle = sched
+        .submit_with(
+            &q5_prime_job(&Q5Params::with_selectivity(3e-1)).unwrap(),
+            SubmitOptions::new(),
+        )
+        .unwrap();
+    // Wait until remote batches are provably in the air, then cancel.
+    let poll_deadline = Instant::now() + Duration::from_secs(10);
+    while sched.stats().fabric_in_flight == 0 {
+        assert!(
+            Instant::now() < poll_deadline,
+            "job never put a flight in the air"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    handle.cancel();
+    assert!(matches!(
+        handle.wait().unwrap_err(),
+        RedeError::Cancelled(_)
+    ));
+    // Every resource must flow back: fabric slots (armed and
+    // window-queued), the in-flight gauge, IOPS permits, pool threads.
+    let poll_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let clean = sched.stats().fabric_in_flight == 0
+            && cluster.metrics().flights_in_flight() == 0
+            && handle.permits_held() == 0
+            && handle.pool_threads_held() == 0
+            && cluster.available_iops_permits() == permits_at_rest;
+        if clean {
+            break;
+        }
+        assert!(
+            Instant::now() < poll_deadline,
+            "cancelled job still holds resources: fabric={} gauge={} permits={} pool={}",
+            sched.stats().fabric_in_flight,
+            cluster.metrics().flights_in_flight(),
+            handle.permits_held(),
+            handle.pool_threads_held(),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The substrate is unharmed: the same scheduler still answers.
+    let ok = sched
+        .submit(&q6_job(&Q6Params::standard()).unwrap())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(ok.count > 0);
+}
+
+/// Referencer that delays one specific pointer — the "single straggler"
+/// of the linger-flush pin below.
+struct StragglerRef {
+    inner: IndexEntryReferencer,
+    slow_key: i64,
+    delay: Duration,
+}
+
+impl Referencer for StragglerRef {
+    fn reference(
+        &self,
+        record: &Record,
+        ctx: &StageCtx,
+        emit: &mut dyn FnMut(Pointer),
+    ) -> Result<()> {
+        if let Ok(entry) = IndexEntry::from_record(record) {
+            if entry.key == Value::Int(self.slow_key) {
+                std::thread::sleep(self.delay);
+            }
+        }
+        self.inner.reference(record, ctx, emit)
+    }
+}
+
+/// Tiny two-node fixture: 8 base records, a global index whose entries
+/// feed a referencer that delays exactly one pointer.
+fn straggler_fixture() -> SimCluster {
+    let c = SimCluster::builder()
+        .nodes(2)
+        .io_model(IoModel::zero())
+        .build()
+        .unwrap();
+    let f = c
+        .create_file(FileSpec::new("base", Partitioning::hash(2)))
+        .unwrap();
+    let ix = c.create_index(IndexSpec::global("ix", "base", 2)).unwrap();
+    for k in 0..8i64 {
+        f.insert(Value::Int(k), Record::from_text(&format!("rec-{k}")))
+            .unwrap();
+        ix.insert(
+            Value::Int(k),
+            IndexEntry::new(Value::Int(k), Value::Int(k)).to_record(),
+        )
+        .unwrap();
+    }
+    c
+}
+
+fn straggler_job(slow_key: i64, delay: Duration) -> Job {
+    Job::builder("straggler")
+        .seed(SeedInput::Range {
+            file: "ix".into(),
+            lo: Value::Int(0),
+            hi: Value::Int(7),
+        })
+        .dereference("scan-ix", Arc::new(BtreeRangeDereferencer::new("ix")))
+        .reference(
+            "entry->base",
+            Arc::new(StragglerRef {
+                inner: IndexEntryReferencer::new("base"),
+                slow_key,
+                delay,
+            }),
+        )
+        .dereference("fetch", Arc::new(LookupDereferencer::new("base")))
+        .build()
+        .unwrap()
+}
+
+/// Satellite pin for the linger audit: once a lead pointer arms the
+/// linger deadline, the batch must flush on *every* exit path — straggler
+/// arrival, deadline expiry, or foreign work. Losing the lead (or a
+/// taken batchmate) would surface as missing output records or a hang.
+#[test]
+fn straggler_pointer_flushes_after_linger() {
+    // Case 1: the straggler arrives *inside* the linger window — the
+    // armed batch must flush with it (or right after it; either way all
+    // eight records come out).
+    let runner = JobRunner::new(
+        straggler_fixture(),
+        ExecutorConfig::smpe(8)
+            .collecting()
+            .with_batching(Batching {
+                max_batch: 8,
+                linger: Duration::from_millis(400),
+            }),
+    );
+    let start = Instant::now();
+    let result = runner
+        .run(&straggler_job(6, Duration::from_millis(30)))
+        .unwrap();
+    assert_eq!(result.count, 8, "a lingering batch stranded records");
+    assert!(
+        result.metrics.batches_issued >= 1 && result.metrics.batched_reads >= 2,
+        "the linger window must have coalesced something: {} batches / {} reads",
+        result.metrics.batches_issued,
+        result.metrics.batched_reads
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "the linger path must terminate promptly"
+    );
+
+    // Case 2: the straggler arrives *after* the deadline — the armed
+    // batch must flush without it, and the late pointer must still
+    // execute on its own. Same answer, one straggler more dispatch.
+    let runner = JobRunner::new(
+        straggler_fixture(),
+        ExecutorConfig::smpe(8)
+            .collecting()
+            .with_batching(Batching {
+                max_batch: 8,
+                linger: Duration::from_millis(40),
+            }),
+    );
+    let result = runner
+        .run(&straggler_job(6, Duration::from_millis(200)))
+        .unwrap();
+    assert_eq!(
+        result.count, 8,
+        "a deadline-expired batch dropped the straggler or itself"
+    );
+
+    // Case 3: same shape through the fabric — the async path shares the
+    // dispatcher's linger machinery and must preserve the same answer.
+    let runner = JobRunner::new(
+        straggler_fixture(),
+        ExecutorConfig::smpe(8)
+            .collecting()
+            .with_batching(Batching {
+                max_batch: 8,
+                linger: Duration::from_millis(40),
+            })
+            .with_fabric(FabricConfig::window(4)),
+    );
+    let result = runner
+        .run(&straggler_job(6, Duration::from_millis(80)))
+        .unwrap();
+    assert_eq!(result.count, 8, "fabric linger path changed the answer");
+}
