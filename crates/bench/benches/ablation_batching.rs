@@ -48,6 +48,7 @@ fn remote_heavy_io() -> IoModel {
         remote_point_read: Duration::from_micros(520),
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_micros(10),
+        page_fault: Duration::from_micros(20),
         scan_batch: 1024,
         queue_depth: 1008,
     }
@@ -67,6 +68,7 @@ fn fabric_heavy_io() -> IoModel {
         remote_point_read: Duration::from_millis(50),
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_micros(2),
+        page_fault: Duration::from_micros(5),
         scan_batch: 1024,
         queue_depth: 1008,
     }
@@ -227,29 +229,30 @@ fn measure(
     }
 }
 
-/// Render the measured points as the committed `BENCH_smpe.json` baseline.
+/// Render the measured points as this bench's section of the committed
+/// `BENCH_smpe.json` baseline (other benches' sections are preserved).
 fn write_baseline(points: &[ConfigPoint]) {
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
             format!(
                 concat!(
-                    "    {{\n",
-                    "      \"config\": \"{}\",\n",
-                    "      \"max_batch\": {},\n",
-                    "      \"fabric_window\": {},\n",
-                    "      \"wall_ms\": {:.2},\n",
-                    "      \"output_rows\": {},\n",
-                    "      \"point_dereferences\": {},\n",
-                    "      \"throughput_pointers_per_sec\": {:.0},\n",
-                    "      \"remote_rtt_sleeps\": {},\n",
-                    "      \"batches_issued\": {},\n",
-                    "      \"batched_reads\": {},\n",
-                    "      \"mean_batch_size\": {:.2},\n",
-                    "      \"inflight_peak\": {},\n",
-                    "      \"fabric_completions\": {},\n",
-                    "      \"window_stalls\": {}\n",
-                    "    }}"
+                    "      {{\n",
+                    "        \"config\": \"{}\",\n",
+                    "        \"max_batch\": {},\n",
+                    "        \"fabric_window\": {},\n",
+                    "        \"wall_ms\": {:.2},\n",
+                    "        \"output_rows\": {},\n",
+                    "        \"point_dereferences\": {},\n",
+                    "        \"throughput_pointers_per_sec\": {:.0},\n",
+                    "        \"remote_rtt_sleeps\": {},\n",
+                    "        \"batches_issued\": {},\n",
+                    "        \"batched_reads\": {},\n",
+                    "        \"mean_batch_size\": {:.2},\n",
+                    "        \"inflight_peak\": {},\n",
+                    "        \"fabric_completions\": {},\n",
+                    "        \"window_stalls\": {}\n",
+                    "      }}"
                 ),
                 p.name,
                 p.max_batch,
@@ -268,24 +271,21 @@ fn write_baseline(points: &[ConfigPoint]) {
             )
         })
         .collect();
-    let json = format!(
+    let body = format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"ablation_batching\",\n",
-            "  \"workload\": \"part⋈lineitem join, producer routing, pool {}; ",
+            "    \"workload\": \"part⋈lineitem join, producer routing, pool {}; ",
             "batching rows: 4 nodes, RTT-dominant io (local 20µs / remote 520µs); ",
             "fabric_* rows: {} nodes, fabric-saturation io (local 5µs / remote 2ms), ",
             "window sweep K in {{1,4,16,64}}\",\n",
-            "  \"configs\": [\n{}\n  ]\n",
-            "}}\n"
+            "    \"configs\": [\n{}\n    ]\n",
+            "  }}"
         ),
         POOL,
         FABRIC_NODES,
         rows.join(",\n")
     );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_smpe.json");
-    std::fs::write(&path, json).expect("write BENCH_smpe.json");
-    eprintln!("[ablation/batching] wrote {}", path.display());
+    rede_bench::write_baseline_section("ablation_batching", &body);
 }
 
 fn bench_batching(c: &mut Criterion) {

@@ -29,7 +29,7 @@ fn fixture(placement: CachePlacement) -> Fig7Fixture {
         smpe_threads: 128,
         cores_per_node: 8,
         seed: 42,
-        record_cache: Some(4096), // total budget, split per node when PerNode
+        record_cache: Some(512 * 1024), // total bytes, split per node when PerNode
         cache_placement: placement,
         faults: None,
         ..Fig7Config::default()

@@ -63,9 +63,9 @@ fn bench_record_cache(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(8));
     for (label, capacity) in [
         ("no_cache", None),
-        ("cache_64", Some(64usize)),
-        ("cache_1k", Some(1_000)),
-        ("cache_all", Some(ROWS as usize)),
+        ("cache_8k", Some(8usize << 10)),
+        ("cache_128k", Some(128 << 10)),
+        ("cache_all", Some(2 << 20)),
     ] {
         let cluster = build(capacity);
         group.bench_function(label, |b| b.iter(|| black_box(run(&cluster, &keys))));

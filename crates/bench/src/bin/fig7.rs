@@ -8,7 +8,9 @@
 //!   FIG7_NODES     simulated nodes         (default 4)
 //!   FIG7_THREADS   SMPE pool threads       (default 512)
 //!   FIG7_IO_SCALE  latency model scale     (default 1.0)
-//!   FIG7_CACHE     total record-cache capacity (default: no cache)
+//!   FIG7_CACHE     total record-cache bytes    (default: no cache)
+//!   FIG7_MEMORY    shared buffer-pool byte budget over all paged
+//!                  structures + the record cache (default: unbounded)
 //!
 //! Flags:
 //!   --profile      after each selectivity row, print the SMPE run's full
@@ -45,6 +47,9 @@ fn main() {
         cores_per_node: 8,
         seed: 42,
         record_cache: std::env::var("FIG7_CACHE")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        memory_budget: std::env::var("FIG7_MEMORY")
             .ok()
             .and_then(|v| v.parse().ok()),
         ..Fig7Config::default()
@@ -99,4 +104,24 @@ fn main() {
     println!("# paper shape: ReDe w/ SMPE >> Impala at low/mid selectivity (>10x),");
     println!("# ReDe w/o SMPE only marginally better at very low selectivity,");
     println!("# Impala wins at high selectivity (no optimizer fallback in ReDe).");
+    let pool = fixture.cluster.buffer_stats();
+    if config.memory_budget.is_some() {
+        println!(
+            "# memory budget {} B: {} resident / {} spilled bytes, {} faults, {} evictions",
+            pool.budget_total, pool.resident_bytes, pool.disk_bytes, pool.faults, pool.evictions
+        );
+        // Every sweep touches far more structure than a constrained budget
+        // holds: a budgeted run that never faulted means the paging path
+        // silently fell out of the loop.
+        assert!(
+            pool.faults > 0,
+            "FIG7_MEMORY set but the run never faulted a page"
+        );
+        assert!(
+            pool.budget_used <= pool.budget_total,
+            "resident bytes {} exceed the configured budget {}",
+            pool.budget_used,
+            pool.budget_total
+        );
+    }
 }

@@ -38,9 +38,13 @@ pub struct Fig7Config {
     pub cores_per_node: usize,
     /// Generator seed.
     pub seed: u64,
-    /// Total record-cache capacity across the cluster (`None` = no cache,
+    /// Total record-cache bytes across the cluster (`None` = no cache,
     /// the paper's configuration).
     pub record_cache: Option<usize>,
+    /// Shared buffer-pool byte budget covering every paged structure
+    /// (heaps + indexes) *and* the record cache (`None` = unbounded, the
+    /// everything-resident configuration).
+    pub memory_budget: Option<usize>,
     /// Where the record cache lives when one is configured.
     pub cache_placement: CachePlacement,
     /// Deterministic fault plan for chaos runs (`None` or an inert plan =
@@ -62,6 +66,7 @@ impl Default for Fig7Config {
             cores_per_node: 8,
             seed: 42,
             record_cache: None,
+            memory_budget: None,
             cache_placement: CachePlacement::default(),
             faults: None,
             shuffle: ShuffleLocality::default(),
@@ -90,6 +95,9 @@ impl Fig7Fixture {
             .cache_placement(config.cache_placement);
         if let Some(capacity) = config.record_cache {
             builder = builder.record_cache(capacity);
+        }
+        if let Some(budget) = config.memory_budget {
+            builder = builder.memory_budget(budget);
         }
         if let Some(plan) = config.faults.clone() {
             builder = builder.faults(plan);
@@ -518,6 +526,120 @@ pub fn run_throughput(
     })
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_smpe.json baseline: one committed file at the workspace root with
+// one top-level key per bench. Each bench rewrites only its own section so
+// regenerating one ablation never drops another's committed baseline.
+// ---------------------------------------------------------------------------
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_smpe.json")
+}
+
+/// Split a top-level JSON object into raw `(key, value-text)` pairs.
+///
+/// A tiny scanner instead of a JSON dependency: it only needs to find the
+/// top-level keys and their balanced bodies, tracking string literals so
+/// braces inside workload descriptions don't confuse the depth count.
+/// Anything that is not a JSON object yields an empty list.
+fn split_sections(text: &str) -> Vec<(String, String)> {
+    let b = text.as_bytes();
+    let n = b.len();
+    let mut i = 0;
+    while i < n && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i >= n || b[i] != b'{' {
+        return Vec::new();
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        while i < n && (b[i].is_ascii_whitespace() || b[i] == b',') {
+            i += 1;
+        }
+        if i >= n || b[i] == b'}' {
+            break;
+        }
+        if b[i] != b'"' {
+            return Vec::new();
+        }
+        i += 1;
+        let key_start = i;
+        while i < n && b[i] != b'"' {
+            if b[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        if i >= n {
+            return Vec::new();
+        }
+        let key = text[key_start..i].to_string();
+        i += 1;
+        while i < n && (b[i].is_ascii_whitespace() || b[i] == b':') {
+            i += 1;
+        }
+        let value_start = i;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        while i < n {
+            let c = b[i];
+            if in_string {
+                if c == b'\\' {
+                    i += 1;
+                } else if c == b'"' {
+                    in_string = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_string = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' if depth == 0 => break, // enclosing object's close
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        out.push((key, text[value_start..i].trim_end().to_string()));
+    }
+    out
+}
+
+/// Read-merge-write one bench's section into `BENCH_smpe.json`,
+/// preserving every other bench's committed baseline. `body` is the
+/// section's rendered JSON value (an object, indented two spaces deeper
+/// than top level). Legacy flat files (a top-level `"bench"` key from the
+/// pre-section format) are discarded and rebuilt.
+pub fn write_baseline_section(bench: &str, body: &str) {
+    let path = baseline_path();
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut sections = split_sections(&existing);
+    if sections.iter().any(|(k, _)| k == "bench") {
+        sections.clear();
+    }
+    match sections.iter_mut().find(|(k, _)| k == bench) {
+        Some(entry) => entry.1 = body.trim_end().to_string(),
+        None => sections.push((bench.to_string(), body.trim_end().to_string())),
+    }
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let rendered: Vec<String> = sections
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", rendered.join(",\n"));
+    std::fs::write(&path, json).expect("write BENCH_smpe.json");
+    eprintln!("[bench] wrote section \"{bench}\" of {}", path.display());
+}
+
 /// Format a duration in adaptive units for report tables.
 pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -576,6 +698,30 @@ mod tests {
                 row.normalized_rede()
             );
         }
+    }
+
+    #[test]
+    fn baseline_sections_split_and_preserve_nested_braces() {
+        let text = concat!(
+            "{\n",
+            "  \"a\": {\n",
+            "    \"workload\": \"K in {1,4} ⋈ 20µs\",\n",
+            "    \"configs\": [ {\"x\": 1}, {\"y\": [2, 3]} ]\n",
+            "  },\n",
+            "  \"b\": { \"n\": 7 }\n",
+            "}\n"
+        );
+        let sections = split_sections(text);
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "a");
+        assert!(sections[0].1.contains("K in {1,4}"));
+        assert!(sections[0].1.ends_with('}'));
+        assert_eq!(sections[1].0, "b");
+        assert_eq!(sections[1].1, "{ \"n\": 7 }");
+        // Not an object (or the legacy flat file parses to its own keys).
+        assert!(split_sections("[1, 2]").is_empty());
+        let legacy = "{ \"bench\": \"ablation_batching\", \"configs\": [] }";
+        assert!(split_sections(legacy).iter().any(|(k, _)| k == "bench"));
     }
 
     #[test]

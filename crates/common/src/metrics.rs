@@ -73,6 +73,11 @@ struct Inner {
     /// completion. `inflight_peak` is its high-water mark.
     flights_in_flight: AtomicU64,
     inflight_peak: AtomicU64,
+    page_faults: AtomicU64,
+    page_evictions: AtomicU64,
+    /// High-water mark of simultaneously pinned buffer-pool bytes
+    /// (monotone between resets, like `inflight_peak`).
+    pinned_peak: AtomicU64,
     /// Point reads and record-cache accesses attributed to the node that
     /// *issued* them, grown on demand to the highest node index seen. Kept
     /// outside [`MetricsSnapshot`] (which stays `Copy`); read via
@@ -282,6 +287,30 @@ impl Metrics {
         self.inner.inflight_peak.fetch_max(now, Ordering::SeqCst);
     }
 
+    /// Count `n` buffer-pool pages faulted in from the simulated backing
+    /// store (a memory-pressure effect, *not* a logical record access —
+    /// conservation invariants over point reads must not move).
+    #[inline]
+    pub fn record_page_faults(&self, n: u64) {
+        if n > 0 {
+            self.inner.page_faults.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` buffer-pool frames evicted to make room.
+    #[inline]
+    pub fn record_page_evictions(&self, n: u64) {
+        if n > 0 {
+            self.inner.page_evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the pinned-bytes high-water mark to at least `bytes`.
+    #[inline]
+    pub fn record_pinned_peak(&self, bytes: u64) {
+        self.inner.pinned_peak.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Mark one remote round trip landing.
     #[inline]
     pub fn record_flight_end(&self) {
@@ -319,6 +348,9 @@ impl Metrics {
             fabric_completions: i.fabric_completions.load(Ordering::Relaxed),
             window_stalls: i.window_stalls.load(Ordering::Relaxed),
             inflight_peak: i.inflight_peak.load(Ordering::SeqCst),
+            page_faults: i.page_faults.load(Ordering::Relaxed),
+            page_evictions: i.page_evictions.load(Ordering::Relaxed),
+            pinned_peak: i.pinned_peak.load(Ordering::Relaxed),
         }
     }
 
@@ -349,6 +381,9 @@ impl Metrics {
             &i.window_stalls,
             &i.flights_in_flight,
             &i.inflight_peak,
+            &i.page_faults,
+            &i.page_evictions,
+            &i.pinned_peak,
         ] {
             ctr.store(0, Ordering::Relaxed);
         }
@@ -464,6 +499,13 @@ pub struct MetricsSnapshot {
     /// High-water mark of concurrent remote flights (monotone until
     /// [`Metrics::reset`]).
     pub inflight_peak: u64,
+    /// Buffer-pool pages faulted in from the simulated backing store.
+    pub page_faults: u64,
+    /// Buffer-pool frames evicted to make room under the byte budget.
+    pub page_evictions: u64,
+    /// High-water mark of simultaneously pinned buffer-pool bytes
+    /// (monotone until [`Metrics::reset`]).
+    pub pinned_peak: u64,
 }
 
 impl MetricsSnapshot {
@@ -513,6 +555,10 @@ impl MetricsSnapshot {
             // The peak is monotone between resets, so the difference is
             // how much higher the high-water mark climbed in the window.
             inflight_peak: self.inflight_peak.saturating_sub(earlier.inflight_peak),
+            page_faults: self.page_faults.saturating_sub(earlier.page_faults),
+            page_evictions: self.page_evictions.saturating_sub(earlier.page_evictions),
+            // Monotone like inflight_peak: the delta is the climb.
+            pinned_peak: self.pinned_peak.saturating_sub(earlier.pinned_peak),
         }
     }
 }
@@ -561,6 +607,15 @@ impl fmt::Display for MetricsSnapshot {
                 f,
                 ", fabric: {} completions / {} window stalls (peak {} in flight)",
                 self.fabric_completions, self.window_stalls, self.inflight_peak,
+            )?;
+        }
+        // Memory-pressure counters render only when the buffer pool
+        // actually paged, so unbounded runs keep their exact prior form.
+        if self.page_faults + self.page_evictions > 0 {
+            write!(
+                f,
+                ", memory: {} page faults / {} evictions (pinned peak {} B)",
+                self.page_faults, self.page_evictions, self.pinned_peak,
             )?;
         }
         Ok(())
@@ -668,6 +723,14 @@ pub struct ExecProfile {
     /// synchronous path it is bounded by the pool size (each flight parks
     /// a thread); through the fabric it is bounded by nodes × window.
     pub inflight_peak: u64,
+    /// Buffer-pool pages this job's accesses faulted back in (zero under
+    /// an unbounded memory budget).
+    pub page_faults: u64,
+    /// Buffer-pool frames evicted while this job's accesses made room.
+    pub page_evictions: u64,
+    /// High-water mark of pinned buffer-pool bytes observed by this job's
+    /// accesses.
+    pub pinned_peak: u64,
 }
 
 impl ExecProfile {
@@ -768,6 +831,13 @@ impl fmt::Display for ExecProfile {
                 f,
                 "  fabric: {} completions, {} window stalls, peak {} in flight",
                 self.fabric_completions, self.window_stalls, self.inflight_peak
+            )?;
+        }
+        if self.page_faults + self.page_evictions > 0 {
+            writeln!(
+                f,
+                "  memory: {} page faults, {} evictions, pinned peak {} B",
+                self.page_faults, self.page_evictions, self.pinned_peak
             )?;
         }
         for s in &self.stages {
@@ -966,6 +1036,27 @@ mod tests {
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         // A synchronous-path snapshot renders without the fabric suffix.
         assert!(!m.snapshot().to_string().contains("fabric:"));
+    }
+
+    #[test]
+    fn memory_pressure_counters_round_trip() {
+        let m = Metrics::new();
+        m.record_page_faults(3);
+        m.record_page_evictions(2);
+        m.record_pinned_peak(4096);
+        m.record_pinned_peak(1024); // must not lower the peak
+        let s = m.snapshot();
+        assert_eq!(s.page_faults, 3);
+        assert_eq!(s.page_evictions, 2);
+        assert_eq!(s.pinned_peak, 4096);
+        assert!(s.to_string().contains("memory: 3 page faults"));
+        let delta = m.snapshot().since(&s);
+        assert_eq!(delta.page_faults, 0);
+        assert_eq!(delta.pinned_peak, 0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        // An unpaged snapshot renders without the memory suffix.
+        assert!(!m.snapshot().to_string().contains("memory:"));
     }
 
     #[test]

@@ -767,6 +767,9 @@ impl JobState {
             fabric_completions: io.fabric_completions,
             window_stalls: io.window_stalls,
             inflight_peak: io.inflight_peak,
+            page_faults: io.page_faults,
+            page_evictions: io.page_evictions,
+            pinned_peak: io.pinned_peak,
         }
     }
 }

@@ -35,6 +35,14 @@ pub struct IndexBuildReport {
     pub entries: u64,
     /// Build duration.
     pub elapsed: Duration,
+    /// Total bytes of the built structure's entry pages, resident or
+    /// spilled to the simulated disk — the *build* cost in space.
+    pub structure_bytes: usize,
+    /// Bytes of those pages actually resident in the buffer pool when the
+    /// build finished — the *resident* cost. Under memory pressure this
+    /// is smaller than `structure_bytes`: building a structure no longer
+    /// implies holding all of it in memory.
+    pub resident_bytes: usize,
 }
 
 /// Builds one index over one base file from registered interpreters.
@@ -132,6 +140,8 @@ impl IndexBuilder {
             records_scanned: scanned,
             entries,
             elapsed: start.elapsed(),
+            structure_bytes: index.raw().total_bytes(),
+            resident_bytes: index.raw().resident_bytes(),
         })
     }
 

@@ -30,7 +30,7 @@ fn fixture(
 ) -> SimCluster {
     let mut b = SimCluster::builder().nodes(nodes);
     if let Some(placement) = cache {
-        b = b.record_cache(512).cache_placement(placement);
+        b = b.record_cache(64 * 1024).cache_placement(placement);
     }
     if faults {
         b = b.faults(FaultPlan::transient(7, 0.25));

@@ -8,6 +8,14 @@
 //! encoding is [`IndexEntry`], which carries the pointer components of the
 //! base record (partition key + in-partition key).
 //!
+//! Entry payloads live on [`SlottedPage`]s owned by a [`BufferPool`]: the
+//! tree keeps only slim `(page, slot)` references, so a lazily built index
+//! is *evictable* — under memory pressure its pages spill to the simulated
+//! disk and fault back in on the next probe, byte-identically. An index
+//! built with the default constructor uses a private unbounded pool and
+//! never faults. Probe methods come in `_traced` variants returning the
+//! [`PageStats`] the call incurred for the cluster layer to charge.
+//!
 //! Two placements, following the indexing-scheme taxonomy the paper cites:
 //!
 //! * **local** — partitioned identically to the base file, entries
@@ -18,6 +26,7 @@
 //!   routes to exactly one (possibly remote) partition.
 
 use crate::btree::BPlusTree;
+use crate::buffer::{BufferPool, PageId, PageStats, SlottedPage, DEFAULT_PAGE_BYTES};
 use crate::partitioner::{Partitioner, Partitioning};
 use crate::record::Record;
 use parking_lot::RwLock;
@@ -129,22 +138,67 @@ struct PlacementHints {
     tainted: AtomicBool,
 }
 
-/// A partitioned B+-tree secondary index.
+/// Where one posting's entry record lives: `(page, slot)` within the
+/// partition's page run. Slim enough to keep whole postings lists resident
+/// while the payload bytes stay evictable.
+#[derive(Debug, Clone, Copy)]
+struct EntryRef {
+    page_no: u32,
+    slot: u32,
+}
+
+/// One index partition: the key tree over entry references plus the
+/// append state of its open page.
+struct TreePartition {
+    tree: BPlusTree<Value, Vec<EntryRef>>,
+    /// Pages created so far (the open page is `pages - 1`).
+    pages: u32,
+    /// Byte size of the open page, mirrored so the writer can roll to a
+    /// new page without touching the pool.
+    open_bytes: usize,
+}
+
+impl TreePartition {
+    fn new() -> Self {
+        TreePartition {
+            tree: BPlusTree::new(),
+            pages: 0,
+            open_bytes: 0,
+        }
+    }
+}
+
+/// A partitioned B+-tree secondary index over slotted pages.
 pub struct BtreeFile {
     name: Arc<str>,
     base: Arc<str>,
     locality: IndexLocality,
     partitioner: Arc<dyn Partitioner>,
-    trees: Vec<RwLock<BPlusTree<Value, Vec<Record>>>>,
+    trees: Vec<RwLock<TreePartition>>,
     hints: Option<PlacementHints>,
+    pool: Arc<BufferPool>,
+    page_bytes: usize,
+    /// Page namespace: `idx:{name}`, disjoint from heap namespaces.
+    page_ns: Arc<str>,
 }
 
 impl BtreeFile {
-    /// Create an empty index from a spec.
+    /// Create an empty index from a spec, backed by a private unbounded
+    /// pool (never faults, never evicts).
     pub fn new(spec: &IndexSpec) -> Result<BtreeFile> {
+        BtreeFile::with_pool(spec, BufferPool::unbounded(), DEFAULT_PAGE_BYTES)
+    }
+
+    /// Create an empty index whose entry pages live in `pool`, competing
+    /// for its byte budget — this is what makes the index evictable.
+    pub fn with_pool(
+        spec: &IndexSpec,
+        pool: Arc<BufferPool>,
+        page_bytes: usize,
+    ) -> Result<BtreeFile> {
         let partitioner = spec.partitioning.build()?;
         let trees = (0..partitioner.partitions())
-            .map(|_| RwLock::new(BPlusTree::new()))
+            .map(|_| RwLock::new(TreePartition::new()))
             .collect();
         let hints = match spec.locality {
             IndexLocality::Local => Some(PlacementHints {
@@ -160,6 +214,9 @@ impl BtreeFile {
             partitioner,
             trees,
             hints,
+            pool,
+            page_bytes: page_bytes.max(1),
+            page_ns: Arc::from(format!("idx:{}", spec.name)),
         })
     }
 
@@ -183,23 +240,32 @@ impl BtreeFile {
         self.trees.len()
     }
 
-    /// Total number of entries (postings, not distinct keys).
+    /// Total number of entries (postings, not distinct keys). Metadata
+    /// only — counting never touches (or faults) entry pages.
     pub fn len(&self) -> usize {
         self.trees
             .iter()
-            .map(|t| t.read().iter().map(|(_, v)| v.len()).sum::<usize>())
+            .map(|t| t.read().tree.iter().map(|(_, v)| v.len()).sum::<usize>())
             .sum()
     }
 
     /// True if no entries have been inserted.
     pub fn is_empty(&self) -> bool {
-        self.trees.iter().all(|t| t.read().is_empty())
+        self.trees.iter().all(|t| t.read().tree.is_empty())
     }
 
     /// The partition an entry with index key `key` belongs to, for a
     /// *global* index. Local indexes place by base partition instead.
     pub fn partition_of_key(&self, key: &Value) -> usize {
         self.partitioner.partition_of(key)
+    }
+
+    fn page_id(&self, partition: usize, page_no: u32) -> PageId {
+        PageId {
+            file: self.page_ns.clone(),
+            partition: partition as u32,
+            page_no,
+        }
     }
 
     /// Insert an entry record under `key` into an explicit partition (used
@@ -234,14 +300,33 @@ impl BtreeFile {
     }
 
     fn insert_at_inner(&self, partition: usize, key: Value, entry: Record) -> Result<()> {
-        let tree = self.trees.get(partition).ok_or_else(|| {
+        let tp = self.trees.get(partition).ok_or_else(|| {
             RedeError::Routing(format!("{}: no partition {partition}", self.name))
         })?;
-        let mut tree = tree.write();
-        match tree.get_mut(&key) {
-            Some(postings) => postings.push(entry),
+        let mut tp = tp.write();
+        let cost = SlottedPage::push_cost(None, entry.len());
+        let empty = SlottedPage::new().byte_size();
+        let roll =
+            tp.pages == 0 || (tp.open_bytes + cost > self.page_bytes && tp.open_bytes > empty);
+        if roll {
+            self.pool.create_page(self.page_id(partition, tp.pages))?;
+            tp.pages += 1;
+            tp.open_bytes = empty;
+        }
+        let page_no = tp.pages - 1;
+        let id = self.page_id(partition, page_no);
+        let (slot, _stats) = self
+            .pool
+            .with_page_mut(&id, cost, |pg| pg.push(None, entry.bytes()))?;
+        tp.open_bytes += cost;
+        let entry_ref = EntryRef {
+            page_no,
+            slot: slot as u32,
+        };
+        match tp.tree.get_mut(&key) {
+            Some(postings) => postings.push(entry_ref),
             None => {
-                tree.insert(key, vec![entry]);
+                tp.tree.insert(key, vec![entry_ref]);
             }
         }
         Ok(())
@@ -273,41 +358,112 @@ impl BtreeFile {
         self.insert_at(self.partitioner.partition_of(&key), key, entry)
     }
 
-    /// Exact-key probe of one partition. Returns the postings (empty if the
-    /// key is absent) plus the number of tree traversals performed (always
-    /// one here; callers aggregate for accounting).
-    pub fn lookup_in(&self, partition: usize, key: &Value) -> Vec<Record> {
-        self.trees[partition]
-            .read()
-            .get(key)
-            .cloned()
-            .unwrap_or_default()
+    /// Materialize a run of entry references from their pages. Runs of
+    /// refs on the same page share one fetch; at most one page is pinned
+    /// at a time (the guard drops before the next fetch).
+    fn read_refs(&self, partition: usize, refs: &[EntryRef]) -> Result<(Vec<Record>, PageStats)> {
+        let mut out = Vec::with_capacity(refs.len());
+        let mut stats = PageStats::default();
+        let mut i = 0;
+        while i < refs.len() {
+            let page_no = refs[i].page_no;
+            let mut j = i;
+            while j < refs.len() && refs[j].page_no == page_no {
+                j += 1;
+            }
+            let id = self.page_id(partition, page_no);
+            let (batch, s) = self.pool.with_page(&id, |pg| {
+                refs[i..j]
+                    .iter()
+                    .map(|r| pg.record(r.slot as usize).expect("posting slot in page"))
+                    .collect::<Vec<_>>()
+            })?;
+            stats.absorb(s);
+            out.extend(batch);
+            i = j;
+        }
+        Ok((out, stats))
     }
 
-    /// Vectorized exact-key probe of one partition. Probes all `keys` in a
-    /// single pass that sorts them and shares the root-to-leaf descent
-    /// across adjacent probes, so a batch of keys landing in the same leaf
-    /// pays one traversal instead of one per key. Returns the postings per
-    /// key in *input* order (empty where absent) plus the number of
-    /// root-to-leaf descents actually performed.
+    /// Exact-key probe of one partition, reporting page I/O. Returns the
+    /// postings (empty if the key is absent).
+    pub fn lookup_in_traced(
+        &self,
+        partition: usize,
+        key: &Value,
+    ) -> Result<(Vec<Record>, PageStats)> {
+        let tp = self.trees[partition].read();
+        match tp.tree.get(key) {
+            Some(refs) => self.read_refs(partition, refs),
+            None => Ok((Vec::new(), PageStats::default())),
+        }
+    }
+
+    /// Exact-key probe of one partition. Returns the postings (empty if the
+    /// key is absent).
+    pub fn lookup_in(&self, partition: usize, key: &Value) -> Vec<Record> {
+        self.lookup_in_traced(partition, key)
+            .expect("page budget exhausted: raise the memory budget floor")
+            .0
+    }
+
+    /// Vectorized exact-key probe of one partition, reporting page I/O.
+    /// Probes all `keys` in a single pass that sorts them and shares the
+    /// root-to-leaf descent across adjacent probes, so a batch of keys
+    /// landing in the same leaf pays one traversal instead of one per key.
+    /// Returns the postings per key in *input* order (empty where absent)
+    /// plus the number of root-to-leaf descents actually performed.
+    pub fn lookup_batch_traced(
+        &self,
+        partition: usize,
+        keys: &[Value],
+    ) -> Result<(Vec<Vec<Record>>, usize, PageStats)> {
+        let tp = self.trees[partition].read();
+        let (hits, descents) = tp.tree.get_many(keys);
+        let mut postings = Vec::with_capacity(hits.len());
+        let mut stats = PageStats::default();
+        for hit in hits {
+            match hit {
+                Some(refs) => {
+                    let (recs, s) = self.read_refs(partition, refs)?;
+                    stats.absorb(s);
+                    postings.push(recs);
+                }
+                None => postings.push(Vec::new()),
+            }
+        }
+        Ok((postings, descents, stats))
+    }
+
+    /// Vectorized exact-key probe of one partition.
     pub fn lookup_batch(&self, partition: usize, keys: &[Value]) -> (Vec<Vec<Record>>, usize) {
-        let tree = self.trees[partition].read();
-        let (hits, descents) = tree.get_many(keys);
-        let postings = hits
-            .into_iter()
-            .map(|h| h.cloned().unwrap_or_default())
-            .collect();
+        let (postings, descents, _) = self
+            .lookup_batch_traced(partition, keys)
+            .expect("page budget exhausted: raise the memory budget floor");
         (postings, descents)
+    }
+
+    /// Inclusive range probe of one partition, in key order, reporting
+    /// page I/O.
+    pub fn range_in_traced(
+        &self,
+        partition: usize,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<(Vec<Record>, PageStats)> {
+        let tp = self.trees[partition].read();
+        let mut refs = Vec::new();
+        for (_, postings) in tp.tree.range_inclusive(lo, hi) {
+            refs.extend_from_slice(postings);
+        }
+        self.read_refs(partition, &refs)
     }
 
     /// Inclusive range probe of one partition, in key order.
     pub fn range_in(&self, partition: usize, lo: &Value, hi: &Value) -> Vec<Record> {
-        let tree = self.trees[partition].read();
-        let mut out = Vec::new();
-        for (_, postings) in tree.range_inclusive(lo, hi) {
-            out.extend(postings.iter().cloned());
-        }
-        out
+        self.range_in_traced(partition, lo, hi)
+            .expect("page budget exhausted: raise the memory budget floor")
+            .0
     }
 
     /// Partitions a probe for `key` must consult: one for a global index,
@@ -329,7 +485,17 @@ impl BtreeFile {
 
     /// Number of distinct keys in one partition (diagnostic / tests).
     pub fn distinct_keys_in(&self, partition: usize) -> usize {
-        self.trees[partition].read().len()
+        self.trees[partition].read().tree.len()
+    }
+
+    /// Total bytes of this index's entry pages, resident or spilled.
+    pub fn total_bytes(&self) -> usize {
+        self.pool.total_bytes_of(&self.page_ns)
+    }
+
+    /// Bytes of this index's entry pages currently resident in the pool.
+    pub fn resident_bytes(&self) -> usize {
+        self.pool.resident_bytes_of(&self.page_ns)
     }
 }
 
@@ -340,6 +506,7 @@ impl std::fmt::Debug for BtreeFile {
             .field("base", &self.base)
             .field("locality", &self.locality)
             .field("partitions", &self.trees.len())
+            .field("resident_bytes", &self.resident_bytes())
             .finish()
     }
 }
@@ -347,6 +514,7 @@ impl std::fmt::Debug for BtreeFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::ByteBudget;
 
     #[test]
     fn entry_roundtrip() {
@@ -545,5 +713,40 @@ mod tests {
             ix.probe_partitions_for_range(&Value::Int(150), &Value::Int(250)),
             vec![1, 2]
         );
+    }
+
+    #[test]
+    fn evicted_index_faults_back_byte_identical_postings() {
+        // Small pages + a ~4-page budget: building 600 entries must evict,
+        // probing cold keys must fault, answers must match a resident twin.
+        let pool = BufferPool::with_budget(Arc::new(ByteBudget::new(4 * 512)));
+        let spec = IndexSpec::global("ix", "base", 2);
+        let paged = BtreeFile::with_pool(&spec, pool.clone(), 512).unwrap();
+        let resident = BtreeFile::new(&spec).unwrap();
+        for i in 0..200i64 {
+            for dup in 0..3 {
+                let e = IndexEntry::new(Value::Int(dup), Value::Int(i)).to_record();
+                paged.insert(Value::Int(i), e.clone()).unwrap();
+                resident.insert(Value::Int(i), e).unwrap();
+            }
+        }
+        assert!(pool.stats().evictions > 0, "build must overflow the budget");
+        let mut faults = 0;
+        for i in 0..200i64 {
+            let p = paged.partition_of_key(&Value::Int(i));
+            let (hits, s) = paged.lookup_in_traced(p, &Value::Int(i)).unwrap();
+            assert_eq!(hits, resident.lookup_in(p, &Value::Int(i)), "key {i}");
+            faults += s.faults;
+        }
+        assert!(faults > 0, "cold probes must fault entry pages back in");
+        assert_eq!(paged.len(), 600);
+        assert!(paged.total_bytes() > paged.resident_bytes());
+        // Ranges survive the churn too.
+        for p in 0..2 {
+            assert_eq!(
+                paged.range_in(p, &Value::Int(50), &Value::Int(60)),
+                resident.range_in(p, &Value::Int(50), &Value::Int(60))
+            );
+        }
     }
 }

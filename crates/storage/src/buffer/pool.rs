@@ -1,0 +1,565 @@
+//! [`BufferPool`] — pin-counted page frames over a simulated disk.
+//!
+//! The pool owns every resident [`SlottedPage`] and meters them against a
+//! shared [`ByteBudget`]. Reads go through [`PageGuard`]s: fetching pins
+//! the frame (a pinned page is never evicted), dropping the guard unpins
+//! it. When a fault needs room the pool evicts unpinned frames in LRU-K
+//! order, writing dirty pages back to the disk store; if every frame is
+//! pinned it asks the registered [`ShrinkBytes`] sink (the record cache)
+//! to give bytes back before reporting the budget exhausted.
+//!
+//! Latency is *not* injected here — the pool reports what happened per
+//! call ([`PageStats`]) and the cluster layer converts faults into
+//! `IoModel` charges, keeping the data plane replayable under different
+//! I/O models like every other storage type in this crate.
+
+use super::page::{PageId, SlottedPage};
+use super::replacer::LruKReplacer;
+use super::ByteBudget;
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use rede_common::{FxHashMap, RedeError, Result};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many accesses LRU-K remembers per page. K=2 is the classic sweet
+/// spot: scan-resistant without the bookkeeping of larger K.
+const LRU_K: usize = 2;
+
+/// How long one wait for a pin to drop lasts, and how many waits a single
+/// charge will tolerate before giving up. Pins are short-lived (guards are
+/// dropped without the pool lock), so under transient pin pressure a
+/// charge parks briefly instead of failing a correct workload; a budget
+/// that is genuinely too small still errors within the cap.
+const PIN_WAIT_SLICE: Duration = Duration::from_millis(10);
+const MAX_PIN_WAITS: u32 = 25;
+
+/// A budget consumer the pool may ask to give bytes back under pressure.
+pub trait ShrinkBytes: Send + Sync {
+    /// Release up to `want` bytes back to the shared budget; returns how
+    /// many bytes were actually freed.
+    fn shrink_bytes(&self, want: usize) -> usize;
+}
+
+/// What one pool call did, for the cluster's accounting layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageStats {
+    /// Pages faulted in from the disk store.
+    pub faults: u64,
+    /// Frames evicted to make room (anywhere in the pool).
+    pub evictions: u64,
+    /// Pool-wide pinned bytes observed at pin time (high-water signal).
+    pub pinned_bytes: usize,
+}
+
+impl PageStats {
+    /// Merge another call's stats into this one.
+    pub fn absorb(&mut self, other: PageStats) {
+        self.faults += other.faults;
+        self.evictions += other.evictions;
+        self.pinned_bytes = self.pinned_bytes.max(other.pinned_bytes);
+    }
+
+    /// True if anything happened worth tallying.
+    pub fn any(&self) -> bool {
+        self.faults > 0 || self.evictions > 0
+    }
+}
+
+/// Point-in-time pool counters (diagnostics, benches, CI gates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Frames currently resident.
+    pub resident_pages: usize,
+    /// Bytes currently resident (charged to the budget).
+    pub resident_bytes: usize,
+    /// Pages only on the simulated disk.
+    pub disk_pages: usize,
+    /// Bytes written back to the simulated disk.
+    pub disk_bytes: usize,
+    /// Lifetime page faults.
+    pub faults: u64,
+    /// Lifetime evictions.
+    pub evictions: u64,
+    /// High-water mark of simultaneously pinned bytes.
+    pub pinned_peak_bytes: usize,
+    /// Shared budget ceiling (`usize::MAX` when unbounded).
+    pub budget_total: usize,
+    /// Shared budget bytes in use (pool frames + record cache).
+    pub budget_used: usize,
+}
+
+struct FrameCell {
+    page: RwLock<SlottedPage>,
+    bytes: AtomicUsize,
+    pin: AtomicU32,
+    dirty: AtomicBool,
+}
+
+struct PoolState {
+    frames: FxHashMap<PageId, Arc<FrameCell>>,
+    replacer: LruKReplacer,
+    disk: FxHashMap<PageId, SlottedPage>,
+}
+
+/// A byte-budgeted page cache over a simulated disk store.
+pub struct BufferPool {
+    state: Mutex<PoolState>,
+    budget: Arc<ByteBudget>,
+    shrinker: RwLock<Option<Arc<dyn ShrinkBytes>>>,
+    pin_wait: Condvar,
+    faults: AtomicU64,
+    evictions: AtomicU64,
+    pinned_bytes: AtomicUsize,
+    pinned_peak: AtomicUsize,
+    disk_bytes: AtomicUsize,
+}
+
+impl BufferPool {
+    /// A pool charging the given shared budget.
+    pub fn with_budget(budget: Arc<ByteBudget>) -> Arc<BufferPool> {
+        Arc::new(BufferPool {
+            state: Mutex::new(PoolState {
+                frames: FxHashMap::default(),
+                replacer: LruKReplacer::new(LRU_K),
+                disk: FxHashMap::default(),
+            }),
+            budget,
+            shrinker: RwLock::new(None),
+            pin_wait: Condvar::new(),
+            faults: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            pinned_bytes: AtomicUsize::new(0),
+            pinned_peak: AtomicUsize::new(0),
+            disk_bytes: AtomicUsize::new(0),
+        })
+    }
+
+    /// A pool with no memory ceiling: pages stay resident forever and no
+    /// fault or eviction can occur after creation.
+    pub fn unbounded() -> Arc<BufferPool> {
+        BufferPool::with_budget(Arc::new(ByteBudget::unbounded()))
+    }
+
+    /// The shared budget this pool charges.
+    pub fn budget(&self) -> &Arc<ByteBudget> {
+        &self.budget
+    }
+
+    /// Register the sink asked to give bytes back when the pool cannot
+    /// evict its way out of pressure (the record cache).
+    pub fn set_shrinker(&self, sink: Arc<dyn ShrinkBytes>) {
+        *self.shrinker.write() = Some(sink);
+    }
+
+    /// Register a new, empty, resident page. Fails if the id exists.
+    pub fn create_page(&self, id: PageId) -> Result<PageStats> {
+        let mut st = self.state.lock();
+        if st.frames.contains_key(&id) || st.disk.contains_key(&id) {
+            return Err(RedeError::AlreadyExists(format!(
+                "buffer pool: page {id:?} already exists"
+            )));
+        }
+        let page = SlottedPage::new();
+        let bytes = page.byte_size();
+        let stats = PageStats {
+            evictions: self.make_room(&mut st, bytes)?,
+            ..PageStats::default()
+        };
+        if st.frames.contains_key(&id) || st.disk.contains_key(&id) {
+            self.budget.release(bytes);
+            return Err(RedeError::AlreadyExists(format!(
+                "buffer pool: page {id:?} already exists"
+            )));
+        }
+        let cell = Arc::new(FrameCell {
+            page: RwLock::new(page),
+            bytes: AtomicUsize::new(bytes),
+            pin: AtomicU32::new(0),
+            dirty: AtomicBool::new(true),
+        });
+        st.frames.insert(id.clone(), cell);
+        st.replacer.record_access(&id);
+        Ok(stats)
+    }
+
+    /// Fetch a page, pinning it for the lifetime of the returned guard.
+    pub fn fetch(&self, id: &PageId) -> Result<(PageGuard<'_>, PageStats)> {
+        let mut stats = PageStats::default();
+        let mut st = self.state.lock();
+        let cell = match st.frames.get(id) {
+            Some(cell) => cell.clone(),
+            None => {
+                let cell = self.fault_in(&mut st, id, &mut stats)?;
+                stats.faults = 1;
+                cell
+            }
+        };
+        st.replacer.record_access(id);
+        cell.pin.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        let bytes = cell.bytes.load(Ordering::Relaxed);
+        let pinned = self.pinned_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.pinned_peak.fetch_max(pinned, Ordering::Relaxed);
+        stats.pinned_bytes = pinned;
+        Ok((
+            PageGuard {
+                pool: self,
+                cell,
+                bytes,
+            },
+            stats,
+        ))
+    }
+
+    /// Run `f` over a read-pinned page.
+    pub fn with_page<R>(
+        &self,
+        id: &PageId,
+        f: impl FnOnce(&SlottedPage) -> R,
+    ) -> Result<(R, PageStats)> {
+        let (guard, stats) = self.fetch(id)?;
+        let r = f(&guard.read());
+        Ok((r, stats))
+    }
+
+    /// Mutate a page. `grow_hint` must be an upper bound on the byte
+    /// growth `f` causes (writers compute it exactly via
+    /// [`SlottedPage::push_cost`] / [`SlottedPage::replace_cost`]); it is
+    /// charged *before* `f` runs so a budget refusal leaves the page
+    /// untouched.
+    pub fn with_page_mut<R>(
+        &self,
+        id: &PageId,
+        grow_hint: usize,
+        f: impl FnOnce(&mut SlottedPage) -> R,
+    ) -> Result<(R, PageStats)> {
+        let mut stats = PageStats::default();
+        let mut st = self.state.lock();
+        let cell = match st.frames.get(id) {
+            Some(cell) => cell.clone(),
+            None => {
+                let cell = self.fault_in(&mut st, id, &mut stats)?;
+                stats.faults = 1;
+                cell
+            }
+        };
+        // Pin across make_room so the page we are about to grow cannot be
+        // chosen as its own eviction victim.
+        cell.pin.fetch_add(1, Ordering::Relaxed);
+        match self.make_room(&mut st, grow_hint) {
+            Ok(ev) => stats.evictions += ev,
+            Err(e) => {
+                cell.pin.fetch_sub(1, Ordering::Relaxed);
+                self.pin_wait.notify_all();
+                return Err(e);
+            }
+        }
+        let mut page = cell.page.write();
+        let before = page.byte_size();
+        let r = f(&mut page);
+        let after = page.byte_size();
+        drop(page);
+        let grown = after.saturating_sub(before);
+        debug_assert!(
+            grown <= grow_hint,
+            "page grew {grown} B but the writer only budgeted {grow_hint} B"
+        );
+        self.budget.release(grow_hint - grown.min(grow_hint));
+        cell.bytes.store(after, Ordering::Relaxed);
+        cell.dirty.store(true, Ordering::Relaxed);
+        st.replacer.record_access(id);
+        cell.pin.fetch_sub(1, Ordering::Relaxed);
+        self.pin_wait.notify_all();
+        Ok((r, stats))
+    }
+
+    /// Fault `id` in from the disk store. Caller holds the state lock.
+    fn fault_in(
+        &self,
+        st: &mut MutexGuard<'_, PoolState>,
+        id: &PageId,
+        stats: &mut PageStats,
+    ) -> Result<Arc<FrameCell>> {
+        let page = st
+            .disk
+            .get(id)
+            .cloned()
+            .ok_or_else(|| RedeError::NotFound(format!("buffer pool: no page {id:?}")))?;
+        let bytes = page.byte_size();
+        stats.evictions += self.make_room(st, bytes)?;
+        // make_room can release the lock while parked on pinned frames:
+        // another thread may have faulted this page in meanwhile.
+        if let Some(cell) = st.frames.get(id) {
+            self.budget.release(bytes);
+            return Ok(cell.clone());
+        }
+        let cell = Arc::new(FrameCell {
+            page: RwLock::new(page),
+            bytes: AtomicUsize::new(bytes),
+            pin: AtomicU32::new(0),
+            // The disk copy is current until the next mutation.
+            dirty: AtomicBool::new(false),
+        });
+        st.frames.insert(id.clone(), cell.clone());
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        Ok(cell)
+    }
+
+    /// Charge `need` bytes, evicting unpinned frames (then shrinking the
+    /// record cache, then briefly waiting for pinned frames to unpin)
+    /// until the charge fits. Returns evictions performed.
+    fn make_room(&self, st: &mut MutexGuard<'_, PoolState>, need: usize) -> Result<u64> {
+        let mut evictions = 0u64;
+        let mut pin_waits = 0u32;
+        loop {
+            if self.budget.try_charge(need) {
+                return Ok(evictions);
+            }
+            let victim = st.replacer.victim(
+                st.frames
+                    .iter()
+                    .filter(|(_, c)| c.pin.load(Ordering::Relaxed) == 0)
+                    .map(|(id, _)| id),
+            );
+            if let Some(vid) = victim {
+                let cell = st.frames.remove(&vid).expect("victim is resident");
+                st.replacer.remove(&vid);
+                let bytes = cell.bytes.load(Ordering::Relaxed);
+                if cell.dirty.load(Ordering::Relaxed) {
+                    let page = cell.page.read().clone();
+                    let old = st.disk.insert(vid, page).map_or(0, |p| p.byte_size());
+                    self.disk_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    self.disk_bytes.fetch_sub(old, Ordering::Relaxed);
+                }
+                self.budget.release(bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evictions += 1;
+                continue;
+            }
+            // Nothing evictable left: ask the record cache for bytes.
+            let want = need.saturating_sub(self.budget.available());
+            let freed = {
+                let sink = self.shrinker.read().clone();
+                sink.map_or(0, |s| s.shrink_bytes(want))
+            };
+            if freed > 0 {
+                continue;
+            }
+            // Every resident frame is pinned and the cache has nothing
+            // left. Guards drop without taking the pool lock, so park
+            // briefly for a pin to fall rather than failing a workload
+            // that is merely momentarily pin-heavy.
+            if self.pinned_bytes.load(Ordering::Relaxed) > 0 && pin_waits < MAX_PIN_WAITS {
+                pin_waits += 1;
+                self.pin_wait.wait_for(st, PIN_WAIT_SLICE);
+                continue;
+            }
+            return Err(RedeError::Overloaded(format!(
+                "buffer pool: byte budget exhausted ({need} B needed, \
+                 {} B free, every resident page pinned)",
+                self.budget.available()
+            )));
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> PoolStats {
+        let st = self.state.lock();
+        PoolStats {
+            resident_pages: st.frames.len(),
+            resident_bytes: st
+                .frames
+                .values()
+                .map(|c| c.bytes.load(Ordering::Relaxed))
+                .sum(),
+            disk_pages: st.disk.len(),
+            disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            pinned_peak_bytes: self.pinned_peak.load(Ordering::Relaxed),
+            budget_total: self.budget.total(),
+            budget_used: self.budget.used(),
+        }
+    }
+
+    /// Bytes of `file`'s pages currently resident.
+    pub fn resident_bytes_of(&self, file: &str) -> usize {
+        let st = self.state.lock();
+        st.frames
+            .iter()
+            .filter(|(id, _)| &*id.file == file)
+            .map(|(_, c)| c.bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total bytes of `file`'s pages, resident or on disk.
+    pub fn total_bytes_of(&self, file: &str) -> usize {
+        let st = self.state.lock();
+        let resident: usize = st
+            .frames
+            .iter()
+            .filter(|(id, _)| &*id.file == file)
+            .map(|(_, c)| c.bytes.load(Ordering::Relaxed))
+            .sum();
+        let spilled: usize = st
+            .disk
+            .iter()
+            .filter(|(id, _)| &*id.file == file && !st.frames.contains_key(id))
+            .map(|(_, p)| p.byte_size())
+            .sum();
+        resident + spilled
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BufferPool")
+            .field("resident_pages", &s.resident_pages)
+            .field("resident_bytes", &s.resident_bytes)
+            .field("faults", &s.faults)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+/// RAII pin on one page: the frame cannot be evicted while a guard lives.
+pub struct PageGuard<'a> {
+    pool: &'a BufferPool,
+    cell: Arc<FrameCell>,
+    bytes: usize,
+}
+
+impl PageGuard<'_> {
+    /// Read access to the pinned page.
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, SlottedPage> {
+        self.cell.page.read()
+    }
+}
+
+impl Drop for PageGuard<'_> {
+    fn drop(&mut self) {
+        self.cell.pin.fetch_sub(1, Ordering::Relaxed);
+        self.pool
+            .pinned_bytes
+            .fetch_sub(self.bytes, Ordering::Relaxed);
+        self.pool.pin_wait.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rede_common::Value;
+
+    fn pid(file: &str, page_no: u32) -> PageId {
+        PageId {
+            file: Arc::from(file),
+            partition: 0,
+            page_no,
+        }
+    }
+
+    fn fill(pool: &BufferPool, id: &PageId, tag: u32, n: usize) {
+        pool.create_page(id.clone()).unwrap();
+        for i in 0..n {
+            let payload = format!("page-{tag}-rec-{i}-{}", "x".repeat(100));
+            pool.with_page_mut(
+                id,
+                SlottedPage::push_cost(Some(&Value::Int(i as i64)), payload.len()),
+                |p| p.push(Some(Value::Int(i as i64)), payload.as_bytes()),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn unbounded_pool_never_faults() {
+        let pool = BufferPool::unbounded();
+        for n in 0..10 {
+            fill(&pool, &pid("f", n), n, 5);
+        }
+        for n in 0..10 {
+            let ((), stats) = pool
+                .with_page(&pid("f", n), |p| assert_eq!(p.len(), 5))
+                .unwrap();
+            assert_eq!(stats.faults, 0);
+        }
+        assert_eq!(pool.stats().evictions, 0);
+    }
+
+    #[test]
+    fn eviction_under_pressure_and_byte_identical_refault() {
+        // Each page ≈ 5 * (~115 + 16) + 64 ≈ 730 B; budget fits ~3 pages.
+        let pool = BufferPool::with_budget(Arc::new(ByteBudget::new(2_500)));
+        for n in 0..8 {
+            fill(&pool, &pid("f", n), n, 5);
+        }
+        let stats = pool.stats();
+        assert!(stats.evictions > 0, "pressure must evict");
+        assert!(stats.budget_used <= stats.budget_total);
+        // Every page — including evicted ones — reads back byte-identical.
+        for n in 0..8 {
+            let (ok, _) = pool
+                .with_page(&pid("f", n), |p| {
+                    (0..5).all(|i| {
+                        p.record(i).unwrap().bytes()
+                            == format!("page-{n}-rec-{i}-{}", "x".repeat(100)).as_bytes()
+                    })
+                })
+                .unwrap();
+            assert!(ok, "page {n} corrupted by evict/refault");
+        }
+        assert!(pool.stats().faults > 0);
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let pool = BufferPool::with_budget(Arc::new(ByteBudget::new(2_500)));
+        fill(&pool, &pid("f", 0), 0, 5);
+        let (guard, _) = pool.fetch(&pid("f", 0)).unwrap();
+        // Storm past the budget; page 0 must survive because it is pinned.
+        for n in 1..10 {
+            fill(&pool, &pid("f", n), n, 5);
+        }
+        assert_eq!(guard.read().len(), 5);
+        let ((), stats) = pool
+            .with_page(&pid("f", 0), |p| assert_eq!(p.len(), 5))
+            .unwrap();
+        assert_eq!(stats.faults, 0, "pinned page faulted: it was evicted");
+        drop(guard);
+        assert!(pool.stats().pinned_peak_bytes > 0);
+    }
+
+    #[test]
+    fn budget_refusal_leaves_page_untouched() {
+        let pool = BufferPool::with_budget(Arc::new(ByteBudget::new(400)));
+        pool.create_page(pid("f", 0)).unwrap();
+        let (guard, _) = pool.fetch(&pid("f", 0)).unwrap();
+        let err = pool.with_page_mut(&pid("f", 0), 100_000, |p| p.push(None, b"x"));
+        assert!(matches!(err, Err(RedeError::Overloaded(_))));
+        assert_eq!(guard.read().len(), 0, "refused write must not mutate");
+    }
+
+    #[test]
+    fn missing_page_is_not_found() {
+        let pool = BufferPool::unbounded();
+        assert!(matches!(
+            pool.fetch(&pid("f", 9)),
+            Err(RedeError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn per_file_byte_accounting_spans_disk() {
+        let pool = BufferPool::with_budget(Arc::new(ByteBudget::new(2_500)));
+        for n in 0..6 {
+            fill(&pool, &pid("a", n), n, 5);
+        }
+        let total = pool.total_bytes_of("a");
+        let resident = pool.resident_bytes_of("a");
+        assert!(resident < total, "some of `a` must have spilled");
+        assert_eq!(pool.total_bytes_of("nope"), 0);
+    }
+}

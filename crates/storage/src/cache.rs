@@ -1,4 +1,4 @@
-//! A sharded LRU record cache (§ V-C).
+//! A sharded LRU record cache (§ V-C), budgeted in **bytes**.
 //!
 //! "Since systems for LakeHarbor fully exploit the parallelism of
 //! structures, their data access workloads could be more fine-grained than
@@ -12,16 +12,33 @@
 //! exact LRU over an intrusive doubly linked list in a slab (no per-access
 //! allocation).
 //!
+//! The budget is *bytes*, not entries: `Record` is variable-length, so an
+//! entry-count budget admitted arbitrarily different byte totals per node
+//! and the "exact total budget" guarantee was only nominal. Each entry
+//! charges [`Record::len`] plus a fixed [`CACHE_ENTRY_OVERHEAD`]; shard
+//! byte capacities split the total exactly. When the cluster runs under a
+//! shared memory budget the cache additionally charges the cluster-wide
+//! [`ByteBudget`] it shares with the buffer pool — inserts are
+//! best-effort (a full budget skips the insert; correctness never depends
+//! on a cache admit) and the pool may claw bytes back via
+//! [`ShrinkBytes`].
+//!
 //! Cache hits are counted separately from storage accesses: they change
 //! the *cost* of a dereference, not the logical access pattern, so
 //! experiments that compare record-access counts (Fig. 9) run without a
 //! cache.
 
+use crate::buffer::{ByteBudget, ShrinkBytes};
 use crate::pointer::PointerKey;
 use crate::record::Record;
 use parking_lot::Mutex;
 use rede_common::{fxhash, FxHashMap};
 use std::sync::Arc;
+
+/// Fixed per-entry byte overhead charged on top of the record payload:
+/// covers the cache key (file name handle, partition, pointer key), the
+/// slab slot and the hash-map entry.
+pub const CACHE_ENTRY_OVERHEAD: usize = 64;
 
 /// Cache lookup key: one addressed record.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -30,9 +47,10 @@ pub struct CacheKey {
     pub file: Arc<str>,
     /// Partition index.
     pub partition: usize,
-    /// In-partition address. Logical and physical pointers to the same
-    /// record cache independently (resolving the aliasing would require a
-    /// reverse map that costs more than the duplicate entry).
+    /// In-partition address. The cache itself treats logical and physical
+    /// keys as distinct; the cluster's resolve path normalizes aliases to
+    /// the physical slot before probing, so two pointers to the same
+    /// record share one entry instead of double-charging the budget.
     pub key: PointerKey,
 }
 
@@ -46,6 +64,7 @@ struct Slot {
 }
 
 /// One LRU shard: slab-backed intrusive list, most recent at `head`.
+/// `capacity` and `used` are bytes.
 struct Shard {
     map: FxHashMap<CacheKey, usize>,
     slots: Vec<Slot>,
@@ -53,17 +72,24 @@ struct Shard {
     head: usize,
     tail: usize,
     capacity: usize,
+    used: usize,
+}
+
+/// Budgeted byte cost of one cached record.
+fn entry_cost(value: &Record) -> usize {
+    CACHE_ENTRY_OVERHEAD + value.len()
 }
 
 impl Shard {
     fn new(capacity: usize) -> Shard {
         Shard {
             map: FxHashMap::default(),
-            slots: Vec::with_capacity(capacity.min(1024)),
+            slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity,
+            used: 0,
         }
     }
 
@@ -102,23 +128,62 @@ impl Shard {
         Some(self.slots[idx].value.clone())
     }
 
-    fn insert(&mut self, key: CacheKey, value: Record) {
+    /// Drop the entry in slot `idx`, releasing its bytes from both the
+    /// shard meter and the shared budget. Returns the bytes freed.
+    fn evict_idx(&mut self, idx: usize, budget: Option<&ByteBudget>) -> usize {
+        if idx == NIL {
+            return 0;
+        }
+        self.unlink(idx);
+        let old_key = self.slots[idx].key.clone();
+        self.map.remove(&old_key);
+        let freed = entry_cost(&self.slots[idx].value);
+        // Drop the payload now — the slab slot may sit on the free list
+        // for a while and must not retain record bytes the meters no
+        // longer charge for.
+        self.slots[idx].value = Record::from_text("");
+        self.free.push(idx);
+        self.used -= freed;
+        if let Some(b) = budget {
+            b.release(freed);
+        }
+        freed
+    }
+
+    /// Evict the least-recently-used entry; returns the bytes freed (0 if
+    /// the shard is empty).
+    fn evict_tail(&mut self, budget: Option<&ByteBudget>) -> usize {
+        self.evict_idx(self.tail, budget)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Record, budget: Option<&ByteBudget>) {
+        // An update is a removal plus a fresh insert: this re-checks the
+        // byte capacity (evict-on-grow — the old entry-count code replaced
+        // in place and overshot when the new record was larger) and
+        // refreshes recency in one path.
         if let Some(&idx) = self.map.get(&key) {
-            self.slots[idx].value = value;
-            if idx != self.head {
-                self.unlink(idx);
-                self.push_front(idx);
-            }
+            self.evict_idx(idx, budget);
+        }
+        let cost = entry_cost(&value);
+        if cost > self.capacity {
+            // Could never fit even alone; don't flush the shard for it.
             return;
         }
-        if self.map.len() >= self.capacity {
-            // Evict the least recently used entry.
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL, "capacity >= 1 guaranteed by construction");
-            self.unlink(victim);
-            let old_key = self.slots[victim].key.clone();
-            self.map.remove(&old_key);
-            self.free.push(victim);
+        while self.used + cost > self.capacity {
+            self.evict_tail(budget);
+        }
+        if let Some(b) = budget {
+            // Shared budget: make room by shedding our own LRU entries;
+            // if the pool holds everything, skip the insert (best-effort).
+            loop {
+                if b.try_charge(cost) {
+                    break;
+                }
+                if self.tail == NIL {
+                    return;
+                }
+                self.evict_tail(budget);
+            }
         }
         let idx = match self.free.pop() {
             Some(idx) => {
@@ -142,6 +207,7 @@ impl Shard {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        self.used += cost;
     }
 
     fn len(&self) -> usize {
@@ -160,45 +226,70 @@ impl Shard {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CachePlacement {
     /// One cache per node, keyed off the node issuing the resolve; the
-    /// configured capacity is split evenly across nodes (exact total).
+    /// configured byte budget is split evenly across nodes (exact total).
     #[default]
     PerNode,
     /// A single pool shared by all nodes (ablation baseline).
     Shared,
 }
 
-/// Sharded exact-LRU record cache.
+/// Sharded exact-LRU record cache with a byte budget.
 pub struct RecordCache {
     shards: Vec<Mutex<Shard>>,
+    budget: Option<Arc<ByteBudget>>,
 }
 
 impl RecordCache {
-    /// Cache holding up to *exactly* `capacity` records across `shards`
-    /// shards (`shards` is clamped to `1..=capacity`). The capacity is
-    /// split evenly with the remainder spread one-per-shard, so the shard
-    /// capacities always sum to the requested bound — the earlier ceiling
-    /// split let an 8-shard cache of 1001 admit 1008 records.
+    /// Cache holding up to *exactly* `capacity` **bytes** across `shards`
+    /// shards (entries charge [`Record::len`] + [`CACHE_ENTRY_OVERHEAD`]).
+    /// The capacity is split evenly with the remainder spread one-per-
+    /// shard, so the shard capacities always sum to the requested bound.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero: a cache that can hold nothing is
-    /// always a configuration mistake (disable the cache instead), and the
-    /// eviction path relies on every shard holding at least one record.
-    pub fn new(capacity: usize, shards: usize) -> RecordCache {
-        assert!(capacity > 0, "record cache capacity must be at least 1");
+    /// always a configuration mistake (disable the cache instead).
+    pub fn with_byte_capacity(capacity: usize, shards: usize) -> RecordCache {
+        Self::build(capacity, shards, None)
+    }
+
+    /// Like [`RecordCache::with_byte_capacity`], but every entry is also
+    /// charged against the cluster-wide `budget` shared with the buffer
+    /// pool. Inserts become best-effort: when the shared budget is full
+    /// the cache sheds its own LRU entries, and if nothing is left to
+    /// shed, skips the insert.
+    pub fn with_shared_budget(
+        capacity: usize,
+        shards: usize,
+        budget: Arc<ByteBudget>,
+    ) -> RecordCache {
+        Self::build(capacity, shards, Some(budget))
+    }
+
+    fn build(capacity: usize, shards: usize, budget: Option<Arc<ByteBudget>>) -> RecordCache {
+        assert!(
+            capacity > 0,
+            "record cache capacity must be at least 1 byte"
+        );
         let shards = shards.clamp(1, capacity);
         let (base, extra) = (capacity / shards, capacity % shards);
         RecordCache {
             shards: (0..shards)
                 .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
                 .collect(),
+            budget,
         }
     }
 
-    /// Total records this cache can hold (the exact bound `len` never
+    /// Total bytes this cache may hold (the exact bound `used_bytes` never
     /// exceeds).
     pub fn capacity(&self) -> usize {
         self.shards.iter().map(|s| s.lock().capacity).sum()
+    }
+
+    /// Bytes currently charged across all shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used).sum()
     }
 
     fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -219,9 +310,11 @@ impl RecordCache {
         self.shard_of(key).lock().get(key)
     }
 
-    /// Insert (or refresh) a record.
+    /// Insert (or refresh) a record. Best-effort under a shared budget.
     pub fn insert(&self, key: CacheKey, value: Record) {
-        self.shard_of(&key).lock().insert(key, value);
+        self.shard_of(&key)
+            .lock()
+            .insert(key, value, self.budget.as_deref());
     }
 
     /// Records currently cached.
@@ -235,11 +328,38 @@ impl RecordCache {
     }
 }
 
+impl ShrinkBytes for RecordCache {
+    /// Shed LRU entries round-robin across shards until `want` bytes are
+    /// freed or the cache is empty. Called by the buffer pool when it
+    /// cannot evict its own pages.
+    fn shrink_bytes(&self, want: usize) -> usize {
+        let mut freed = 0;
+        while freed < want {
+            let mut progress = false;
+            for shard in &self.shards {
+                if freed >= want {
+                    break;
+                }
+                let f = shard.lock().evict_tail(self.budget.as_deref());
+                if f > 0 {
+                    freed += f;
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        freed
+    }
+}
+
 impl std::fmt::Debug for RecordCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RecordCache")
             .field("shards", &self.shards.len())
             .field("len", &self.len())
+            .field("used_bytes", &self.used_bytes())
             .finish()
     }
 }
@@ -257,22 +377,27 @@ mod tests {
         }
     }
 
+    /// Fixed-size record: every `rec(i)` costs exactly `COST` bytes, so
+    /// entry-count expectations translate to `n * COST` byte capacities.
     fn rec(i: i64) -> Record {
-        Record::from_text(&format!("rec-{i}"))
+        Record::from_text(&format!("rec-{i:04}"))
     }
+
+    const COST: usize = CACHE_ENTRY_OVERHEAD + 8;
 
     #[test]
     fn get_after_insert() {
-        let cache = RecordCache::new(8, 1);
+        let cache = RecordCache::with_byte_capacity(8 * COST, 1);
         assert!(cache.get(&key(1)).is_none());
         cache.insert(key(1), rec(1));
-        assert_eq!(cache.get(&key(1)).unwrap().text().unwrap(), "rec-1");
+        assert_eq!(cache.get(&key(1)).unwrap().text().unwrap(), "rec-0001");
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), COST);
     }
 
     #[test]
     fn evicts_lru_order() {
-        let cache = RecordCache::new(3, 1);
+        let cache = RecordCache::with_byte_capacity(3 * COST, 1);
         for i in 0..3 {
             cache.insert(key(i), rec(i));
         }
@@ -291,16 +416,53 @@ mod tests {
 
     #[test]
     fn reinsert_updates_value_without_growth() {
-        let cache = RecordCache::new(4, 1);
+        let cache = RecordCache::with_byte_capacity(4 * COST, 1);
         cache.insert(key(7), rec(7));
-        cache.insert(key(7), Record::from_text("updated"));
+        cache.insert(key(7), Record::from_text("updated!"));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(&key(7)).unwrap().text().unwrap(), "updated");
+        assert_eq!(cache.used_bytes(), COST);
+        assert_eq!(cache.get(&key(7)).unwrap().text().unwrap(), "updated!");
     }
 
     #[test]
-    fn capacity_one_works() {
-        let cache = RecordCache::new(1, 1);
+    fn update_to_larger_record_evicts_on_grow() {
+        // Room for two fixed-size entries and one byte of slack.
+        let cache = RecordCache::with_byte_capacity(2 * COST + 1, 1);
+        cache.insert(key(1), rec(1));
+        cache.insert(key(2), rec(2));
+        assert_eq!(cache.len(), 2);
+        // Growing 1's record by two bytes no longer fits next to 2: the
+        // old code replaced in place and overshot the byte budget.
+        cache.insert(key(1), Record::from_text("rec-0001++"));
+        assert!(cache.used_bytes() <= cache.capacity());
+        assert_eq!(cache.get(&key(1)).unwrap().text().unwrap(), "rec-0001++");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted on grow");
+    }
+
+    #[test]
+    fn update_to_impossible_record_drops_the_entry() {
+        let cache = RecordCache::with_byte_capacity(2 * COST, 1);
+        cache.insert(key(1), rec(1));
+        let huge = Record::from_text(&"x".repeat(4 * COST));
+        cache.insert(key(1), huge);
+        assert!(cache.get(&key(1)).is_none(), "oversized update cannot stay");
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_record_is_skipped_without_flushing() {
+        let cache = RecordCache::with_byte_capacity(3 * COST, 1);
+        for i in 0..3 {
+            cache.insert(key(i), rec(i));
+        }
+        cache.insert(key(9), Record::from_text(&"x".repeat(4 * COST)));
+        assert_eq!(cache.len(), 3, "oversized insert must not flush the LRU");
+        assert!(cache.get(&key(9)).is_none());
+    }
+
+    #[test]
+    fn capacity_one_entry_works() {
+        let cache = RecordCache::with_byte_capacity(COST, 1);
         cache.insert(key(1), rec(1));
         cache.insert(key(2), rec(2));
         assert!(cache.get(&key(1)).is_none());
@@ -309,7 +471,7 @@ mod tests {
 
     #[test]
     fn shards_partition_the_key_space() {
-        let cache = RecordCache::new(1000, 8);
+        let cache = RecordCache::with_byte_capacity(1000 * COST, 8);
         for i in 0..500 {
             cache.insert(key(i), rec(i));
         }
@@ -320,8 +482,12 @@ mod tests {
     }
 
     #[test]
-    fn logical_and_physical_keys_are_distinct() {
-        let cache = RecordCache::new(8, 1);
+    fn logical_and_physical_keys_are_distinct_at_this_layer() {
+        // The raw cache does not resolve aliases — that requires the heap
+        // file's key index, which only the cluster's resolve path holds.
+        // The cluster normalizes both pointer kinds to the physical slot
+        // before probing (see `cluster::tests` and the integration suite).
+        let cache = RecordCache::with_byte_capacity(8 * COST, 1);
         let logical = key(1);
         let physical = CacheKey {
             file: Arc::from("f"),
@@ -335,7 +501,7 @@ mod tests {
 
     #[test]
     fn concurrent_mixed_workload_is_safe() {
-        let cache = Arc::new(RecordCache::new(64, 4));
+        let cache = Arc::new(RecordCache::with_byte_capacity(64 * COST, 4));
         std::thread::scope(|s| {
             for t in 0..4 {
                 let cache = cache.clone();
@@ -345,35 +511,41 @@ mod tests {
                         if i % 3 == 0 {
                             cache.insert(key(k), rec(k));
                         } else if let Some(r) = cache.get(&key(k)) {
-                            assert_eq!(r.text().unwrap(), format!("rec-{k}"));
+                            assert_eq!(r.text().unwrap(), format!("rec-{k:04}"));
                         }
                     }
                 });
             }
         });
-        assert!(cache.len() <= 64);
+        assert!(cache.used_bytes() <= cache.capacity());
     }
 
     #[test]
-    fn stress_eviction_never_exceeds_capacity() {
-        // 13 across 4 shards does not divide evenly: the old ceiling split
-        // gave every shard 4 slots (16 total, a 3-record overshoot).
-        let cache = RecordCache::new(13, 4);
-        assert_eq!(cache.capacity(), 13);
-        for i in 0..10_000 {
-            cache.insert(key(i), rec(i));
-            assert!(cache.len() <= 13, "len {} exceeds capacity", cache.len());
+    fn stress_eviction_never_exceeds_byte_capacity() {
+        // 13 entries' worth of bytes across 4 shards does not divide
+        // evenly; variable-length records exercise the byte accounting.
+        let cache = RecordCache::with_byte_capacity(13 * COST, 4);
+        assert_eq!(cache.capacity(), 13 * COST);
+        for i in 0..10_000i64 {
+            let payload = "y".repeat((i % 40) as usize + 1);
+            cache.insert(key(i), Record::from_text(&payload));
+            assert!(
+                cache.used_bytes() <= cache.capacity(),
+                "used {} exceeds capacity {}",
+                cache.used_bytes(),
+                cache.capacity()
+            );
         }
-        // Every shard saw far more inserts than its share, so the cache
-        // must be exactly full — an undershoot would also be a split bug.
-        assert_eq!(cache.len(), 13);
+        assert!(!cache.is_empty());
     }
 
     #[test]
-    fn capacity_is_exact_for_any_shard_count() {
-        for capacity in [1, 2, 7, 13, 100, 1001] {
+    fn byte_capacity_is_exact_for_any_shard_count() {
+        // Mirrors the old `capacity_is_exact_for_any_shard_count`, now in
+        // bytes: shard byte capacities must sum to the requested bound.
+        for capacity in [1, 2, 7, 13, 100, 1001, 9973] {
             for shards in [1, 2, 3, 8, 64] {
-                let cache = RecordCache::new(capacity, shards);
+                let cache = RecordCache::with_byte_capacity(capacity, shards);
                 assert_eq!(
                     cache.capacity(),
                     capacity,
@@ -384,8 +556,42 @@ mod tests {
     }
 
     #[test]
+    fn shared_budget_makes_inserts_best_effort() {
+        let budget = Arc::new(ByteBudget::new(3 * COST));
+        let cache = RecordCache::with_shared_budget(100 * COST, 1, budget.clone());
+        for i in 0..3 {
+            cache.insert(key(i), rec(i));
+        }
+        assert_eq!(budget.used(), 3 * COST);
+        // An outside consumer (the buffer pool) takes the rest: the cache
+        // sheds its own LRU to admit the new entry, never over-charging.
+        cache.insert(key(3), rec(3));
+        assert!(budget.used() <= budget.total());
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&key(3)).is_some(), "newest entry admitted");
+        assert!(cache.get(&key(0)).is_none(), "LRU shed to make room");
+    }
+
+    #[test]
+    fn pool_pressure_shrinks_the_cache() {
+        let budget = Arc::new(ByteBudget::new(10 * COST));
+        let cache = RecordCache::with_shared_budget(10 * COST, 2, budget.clone());
+        for i in 0..10 {
+            cache.insert(key(i), rec(i));
+        }
+        let before = budget.used();
+        let freed = cache.shrink_bytes(4 * COST);
+        assert!(freed >= 4 * COST, "freed {freed}");
+        assert_eq!(budget.used(), before - freed);
+        assert!(cache.used_bytes() <= cache.capacity() - freed);
+        // Shrinking an empty cache frees nothing and terminates.
+        assert!(cache.shrink_bytes(usize::MAX) <= 10 * COST);
+        assert_eq!(cache.shrink_bytes(1), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_is_rejected() {
-        RecordCache::new(0, 4);
+        RecordCache::with_byte_capacity(0, 4);
     }
 }

@@ -13,6 +13,9 @@
 //! round-robin layout the paper uses for its HDFS load.
 
 use crate::btree_file::{BtreeFile, IndexSpec};
+use crate::buffer::{
+    BufferPool, ByteBudget, PageStats, PoolStats, ShrinkBytes, DEFAULT_PAGE_BYTES,
+};
 use crate::cache::{CacheKey, CachePlacement, RecordCache};
 use crate::catalog::{Catalog, StorageObject};
 use crate::faults::{AccessClass, FaultDecision, FaultInjector, FaultPlan};
@@ -102,13 +105,53 @@ impl CacheLayer {
     }
 }
 
+impl ShrinkBytes for CacheLayer {
+    /// Give bytes back to the shared budget when the buffer pool cannot
+    /// evict its own pages. Per-node caches are drained round-robin so
+    /// pressure lands evenly instead of emptying node 0 first.
+    fn shrink_bytes(&self, want: usize) -> usize {
+        match self {
+            CacheLayer::Shared(cache) => cache.shrink_bytes(want),
+            CacheLayer::PerNode(caches) => {
+                let mut freed = 0;
+                while freed < want {
+                    let mut progress = false;
+                    for cache in caches {
+                        if freed >= want {
+                            break;
+                        }
+                        let f = cache.shrink_bytes(1);
+                        if f > 0 {
+                            freed += f;
+                            progress = true;
+                        }
+                    }
+                    if !progress {
+                        break;
+                    }
+                }
+                freed
+            }
+        }
+    }
+}
+
+/// Smallest allowed [`SimClusterBuilder::memory_budget`]: room for a
+/// handful of pages plus slack, so a single page always fits and the
+/// infallible read paths (`read_slots`, `lookup_in`, …) cannot fail on a
+/// correctly configured cluster.
+pub const MIN_MEMORY_BUDGET: usize = 16 * DEFAULT_PAGE_BYTES;
+
 struct ClusterInner {
     nodes: usize,
     io: IoModel,
     metrics: Metrics,
     limiters: Vec<IopsLimiter>,
     catalog: Catalog,
-    cache: Option<CacheLayer>,
+    /// Page frames for every heap file and index created on this cluster,
+    /// charging the same byte budget as the record cache.
+    pool: Arc<BufferPool>,
+    cache: Option<Arc<CacheLayer>>,
     /// Absent unless the builder attached a non-inert [`FaultPlan`]; the
     /// healthy hot path stays branch-for-branch identical to a cluster
     /// built without faults.
@@ -148,6 +191,7 @@ pub struct SimClusterBuilder {
     nodes: usize,
     io: IoModel,
     metrics: Option<Metrics>,
+    memory_budget: Option<usize>,
     cache_capacity: Option<usize>,
     cache_placement: CachePlacement,
     faults: Option<FaultPlan>,
@@ -173,16 +217,33 @@ impl SimClusterBuilder {
         self
     }
 
-    /// Enable the record cache (§ V-C) holding up to `capacity` records
-    /// *in total across the cluster*. Under the default
-    /// [`CachePlacement::PerNode`] the budget is split evenly across
-    /// nodes, each node caching only what it resolves itself. Cache hits
-    /// skip the point-read latency and are counted as `cache_hits`
-    /// (aggregate and per issuing node) instead of storage accesses, so
-    /// leave the cache off for experiments that compare logical access
-    /// counts.
+    /// Enable the record cache (§ V-C) holding up to `capacity` **bytes**
+    /// of records *in total across the cluster* (each entry costs its
+    /// record bytes plus [`crate::cache::CACHE_ENTRY_OVERHEAD`]). Under
+    /// the default [`CachePlacement::PerNode`] the budget is split evenly
+    /// across nodes, each node caching only what it resolves itself.
+    /// Cache hits skip the point-read latency and are counted as
+    /// `cache_hits` (aggregate and per issuing node) instead of storage
+    /// accesses, so leave the cache off for experiments that compare
+    /// logical access counts.
     pub fn record_cache(mut self, capacity: usize) -> Self {
         self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Cap the bytes simultaneously resident in memory across *every*
+    /// structure on the cluster: heap pages, index pages, and record-cache
+    /// entries all charge this one budget. Under pressure the buffer pool
+    /// evicts unpinned pages (LRU-K) to its simulated disk and, when that
+    /// is not enough, sheds record-cache entries; evicted pages fault back
+    /// in on next touch, paying [`IoModel::page_fault`] each.
+    ///
+    /// Default: unbounded (everything stays resident, no faults ever).
+    /// Budgets below [`MIN_MEMORY_BUDGET`] are rejected at build time —
+    /// a pool that cannot hold a handful of pages would turn ordinary
+    /// reads into errors instead of evictions.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -211,16 +272,39 @@ impl SimClusterBuilder {
         let limiters = (0..self.nodes)
             .map(|_| IopsLimiter::new(self.io.queue_depth))
             .collect();
+        if let Some(bytes) = self.memory_budget {
+            if bytes < MIN_MEMORY_BUDGET {
+                return Err(RedeError::Config(format!(
+                    "memory budget of {bytes} B is below the {MIN_MEMORY_BUDGET} B floor \
+                     (a pool that cannot hold a few pages fails reads instead of evicting)"
+                )));
+            }
+        }
+        let budget = Arc::new(match self.memory_budget {
+            Some(bytes) => ByteBudget::new(bytes),
+            None => ByteBudget::unbounded(),
+        });
+        let pool = BufferPool::with_budget(budget.clone());
+        // The cache charges the shared budget only when one is actually
+        // bounded: an unbounded cluster keeps the cache's own byte
+        // capacity as the sole limit, exactly as before this knob existed.
+        let new_cache = |capacity: usize, shards: usize| {
+            if budget.is_unbounded() {
+                RecordCache::with_byte_capacity(capacity, shards)
+            } else {
+                RecordCache::with_shared_budget(capacity, shards, budget.clone())
+            }
+        };
         let cache = match self.cache_capacity {
             None => None,
             Some(0) => {
                 return Err(RedeError::Config(
-                    "record cache capacity must be at least 1 (omit record_cache to disable)"
+                    "record cache capacity must be at least 1 byte (omit record_cache to disable)"
                         .into(),
                 ));
             }
             Some(capacity) => match self.cache_placement {
-                CachePlacement::Shared => Some(CacheLayer::Shared(RecordCache::new(
+                CachePlacement::Shared => Some(CacheLayer::Shared(new_cache(
                     capacity,
                     (self.nodes * 4).max(4),
                 ))),
@@ -228,21 +312,27 @@ impl SimClusterBuilder {
                     if capacity < self.nodes {
                         return Err(RedeError::Config(format!(
                             "per-node record cache needs capacity >= nodes \
-                             (capacity {capacity}, nodes {})",
+                             (capacity {capacity} B, nodes {})",
                             self.nodes
                         )));
                     }
                     // Exact split of the total budget: node i gets the base
-                    // share plus one of the remainder slots.
+                    // share plus one of the remainder bytes.
                     let (base, extra) = (capacity / self.nodes, capacity % self.nodes);
                     Some(CacheLayer::PerNode(
                         (0..self.nodes)
-                            .map(|i| RecordCache::new(base + usize::from(i < extra), 4))
+                            .map(|i| new_cache(base + usize::from(i < extra), 4))
                             .collect(),
                     ))
                 }
             },
         };
+        let cache = cache.map(Arc::new);
+        if let Some(cache) = &cache {
+            // Under pressure the pool evicts its own pages first; the
+            // cache is the sink of last resort before waiting on pins.
+            pool.set_shrinker(cache.clone() as Arc<dyn ShrinkBytes>);
+        }
         Ok(SimCluster {
             inner: Arc::new(ClusterInner {
                 nodes: self.nodes,
@@ -250,6 +340,7 @@ impl SimClusterBuilder {
                 metrics: self.metrics.unwrap_or_default(),
                 limiters,
                 catalog: Catalog::new(),
+                pool,
                 cache,
                 faults: self
                     .faults
@@ -268,6 +359,7 @@ impl SimCluster {
             nodes: 4,
             io: IoModel::zero(),
             metrics: None,
+            memory_budget: None,
             cache_capacity: None,
             cache_placement: CachePlacement::default(),
             faults: None,
@@ -312,6 +404,45 @@ impl SimCluster {
         if let Some(scope) = &self.scope {
             f(scope.metrics());
         }
+    }
+
+    /// Counter half of page-I/O accounting: tally what the data plane
+    /// reported without sleeping. Page faults are *physical* effects of
+    /// the memory budget, not logical accesses — the conservation
+    /// counters (`local`/`remote`/`cache_*`) never move here.
+    #[inline]
+    fn note_page_stats(&self, stats: PageStats) {
+        if stats.any() {
+            self.tally(|m| {
+                m.record_page_faults(stats.faults);
+                m.record_page_evictions(stats.evictions);
+            });
+        }
+        if stats.pinned_bytes > 0 {
+            self.tally(|m| m.record_pinned_peak(stats.pinned_bytes as u64));
+        }
+    }
+
+    /// Tally page I/O and pay the modeled fault latency (one positioned
+    /// read per fault, charged on the accessing thread *outside* any
+    /// device permit — faults hit the buffer manager, not the owner's
+    /// request queue).
+    #[inline]
+    fn charge_page_stats(&self, stats: PageStats) {
+        self.note_page_stats(stats);
+        if stats.faults > 0 {
+            self.inner.io.pay_page_faults(stats.faults);
+        }
+    }
+
+    /// Point-in-time buffer pool counters (benches, CI gates, tests).
+    pub fn buffer_stats(&self) -> PoolStats {
+        self.inner.pool.stats()
+    }
+
+    /// The buffer pool every structure on this cluster pages through.
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.inner.pool
     }
 
     /// Diagnostic: IOPS permits currently available on each node's limiter.
@@ -446,9 +577,15 @@ impl SimCluster {
         &self.inner.io
     }
 
-    /// Create and register a heap file.
+    /// Create and register a heap file. Its pages live in the cluster's
+    /// buffer pool, competing for the shared memory budget.
     pub fn create_file(&self, spec: FileSpec) -> Result<FileHandle> {
-        let file = Arc::new(HeapFile::new(&spec.name, spec.partitioning)?);
+        let file = Arc::new(HeapFile::with_pool(
+            &spec.name,
+            spec.partitioning,
+            self.inner.pool.clone(),
+            DEFAULT_PAGE_BYTES,
+        )?);
         self.inner
             .catalog
             .register(&spec.name, StorageObject::Heap(file.clone()))?;
@@ -458,11 +595,17 @@ impl SimCluster {
         })
     }
 
-    /// Create and register a B-tree index.
+    /// Create and register a B-tree index. Its entry pages live in the
+    /// cluster's buffer pool — a lazily built index is evictable the
+    /// moment memory pressure calls for it.
     pub fn create_index(&self, spec: IndexSpec) -> Result<IndexHandle> {
         // The base file must exist so entries have something to point at.
         self.inner.catalog.heap(&spec.base)?;
-        let index = Arc::new(BtreeFile::new(&spec)?);
+        let index = Arc::new(BtreeFile::with_pool(
+            &spec,
+            self.inner.pool.clone(),
+            DEFAULT_PAGE_BYTES,
+        )?);
         self.inner
             .catalog
             .register(&spec.name, StorageObject::Btree(index.clone()))?;
@@ -576,11 +719,7 @@ impl SimCluster {
         let (heap, partition) = self.route_resolve(ptr)?;
         let site = read_site(&ptr.file, partition, &ptr.key);
         if let Some(cache) = &self.inner.cache {
-            let cache_key = CacheKey {
-                file: ptr.file.clone(),
-                partition,
-                key: ptr.key.clone(),
-            };
+            let cache_key = Self::cache_key_for(&heap, partition, ptr);
             if let Some(record) = cache.get(from_node, &cache_key) {
                 // A hit is still a logical access by `from_node`: count it
                 // there so per-node totals always sum to the resolves
@@ -595,12 +734,33 @@ impl SimCluster {
             // faults.
             self.charge_point_read(partition, from_node, site)?;
             self.tally(|m| m.record_cache_miss_at(from_node));
-            let record = heap.get(partition, &ptr.key)?;
+            let (record, pages) = heap.get_traced(partition, &ptr.key)?;
+            self.charge_page_stats(pages);
             cache.insert(from_node, cache_key, record.clone());
             return Ok(record);
         }
         self.charge_point_read(partition, from_node, site)?;
-        heap.get(partition, &ptr.key)
+        let (record, pages) = heap.get_traced(partition, &ptr.key)?;
+        self.charge_page_stats(pages);
+        Ok(record)
+    }
+
+    /// The cache key a pointer's record is filed under: logical and
+    /// physical aliases of the same record normalize to one physical key
+    /// (the heap knows both), so the cache can never hold — and charge
+    /// the byte budget for — the same record twice under two names. A
+    /// pointer to a record the heap does not know keeps its own key; the
+    /// read it fronts fails before any insert.
+    fn cache_key_for(heap: &HeapFile, partition: usize, ptr: &Pointer) -> CacheKey {
+        let key = match heap.slot_of(partition, &ptr.key) {
+            Some(slot) => PointerKey::Physical(slot),
+            None => ptr.key.clone(),
+        };
+        CacheKey {
+            file: ptr.file.clone(),
+            partition,
+            key,
+        }
     }
 
     /// Routing half of [`SimCluster::resolve`]: pointer → (heap, partition),
@@ -713,23 +873,24 @@ impl SimCluster {
             heap: Arc<HeapFile>,
             partition: usize,
             site: u64,
+            /// Normalized cache key (computed once at probe time), present
+            /// only when the cluster has a cache.
+            cache_key: Option<CacheKey>,
         }
         let mut misses: Vec<Miss> = Vec::new();
         for (idx, ptr) in ptrs.iter().enumerate() {
             match self.route_resolve(ptr) {
                 Err(e) => out[idx] = Some(Err(e)),
                 Ok((heap, partition)) => {
+                    let mut cache_key = None;
                     if let Some(cache) = &inner.cache {
-                        let cache_key = CacheKey {
-                            file: ptr.file.clone(),
-                            partition,
-                            key: ptr.key.clone(),
-                        };
-                        if let Some(record) = cache.get(from_node, &cache_key) {
+                        let ck = Self::cache_key_for(&heap, partition, ptr);
+                        if let Some(record) = cache.get(from_node, &ck) {
                             self.tally(|m| m.record_cache_hit_at(from_node));
                             out[idx] = Some(Ok(record));
                             continue;
                         }
+                        cache_key = Some(ck);
                     }
                     let site = read_site(&ptr.file, partition, &ptr.key);
                     misses.push(Miss {
@@ -737,6 +898,7 @@ impl SimCluster {
                         heap,
                         partition,
                         site,
+                        cache_key,
                     });
                 }
             }
@@ -812,18 +974,11 @@ impl SimCluster {
                 if inner.cache.is_some() {
                     self.tally(|m| m.record_cache_miss_at(from_node));
                 }
-                match miss.heap.get(miss.partition, &ptr.key) {
-                    Ok(record) => {
-                        if let Some(cache) = &inner.cache {
-                            cache.insert(
-                                from_node,
-                                CacheKey {
-                                    file: ptr.file.clone(),
-                                    partition: miss.partition,
-                                    key: ptr.key.clone(),
-                                },
-                                record.clone(),
-                            );
+                match miss.heap.get_traced(miss.partition, &ptr.key) {
+                    Ok((record, pages)) => {
+                        self.charge_page_stats(pages);
+                        if let (Some(cache), Some(ck)) = (&inner.cache, miss.cache_key) {
+                            cache.insert(from_node, ck, record.clone());
                         }
                         out[miss.idx] = Some(Ok(record));
                     }
@@ -914,13 +1069,10 @@ impl FileHandle {
         let batch = self.cluster.inner.io.scan_batch.max(1);
         let mut start = 0;
         loop {
-            let rows = self.file.read_slots(partition, start, batch);
+            let rows = self.read_slots(partition, start, batch);
             if rows.is_empty() {
                 break;
             }
-            self.cluster
-                .tally(|m| m.record_accesses(AccessKind::ScannedRecord, rows.len() as u64));
-            self.cluster.inner.io.pay_scan(rows.len());
             for (k, r) in &rows {
                 f(k, r);
             }
@@ -934,9 +1086,15 @@ impl FileHandle {
     }
 
     /// Charged batch read of a contiguous slot range (pull-based scans).
-    /// Pays per-record scan latency for the batch and counts every record.
+    /// Pays per-record scan latency for the batch — plus the fault
+    /// latency for any pages the scan pulled back in — and counts every
+    /// record.
     pub fn read_slots(&self, partition: usize, start: usize, count: usize) -> Vec<(Value, Record)> {
-        let rows = self.file.read_slots(partition, start, count);
+        let (rows, pages) = self
+            .file
+            .read_slots_traced(partition, start, count)
+            .expect("page budget exhausted: raise the memory budget floor");
+        self.cluster.charge_page_stats(pages);
         if !rows.is_empty() {
             self.cluster
                 .tally(|m| m.record_accesses(AccessKind::ScannedRecord, rows.len() as u64));
@@ -1017,7 +1175,9 @@ impl IndexHandle {
         for p in self.index.probe_partitions_for_key(key) {
             let site = probe_site(self.index.name(), p, key, key);
             self.cluster.charge_index_probe(p, from_node, site)?;
-            out.extend(self.index.lookup_in(p, key));
+            let (hits, pages) = self.index.lookup_in_traced(p, key)?;
+            self.cluster.charge_page_stats(pages);
+            out.extend(hits);
         }
         self.count_entries(out.len());
         Ok(out)
@@ -1142,10 +1302,21 @@ impl IndexHandle {
             }
             for (partition, idxs) in by_partition {
                 let probe_keys: Vec<Value> = idxs.iter().map(|&i| keys[i].clone()).collect();
-                let (postings, _descents) = self.index.lookup_batch(partition, &probe_keys);
-                for (i, hits) in idxs.into_iter().zip(postings) {
-                    self.count_entries(hits.len());
-                    out[i] = Some(Ok(hits));
+                match self.index.lookup_batch_traced(partition, &probe_keys) {
+                    Ok((postings, _descents, pages)) => {
+                        self.cluster.charge_page_stats(pages);
+                        for (i, hits) in idxs.into_iter().zip(postings) {
+                            self.count_entries(hits.len());
+                            out[i] = Some(Ok(hits));
+                        }
+                    }
+                    // A page-budget failure poisons every probe of this
+                    // partition alike (they share the exhausted pool).
+                    Err(e) => {
+                        for i in idxs {
+                            out[i] = Some(Err(e.clone()));
+                        }
+                    }
                 }
             }
         }
@@ -1162,7 +1333,9 @@ impl IndexHandle {
         for p in self.index.probe_partitions_for_range(lo, hi) {
             let site = probe_site(self.index.name(), p, lo, hi);
             self.cluster.charge_index_probe(p, from_node, site)?;
-            out.extend(self.index.range_in(p, lo, hi));
+            let (hits, pages) = self.index.range_in_traced(p, lo, hi)?;
+            self.cluster.charge_page_stats(pages);
+            out.extend(hits);
         }
         self.count_entries(out.len());
         Ok(out)
@@ -1180,7 +1353,9 @@ impl IndexHandle {
             }
             let site = probe_site(self.index.name(), p, key, key);
             self.cluster.charge_index_probe(p, node, site)?;
-            out.extend(self.index.lookup_in(p, key));
+            let (hits, pages) = self.index.lookup_in_traced(p, key)?;
+            self.cluster.charge_page_stats(pages);
+            out.extend(hits);
         }
         self.count_entries(out.len());
         Ok(out)
@@ -1199,7 +1374,9 @@ impl IndexHandle {
             }
             let site = probe_site(self.index.name(), p, lo, hi);
             self.cluster.charge_index_probe(p, node, site)?;
-            out.extend(self.index.range_in(p, lo, hi));
+            let (hits, pages) = self.index.range_in_traced(p, lo, hi)?;
+            self.cluster.charge_page_stats(pages);
+            out.extend(hits);
         }
         self.count_entries(out.len());
         Ok(out)
@@ -1214,7 +1391,12 @@ impl IndexHandle {
         let sample = partitions.min(3);
         let mut counted = 0usize;
         for p in 0..sample {
-            counted += self.index.range_in(p, lo, hi).len();
+            // Uncharged in latency, but the pages it pulls in are real:
+            // note the faults/evictions without sleeping for them.
+            if let Ok((hits, pages)) = self.index.range_in_traced(p, lo, hi) {
+                self.cluster.note_page_stats(pages);
+                counted += hits.len();
+            }
         }
         (counted as f64 * partitions as f64 / sample as f64).round() as u64
     }
@@ -1452,7 +1634,7 @@ mod tests {
     fn cached_cluster(placement: CachePlacement) -> SimCluster {
         let c = SimCluster::builder()
             .nodes(2)
-            .record_cache(64)
+            .record_cache(64 * 1024)
             .cache_placement(placement)
             .build()
             .unwrap();
@@ -1515,7 +1697,7 @@ mod tests {
             SimCluster::builder().nodes(2).record_cache(0).build(),
             Err(RedeError::Config(_))
         ));
-        // Per-node placement cannot split 3 slots across 4 nodes.
+        // Per-node placement cannot split 3 bytes across 4 nodes.
         assert!(matches!(
             SimCluster::builder().nodes(4).record_cache(3).build(),
             Err(RedeError::Config(_))
@@ -1558,9 +1740,11 @@ mod tests {
 
     #[test]
     fn cache_eviction_falls_back_to_storage() {
+        // ~320 B holds only a handful of entries (each costs its record
+        // bytes plus CACHE_ENTRY_OVERHEAD), so the sweep must recycle.
         let c = SimCluster::builder()
             .nodes(1)
-            .record_cache(4)
+            .record_cache(320)
             .build()
             .unwrap();
         let f = c
@@ -1762,7 +1946,7 @@ mod tests {
     fn cache_hits_bypass_the_fault_gate() {
         let c = SimCluster::builder()
             .nodes(2)
-            .record_cache(64)
+            .record_cache(4096)
             .faults(FaultPlan::transient(7, 1.0))
             .build()
             .unwrap();
@@ -1984,5 +2168,126 @@ mod tests {
         assert!(c
             .create_file(FileSpec::new("f", Partitioning::hash(1)))
             .is_err());
+    }
+
+    #[test]
+    fn memory_budget_below_floor_is_rejected() {
+        assert!(matches!(
+            SimCluster::builder()
+                .memory_budget(MIN_MEMORY_BUDGET - 1)
+                .build(),
+            Err(RedeError::Config(_))
+        ));
+        assert!(SimCluster::builder()
+            .memory_budget(MIN_MEMORY_BUDGET)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn tiny_memory_budget_evicts_and_answers_stay_byte_identical() {
+        // An unbounded twin provides the ground truth: same load, same
+        // resolves, no memory pressure anywhere.
+        let make = |budget: Option<usize>| {
+            let mut b = SimCluster::builder().nodes(2);
+            if let Some(bytes) = budget {
+                b = b.memory_budget(bytes);
+            }
+            let c = b.build().unwrap();
+            let f = c
+                .create_file(FileSpec::new("part", Partitioning::hash(4)))
+                .unwrap();
+            for i in 0..600i64 {
+                f.insert(
+                    Value::Int(i),
+                    Record::from_text(&format!("row-{i}-{}", "x".repeat(120))),
+                )
+                .unwrap();
+            }
+            c
+        };
+        let tiny = make(Some(MIN_MEMORY_BUDGET));
+        let wide = make(None);
+        assert!(
+            tiny.buffer_stats().evictions > 0,
+            "600 * ~140 B rows cannot all stay resident in {MIN_MEMORY_BUDGET} B"
+        );
+        for i in 0..600i64 {
+            let ptr = Pointer::logical("part", Value::Int(i), Value::Int(i));
+            let a = tiny.resolve(&ptr, 0).unwrap();
+            let b = wide.resolve(&ptr, 0).unwrap();
+            assert_eq!(a.bytes(), b.bytes(), "row {i} must be byte-identical");
+        }
+        // Resolves under pressure fault pages back in, and the faults are
+        // physical: logical conservation is untouched by them.
+        let s = tiny.metrics().snapshot();
+        assert!(s.page_faults > 0, "re-reads must fault evicted pages in");
+        assert!(s.page_evictions > 0);
+        assert_eq!(s.point_reads(), 600);
+        assert_eq!(wide.metrics().snapshot().page_faults, 0);
+        let ps = tiny.buffer_stats();
+        assert!(ps.budget_used <= ps.budget_total, "budget is a hard cap");
+    }
+
+    #[test]
+    fn shared_budget_shrinks_record_cache_under_page_pressure() {
+        let c = SimCluster::builder()
+            .nodes(1)
+            .memory_budget(MIN_MEMORY_BUDGET)
+            .record_cache(32 * 1024)
+            .build()
+            .unwrap();
+        let f = c
+            .create_file(FileSpec::new("t", Partitioning::hash(1)))
+            .unwrap();
+        for i in 0..400i64 {
+            f.insert(
+                Value::Int(i),
+                Record::from_text(&format!("row-{i}-{}", "y".repeat(120))),
+            )
+            .unwrap();
+        }
+        // Sweep every record: cache inserts and page faults now compete
+        // for the same bytes. Everything must still resolve correctly.
+        for i in 0..400i64 {
+            let ptr = Pointer::logical("t", Value::Int(i), Value::Int(i));
+            assert!(c
+                .resolve(&ptr, 0)
+                .unwrap()
+                .text()
+                .unwrap()
+                .starts_with(&format!("row-{i}-")));
+        }
+        let ps = c.buffer_stats();
+        assert!(ps.budget_used <= ps.budget_total);
+        let s = c.metrics().snapshot();
+        assert_eq!(
+            s.cache_hits + s.cache_misses,
+            400,
+            "every resolve is a hit or a miss even under shared pressure"
+        );
+    }
+
+    #[test]
+    fn logical_and_physical_aliases_share_one_cache_entry() {
+        let c = SimCluster::builder()
+            .nodes(1)
+            .record_cache(64 * 1024)
+            .build()
+            .unwrap();
+        let f = c
+            .create_file(FileSpec::new("t", Partitioning::hash(1)))
+            .unwrap();
+        let (partition, slot) = f.insert(Value::Int(7), Record::from_text("r7")).unwrap();
+        let logical = Pointer::logical("t", Value::Int(7), Value::Int(7));
+        let physical = Pointer::physical("t", partition, slot);
+        // First resolve (logical) misses and fills the cache; the second
+        // (physical alias of the same record) must hit the same entry.
+        assert_eq!(c.resolve(&logical, 0).unwrap().text().unwrap(), "r7");
+        assert_eq!(c.resolve(&physical, 0).unwrap().text().unwrap(), "r7");
+        let s = c.metrics().snapshot();
+        assert_eq!(s.cache_misses, 1, "aliases normalize to one cache key");
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.point_reads(), 1, "the alias never touched storage");
     }
 }

@@ -7,11 +7,21 @@
 //! resolution). The file routes records to partitions through its
 //! configured [`Partitioner`].
 //!
+//! Record payloads live on [`SlottedPage`]s owned by a [`BufferPool`], so
+//! a heap file built with [`HeapFile::with_pool`] competes for the shared
+//! byte budget and its cold partitions are evictable; the default
+//! constructor uses a private unbounded pool, which never faults or
+//! evicts. Only slim metadata (the key index and the page directory) is
+//! pinned in memory unconditionally.
+//!
 //! This type is purely the data plane: latency injection and access
 //! accounting happen in the [`cluster`](crate::cluster) layer so the same
-//! storage can be replayed under different I/O models.
+//! storage can be replayed under different I/O models. Paged accessors
+//! come in `_traced` variants returning the [`PageStats`] (faults,
+//! evictions, pinned bytes) the call incurred for that layer to charge.
 
 use crate::btree::BPlusTree;
+use crate::buffer::{BufferPool, PageId, PageStats, SlottedPage, DEFAULT_PAGE_BYTES};
 use crate::partitioner::{Partitioner, Partitioning};
 use crate::pointer::PointerKey;
 use crate::record::Record;
@@ -20,42 +30,76 @@ use rede_common::{RedeError, Result, Value};
 use std::sync::Arc;
 
 struct PartitionStore {
-    /// Records in arrival order; the index in this vector is the physical
-    /// slot number used by physical pointers.
-    slots: Vec<(Value, Record)>,
-    /// In-partition key → slot.
+    /// In-partition key → physical slot.
     key_index: BPlusTree<Value, usize>,
+    /// First slot number of each page, in page order. Binary-searchable
+    /// because slots are assigned in arrival order and never move.
+    page_first_slot: Vec<usize>,
+    /// Number of records (== next slot number).
+    len: usize,
+    /// Byte size of the open (last) page, mirrored here so the writer can
+    /// decide to roll to a new page without touching the pool.
+    open_bytes: usize,
 }
 
 impl PartitionStore {
     fn new() -> Self {
         PartitionStore {
-            slots: Vec::new(),
             key_index: BPlusTree::new(),
+            page_first_slot: Vec::new(),
+            len: 0,
+            open_bytes: 0,
         }
+    }
+
+    /// Map a slot to `(page_no, slot-within-page)`.
+    fn locate(&self, slot: usize) -> (u32, usize) {
+        let idx = self.page_first_slot.partition_point(|&fs| fs <= slot) - 1;
+        (idx as u32, slot - self.page_first_slot[idx])
     }
 }
 
-/// A partitioned, key-addressable record store.
+/// A partitioned, key-addressable record store over slotted pages.
 pub struct HeapFile {
     name: Arc<str>,
     spec: Partitioning,
     partitioner: Arc<dyn Partitioner>,
     partitions: Vec<RwLock<PartitionStore>>,
+    pool: Arc<BufferPool>,
+    page_bytes: usize,
+    /// Page namespace: `heap:{name}`, so heap and index pages of the same
+    /// catalog name cannot collide in a shared pool.
+    page_ns: Arc<str>,
 }
 
 impl HeapFile {
-    /// Create an empty heap file with the given partitioning.
+    /// Create an empty heap file with the given partitioning, backed by a
+    /// private unbounded pool (never faults, never evicts).
     pub fn new(name: impl AsRef<str>, spec: Partitioning) -> Result<HeapFile> {
+        HeapFile::with_pool(name, spec, BufferPool::unbounded(), DEFAULT_PAGE_BYTES)
+    }
+
+    /// Create an empty heap file whose pages live in `pool`, competing
+    /// for its byte budget with every other structure on the pool.
+    pub fn with_pool(
+        name: impl AsRef<str>,
+        spec: Partitioning,
+        pool: Arc<BufferPool>,
+        page_bytes: usize,
+    ) -> Result<HeapFile> {
         let partitioner = spec.build()?;
         let partitions = (0..partitioner.partitions())
             .map(|_| RwLock::new(PartitionStore::new()))
             .collect();
+        let name: Arc<str> = Arc::from(name.as_ref());
         Ok(HeapFile {
-            name: Arc::from(name.as_ref()),
+            page_ns: Arc::from(format!("heap:{name}")),
+            name,
             spec,
             partitioner,
             partitions,
+            pool,
+            page_bytes: page_bytes.max(1),
         })
     }
 
@@ -79,10 +123,18 @@ impl HeapFile {
         self.partitioner.partition_of(partition_key)
     }
 
+    fn page_id(&self, partition: usize, page_no: u32) -> PageId {
+        PageId {
+            file: self.page_ns.clone(),
+            partition: partition as u32,
+            page_no,
+        }
+    }
+
     /// Insert a record keyed by `key`, partitioned by `partition_key`
     /// (usually the same value for primary storage). Returns `(partition,
     /// slot)`. An existing record under the same key is replaced in place,
-    /// keeping its slot.
+    /// keeping its slot (and therefore its physical pointer).
     pub fn insert(
         &self,
         partition_key: &Value,
@@ -92,50 +144,100 @@ impl HeapFile {
         let p = self.partition_of(partition_key);
         let mut store = self.partitions[p].write();
         if let Some(&slot) = store.key_index.get(&key) {
-            store.slots[slot] = (key, record);
+            let (page_no, in_page) = store.locate(slot);
+            let id = self.page_id(p, page_no);
+            // `replace` grows by at most the full new payload.
+            let (size, _stats) = self.pool.with_page_mut(&id, record.len(), |pg| {
+                pg.replace(in_page, record.bytes());
+                pg.byte_size()
+            })?;
+            if page_no as usize == store.page_first_slot.len() - 1 {
+                store.open_bytes = size;
+            }
             return Ok((p, slot));
         }
-        let slot = store.slots.len();
-        store.slots.push((key.clone(), record));
+        let slot = store.len;
+        let cost = SlottedPage::push_cost(Some(&key), record.len());
+        let empty = SlottedPage::new().byte_size();
+        let roll = store.page_first_slot.is_empty()
+            || (store.open_bytes + cost > self.page_bytes && store.open_bytes > empty);
+        if roll {
+            let page_no = store.page_first_slot.len() as u32;
+            self.pool.create_page(self.page_id(p, page_no))?;
+            // Safe even if the push below fails: the slot was never
+            // occupied, so the next insert reuses both page and slot.
+            store.page_first_slot.push(slot);
+            store.open_bytes = empty;
+        }
+        let page_no = (store.page_first_slot.len() - 1) as u32;
+        let id = self.page_id(p, page_no);
+        let (_, _stats) = self
+            .pool
+            .with_page_mut(&id, cost, |pg| pg.push(Some(key.clone()), record.bytes()))?;
+        store.open_bytes += cost;
+        store.len += 1;
         store.key_index.insert(key, slot);
         Ok((p, slot))
     }
 
-    /// Resolve an in-partition address to a record.
-    pub fn get(&self, partition: usize, key: &PointerKey) -> Result<Record> {
+    /// Resolve an in-partition address to a record, reporting page I/O.
+    pub fn get_traced(&self, partition: usize, key: &PointerKey) -> Result<(Record, PageStats)> {
         let store = self
             .partitions
             .get(partition)
             .ok_or_else(|| RedeError::Routing(format!("{}: no partition {partition}", self.name)))?
             .read();
-        match key {
-            PointerKey::Logical(k) => {
-                let slot = *store.key_index.get(k).ok_or_else(|| {
-                    RedeError::DanglingPointer(format!("{}[{partition}] has no key {k}", self.name))
-                })?;
-                Ok(store.slots[slot].1.clone())
-            }
-            PointerKey::Physical(slot) => store
-                .slots
-                .get(*slot)
-                .map(|(_, r)| r.clone())
-                .ok_or_else(|| {
-                    RedeError::DanglingPointer(format!(
+        let slot = match key {
+            PointerKey::Logical(k) => *store.key_index.get(k).ok_or_else(|| {
+                RedeError::DanglingPointer(format!("{}[{partition}] has no key {k}", self.name))
+            })?,
+            PointerKey::Physical(slot) => {
+                if *slot >= store.len {
+                    return Err(RedeError::DanglingPointer(format!(
                         "{}[{partition}] has no slot {slot}",
                         self.name
-                    ))
-                }),
+                    )));
+                }
+                *slot
+            }
+        };
+        let (page_no, in_page) = store.locate(slot);
+        let id = self.page_id(partition, page_no);
+        let (rec, stats) = self.pool.with_page(&id, |pg| pg.record(in_page))?;
+        let rec = rec.ok_or_else(|| {
+            RedeError::Corrupt(format!(
+                "{}[{partition}] slot {slot} missing from page {page_no}",
+                self.name
+            ))
+        })?;
+        Ok((rec, stats))
+    }
+
+    /// Resolve an in-partition address to a record.
+    pub fn get(&self, partition: usize, key: &PointerKey) -> Result<Record> {
+        self.get_traced(partition, key).map(|(r, _)| r)
+    }
+
+    /// The physical slot a pointer key resolves to, if the record exists.
+    /// This is a metadata-only probe (no page access, nothing charged);
+    /// the cluster uses it to normalize logical and physical aliases of
+    /// the same record to one cache key.
+    pub fn slot_of(&self, partition: usize, key: &PointerKey) -> Option<usize> {
+        let store = self.partitions.get(partition)?.read();
+        match key {
+            PointerKey::Logical(k) => store.key_index.get(k).copied(),
+            PointerKey::Physical(slot) => (*slot < store.len).then_some(*slot),
         }
     }
 
     /// Number of records in one partition.
     pub fn partition_len(&self, partition: usize) -> usize {
-        self.partitions[partition].read().slots.len()
+        self.partitions[partition].read().len
     }
 
     /// Total number of records across partitions.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().slots.len()).sum()
+        self.partitions.iter().map(|p| p.read().len).sum()
     }
 
     /// True if the file holds no records.
@@ -144,23 +246,104 @@ impl HeapFile {
     }
 
     /// Copy out a contiguous slot range of one partition (clamped to the
-    /// partition length). Records are `Bytes`-backed so this is cheap; the
-    /// range form lets scans stream in batches.
-    pub fn read_slots(&self, partition: usize, start: usize, count: usize) -> Vec<(Value, Record)> {
+    /// partition length), reporting page I/O. The range form lets scans
+    /// stream in page-sized batches; at most one page is pinned at a time.
+    pub fn read_slots_traced(
+        &self,
+        partition: usize,
+        start: usize,
+        count: usize,
+    ) -> Result<(Vec<(Value, Record)>, PageStats)> {
         let store = self.partitions[partition].read();
-        let end = (start + count).min(store.slots.len());
+        let end = (start + count).min(store.len);
+        let mut stats = PageStats::default();
         if start >= end {
-            return Vec::new();
+            return Ok((Vec::new(), stats));
         }
-        store.slots[start..end].to_vec()
+        let mut out = Vec::with_capacity(end - start);
+        let mut slot = start;
+        while slot < end {
+            let (page_no, in_page) = store.locate(slot);
+            let id = self.page_id(partition, page_no);
+            let want = end - slot;
+            let (batch, s) = self.pool.with_page(&id, |pg| {
+                let upto = pg.len().min(in_page + want);
+                (in_page..upto)
+                    .map(|i| {
+                        (
+                            pg.key(i).cloned().expect("heap pages are keyed"),
+                            pg.record(i).expect("slot within page"),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })?;
+            stats.absorb(s);
+            slot += batch.len();
+            out.extend(batch);
+        }
+        Ok((out, stats))
+    }
+
+    /// Copy out a contiguous slot range of one partition (clamped).
+    ///
+    /// Infallible convenience wrapper: with the builder-enforced budget
+    /// floor a single page always fits, so the only failure mode is a
+    /// misconfigured standalone pool — which panics loudly here.
+    pub fn read_slots(&self, partition: usize, start: usize, count: usize) -> Vec<(Value, Record)> {
+        self.read_slots_traced(partition, start, count)
+            .expect("page budget exhausted: raise the memory budget floor")
+            .0
+    }
+
+    /// Run `f` over every record of a partition in slot order, reporting
+    /// page I/O. Pages are visited one at a time; `f` runs after each
+    /// page's guard is dropped, so callbacks never hold a pin.
+    pub fn for_each_in_partition_traced(
+        &self,
+        partition: usize,
+        mut f: impl FnMut(&Value, &Record),
+    ) -> Result<PageStats> {
+        let store = self.partitions[partition].read();
+        let mut stats = PageStats::default();
+        for (idx, &first) in store.page_first_slot.iter().enumerate() {
+            let next_first = store
+                .page_first_slot
+                .get(idx + 1)
+                .copied()
+                .unwrap_or(store.len);
+            let id = self.page_id(partition, idx as u32);
+            let (batch, s) = self.pool.with_page(&id, |pg| {
+                (0..next_first - first)
+                    .map(|i| {
+                        (
+                            pg.key(i).cloned().expect("heap pages are keyed"),
+                            pg.record(i).expect("slot within page"),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })?;
+            stats.absorb(s);
+            for (k, r) in &batch {
+                f(k, r);
+            }
+        }
+        Ok(stats)
     }
 
     /// Run `f` over every record of a partition in slot order.
-    pub fn for_each_in_partition(&self, partition: usize, mut f: impl FnMut(&Value, &Record)) {
-        let store = self.partitions[partition].read();
-        for (k, r) in &store.slots {
-            f(k, r);
-        }
+    pub fn for_each_in_partition(&self, partition: usize, f: impl FnMut(&Value, &Record)) {
+        self.for_each_in_partition_traced(partition, f)
+            .expect("page budget exhausted: raise the memory budget floor");
+    }
+
+    /// Total bytes of this file's pages, resident or spilled.
+    pub fn total_bytes(&self) -> usize {
+        self.pool.total_bytes_of(&self.page_ns)
+    }
+
+    /// Bytes of this file's pages currently resident in the pool.
+    pub fn resident_bytes(&self) -> usize {
+        self.pool.resident_bytes_of(&self.page_ns)
     }
 }
 
@@ -170,6 +353,7 @@ impl std::fmt::Debug for HeapFile {
             .field("name", &self.name)
             .field("partitions", &self.partitions.len())
             .field("len", &self.len())
+            .field("resident_bytes", &self.resident_bytes())
             .finish()
     }
 }
@@ -177,6 +361,7 @@ impl std::fmt::Debug for HeapFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::ByteBudget;
     use crate::pointer::PointerKey;
 
     fn file() -> HeapFile {
@@ -239,6 +424,21 @@ mod tests {
                 .text()
                 .unwrap(),
             "b"
+        );
+    }
+
+    #[test]
+    fn reinsert_with_longer_record_still_reads_back() {
+        let f = file();
+        f.insert(&Value::Int(1), Value::Int(1), Record::from_text("ab"))
+            .unwrap();
+        let long = "z".repeat(300);
+        let (p, s) = f
+            .insert(&Value::Int(1), Value::Int(1), Record::from_text(&long))
+            .unwrap();
+        assert_eq!(
+            f.get(p, &PointerKey::Physical(s)).unwrap().text().unwrap(),
+            long
         );
     }
 
@@ -312,5 +512,56 @@ mod tests {
         assert_eq!(f.partition_len(0), 1);
         assert_eq!(f.partition_len(1), 1);
         assert_eq!(f.partition_len(2), 1);
+    }
+
+    #[test]
+    fn tiny_pool_evicts_and_reads_back_byte_identical() {
+        // Small pages + a budget of ~4 pages force eviction churn across
+        // 200 records; every access must still read back identically.
+        let pool = BufferPool::with_budget(Arc::new(ByteBudget::new(4 * 512)));
+        let f = HeapFile::with_pool("t", Partitioning::hash(2), pool.clone(), 512).unwrap();
+        for i in 0..200i64 {
+            f.insert(
+                &Value::Int(i),
+                Value::Int(i),
+                Record::from_text(&format!("record-{i}-{}", "y".repeat(20))),
+            )
+            .unwrap();
+        }
+        assert!(pool.stats().evictions > 0, "pressure must evict");
+        let mut faults = 0;
+        for i in 0..200i64 {
+            let p = f.partition_of(&Value::Int(i));
+            let (r, s) = f
+                .get_traced(p, &PointerKey::Logical(Value::Int(i)))
+                .unwrap();
+            assert_eq!(r.text().unwrap(), format!("record-{i}-{}", "y".repeat(20)));
+            faults += s.faults;
+        }
+        assert!(faults > 0, "cold reads must fault pages back in");
+        assert_eq!(f.len(), 200);
+        // Scans see every record too, despite the spill.
+        let mut seen = 0;
+        for p in 0..f.partitions() {
+            f.for_each_in_partition(p, |_, _| seen += 1);
+        }
+        assert_eq!(seen, 200);
+        assert!(f.total_bytes() > f.resident_bytes());
+    }
+
+    #[test]
+    fn slot_of_normalizes_logical_and_physical_aliases() {
+        let f = file();
+        let (p, slot) = f
+            .insert(&Value::Int(3), Value::Int(3), Record::from_text("x"))
+            .unwrap();
+        assert_eq!(
+            f.slot_of(p, &PointerKey::Logical(Value::Int(3))),
+            Some(slot)
+        );
+        assert_eq!(f.slot_of(p, &PointerKey::Physical(slot)), Some(slot));
+        assert_eq!(f.slot_of(p, &PointerKey::Logical(Value::Int(99))), None);
+        assert_eq!(f.slot_of(p, &PointerKey::Physical(999)), None);
+        assert_eq!(f.slot_of(42, &PointerKey::Physical(0)), None);
     }
 }

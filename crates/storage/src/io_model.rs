@@ -38,6 +38,10 @@ pub struct IoModel {
     /// One B+-tree traversal (root-to-leaf; the interior is assumed cached,
     /// so this is cheaper than a data point read).
     pub index_lookup: Duration,
+    /// Servicing one buffer-pool page fault: reading a ~4 KiB page back
+    /// from the backing store. One positioned read, so it costs like a
+    /// local point read rather than a per-record scan.
+    pub page_fault: Duration,
     /// Number of records whose scan cost is charged as one sleep. Batching
     /// avoids issuing a syscall per record while keeping total time honest.
     pub scan_batch: usize,
@@ -54,6 +58,7 @@ impl IoModel {
             remote_point_read: Duration::ZERO,
             scan_per_record: Duration::ZERO,
             index_lookup: Duration::ZERO,
+            page_fault: Duration::ZERO,
             scan_batch: 1024,
             queue_depth: usize::MAX,
         }
@@ -88,6 +93,7 @@ impl IoModel {
             remote_point_read: us(650.0),
             scan_per_record: us(2.0),
             index_lookup: us(120.0),
+            page_fault: us(400.0),
             scan_batch: 1024,
             queue_depth: 1008,
         }
@@ -99,6 +105,7 @@ impl IoModel {
             && self.remote_point_read.is_zero()
             && self.scan_per_record.is_zero()
             && self.index_lookup.is_zero()
+            && self.page_fault.is_zero()
     }
 
     /// Sleep for one local point read.
@@ -150,6 +157,23 @@ impl IoModel {
     pub fn pay_scan(&self, n: usize) {
         if n > 0 {
             maybe_sleep(self.scan_cost(n));
+        }
+    }
+
+    /// Sleep once for servicing `n` buffer-pool page faults (one sleep,
+    /// n × per-fault cost; 128-bit saturating math like `scan_cost`).
+    /// Fault service time is charged on the access path that took the
+    /// fault, *outside* the device permit: the simulated backing store
+    /// stands apart from the point-read device queue the paper saturates.
+    #[inline]
+    pub fn pay_page_faults(&self, n: u64) {
+        if n > 0 {
+            let ns = self
+                .page_fault
+                .as_nanos()
+                .saturating_mul(n as u128)
+                .min(u64::MAX as u128) as u64;
+            maybe_sleep(Duration::from_nanos(ns));
         }
     }
 
@@ -318,11 +342,12 @@ mod tests {
     /// "zero-cost" cluster would silently sleep through those accesses.
     #[test]
     fn is_zero_audits_every_latency_field() {
-        let fields: [fn(&mut IoModel, Duration); 4] = [
+        let fields: [fn(&mut IoModel, Duration); 5] = [
             |m, d| m.local_point_read = d,
             |m, d| m.remote_point_read = d,
             |m, d| m.scan_per_record = d,
             |m, d| m.index_lookup = d,
+            |m, d| m.page_fault = d,
         ];
         for (i, set) in fields.iter().enumerate() {
             let mut m = IoModel::zero();

@@ -24,6 +24,7 @@
 
 pub mod btree;
 pub mod btree_file;
+pub mod buffer;
 pub mod cache;
 pub mod catalog;
 pub mod cluster;
@@ -38,8 +39,14 @@ pub mod record;
 
 pub use btree::BPlusTree;
 pub use btree_file::{BtreeFile, IndexEntry, IndexLocality, IndexSpec};
+pub use buffer::{
+    BufferPool, ByteBudget, PageGuard, PageId, PageStats, PoolStats, SlottedPage,
+    DEFAULT_PAGE_BYTES,
+};
 pub use cache::{CacheKey, CachePlacement, RecordCache};
-pub use cluster::{FileHandle, FileSpec, IndexHandle, SimCluster, SimClusterBuilder};
+pub use cluster::{
+    FileHandle, FileSpec, IndexHandle, SimCluster, SimClusterBuilder, MIN_MEMORY_BUDGET,
+};
 pub use cost::{CostModel, CostReport};
 pub use fabric::{FabricConfig, SimFabric};
 pub use faults::{AccessClass, Brownout, DownWindow, FaultDecision, FaultInjector, FaultPlan};

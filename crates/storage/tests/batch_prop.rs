@@ -18,7 +18,7 @@ const NODES: usize = 3;
 fn build_cluster(cache: Option<CachePlacement>, fault_seed: Option<u64>) -> SimCluster {
     let mut b = SimCluster::builder().nodes(NODES);
     if let Some(placement) = cache {
-        b = b.record_cache(NODES * 1024).cache_placement(placement);
+        b = b.record_cache(NODES * 8192).cache_placement(placement);
     }
     if let Some(seed) = fault_seed {
         b = b.faults(FaultPlan::transient(seed, 0.3));

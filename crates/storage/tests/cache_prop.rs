@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use rede_common::Value;
-use rede_storage::cache::{CacheKey, RecordCache};
+use rede_storage::cache::{CacheKey, RecordCache, CACHE_ENTRY_OVERHEAD};
 use rede_storage::{FileSpec, Partitioning, Pointer, PointerKey, Record, SimCluster};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -22,6 +22,14 @@ fn key(i: i64) -> CacheKey {
         key: PointerKey::Logical(Value::Int(i)),
     }
 }
+
+/// Fixed-width record so every entry costs exactly `COST` bytes and the
+/// count-based LRU model translates to an `n * COST` byte capacity.
+fn rec(i: i64) -> Record {
+    Record::from_text(&format!("{i:04}"))
+}
+
+const COST: usize = CACHE_ENTRY_OVERHEAD + 4;
 
 /// Exact-LRU reference: most recent at the front.
 struct Model {
@@ -72,12 +80,12 @@ proptest! {
         ),
         capacity in 1usize..16,
     ) {
-        let cache = RecordCache::new(capacity, 1);
+        let cache = RecordCache::with_byte_capacity(capacity * COST, 1);
         let mut model = Model { order: Vec::new(), capacity };
         for op in &ops {
             match *op {
                 Op::Insert(k) => {
-                    cache.insert(key(k), Record::from_text(&k.to_string()));
+                    cache.insert(key(k), rec(k));
                     model.insert(k);
                 }
                 Op::Get(k) => {
@@ -101,15 +109,17 @@ proptest! {
         capacity in 4usize..64,
         shards in 1usize..8,
     ) {
-        let cache = RecordCache::new(capacity, shards);
+        let cache = RecordCache::with_byte_capacity(capacity * COST, shards);
         for &k in &inserts {
-            cache.insert(key(k), Record::from_text(&format!("v{k}")));
+            cache.insert(key(k), rec(k));
         }
-        // The shard capacities sum to exactly the requested bound.
+        // The shard byte capacities sum to exactly the requested bound,
+        // so at fixed entry cost at most `capacity` entries ever fit.
         prop_assert!(cache.len() <= capacity);
+        prop_assert!(cache.used_bytes() <= cache.capacity());
         for k in 0..200 {
             if let Some(r) = cache.get(&key(k)) {
-                prop_assert_eq!(r.text().unwrap(), format!("v{k}"));
+                prop_assert_eq!(r.text().unwrap(), format!("{k:04}"));
             }
         }
     }
@@ -127,7 +137,7 @@ proptest! {
         let nodes = 3;
         let cluster = SimCluster::builder()
             .nodes(nodes)
-            .record_cache(3 * 1024) // 1024 per node: no eviction possible
+            .record_cache(3 * 4096) // 4 KiB per node: no eviction possible
             .build()
             .unwrap();
         let file = cluster

@@ -22,6 +22,7 @@ fn tight_queue_cluster() -> SimCluster {
         remote_point_read: Duration::from_millis(401), // RTT = 400ms
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_millis(1),
+        page_fault: Duration::ZERO,
         scan_batch: 1024,
         queue_depth: 1,
     };

@@ -81,6 +81,7 @@ pub mod prelude {
     };
     pub use rede_storage::{
         Brownout, CachePlacement, DownWindow, FabricConfig, FaultInjector, FaultPlan, FileSpec,
-        IoModel, Partitioning, Pointer, Record, SimCluster, SimClusterBuilder,
+        IoModel, Partitioning, Pointer, PoolStats, Record, SimCluster, SimClusterBuilder,
+        MIN_MEMORY_BUDGET,
     };
 }

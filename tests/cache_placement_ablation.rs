@@ -13,7 +13,7 @@
 use lakeharbor::prelude::*;
 use rede_tpch::{load_tpch, q5_prime_job, LoadOptions, Q5Params, TpchGenerator};
 
-const CACHE_TOTAL: usize = 100_000; // ample: no eviction on this workload
+const CACHE_TOTAL: usize = 32 << 20; // 32 MiB: no eviction on this workload
 
 fn load(placement: CachePlacement) -> SimCluster {
     let cluster = SimCluster::builder()

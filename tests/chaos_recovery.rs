@@ -28,7 +28,7 @@ fn fixture(io: IoModel, faults: Option<FaultPlan>) -> SimCluster {
         .io_model(io)
         // A small record cache so the chaos runs also exercise the
         // hits-bypass-the-gate path and the per-node miss pairing.
-        .record_cache(512);
+        .record_cache(64 * 1024);
     if let Some(plan) = faults {
         builder = builder.faults(plan);
     }

@@ -28,6 +28,7 @@ fn rtt_heavy_io() -> IoModel {
         remote_point_read: Duration::from_micros(102),
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_micros(1),
+        page_fault: Duration::from_micros(2),
         scan_batch: 1024,
         queue_depth: 1008,
     }
@@ -37,7 +38,7 @@ fn fixture(io: IoModel, faults: Option<FaultPlan>) -> SimCluster {
     let mut builder = SimCluster::builder()
         .nodes(4)
         .io_model(io)
-        .record_cache(512);
+        .record_cache(64 * 1024);
     if let Some(plan) = faults {
         builder = builder.faults(plan);
     }

@@ -1,0 +1,246 @@
+//! End-to-end acceptance of evictable paged structures: every workload
+//! the repo ships must return byte-identical answers no matter how small
+//! the shared memory budget is — eviction storms, shared record-cache
+//! shrinking, and fault injection included — and the accounting
+//! invariants must hold throughout:
+//!
+//! * `local + remote + cache_hits == logical point reads` per node (page
+//!   faults are physical I/O, never logical reads);
+//! * resident bytes never exceed the configured budget;
+//! * `ensure_index` reports build cost (`structure_bytes`) separately
+//!   from resident cost (`resident_bytes`).
+
+use lakeharbor::prelude::*;
+use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
+use rede_claims::queries::{run_rede as run_claims_rede, QuerySpec};
+use rede_core::scheduler::EnsureOutcome;
+use rede_storage::MIN_MEMORY_BUDGET;
+use rede_tpch::{load_tpch, q5_prime_job, q6_job, LoadOptions, Q5Params, Q6Params, TpchGenerator};
+
+fn tpch_cluster(budget: Option<usize>, faults: Option<FaultPlan>) -> SimCluster {
+    let mut builder = SimCluster::builder()
+        .nodes(2)
+        .io_model(IoModel::zero())
+        .record_cache(16 * 1024);
+    if let Some(bytes) = budget {
+        builder = builder.memory_budget(bytes);
+    }
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    let cluster = builder.build().unwrap();
+    load_tpch(
+        &cluster,
+        TpchGenerator::new(0.002, 5),
+        &LoadOptions {
+            partitions: Some(6),
+            date_indexes: true,
+            fk_indexes: true,
+        },
+    )
+    .unwrap();
+    cluster
+}
+
+fn sorted(records: &[Record]) -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = records.iter().map(|r| r.bytes().to_vec()).collect();
+    v.sort();
+    v
+}
+
+fn assert_conservation(cluster: &SimCluster, label: &str) {
+    for (node, io) in cluster.metrics().node_point_reads().iter().enumerate() {
+        assert_eq!(
+            io.local + io.remote + io.cache_hits,
+            io.logical_point_reads(),
+            "{label}: node {node} leaked page faults into logical read counters"
+        );
+    }
+}
+
+fn assert_under_budget(cluster: &SimCluster, label: &str) {
+    let pool = cluster.buffer_stats();
+    assert!(
+        pool.budget_used <= pool.budget_total,
+        "{label}: resident {} exceeds budget {}",
+        pool.budget_used,
+        pool.budget_total
+    );
+}
+
+/// Q5' and Q6 across the budget ladder, floor budget included: answers
+/// are byte-identical to the unbounded cluster while the constrained
+/// runs visibly page.
+#[test]
+fn q5_and_q6_answers_survive_eviction_storms() {
+    let q5 = q5_prime_job(&Q5Params::with_selectivity(0.2)).unwrap();
+    let q6 = q6_job(&Q6Params::standard()).unwrap();
+    let run = |cluster: &SimCluster| {
+        let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(32).collecting());
+        let q5_result = runner.run(&q5).unwrap();
+        let q6_result = runner.run(&q6).unwrap();
+        (sorted(&q5_result.records), sorted(&q6_result.records))
+    };
+
+    let wide = tpch_cluster(None, None);
+    let (q5_want, q6_want) = run(&wide);
+    assert!(!q5_want.is_empty() && !q6_want.is_empty());
+    assert_eq!(wide.buffer_stats().evictions, 0, "unbounded pool evicted");
+
+    for budget in [MIN_MEMORY_BUDGET, 4 * MIN_MEMORY_BUDGET] {
+        let label = format!("budget {budget}");
+        let tight = tpch_cluster(Some(budget), None);
+        tight.metrics().reset();
+        let (q5_rows, q6_rows) = run(&tight);
+        assert_eq!(
+            q5_rows, q5_want,
+            "{label}: Q5' answer changed under eviction"
+        );
+        assert_eq!(
+            q6_rows, q6_want,
+            "{label}: Q6 answer changed under eviction"
+        );
+        let delta = tight.metrics().snapshot();
+        assert!(
+            delta.page_faults > 0,
+            "{label}: the constrained run never paged"
+        );
+        assert_conservation(&tight, &label);
+        assert_under_budget(&tight, &label);
+    }
+}
+
+/// The claims case study (Q1–Q3) at the floor budget: the lake's paged
+/// heaps and lazily built indexes all take turns in 16 pages of memory,
+/// and every query still agrees with the unbounded run.
+#[test]
+fn claims_answers_survive_eviction_storms() {
+    let build = |budget: Option<usize>| {
+        let mut builder = SimCluster::builder().nodes(2).io_model(IoModel::zero());
+        if let Some(bytes) = budget {
+            builder = builder.memory_budget(bytes);
+        }
+        let cluster = builder.build().unwrap();
+        let generator = ClaimsGenerator::new(
+            ClaimsProfile {
+                claims: 3_000,
+                ..Default::default()
+            },
+            11,
+        );
+        rede_claims::lake::load_lake(&cluster, &generator).unwrap();
+        cluster
+    };
+
+    let wide = build(None);
+    let tight = build(Some(MIN_MEMORY_BUDGET));
+    let wide_runner = JobRunner::new(wide.clone(), ExecutorConfig::smpe(32).collecting());
+    let tight_runner = JobRunner::new(tight.clone(), ExecutorConfig::smpe(32).collecting());
+    tight.metrics().reset();
+    for spec in QuerySpec::all() {
+        let want = run_claims_rede(&wide_runner, &spec).unwrap();
+        let got = run_claims_rede(&tight_runner, &spec).unwrap();
+        assert_eq!(
+            got.total_expense, want.total_expense,
+            "{}: answer changed at the floor budget",
+            spec.name
+        );
+        assert_eq!(
+            got.qualifying_claims, want.qualifying_claims,
+            "{}",
+            spec.name
+        );
+    }
+    assert!(
+        tight.metrics().snapshot().page_faults > 0,
+        "floor-budget claims run never paged"
+    );
+    assert_conservation(&tight, "claims floor");
+    assert_under_budget(&tight, "claims floor");
+}
+
+/// Chaos × memory pressure: deterministic transient faults layered on an
+/// eviction storm. The executor's retry path and the paging path cross
+/// freely; the answers must not.
+#[test]
+fn chaos_grid_under_tiny_budgets_stays_byte_identical() {
+    let q5 = q5_prime_job(&Q5Params::with_selectivity(0.2)).unwrap();
+    let wide = tpch_cluster(None, None);
+    let want = {
+        let runner = JobRunner::new(wide.clone(), ExecutorConfig::smpe(32).collecting());
+        sorted(&runner.run(&q5).unwrap().records)
+    };
+
+    for seed in [3u64, 7] {
+        for budget in [MIN_MEMORY_BUDGET, 2 * MIN_MEMORY_BUDGET] {
+            let label = format!("seed {seed} / budget {budget}");
+            let cluster = tpch_cluster(Some(budget), Some(FaultPlan::transient(seed, 0.02)));
+            cluster.metrics().reset();
+            let runner = JobRunner::new(cluster.clone(), ExecutorConfig::smpe(32).collecting());
+            let rows = sorted(&runner.run(&q5).unwrap().records);
+            assert_eq!(rows, want, "{label}: chaos + eviction changed the answer");
+            let delta = cluster.metrics().snapshot();
+            assert!(delta.page_faults > 0, "{label}: never paged");
+            assert!(
+                delta.faults_injected > 0,
+                "{label}: the fault plan never fired"
+            );
+            assert_conservation(&cluster, &label);
+            assert_under_budget(&cluster, &label);
+        }
+    }
+}
+
+/// `ensure_index` must report the build cost and the resident cost as
+/// separate numbers: unbounded they agree (a finished build is fully
+/// resident), at the floor budget the index cannot fit and the report
+/// says so.
+#[test]
+fn ensure_index_reports_build_vs_resident_cost() {
+    let build_report = |budget: Option<usize>| {
+        let mut builder = SimCluster::builder().nodes(2).io_model(IoModel::zero());
+        if let Some(bytes) = budget {
+            builder = builder.memory_budget(bytes);
+        }
+        let cluster = builder.build().unwrap();
+        let file = cluster
+            .create_file(FileSpec::new("t", Partitioning::hash(4)))
+            .unwrap();
+        for k in 0..4_000i64 {
+            let text = format!("{k}|{}|{:->40}", k * 3, k % 7);
+            file.insert(Value::Int(k), Record::from_text(&text))
+                .unwrap();
+        }
+        let scheduler = HarborScheduler::new(cluster.clone(), SchedulerConfig::default());
+        let builder = IndexBuilder::new(
+            cluster.clone(),
+            rede_storage::IndexSpec::local("t.v", "t", 4),
+            std::sync::Arc::new(DelimitedInterpreter::pipe(1, FieldType::Int)),
+        );
+        match scheduler.ensure_index(builder).wait().unwrap() {
+            EnsureOutcome::Built(report) => (cluster, report),
+            other => panic!("expected a build, got {other:?}"),
+        }
+    };
+
+    let (_wide, wide_report) = build_report(None);
+    assert!(wide_report.structure_bytes > 0);
+    assert_eq!(
+        wide_report.resident_bytes, wide_report.structure_bytes,
+        "unbounded: a finished build must be fully resident"
+    );
+
+    let (tight, tight_report) = build_report(Some(MIN_MEMORY_BUDGET));
+    assert_eq!(
+        tight_report.structure_bytes, wide_report.structure_bytes,
+        "build cost is a property of the structure, not of the budget"
+    );
+    assert!(
+        tight_report.resident_bytes < tight_report.structure_bytes,
+        "floor budget: building a {}-byte index cannot leave it all resident, \
+         yet resident_bytes = {}",
+        tight_report.structure_bytes,
+        tight_report.resident_bytes
+    );
+    assert_under_budget(&tight, "ensure_index floor");
+}

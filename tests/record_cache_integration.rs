@@ -30,7 +30,7 @@ fn cache_preserves_results_and_absorbs_hot_fetches() {
     let job = q5_prime_job(&Q5Params::with_selectivity(0.2)).unwrap();
 
     let plain = load(None);
-    let cached = load(Some(100_000));
+    let cached = load(Some(16 << 20));
     let plain_run = JobRunner::new(plain, ExecutorConfig::smpe(32).collecting())
         .run(&job)
         .unwrap();
@@ -86,7 +86,7 @@ fn cache_preserves_results_and_absorbs_hot_fetches() {
 fn per_node_counters_conserve_accesses_under_smpe() {
     let job = q5_prime_job(&Q5Params::with_selectivity(0.2)).unwrap();
     let plain = load(None);
-    let cached = load(Some(100_000));
+    let cached = load(Some(16 << 20));
     let plain_run = JobRunner::new(plain, ExecutorConfig::smpe(32))
         .run(&job)
         .unwrap();
