@@ -49,6 +49,7 @@ fn remote_heavy_io() -> IoModel {
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_micros(10),
         page_fault: Duration::from_micros(20),
+        wal_fsync: Duration::ZERO,
         scan_batch: 1024,
         queue_depth: 1008,
     }
@@ -69,6 +70,7 @@ fn fabric_heavy_io() -> IoModel {
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_micros(2),
         page_fault: Duration::from_micros(5),
+        wal_fsync: Duration::ZERO,
         scan_batch: 1024,
         queue_depth: 1008,
     }

@@ -47,6 +47,7 @@ fn paged_io() -> IoModel {
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_micros(1),
         page_fault: Duration::from_micros(10),
+        wal_fsync: Duration::ZERO,
         scan_batch: 1024,
         queue_depth: 1008,
     }

@@ -78,6 +78,13 @@ struct Inner {
     /// High-water mark of simultaneously pinned buffer-pool bytes
     /// (monotone between resets, like `inflight_peak`).
     pinned_peak: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    /// Snapshot handles currently alive (gauge: begin/end paired like
+    /// `flights_in_flight`, but captured into the snapshot so ingest-aware
+    /// experiments can report concurrency).
+    snapshots_active: AtomicU64,
+    catchup_builds: AtomicU64,
     /// Point reads and record-cache accesses attributed to the node that
     /// *issued* them, grown on demand to the highest node index seen. Kept
     /// outside [`MetricsSnapshot`] (which stays `Copy`); read via
@@ -311,6 +318,39 @@ impl Metrics {
         self.inner.pinned_peak.fetch_max(bytes, Ordering::Relaxed);
     }
 
+    /// Count one WAL frame appended, carrying `bytes` of framed log data
+    /// (header + payload).
+    #[inline]
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.inner.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.inner.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Mark one MVCC snapshot handle coming alive; pairs with
+    /// [`Metrics::record_snapshot_end`].
+    #[inline]
+    pub fn record_snapshot_begin(&self) {
+        self.inner.snapshots_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Mark one MVCC snapshot handle released.
+    #[inline]
+    pub fn record_snapshot_end(&self) {
+        self.inner.snapshots_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Snapshot handles currently alive (0 whenever no reader holds a cut).
+    pub fn snapshots_active(&self) -> u64 {
+        self.inner.snapshots_active.load(Ordering::SeqCst)
+    }
+
+    /// Count one write-behind index catch-up pass that actually applied
+    /// pending base-file writes (no-op freshness checks don't count).
+    #[inline]
+    pub fn record_catchup_build(&self) {
+        self.inner.catchup_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Mark one remote round trip landing.
     #[inline]
     pub fn record_flight_end(&self) {
@@ -351,6 +391,10 @@ impl Metrics {
             page_faults: i.page_faults.load(Ordering::Relaxed),
             page_evictions: i.page_evictions.load(Ordering::Relaxed),
             pinned_peak: i.pinned_peak.load(Ordering::Relaxed),
+            wal_appends: i.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: i.wal_bytes.load(Ordering::Relaxed),
+            snapshots_active: i.snapshots_active.load(Ordering::SeqCst),
+            catchup_builds: i.catchup_builds.load(Ordering::Relaxed),
         }
     }
 
@@ -384,6 +428,10 @@ impl Metrics {
             &i.page_faults,
             &i.page_evictions,
             &i.pinned_peak,
+            &i.wal_appends,
+            &i.wal_bytes,
+            &i.snapshots_active,
+            &i.catchup_builds,
         ] {
             ctr.store(0, Ordering::Relaxed);
         }
@@ -506,6 +554,14 @@ pub struct MetricsSnapshot {
     /// High-water mark of simultaneously pinned buffer-pool bytes
     /// (monotone until [`Metrics::reset`]).
     pub pinned_peak: u64,
+    /// WAL frames appended (one per logged operation).
+    pub wal_appends: u64,
+    /// Total framed WAL bytes appended (headers + payloads).
+    pub wal_bytes: u64,
+    /// Snapshot handles alive at capture time (a gauge, not a count).
+    pub snapshots_active: u64,
+    /// Write-behind index catch-up passes that applied pending writes.
+    pub catchup_builds: u64,
 }
 
 impl MetricsSnapshot {
@@ -559,6 +615,14 @@ impl MetricsSnapshot {
             page_evictions: self.page_evictions.saturating_sub(earlier.page_evictions),
             // Monotone like inflight_peak: the delta is the climb.
             pinned_peak: self.pinned_peak.saturating_sub(earlier.pinned_peak),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            // A gauge, not a counter: the delta is how many more handles
+            // were alive at capture time (saturating at zero, like peaks).
+            snapshots_active: self
+                .snapshots_active
+                .saturating_sub(earlier.snapshots_active),
+            catchup_builds: self.catchup_builds.saturating_sub(earlier.catchup_builds),
         }
     }
 }
@@ -616,6 +680,15 @@ impl fmt::Display for MetricsSnapshot {
                 f,
                 ", memory: {} page faults / {} evictions (pinned peak {} B)",
                 self.page_faults, self.page_evictions, self.pinned_peak,
+            )?;
+        }
+        // Ingest counters render only when a write path ran, so read-only
+        // runs keep their exact prior form.
+        if self.wal_appends + self.snapshots_active + self.catchup_builds > 0 {
+            write!(
+                f,
+                ", ingest: {} wal appends ({} B), {} snapshots active, {} catch-up builds",
+                self.wal_appends, self.wal_bytes, self.snapshots_active, self.catchup_builds,
             )?;
         }
         Ok(())
@@ -731,6 +804,14 @@ pub struct ExecProfile {
     /// High-water mark of pinned buffer-pool bytes observed by this job's
     /// accesses.
     pub pinned_peak: u64,
+    /// WAL frames this job appended (zero for read-only jobs).
+    pub wal_appends: u64,
+    /// Framed WAL bytes this job appended.
+    pub wal_bytes: u64,
+    /// Snapshot handles alive when this job's profile was captured.
+    pub snapshots_active: u64,
+    /// Write-behind index catch-up passes this job's accesses triggered.
+    pub catchup_builds: u64,
 }
 
 impl ExecProfile {
@@ -838,6 +919,13 @@ impl fmt::Display for ExecProfile {
                 f,
                 "  memory: {} page faults, {} evictions, pinned peak {} B",
                 self.page_faults, self.page_evictions, self.pinned_peak
+            )?;
+        }
+        if self.wal_appends + self.snapshots_active + self.catchup_builds > 0 {
+            writeln!(
+                f,
+                "  ingest: {} wal appends ({} B), {} snapshots active, {} catch-up builds",
+                self.wal_appends, self.wal_bytes, self.snapshots_active, self.catchup_builds
             )?;
         }
         for s in &self.stages {
@@ -1057,6 +1145,32 @@ mod tests {
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         // An unpaged snapshot renders without the memory suffix.
         assert!(!m.snapshot().to_string().contains("memory:"));
+    }
+
+    #[test]
+    fn ingest_counters_round_trip() {
+        let m = Metrics::new();
+        m.record_wal_append(40);
+        m.record_wal_append(24);
+        m.record_snapshot_begin();
+        m.record_snapshot_begin();
+        m.record_snapshot_end();
+        m.record_catchup_build();
+        assert_eq!(m.snapshots_active(), 1);
+        let s = m.snapshot();
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.wal_bytes, 64);
+        assert_eq!(s.snapshots_active, 1);
+        assert_eq!(s.catchup_builds, 1);
+        assert!(s.to_string().contains("ingest: 2 wal appends (64 B)"));
+        let delta = m.snapshot().since(&s);
+        assert_eq!(delta.wal_appends, 0);
+        assert_eq!(delta.wal_bytes, 0);
+        m.record_snapshot_end();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        // A read-only snapshot renders without the ingest suffix.
+        assert!(!m.snapshot().to_string().contains("ingest:"));
     }
 
     #[test]

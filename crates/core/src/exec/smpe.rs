@@ -307,6 +307,15 @@ pub(crate) struct JobOptions {
     pub routing: RoutingPolicy,
     pub batching: Batching,
     pub label: Option<String>,
+    /// Snapshot pinned at submit: every read the job issues sees the cut
+    /// committed at the guard's timestamp, however long the job runs and
+    /// however many writers commit meanwhile. The guard is held by the
+    /// job state and dropped when the job finishes, so the
+    /// `snapshots_active` gauge tracks jobs actually reading a pinned
+    /// cut. `None` (the default, and the only value while no ingest is
+    /// attached) reads the live tip through the unversioned
+    /// zero-overhead path.
+    pub snapshot: Option<crate::txn::Snapshot>,
     /// Bumped once when the job finishes, however it finishes (scheduler
     /// stats).
     pub on_finish: Option<Arc<AtomicU64>>,
@@ -321,6 +330,7 @@ impl JobOptions {
             routing: config.routing,
             batching: config.batching,
             label: None,
+            snapshot: None,
             on_finish: None,
         }
     }
@@ -359,6 +369,9 @@ pub(crate) struct JobState {
     done: Mutex<Option<Result<JobResult>>>,
     done_cv: Condvar,
     on_finish: Option<Arc<AtomicU64>>,
+    /// Snapshot guard pinned at submit, released exactly when the job
+    /// finishes (see [`JobOptions::snapshot`]).
+    snapshot_guard: Mutex<Option<crate::txn::Snapshot>>,
 }
 
 impl JobState {
@@ -628,6 +641,9 @@ impl JobState {
                 })
             }
         };
+        // Release the pinned snapshot (drops the `snapshots_active`
+        // gauge) — the job's last read is behind us.
+        drop(self.snapshot_guard.lock().take());
         if let Some(counter) = &self.on_finish {
             counter.fetch_add(1, Ordering::Relaxed);
         }
@@ -770,6 +786,10 @@ impl JobState {
             page_faults: io.page_faults,
             page_evictions: io.page_evictions,
             pinned_peak: io.pinned_peak,
+            wal_appends: io.wal_appends,
+            wal_bytes: io.wal_bytes,
+            snapshots_active: io.snapshots_active,
+            catchup_builds: io.catchup_builds,
         }
     }
 }
@@ -1484,11 +1504,17 @@ impl Substrate {
         self.shared
             .active_weight
             .fetch_add(u64::from(weight), Ordering::SeqCst);
+        // Pin the snapshot before scoping so every handle the job's stages
+        // clone — file, index, batch — reads the same committed cut.
+        let cluster = match &opts.snapshot {
+            Some(snap) => self.cluster.with_snapshot(snap.ts()),
+            None => self.cluster.clone(),
+        };
         let state = Arc::new(JobState {
             id,
             label: opts.label,
             job: job.clone(),
-            cluster: self.cluster.with_io_scope(scope.clone()),
+            cluster: cluster.with_io_scope(scope.clone()),
             scope,
             weight,
             collect: opts.collect_outputs,
@@ -1513,6 +1539,7 @@ impl Substrate {
             done: Mutex::new(None),
             done_cv: Condvar::new(),
             on_finish: opts.on_finish,
+            snapshot_guard: Mutex::new(opts.snapshot),
         });
         // Seed every node: the initial stage runs everywhere, each node
         // covering its locally placed partitions (lines 2-5 of Algorithm 1).

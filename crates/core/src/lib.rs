@@ -52,6 +52,7 @@ pub mod prebuilt;
 pub mod query;
 pub mod scheduler;
 pub mod traits;
+pub mod txn;
 
 pub use advisor::{AdvisorConfig, PatternKind, StructureAdvisor, WorkloadTracker};
 pub use exec::{ExecMode, ExecutorConfig, JobResult, JobRunner, RoutingPolicy};
@@ -64,3 +65,4 @@ pub use scheduler::{
     SubmitOptions,
 };
 pub use traits::{DerefInput, Dereferencer, Filter, Interpreter, Referencer, StageCtx};
+pub use txn::{IngestSession, Snapshot, TxnManager};

@@ -201,6 +201,53 @@ impl BuildRegistry {
         StructureTicket::pending(state)
     }
 
+    /// Write-behind coalescing for index catch-up. Same decision point as
+    /// [`BuildRegistry::ensure`], keyed `"catchup:{index}"` so catch-up
+    /// passes and full builds of the same structure never collide: if a
+    /// catch-up of `index` is already in flight the request coalesces
+    /// onto it and `task` is dropped — N commits landing while one pass
+    /// runs trigger at most one follow-up pass, never N.
+    ///
+    /// `task` is the whole pass (typically `IndexCatchUp::ensure_fresh`,
+    /// which re-reads the event horizon itself, so a coalesced-away
+    /// request's events are still applied by whichever pass runs next).
+    pub(crate) fn ensure_catchup(
+        self: &Arc<Self>,
+        index: &str,
+        task: impl FnOnce() + Send + 'static,
+    ) {
+        let key = format!("catchup:{index}");
+        let state = {
+            let mut inflight = self.inflight.lock();
+            if inflight.contains_key(&key) {
+                self.coalesced.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            let state = Arc::new(BuildState::new());
+            inflight.insert(key.clone(), state.clone());
+            self.started.fetch_add(1, Ordering::SeqCst);
+            state
+        };
+        let registry = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("rede-{key}"))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(task)).map_err(|payload| {
+                    RedeError::Exec(format!(
+                        "index catch-up panicked: {}",
+                        crate::exec::smpe::panic_message(payload.as_ref())
+                    ))
+                });
+                // Same ordering discipline as `ensure`: leave the registry
+                // before fulfilling, so a commit landing now starts a fresh
+                // pass instead of coalescing onto a finished one.
+                registry.inflight.lock().remove(&key);
+                state.fulfill(result.map(|()| EnsureOutcome::AlreadyPresent));
+            })
+            .expect("spawn coordinated index catch-up");
+        self.threads.lock().push(handle);
+    }
+
     /// Join every build thread ever started (scheduler shutdown).
     pub(crate) fn join_all(&self) {
         let threads = std::mem::take(&mut *self.threads.lock());

@@ -28,7 +28,7 @@
 //!
 //! [`ensure_index`]: HarborScheduler::ensure_index
 
-mod builds;
+pub(crate) mod builds;
 
 pub use builds::{EnsureOutcome, StructureTicket};
 
@@ -309,6 +309,10 @@ struct Core {
     active: Mutex<Vec<Weak<JobState>>>,
     completed: Arc<AtomicU64>,
     builds: Arc<builds::BuildRegistry>,
+    /// Attached write path, if any. While attached, every submission pins
+    /// the committed cut at submit time; unattached, submissions read the
+    /// live tip through the zero-overhead path.
+    txn: Mutex<Option<Arc<crate::txn::TxnManager>>>,
     deadlines: Arc<DeadlineWatcher>,
     deadline_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
     deadline_aborts: Arc<AtomicU64>,
@@ -364,6 +368,7 @@ impl HarborScheduler {
                 active: Mutex::new(Vec::new()),
                 completed: Arc::new(AtomicU64::new(0)),
                 builds: Arc::new(builds::BuildRegistry::new()),
+                txn: Mutex::new(None),
                 deadlines,
                 deadline_thread: Mutex::new(Some(deadline_thread)),
                 deadline_aborts,
@@ -427,6 +432,11 @@ impl HarborScheduler {
                 routing: core.config.routing,
                 batching: core.config.batching,
                 label: opts.tenant,
+                // With ingest attached, pin the committed cut at submit:
+                // the job reads one consistent snapshot however many
+                // transactions commit while it runs. The guard travels
+                // with the job state and drops at finish.
+                snapshot: core.txn.lock().as_ref().map(|mgr| mgr.pin()),
                 on_finish: Some(core.completed.clone()),
             },
         );
@@ -445,6 +455,17 @@ impl HarborScheduler {
     /// later `ensure_index` retries from scratch.
     pub fn ensure_index(&self, builder: IndexBuilder) -> StructureTicket {
         self.core.builds.ensure(builder)
+    }
+
+    /// Attach an online write path. From this call on, (1) every job
+    /// submission pins the committed cut at submit time — analytics read
+    /// one consistent snapshot while ingest keeps appending — and (2)
+    /// committed writes enqueue write-behind index catch-up through this
+    /// scheduler's build registry, coalesced so concurrent commits
+    /// trigger at most one catch-up pass per structure.
+    pub fn attach_ingest(&self, manager: &Arc<crate::txn::TxnManager>) {
+        manager.attach_registry(self.core.builds.clone());
+        *self.core.txn.lock() = Some(manager.clone());
     }
 
     /// Current counters.
@@ -478,9 +499,9 @@ mod tests {
         BtreeRangeDereferencer, DelimitedInterpreter, FieldType, IndexEntryReferencer,
         LookupDereferencer,
     };
-    use crate::traits::Interpreter;
+    use crate::traits::{DerefInput, Interpreter, StageCtx};
     use rede_common::{RedeError, Value};
-    use rede_storage::{FileSpec, IndexSpec, IoModel, Partitioning, Record};
+    use rede_storage::{FileSpec, IndexSpec, IoModel, Partitioning, Pointer, Record};
     use std::sync::Barrier;
     use std::time::{Duration, Instant};
 
@@ -888,5 +909,121 @@ mod tests {
         // The dispatcher survived: ordinary work still completes.
         let result = sched.submit(&range_job(0, 20)).unwrap().wait().unwrap();
         assert_eq!(result.count, 11);
+    }
+
+    #[test]
+    fn catchup_requests_coalesce_to_one_pass_per_structure() {
+        let sched = HarborScheduler::with_defaults(cluster(0, IoModel::zero()));
+        let registry = sched.core.builds.clone();
+        let started_before = registry.started();
+        // Gate the first pass open so the four requests behind it have a
+        // deterministic in-flight pass to coalesce onto.
+        let gate = Arc::new(Barrier::new(2));
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let (gate, ran) = (gate.clone(), ran.clone());
+            registry.ensure_catchup("ix", move || {
+                gate.wait();
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..4 {
+            let ran = ran.clone();
+            registry.ensure_catchup("ix", move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // A different structure is not coalesced with "ix".
+        {
+            let ran = ran.clone();
+            registry.ensure_catchup("other", move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        gate.wait();
+        registry.join_all();
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "one pass per structure");
+        assert_eq!(registry.started() - started_before, 2);
+        assert_eq!(registry.coalesced(), 4);
+    }
+
+    /// Resolves its point input, but only after the test releases the
+    /// gate — holds a job mid-flight while a writer commits.
+    struct GatedResolve(Arc<Barrier>);
+
+    impl crate::traits::Dereferencer for GatedResolve {
+        fn dereference(
+            &self,
+            input: &DerefInput,
+            ctx: &StageCtx,
+            emit: &mut dyn FnMut(Record),
+        ) -> Result<()> {
+            self.0.wait();
+            let ptr = input.as_point().expect("point seed");
+            emit(ctx.cluster.resolve(ptr, ctx.node)?);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn attached_ingest_pins_every_submission_to_the_cut_at_submit() {
+        // One node so the single seed pointer runs exactly once.
+        let c = SimCluster::builder().nodes(1).build().unwrap();
+        let mgr = crate::txn::TxnManager::new(c.clone());
+        let mut s = mgr.begin();
+        s.create_file("live", Partitioning::hash(4));
+        s.write("live", Value::Int(1), Record::from_text("v1"));
+        s.commit().unwrap();
+
+        let sched = HarborScheduler::with_defaults(c.clone());
+        sched.attach_ingest(&mgr);
+
+        let gate = Arc::new(Barrier::new(2));
+        let job = Job::builder("pinned-read")
+            .seed(SeedInput::Pointers(vec![Pointer::logical(
+                "live",
+                Value::Int(1),
+                Value::Int(1),
+            )]))
+            .dereference("resolve", Arc::new(GatedResolve(gate.clone())))
+            .build()
+            .unwrap();
+        let handle = sched
+            .submit_with(&job, SubmitOptions::new().collecting())
+            .unwrap();
+        assert_eq!(c.metrics().snapshots_active(), 1, "guard pinned at submit");
+
+        // Overwrite the key *after* submit but before the job's read runs.
+        let mut s = mgr.begin();
+        s.write("live", Value::Int(1), Record::from_text("v2"));
+        s.commit().unwrap();
+        gate.wait();
+
+        // The job read the cut it was submitted against, not the tip.
+        let result = handle.wait().unwrap();
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.records[0].bytes(), b"v1");
+        assert_eq!(
+            c.metrics().snapshots_active(),
+            0,
+            "guard released at finish"
+        );
+
+        // A fresh submission reads the new tip.
+        let gate2 = Arc::new(Barrier::new(2));
+        let job2 = Job::builder("tip-read")
+            .seed(SeedInput::Pointers(vec![Pointer::logical(
+                "live",
+                Value::Int(1),
+                Value::Int(1),
+            )]))
+            .dereference("resolve", Arc::new(GatedResolve(gate2.clone())))
+            .build()
+            .unwrap();
+        let handle2 = sched
+            .submit_with(&job2, SubmitOptions::new().collecting())
+            .unwrap();
+        gate2.wait();
+        assert_eq!(handle2.wait().unwrap().records[0].bytes(), b"v2");
     }
 }

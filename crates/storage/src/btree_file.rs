@@ -168,6 +168,20 @@ impl TreePartition {
     }
 }
 
+/// Write-behind freshness hook for an index over a mutating base file.
+///
+/// The storage layer knows *that* an index can fall behind its base heap's
+/// write horizon, but not *how* to derive postings from records (that
+/// needs the executor's key interpreters). A maintainer — installed by the
+/// ingest layer — closes the loop: the cluster's probe paths call
+/// [`IndexMaintainer::ensure_fresh`] before serving, and the maintainer
+/// tops the index up from the heap's write-event log if it is stale.
+pub trait IndexMaintainer: Send + Sync {
+    /// Bring the index up to its base heap's current write horizon.
+    /// Must be cheap when nothing is stale (one atomic compare).
+    fn ensure_fresh(&self) -> Result<()>;
+}
+
 /// A partitioned B+-tree secondary index over slotted pages.
 pub struct BtreeFile {
     name: Arc<str>,
@@ -180,6 +194,11 @@ pub struct BtreeFile {
     page_bytes: usize,
     /// Page namespace: `idx:{name}`, disjoint from heap namespaces.
     page_ns: Arc<str>,
+    /// Write-behind catch-up hook (see [`IndexMaintainer`]). The flag
+    /// mirrors `Some`-ness so the read path pays one relaxed load, never
+    /// an `RwLock`, while no ingest session is attached.
+    maintainer: RwLock<Option<Arc<dyn IndexMaintainer>>>,
+    has_maintainer: AtomicBool,
 }
 
 impl BtreeFile {
@@ -217,7 +236,36 @@ impl BtreeFile {
             pool,
             page_bytes: page_bytes.max(1),
             page_ns: Arc::from(format!("idx:{}", spec.name)),
+            maintainer: RwLock::new(None),
+            has_maintainer: AtomicBool::new(false),
         })
+    }
+
+    /// Install (or replace) the write-behind maintainer for this index.
+    /// Until this is called the freshness check on the probe paths is a
+    /// single relaxed load that always says "fresh".
+    pub fn set_maintainer(&self, maintainer: Arc<dyn IndexMaintainer>) {
+        *self.maintainer.write() = Some(maintainer);
+        self.has_maintainer.store(true, Ordering::Release);
+    }
+
+    /// Detach the maintainer (ingest session closed; the index is final).
+    pub fn clear_maintainer(&self) {
+        self.has_maintainer.store(false, Ordering::Release);
+        *self.maintainer.write() = None;
+    }
+
+    /// Top the index up to its base heap's write horizon if a maintainer
+    /// is attached; a no-op costing one relaxed load otherwise.
+    pub fn ensure_fresh(&self) -> Result<()> {
+        if !self.has_maintainer.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let maintainer = self.maintainer.read().clone();
+        match maintainer {
+            Some(m) => m.ensure_fresh(),
+            None => Ok(()),
+        }
     }
 
     /// The index's catalog name.

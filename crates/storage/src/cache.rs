@@ -317,6 +317,20 @@ impl RecordCache {
             .insert(key, value, self.budget.as_deref());
     }
 
+    /// Drop one entry if present, releasing its bytes. Returns whether an
+    /// entry was removed. Writers call this so a stale record can never be
+    /// served after its slot is overwritten in place.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        let mut shard = self.shard_of(key).lock();
+        match shard.map.get(key).copied() {
+            Some(idx) => {
+                shard.evict_idx(idx, self.budget.as_deref());
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Records currently cached.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
@@ -467,6 +481,25 @@ mod tests {
         cache.insert(key(2), rec(2));
         assert!(cache.get(&key(1)).is_none());
         assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn remove_frees_bytes_and_misses_afterwards() {
+        let cache = RecordCache::with_byte_capacity(8 * COST, 2);
+        cache.insert(key(1), rec(1));
+        cache.insert(key(2), rec(2));
+        assert!(cache.remove(&key(1)));
+        assert!(!cache.remove(&key(1)), "second remove finds nothing");
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        assert_eq!(cache.used_bytes(), COST);
+        // Removal under a shared budget releases the charge too.
+        let budget = Arc::new(ByteBudget::new(4 * COST));
+        let shared = RecordCache::with_shared_budget(4 * COST, 1, budget.clone());
+        shared.insert(key(1), rec(1));
+        assert_eq!(budget.used(), COST);
+        assert!(shared.remove(&key(1)));
+        assert_eq!(budget.used(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! Placement: partition `p` of every file lives on node `p % nodes`, the
 //! round-robin layout the paper uses for its HDFS load.
 
-use crate::btree_file::{BtreeFile, IndexSpec};
+use crate::btree_file::{BtreeFile, IndexEntry, IndexSpec};
 use crate::buffer::{
     BufferPool, ByteBudget, PageStats, PoolStats, ShrinkBytes, DEFAULT_PAGE_BYTES,
 };
@@ -103,6 +103,22 @@ impl CacheLayer {
             CacheLayer::PerNode(caches) => caches[node].insert(key, value),
         }
     }
+
+    /// Drop a key from every cache that might hold it. Writers cannot know
+    /// which nodes dereferenced the record, so per-node placement purges
+    /// all nodes (misses are O(1) per shard probe).
+    fn purge(&self, key: &CacheKey) {
+        match self {
+            CacheLayer::Shared(cache) => {
+                cache.remove(key);
+            }
+            CacheLayer::PerNode(caches) => {
+                for cache in caches {
+                    cache.remove(key);
+                }
+            }
+        }
+    }
 }
 
 impl ShrinkBytes for CacheLayer {
@@ -184,6 +200,11 @@ impl ClusterInner {
 pub struct SimCluster {
     inner: Arc<ClusterInner>,
     scope: Option<Arc<IoScope>>,
+    /// Snapshot timestamp pinned on this handle, if any: reads through a
+    /// pinned handle see the newest version committed at or before the
+    /// cut and nothing younger. `None` (the default) reads the live tip
+    /// with zero versioning overhead.
+    snapshot: Option<u64>,
 }
 
 /// Builder for [`SimCluster`].
@@ -348,6 +369,7 @@ impl SimClusterBuilder {
                     .map(|plan| Arc::new(FaultInjector::new(plan))),
             }),
             scope: None,
+            snapshot: None,
         })
     }
 }
@@ -389,7 +411,41 @@ impl SimCluster {
         SimCluster {
             inner: self.inner.clone(),
             scope: Some(scope),
+            snapshot: self.snapshot,
         }
+    }
+
+    /// A handle to the same cluster whose reads are pinned to the
+    /// snapshot committed at timestamp `ts`: point reads, scans and index
+    /// probes through this handle (and its clones) see the newest version
+    /// with commit timestamp ≤ `ts` and never anything younger. Handles
+    /// without a pin — including every handle on a cluster that has never
+    /// seen a versioned write — keep the exact unversioned read path.
+    pub fn with_snapshot(&self, ts: u64) -> SimCluster {
+        SimCluster {
+            inner: self.inner.clone(),
+            scope: self.scope.clone(),
+            snapshot: Some(ts),
+        }
+    }
+
+    /// The snapshot timestamp pinned on this handle, if any.
+    pub fn snapshot(&self) -> Option<u64> {
+        self.snapshot
+    }
+
+    /// Highest commit timestamp any heap on this cluster has applied —
+    /// the durability watermark WAL replay uses to skip transactions that
+    /// are already in the image. Zero on a cluster that has never seen a
+    /// versioned write.
+    pub fn max_commit_ts(&self) -> u64 {
+        let mut max = 0;
+        for name in self.inner.catalog.names() {
+            if let Ok(StorageObject::Heap(heap)) = self.inner.catalog.get(&name) {
+                max = max.max(heap.max_version_ts());
+            }
+        }
+        max
     }
 
     /// The attribution scope this handle carries, if any.
@@ -717,9 +773,17 @@ impl SimCluster {
     /// first).
     pub fn resolve(&self, ptr: &Pointer, from_node: usize) -> Result<Record> {
         let (heap, partition) = self.route_resolve(ptr)?;
+        // Snapshot pin: redirect the read to the physical slot of the
+        // newest version visible at the cut. `None` on every unpinned
+        // handle and every never-written heap — the read below is then
+        // byte-identical to the unversioned path (one relaxed bool load).
+        let visible = self.visible_read_key(&heap, partition, &ptr.key)?;
+        let read_key = visible.as_ref().unwrap_or(&ptr.key);
+        // The fault site keys off the *original* pointer so injection
+        // decisions never depend on which version a snapshot selects.
         let site = read_site(&ptr.file, partition, &ptr.key);
         if let Some(cache) = &self.inner.cache {
-            let cache_key = Self::cache_key_for(&heap, partition, ptr);
+            let cache_key = Self::cache_key_for(&heap, partition, &ptr.file, read_key);
             if let Some(record) = cache.get(from_node, &cache_key) {
                 // A hit is still a logical access by `from_node`: count it
                 // there so per-node totals always sum to the resolves
@@ -734,15 +798,34 @@ impl SimCluster {
             // faults.
             self.charge_point_read(partition, from_node, site)?;
             self.tally(|m| m.record_cache_miss_at(from_node));
-            let (record, pages) = heap.get_traced(partition, &ptr.key)?;
+            let (record, pages) = heap.get_traced(partition, read_key)?;
             self.charge_page_stats(pages);
             cache.insert(from_node, cache_key, record.clone());
             return Ok(record);
         }
         self.charge_point_read(partition, from_node, site)?;
-        let (record, pages) = heap.get_traced(partition, &ptr.key)?;
+        let (record, pages) = heap.get_traced(partition, read_key)?;
         self.charge_page_stats(pages);
         Ok(record)
+    }
+
+    /// Visibility half of a snapshot-pinned resolve: the physical slot of
+    /// the newest version of `key` visible at the pinned cut, or `None`
+    /// when no redirect is needed (no pin, or the heap has never seen a
+    /// versioned write — the zero-overhead read-only path). Uncharged:
+    /// the version table lives beside the in-memory key index.
+    fn visible_read_key(
+        &self,
+        heap: &HeapFile,
+        partition: usize,
+        key: &PointerKey,
+    ) -> Result<Option<PointerKey>> {
+        match self.snapshot {
+            Some(snap) if heap.is_versioned() => Ok(Some(PointerKey::Physical(
+                heap.visible_slot(partition, key, snap)?,
+            ))),
+            _ => Ok(None),
+        }
     }
 
     /// The cache key a pointer's record is filed under: logical and
@@ -751,13 +834,18 @@ impl SimCluster {
     /// the byte budget for — the same record twice under two names. A
     /// pointer to a record the heap does not know keeps its own key; the
     /// read it fronts fails before any insert.
-    fn cache_key_for(heap: &HeapFile, partition: usize, ptr: &Pointer) -> CacheKey {
-        let key = match heap.slot_of(partition, &ptr.key) {
+    fn cache_key_for(
+        heap: &HeapFile,
+        partition: usize,
+        file: &Arc<str>,
+        key: &PointerKey,
+    ) -> CacheKey {
+        let key = match heap.slot_of(partition, key) {
             Some(slot) => PointerKey::Physical(slot),
-            None => ptr.key.clone(),
+            None => key.clone(),
         };
         CacheKey {
-            file: ptr.file.clone(),
+            file: file.clone(),
             partition,
             key,
         }
@@ -873,6 +961,10 @@ impl SimCluster {
             heap: Arc<HeapFile>,
             partition: usize,
             site: u64,
+            /// Snapshot redirect: the physical slot of the visible version
+            /// when this handle is pinned and the heap is versioned;
+            /// `None` reads through the pointer's own key.
+            read_key: Option<PointerKey>,
             /// Normalized cache key (computed once at probe time), present
             /// only when the cluster has a cache.
             cache_key: Option<CacheKey>,
@@ -882,9 +974,17 @@ impl SimCluster {
             match self.route_resolve(ptr) {
                 Err(e) => out[idx] = Some(Err(e)),
                 Ok((heap, partition)) => {
+                    let read_key = match self.visible_read_key(&heap, partition, &ptr.key) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            out[idx] = Some(Err(e));
+                            continue;
+                        }
+                    };
                     let mut cache_key = None;
                     if let Some(cache) = &inner.cache {
-                        let ck = Self::cache_key_for(&heap, partition, ptr);
+                        let key = read_key.as_ref().unwrap_or(&ptr.key);
+                        let ck = Self::cache_key_for(&heap, partition, &ptr.file, key);
                         if let Some(record) = cache.get(from_node, &ck) {
                             self.tally(|m| m.record_cache_hit_at(from_node));
                             out[idx] = Some(Ok(record));
@@ -898,6 +998,7 @@ impl SimCluster {
                         heap,
                         partition,
                         site,
+                        read_key,
                         cache_key,
                     });
                 }
@@ -974,7 +1075,8 @@ impl SimCluster {
                 if inner.cache.is_some() {
                     self.tally(|m| m.record_cache_miss_at(from_node));
                 }
-                match miss.heap.get_traced(miss.partition, &ptr.key) {
+                let read_key = miss.read_key.as_ref().unwrap_or(&ptr.key);
+                match miss.heap.get_traced(miss.partition, read_key) {
                     Ok((record, pages)) => {
                         self.charge_page_stats(pages);
                         if let (Some(cache), Some(ck)) = (&inner.cache, miss.cache_key) {
@@ -1047,7 +1149,9 @@ impl FileHandle {
     pub fn insert(&self, key: Value, record: Record) -> Result<(usize, usize)> {
         self.cluster
             .tally(|m| m.record_access(AccessKind::RecordWrite));
-        self.file.insert(&key.clone(), key, record)
+        let (partition, slot) = self.file.insert(&key.clone(), key, record)?;
+        self.invalidate_cached(partition, slot);
+        Ok((partition, slot))
     }
 
     /// Insert with distinct partition key and in-partition key.
@@ -1059,13 +1163,65 @@ impl FileHandle {
     ) -> Result<(usize, usize)> {
         self.cluster
             .tally(|m| m.record_access(AccessKind::RecordWrite));
-        self.file.insert(partition_key, key, record)
+        let (partition, slot) = self.file.insert(partition_key, key, record)?;
+        self.invalidate_cached(partition, slot);
+        Ok((partition, slot))
+    }
+
+    /// Insert a new *version* of `key` stamped with commit timestamp `ts`
+    /// (see [`HeapFile::insert_versioned`]): the record lands in a fresh
+    /// slot, so no cached entry ever goes stale — snapshot readers keep
+    /// hitting the old version's slot, pinned-to-`ts` readers find the
+    /// new one. Charged as a record write.
+    pub fn insert_versioned(
+        &self,
+        partition_key: &Value,
+        key: Value,
+        record: Record,
+        ts: u64,
+    ) -> Result<(usize, usize)> {
+        self.cluster
+            .tally(|m| m.record_access(AccessKind::RecordWrite));
+        self.file.insert_versioned(partition_key, key, record, ts)
+    }
+
+    /// Purge the record at `(partition, slot)` from every record cache.
+    /// In-place overwrites reuse the slot the cache keys by, so a write
+    /// that skips this could serve the old bytes forever.
+    fn invalidate_cached(&self, partition: usize, slot: usize) {
+        if let Some(cache) = &self.cluster.inner.cache {
+            cache.purge(&CacheKey {
+                file: self.file.name().clone(),
+                partition,
+                key: PointerKey::Physical(slot),
+            });
+        }
     }
 
     /// Charged sequential scan of one partition, streaming batches of
     /// `scan_batch` records to `f`. Pays per-record scan latency once per
     /// batch and counts every visited record.
     pub fn scan_partition(&self, partition: usize, mut f: impl FnMut(&Value, &Record)) {
+        // Snapshot-pinned scans must advance the cursor by slots *visited*,
+        // not rows returned: invisible versions occupy slots but yield no
+        // rows, and a rows-based cursor would stall on an all-filtered
+        // batch. The unpinned path keeps the rows-based loop untouched.
+        if self.cluster.snapshot.is_some() && self.file.is_versioned() {
+            let snap = self.cluster.snapshot.unwrap_or(u64::MAX);
+            let batch = self.cluster.inner.io.scan_batch.max(1);
+            let mut start = 0;
+            loop {
+                let (rows, visited) = self.read_slots_visible(partition, start, batch, snap);
+                if visited == 0 {
+                    break;
+                }
+                for (k, r) in &rows {
+                    f(k, r);
+                }
+                start += visited;
+            }
+            return;
+        }
         let batch = self.cluster.inner.io.scan_batch.max(1);
         let mut start = 0;
         loop {
@@ -1101,6 +1257,30 @@ impl FileHandle {
             self.cluster.inner.io.pay_scan(rows.len());
         }
         rows
+    }
+
+    /// Charged batch read of a contiguous slot range, filtered to the
+    /// versions visible at `snap`. Returns the visible rows plus the
+    /// number of slots *visited* — the amount a scan cursor must advance
+    /// by, since filtered-out versions still occupy slots.
+    fn read_slots_visible(
+        &self,
+        partition: usize,
+        start: usize,
+        count: usize,
+        snap: u64,
+    ) -> (Vec<(Value, Record)>, usize) {
+        let (rows, visited, pages) = self
+            .file
+            .read_slots_visible_traced(partition, start, count, snap)
+            .expect("page budget exhausted: raise the memory budget floor");
+        self.cluster.charge_page_stats(pages);
+        if !rows.is_empty() {
+            self.cluster
+                .tally(|m| m.record_accesses(AccessKind::ScannedRecord, rows.len() as u64));
+            self.cluster.inner.io.pay_scan(rows.len());
+        }
+        (rows, visited)
     }
 }
 
@@ -1171,6 +1351,7 @@ impl IndexHandle {
     /// requires (one for global, all for local) and returns the matching
     /// entry records. Fails only under injected faults.
     pub fn lookup(&self, key: &Value, from_node: usize) -> Result<Vec<Record>> {
+        self.index.ensure_fresh()?;
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_key(key) {
             let site = probe_site(self.index.name(), p, key, key);
@@ -1179,8 +1360,42 @@ impl IndexHandle {
             self.cluster.charge_page_stats(pages);
             out.extend(hits);
         }
+        let out = self.filter_visible(out);
         self.count_entries(out.len());
         Ok(out)
+    }
+
+    /// Snapshot filter for postings: drop entries whose base record has no
+    /// version visible at this handle's pinned cut (keys born after the
+    /// snapshot, reachable only because write-behind catch-up posts them
+    /// eagerly). A pass-through — no decode, no catalog touch — unless a
+    /// snapshot is pinned *and* the base heap is versioned, so the
+    /// read-only path pays nothing. Uncharged: visibility consults the
+    /// in-memory version table, never entry pages.
+    fn filter_visible(&self, hits: Vec<Record>) -> Vec<Record> {
+        let snap = match self.cluster.snapshot {
+            Some(snap) => snap,
+            None => return hits,
+        };
+        let heap = match self.cluster.inner.catalog.heap(self.index.base()) {
+            Ok(heap) => heap,
+            Err(_) => return hits,
+        };
+        if !heap.is_versioned() {
+            return hits;
+        }
+        hits.into_iter()
+            .filter(|record| match IndexEntry::from_record(record) {
+                Ok(entry) => {
+                    let p = heap.partition_of(&entry.partition_key);
+                    heap.visible_slot(p, &PointerKey::Logical(entry.key), snap)
+                        .is_ok()
+                }
+                // Non-canonical entries carry no base pointer to judge;
+                // keep them (they predate versioning by construction).
+                Err(_) => true,
+            })
+            .collect()
     }
 
     /// Charged vectorized exact-key probe of a batch of keys issued from
@@ -1227,6 +1442,10 @@ impl IndexHandle {
         from_node: usize,
         defer_rtt: bool,
     ) -> (Vec<Result<Vec<Record>>>, Duration) {
+        if let Err(e) = self.index.ensure_fresh() {
+            let results = keys.iter().map(|_| Err(e.clone())).collect();
+            return (results, Duration::ZERO);
+        }
         let inner = &*self.cluster.inner;
         let count_batch = keys.len() > 1;
         let mut deferred = Duration::ZERO;
@@ -1306,6 +1525,7 @@ impl IndexHandle {
                     Ok((postings, _descents, pages)) => {
                         self.cluster.charge_page_stats(pages);
                         for (i, hits) in idxs.into_iter().zip(postings) {
+                            let hits = self.filter_visible(hits);
                             self.count_entries(hits.len());
                             out[i] = Some(Ok(hits));
                         }
@@ -1329,6 +1549,7 @@ impl IndexHandle {
 
     /// Charged inclusive range probe across the placement's partitions.
     pub fn range(&self, lo: &Value, hi: &Value, from_node: usize) -> Result<Vec<Record>> {
+        self.index.ensure_fresh()?;
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_range(lo, hi) {
             let site = probe_site(self.index.name(), p, lo, hi);
@@ -1337,6 +1558,7 @@ impl IndexHandle {
             self.cluster.charge_page_stats(pages);
             out.extend(hits);
         }
+        let out = self.filter_visible(out);
         self.count_entries(out.len());
         Ok(out)
     }
@@ -1346,6 +1568,7 @@ impl IndexHandle {
     /// local partitions so the union over nodes probes the index exactly
     /// once (the paper's `SETPARTITION(input, LOCAL)`).
     pub fn lookup_on_node(&self, node: usize, key: &Value) -> Result<Vec<Record>> {
+        self.index.ensure_fresh()?;
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_key(key) {
             if self.cluster.node_of_partition(p) != node {
@@ -1357,6 +1580,7 @@ impl IndexHandle {
             self.cluster.charge_page_stats(pages);
             out.extend(hits);
         }
+        let out = self.filter_visible(out);
         self.count_entries(out.len());
         Ok(out)
     }
@@ -1367,6 +1591,7 @@ impl IndexHandle {
     /// and each node probes only its locally held index partitions, so the
     /// union over nodes covers the whole index with no duplicate work.
     pub fn range_on_node(&self, node: usize, lo: &Value, hi: &Value) -> Result<Vec<Record>> {
+        self.index.ensure_fresh()?;
         let mut out = Vec::new();
         for p in self.index.probe_partitions_for_range(lo, hi) {
             if self.cluster.node_of_partition(p) != node {
@@ -1378,6 +1603,7 @@ impl IndexHandle {
             self.cluster.charge_page_stats(pages);
             out.extend(hits);
         }
+        let out = self.filter_visible(out);
         self.count_entries(out.len());
         Ok(out)
     }

@@ -25,12 +25,45 @@ use crate::buffer::{BufferPool, PageId, PageStats, SlottedPage, DEFAULT_PAGE_BYT
 use crate::partitioner::{Partitioner, Partitioning};
 use crate::pointer::PointerKey;
 use crate::record::Record;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rede_common::{RedeError, Result, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Chain-link sentinel for [`SlotVersion`]: no predecessor/successor.
+const NIL: u32 = u32::MAX;
+
+/// Snapshot-filtered slot read: `(visible rows, slots visited, page I/O)`.
+/// Scan cursors must advance by slots visited, not rows returned.
+pub type VisibleSlots = (Vec<(Value, Record)>, usize, PageStats);
+
+/// Per-slot MVCC metadata: the commit timestamp that created the slot and
+/// doubly linked chain pointers to the other versions of the same key.
+/// Slots written before the file ever saw a versioned insert carry the
+/// implicit timestamp 0 (visible to every snapshot).
+#[derive(Clone, Copy)]
+struct SlotVersion {
+    ts: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// One committed versioned write, in commit order — the feed write-behind
+/// index maintenance consumes to top indexes up to the heap's high water.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEvent {
+    /// Partition the new version landed in.
+    pub partition: usize,
+    /// Physical slot of the new version.
+    pub slot: usize,
+    /// True when this is the first version of its key (a logical insert,
+    /// which needs index postings) rather than an overwrite (whose key is
+    /// already posted; postings address keys, not versions).
+    pub first: bool,
+}
+
 struct PartitionStore {
-    /// In-partition key → physical slot.
+    /// In-partition key → physical slot (always the *newest* version).
     key_index: BPlusTree<Value, usize>,
     /// First slot number of each page, in page order. Binary-searchable
     /// because slots are assigned in arrival order and never move.
@@ -40,6 +73,10 @@ struct PartitionStore {
     /// Byte size of the open (last) page, mirrored here so the writer can
     /// decide to roll to a new page without touching the pool.
     open_bytes: usize,
+    /// `versions[slot]` for every slot, lazily materialized on the first
+    /// versioned insert into this partition; empty until then (the
+    /// read-only fast paths never touch it).
+    versions: Vec<SlotVersion>,
 }
 
 impl PartitionStore {
@@ -49,6 +86,7 @@ impl PartitionStore {
             page_first_slot: Vec::new(),
             len: 0,
             open_bytes: 0,
+            versions: Vec::new(),
         }
     }
 
@@ -56,6 +94,32 @@ impl PartitionStore {
     fn locate(&self, slot: usize) -> (u32, usize) {
         let idx = self.page_first_slot.partition_point(|&fs| fs <= slot) - 1;
         (idx as u32, slot - self.page_first_slot[idx])
+    }
+
+    /// Commit timestamp of a slot (0 for pre-versioning slots).
+    fn version_ts(&self, slot: usize) -> u64 {
+        self.versions.get(slot).map(|v| v.ts).unwrap_or(0)
+    }
+
+    /// True when `slot` is the newest version of its key visible at
+    /// `snap`: the slot itself is visible and no successor version is.
+    fn slot_visible_at(&self, slot: usize, snap: u64) -> bool {
+        match self.versions.get(slot) {
+            None => true, // pre-versioning slot: ts 0, no successors
+            Some(v) => v.ts <= snap && (v.next == NIL || self.version_ts(v.next as usize) > snap),
+        }
+    }
+
+    /// Backfill the version table so every existing slot has an explicit
+    /// entry (ts 0, unchained) before the first versioned write.
+    fn materialize_versions(&mut self) {
+        while self.versions.len() < self.len {
+            self.versions.push(SlotVersion {
+                ts: 0,
+                prev: NIL,
+                next: NIL,
+            });
+        }
     }
 }
 
@@ -70,6 +134,18 @@ pub struct HeapFile {
     /// Page namespace: `heap:{name}`, so heap and index pages of the same
     /// catalog name cannot collide in a shared pool.
     page_ns: Arc<str>,
+    /// Set (once, permanently) by the first versioned insert. Read-only
+    /// and legacy write paths check this one relaxed flag and skip every
+    /// MVCC branch while it is false — the zero-overhead gate.
+    versioned: AtomicBool,
+    /// Highest commit timestamp any versioned insert carried (0 until the
+    /// first): WAL replay's idempotence watermark.
+    max_version_ts: AtomicU64,
+    /// Committed versioned writes in commit order, consumed by
+    /// write-behind index maintenance via [`HeapFile::events_since`].
+    events: Mutex<Vec<WriteEvent>>,
+    /// `events.len()`, mirrored so freshness checks are one relaxed load.
+    events_len: AtomicUsize,
 }
 
 impl HeapFile {
@@ -100,6 +176,10 @@ impl HeapFile {
             partitions,
             pool,
             page_bytes: page_bytes.max(1),
+            versioned: AtomicBool::new(false),
+            max_version_ts: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            events_len: AtomicUsize::new(0),
         })
     }
 
@@ -156,6 +236,20 @@ impl HeapFile {
             }
             return Ok((p, slot));
         }
+        let slot = self.append_slot(p, &mut store, key, &record)?;
+        Ok((p, slot))
+    }
+
+    /// Append `record` as a brand-new slot of partition `p` (never
+    /// replaces) and point the key index at it. Shared by the plain
+    /// insert's new-key branch and every versioned insert.
+    fn append_slot(
+        &self,
+        p: usize,
+        store: &mut PartitionStore,
+        key: Value,
+        record: &Record,
+    ) -> Result<usize> {
         let slot = store.len;
         let cost = SlottedPage::push_cost(Some(&key), record.len());
         let empty = SlottedPage::new().byte_size();
@@ -177,7 +271,176 @@ impl HeapFile {
         store.open_bytes += cost;
         store.len += 1;
         store.key_index.insert(key, slot);
+        Ok(slot)
+    }
+
+    /// Insert a new *version* of `key` committed at timestamp `ts`. Unlike
+    /// [`HeapFile::insert`], an existing record under the same key is NOT
+    /// replaced in place: the new version always gets a fresh slot, the
+    /// old slot keeps its bytes (older snapshots still read them), and the
+    /// two are chained so visibility walks can pick the right one. The key
+    /// index always points at the newest version. Returns `(partition,
+    /// new slot)`.
+    pub fn insert_versioned(
+        &self,
+        partition_key: &Value,
+        key: Value,
+        record: Record,
+        ts: u64,
+    ) -> Result<(usize, usize)> {
+        let p = self.partition_of(partition_key);
+        let mut store = self.partitions[p].write();
+        store.materialize_versions();
+        let prev = store.key_index.get(&key).copied();
+        let slot = self.append_slot(p, &mut store, key, &record)?;
+        store.versions.push(SlotVersion {
+            ts,
+            prev: prev.map(|s| s as u32).unwrap_or(NIL),
+            next: NIL,
+        });
+        debug_assert_eq!(store.versions.len(), store.len);
+        if let Some(prev_slot) = prev {
+            store.versions[prev_slot].next = slot as u32;
+        }
+        drop(store);
+        self.max_version_ts.fetch_max(ts, Ordering::SeqCst);
+        // Publish the flag last: a reader that sees `versioned == true`
+        // must find the version table already consistent.
+        self.versioned.store(true, Ordering::Release);
+        let mut events = self.events.lock();
+        events.push(WriteEvent {
+            partition: p,
+            slot,
+            first: prev.is_none(),
+        });
+        let len = events.len();
+        drop(events);
+        self.events_len.store(len, Ordering::Release);
         Ok((p, slot))
+    }
+
+    /// True once any versioned insert has landed. One relaxed load — the
+    /// gate the read paths use to keep the read-only case zero-overhead.
+    #[inline]
+    pub fn is_versioned(&self) -> bool {
+        self.versioned.load(Ordering::Relaxed)
+    }
+
+    /// Highest commit timestamp any version of this file carries.
+    pub fn max_version_ts(&self) -> u64 {
+        self.max_version_ts.load(Ordering::SeqCst)
+    }
+
+    /// Number of committed write events so far (the per-structure high
+    /// water index maintenance compares against).
+    #[inline]
+    pub fn events_len(&self) -> usize {
+        self.events_len.load(Ordering::Acquire)
+    }
+
+    /// Copy out the committed write events from `pos` onward.
+    pub fn events_since(&self, pos: usize) -> Vec<WriteEvent> {
+        let events = self.events.lock();
+        events.get(pos..).map(|s| s.to_vec()).unwrap_or_default()
+    }
+
+    /// Resolve a pointer key to the physical slot holding the version of
+    /// that record visible at snapshot `snap`: the newest version with
+    /// `ts <= snap`. Metadata-only (no page access, nothing charged).
+    /// Errors if the key has no version visible at `snap` (it was first
+    /// inserted after the snapshot was taken).
+    pub fn visible_slot(&self, partition: usize, key: &PointerKey, snap: u64) -> Result<usize> {
+        let store = self
+            .partitions
+            .get(partition)
+            .ok_or_else(|| RedeError::Routing(format!("{}: no partition {partition}", self.name)))?
+            .read();
+        let mut slot = match key {
+            PointerKey::Logical(k) => *store.key_index.get(k).ok_or_else(|| {
+                RedeError::DanglingPointer(format!("{}[{partition}] has no key {k}", self.name))
+            })?,
+            PointerKey::Physical(s) => {
+                if *s >= store.len {
+                    return Err(RedeError::DanglingPointer(format!(
+                        "{}[{partition}] has no slot {s}",
+                        self.name
+                    )));
+                }
+                *s
+            }
+        };
+        if store.versions.is_empty() {
+            return Ok(slot); // never versioned: everything is ts 0
+        }
+        // Walk back to the newest version at or before the snapshot…
+        while store.version_ts(slot) > snap {
+            match store.versions[slot].prev {
+                NIL => {
+                    return Err(RedeError::DanglingPointer(format!(
+                        "{}[{partition}] slot {slot} has no version visible at ts {snap}",
+                        self.name
+                    )))
+                }
+                p => slot = p as usize,
+            }
+        }
+        // …then forward in case the given pointer addressed an old version
+        // and a newer-but-still-visible one supersedes it.
+        while let Some(v) = store.versions.get(slot) {
+            match v.next {
+                NIL => break,
+                n if store.version_ts(n as usize) <= snap => slot = n as usize,
+                _ => break,
+            }
+        }
+        Ok(slot)
+    }
+
+    /// Copy out the records of a contiguous slot range of one partition
+    /// that are *visible* at snapshot `snap` (each key's newest version
+    /// with `ts <= snap`; superseded and too-new versions are skipped).
+    /// Returns `(visible rows, slots visited, page I/O)` — callers
+    /// advancing a scan cursor must advance by slots visited, not by rows
+    /// returned.
+    pub fn read_slots_visible_traced(
+        &self,
+        partition: usize,
+        start: usize,
+        count: usize,
+        snap: u64,
+    ) -> Result<VisibleSlots> {
+        let store = self.partitions[partition].read();
+        let end = (start + count).min(store.len);
+        let mut stats = PageStats::default();
+        if start >= end {
+            return Ok((Vec::new(), 0, stats));
+        }
+        let mut out = Vec::new();
+        let mut slot = start;
+        while slot < end {
+            let (page_no, in_page) = store.locate(slot);
+            let id = self.page_id(partition, page_no);
+            let want = end - slot;
+            let (batch, s) = self.pool.with_page(&id, |pg| {
+                let upto = pg.len().min(in_page + want);
+                (in_page..upto)
+                    .map(|i| {
+                        (
+                            pg.key(i).cloned().expect("heap pages are keyed"),
+                            pg.record(i).expect("slot within page"),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })?;
+            stats.absorb(s);
+            for (i, (k, r)) in batch.iter().enumerate() {
+                if store.slot_visible_at(slot + i, snap) {
+                    out.push((k.clone(), r.clone()));
+                }
+            }
+            slot += batch.len();
+        }
+        Ok((out, slot - start, stats))
     }
 
     /// Resolve an in-partition address to a record, reporting page I/O.
@@ -547,6 +810,103 @@ mod tests {
         }
         assert_eq!(seen, 200);
         assert!(f.total_bytes() > f.resident_bytes());
+    }
+
+    #[test]
+    fn versioned_insert_appends_and_chains() {
+        let f = HeapFile::new("v", Partitioning::hash(1)).unwrap();
+        assert!(!f.is_versioned());
+        f.insert(&Value::Int(1), Value::Int(1), Record::from_text("base"))
+            .unwrap();
+        let (_, s1) = f
+            .insert_versioned(&Value::Int(1), Value::Int(1), Record::from_text("v1"), 1)
+            .unwrap();
+        let (_, s2) = f
+            .insert_versioned(&Value::Int(1), Value::Int(1), Record::from_text("v2"), 2)
+            .unwrap();
+        assert!(f.is_versioned());
+        assert_ne!(s1, s2, "versions must get fresh slots");
+        assert_eq!(f.max_version_ts(), 2);
+        // Snapshot 0 sees the pre-versioning base record; 1 sees v1; 2+ v2.
+        for (snap, want) in [(0, "base"), (1, "v1"), (2, "v2"), (9, "v2")] {
+            let slot = f
+                .visible_slot(0, &PointerKey::Logical(Value::Int(1)), snap)
+                .unwrap();
+            let r = f.get(0, &PointerKey::Physical(slot)).unwrap();
+            assert_eq!(r.text().unwrap(), want, "snap {snap}");
+        }
+        // A physical pointer at an old version forwards to the visible one.
+        assert_eq!(f.visible_slot(0, &PointerKey::Physical(0), 2).unwrap(), s2);
+        // Logical read through the key index still sees the newest.
+        assert_eq!(
+            f.get(0, &PointerKey::Logical(Value::Int(1)))
+                .unwrap()
+                .text()
+                .unwrap(),
+            "v2"
+        );
+    }
+
+    #[test]
+    fn visible_slot_errors_for_keys_born_after_snapshot() {
+        let f = HeapFile::new("v", Partitioning::hash(1)).unwrap();
+        f.insert_versioned(&Value::Int(5), Value::Int(5), Record::from_text("x"), 7)
+            .unwrap();
+        assert!(matches!(
+            f.visible_slot(0, &PointerKey::Logical(Value::Int(5)), 6),
+            Err(RedeError::DanglingPointer(_))
+        ));
+        assert!(f
+            .visible_slot(0, &PointerKey::Logical(Value::Int(5)), 7)
+            .is_ok());
+    }
+
+    #[test]
+    fn visible_scan_skips_superseded_and_future_versions() {
+        let f = HeapFile::new("v", Partitioning::hash(1)).unwrap();
+        for i in 0..4i64 {
+            f.insert(
+                &Value::Int(i),
+                Value::Int(i),
+                Record::from_text(&format!("r{i}")),
+            )
+            .unwrap();
+        }
+        f.insert_versioned(&Value::Int(1), Value::Int(1), Record::from_text("r1'"), 1)
+            .unwrap();
+        f.insert_versioned(&Value::Int(9), Value::Int(9), Record::from_text("r9"), 2)
+            .unwrap();
+        // Snap 1: r1 superseded by r1'; r9 (ts 2) not yet visible.
+        let (rows, visited, _) = f.read_slots_visible_traced(0, 0, 100, 1).unwrap();
+        assert_eq!(visited, 6);
+        let texts: Vec<_> = rows.iter().map(|(_, r)| r.text().unwrap()).collect();
+        assert_eq!(texts, vec!["r0", "r2", "r3", "r1'"]);
+        // Snap 0: the original four only.
+        let (rows, _, _) = f.read_slots_visible_traced(0, 0, 100, 0).unwrap();
+        let texts: Vec<_> = rows.iter().map(|(_, r)| r.text().unwrap()).collect();
+        assert_eq!(texts, vec!["r0", "r1", "r2", "r3"]);
+        // Snap 2: everything current.
+        let (rows, _, _) = f.read_slots_visible_traced(0, 0, 100, 2).unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn write_events_feed_catchup_in_commit_order() {
+        let f = HeapFile::new("v", Partitioning::hash(2)).unwrap();
+        assert_eq!(f.events_len(), 0);
+        f.insert_versioned(&Value::Int(1), Value::Int(1), Record::from_text("a"), 1)
+            .unwrap();
+        f.insert_versioned(&Value::Int(1), Value::Int(1), Record::from_text("b"), 2)
+            .unwrap();
+        f.insert_versioned(&Value::Int(2), Value::Int(2), Record::from_text("c"), 2)
+            .unwrap();
+        assert_eq!(f.events_len(), 3);
+        let ev = f.events_since(0);
+        assert_eq!(ev.len(), 3);
+        assert!(ev[0].first);
+        assert!(!ev[1].first, "overwrite is not a first version");
+        assert!(ev[2].first);
+        assert_eq!(f.events_since(3), vec![]);
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct IoModel {
     /// from the backing store. One positioned read, so it costs like a
     /// local point read rather than a per-record scan.
     pub page_fault: Duration,
+    /// One WAL fsync: forcing buffered log frames to stable storage. A
+    /// positioned write plus a device cache flush, so it is the most
+    /// expensive single operation in the model; group commit exists to
+    /// amortize it across concurrent committers.
+    pub wal_fsync: Duration,
     /// Number of records whose scan cost is charged as one sleep. Batching
     /// avoids issuing a syscall per record while keeping total time honest.
     pub scan_batch: usize,
@@ -59,6 +64,7 @@ impl IoModel {
             scan_per_record: Duration::ZERO,
             index_lookup: Duration::ZERO,
             page_fault: Duration::ZERO,
+            wal_fsync: Duration::ZERO,
             scan_batch: 1024,
             queue_depth: usize::MAX,
         }
@@ -94,6 +100,7 @@ impl IoModel {
             scan_per_record: us(2.0),
             index_lookup: us(120.0),
             page_fault: us(400.0),
+            wal_fsync: us(2000.0),
             scan_batch: 1024,
             queue_depth: 1008,
         }
@@ -106,6 +113,14 @@ impl IoModel {
             && self.scan_per_record.is_zero()
             && self.index_lookup.is_zero()
             && self.page_fault.is_zero()
+            && self.wal_fsync.is_zero()
+    }
+
+    /// Sleep for one WAL fsync (the group-commit leader pays this once on
+    /// behalf of every committer it flushes).
+    #[inline]
+    pub fn pay_wal_fsync(&self) {
+        maybe_sleep(self.wal_fsync);
     }
 
     /// Sleep for one local point read.
@@ -342,12 +357,13 @@ mod tests {
     /// "zero-cost" cluster would silently sleep through those accesses.
     #[test]
     fn is_zero_audits_every_latency_field() {
-        let fields: [fn(&mut IoModel, Duration); 5] = [
+        let fields: [fn(&mut IoModel, Duration); 6] = [
             |m, d| m.local_point_read = d,
             |m, d| m.remote_point_read = d,
             |m, d| m.scan_per_record = d,
             |m, d| m.index_lookup = d,
             |m, d| m.page_fault = d,
+            |m, d| m.wal_fsync = d,
         ];
         for (i, set) in fields.iter().enumerate() {
             let mut m = IoModel::zero();

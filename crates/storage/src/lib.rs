@@ -36,9 +36,10 @@ pub mod io_model;
 pub mod partitioner;
 pub mod pointer;
 pub mod record;
+pub mod wal;
 
 pub use btree::BPlusTree;
-pub use btree_file::{BtreeFile, IndexEntry, IndexLocality, IndexSpec};
+pub use btree_file::{BtreeFile, IndexEntry, IndexLocality, IndexMaintainer, IndexSpec};
 pub use buffer::{
     BufferPool, ByteBudget, PageGuard, PageId, PageStats, PoolStats, SlottedPage,
     DEFAULT_PAGE_BYTES,
@@ -50,8 +51,9 @@ pub use cluster::{
 pub use cost::{CostModel, CostReport};
 pub use fabric::{FabricConfig, SimFabric};
 pub use faults::{AccessClass, Brownout, DownWindow, FaultDecision, FaultInjector, FaultPlan};
-pub use heap_file::HeapFile;
+pub use heap_file::{HeapFile, WriteEvent};
 pub use io_model::{IoModel, IopsLimiter};
 pub use partitioner::{Partitioner, Partitioning};
 pub use pointer::{Pointer, PointerKey};
 pub use record::Record;
+pub use wal::{WalOp, WriteAheadLog};

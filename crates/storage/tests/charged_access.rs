@@ -23,6 +23,7 @@ fn tight_queue_cluster() -> SimCluster {
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_millis(1),
         page_fault: Duration::ZERO,
+        wal_fsync: Duration::ZERO,
         scan_batch: 1024,
         queue_depth: 1,
     };

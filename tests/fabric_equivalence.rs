@@ -29,6 +29,7 @@ fn rtt_heavy_io() -> IoModel {
         scan_per_record: Duration::ZERO,
         index_lookup: Duration::from_micros(1),
         page_fault: Duration::from_micros(2),
+        wal_fsync: Duration::ZERO,
         scan_batch: 1024,
         queue_depth: 1008,
     }
