@@ -13,13 +13,19 @@ use rede_baseline::engine::{Engine, EngineConfig};
 use rede_baseline::warehouse::Warehouse;
 use rede_baseline::ShuffleLocality;
 use rede_claims::gen::{ClaimsGenerator, ClaimsProfile};
-use rede_claims::queries::{run_lake_scan, run_rede as run_claims_rede, run_warehouse, QuerySpec};
-use rede_common::{ExecProfile, Result};
+use rede_claims::queries::{
+    rede_job as claims_job, run_lake_scan, run_rede as run_claims_rede, run_warehouse, QuerySpec,
+};
+use rede_common::rng::Xoshiro256;
+use rede_common::{ExecProfile, RedeError, Result};
 use rede_core::exec::{ExecutorConfig, JobRunner};
+use rede_core::gate::{GateConfig, HarborGate, QueryOptions};
+use rede_core::job::Job;
 use rede_core::scheduler::{HarborScheduler, SchedulerConfig, SubmitOptions};
 use rede_storage::{CachePlacement, CostModel, FaultPlan, IoModel, SimCluster};
 use rede_tpch::{load_tpch, LoadOptions, Q5Params, Q6Params, TpchGenerator};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Configuration of the Fig. 7 experiment.
 #[derive(Debug, Clone)]
@@ -344,48 +350,135 @@ pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Row>> {
 }
 
 // ---------------------------------------------------------------------------
-// Multi-tenant throughput: K closed-loop clients on one HarborScheduler.
+// Open-loop overload harness: seeded Poisson arrivals from simulated
+// clients through the HarborGate front door.
 // ---------------------------------------------------------------------------
 
-/// Options for one closed-loop throughput point.
-#[derive(Debug, Clone)]
-pub struct ThroughputOptions {
-    /// Concurrent closed-loop clients (each waits for its job before
-    /// submitting the next).
-    pub clients: usize,
-    /// How long clients keep submitting. Every client always completes at
-    /// least one job, even past the window.
-    pub window: Duration,
-    /// Selectivity of the Q5' jobs (even-numbered submissions).
-    pub q5_selectivity: f64,
+/// The canonical chaos plan shared by the chaos CI lanes and the
+/// simulation tests: seeded transient faults on both access classes, one
+/// brown-out window, one node-down window (placement derived from the
+/// seed so different seeds stress different nodes).
+pub fn chaos_plan(seed: u64, nodes: usize) -> FaultPlan {
+    let mut plan = FaultPlan::transient(seed, 0.05).with_probe_fault_rate(0.05);
+    if nodes > 1 {
+        let down = (seed as usize) % nodes;
+        plan = plan
+            .with_brownout((down + 1) % nodes, 1_000..10_000, 4)
+            .with_node_down(down, 4_000..20_000);
+    }
+    plan
 }
 
-impl Default for ThroughputOptions {
+/// Options for one open-loop overload sweep.
+#[derive(Debug, Clone)]
+pub struct OpenLoopOptions {
+    /// Simulated clients. Each holds one gate session for the whole
+    /// point; arrivals land on a seeded-random client, so one client can
+    /// have several queries in flight (bounded by the per-session cursor
+    /// cap — another front-door shed source, deliberately).
+    pub clients: usize,
+    /// Tenants; client `i` belongs to tenant `i % tenants`.
+    pub tenants: usize,
+    /// Offered-load points, as multiples of the calibrated capacity
+    /// estimate. Must include points both below and above 1.0 to span
+    /// saturation.
+    pub rate_multipliers: Vec<f64>,
+    /// Arrival window per point (the last completion may land later).
+    pub window: Duration,
+    /// Zipf skew of the query mix over [Q5', Q6, claims Q1, Q2, Q3]:
+    /// kind `k` (0-based popularity rank) gets weight `1/(k+1)^skew`.
+    pub zipf_skew: f64,
+    /// Seed for arrivals, client choice, and query mix.
+    pub seed: u64,
+    /// Selectivity of the Q5' jobs.
+    pub q5_selectivity: f64,
+    /// Cursor page size clients fetch with.
+    pub page_size: usize,
+    /// Per-tenant scheduler admission bound (`max_tenant_queue_depth`):
+    /// the front door sheds arrivals beyond it with `Overloaded`.
+    pub queue_depth: usize,
+}
+
+impl Default for OpenLoopOptions {
     fn default() -> Self {
-        ThroughputOptions {
-            clients: 4,
+        OpenLoopOptions {
+            clients: 1024,
+            tenants: 4,
+            rate_multipliers: vec![0.4, 1.0, 3.0, 9.0],
             window: Duration::from_millis(1500),
+            zipf_skew: 1.1,
+            seed: 42,
             q5_selectivity: 3e-2,
+            page_size: 256,
+            queue_depth: 8,
         }
     }
 }
 
-/// One measured load point of the throughput experiment.
+/// A Fig. 7 TPC-H fixture with the claims lake loaded beside it on the
+/// same cluster, so the open-loop query mix spans both workloads.
+pub struct OpenLoopFixture {
+    /// The underlying TPC-H fixture (cluster, config, row counts).
+    pub fig7: Fig7Fixture,
+    /// Synthetic claims loaded into the lake.
+    pub claims: usize,
+}
+
+impl OpenLoopFixture {
+    /// Build the TPC-H fixture, then load `claims` synthetic claims into
+    /// the same cluster's lake (separate files; nothing collides).
+    pub fn build(config: Fig7Config, claims: usize) -> Result<OpenLoopFixture> {
+        let fig7 = Fig7Fixture::build(config)?;
+        let generator = ClaimsGenerator::new(
+            ClaimsProfile {
+                claims,
+                ..Default::default()
+            },
+            fig7.config.seed,
+        );
+        rede_claims::lake::load_lake(&fig7.cluster, &generator)?;
+        Ok(OpenLoopFixture { fig7, claims })
+    }
+}
+
+/// One measured offered-load point of the open-loop sweep.
 #[derive(Debug, Clone)]
-pub struct ThroughputPoint {
-    /// Offered load: concurrent clients.
-    pub clients: usize,
-    /// Total jobs completed across all clients.
-    pub jobs: usize,
-    /// Wall-clock of the whole point (first submit → last completion).
+pub struct OpenLoopPoint {
+    /// Offered load as a multiple of the capacity estimate.
+    pub multiplier: f64,
+    /// Targeted arrival rate (jobs/sec).
+    pub offered_rate: f64,
+    /// Arrivals generated inside the window.
+    pub arrivals: usize,
+    /// Queries that paged to a verified done page (including stragglers
+    /// finishing after the window while the point drained).
+    pub completed: usize,
+    /// Completions that landed *inside* the arrival window — the
+    /// open-loop goodput numerator. Excluding the post-window drain keeps
+    /// the rate comparable across points: at high multipliers the drain
+    /// tail runs with ever fewer jobs in flight, which is a finite-
+    /// horizon artifact, not a property of the saturated system.
+    pub completed_in_window: usize,
+    /// The arrival window this point was driven for.
+    pub window: Duration,
+    /// Arrivals shed at the front door with `Overloaded`.
+    pub shed: usize,
+    /// First arrival → last worker done (window + drain).
     pub wall: Duration,
-    /// Job-completion latency percentiles across all clients.
+    /// Latency percentiles of completed queries, measured from each
+    /// arrival's *scheduled* time (open-loop discipline: harness lag
+    /// counts as latency, not as reduced load).
     pub p50: Duration,
-    pub p95: Duration,
     pub p99: Duration,
-    /// Jobs completed per client — the fairness signal.
-    pub per_client_completed: Vec<usize>,
-    /// Injected faults survived during this point (0 without a fault plan).
+    pub p999: Duration,
+    /// Completed queries per tenant — the fairness signal.
+    pub per_tenant_completed: Vec<usize>,
+    /// Injected faults survived during this point (0 without a plan).
+    /// Under a plan each access *site* faults at most once globally, and
+    /// the reference + calibration runs visit most sites first — so the
+    /// run-level counters on [`OpenLoopReport`] are where a chaos run
+    /// shows its plan fired; per-point deltas only catch sites first
+    /// touched during this point.
     pub faults_injected: u64,
     /// Stage-invocation retries taken to survive them.
     pub retries: u64,
@@ -393,23 +486,46 @@ pub struct ThroughputPoint {
     pub rerouted_reads: u64,
 }
 
-impl ThroughputPoint {
-    /// Completed jobs per second of wall-clock.
-    pub fn throughput(&self) -> f64 {
-        self.jobs as f64 / self.wall.as_secs_f64().max(1e-9)
+impl OpenLoopPoint {
+    /// Completed queries per second over the arrival window (completions
+    /// landing in the drain tail are excluded — see `completed_in_window`).
+    pub fn goodput(&self) -> f64 {
+        self.completed_in_window as f64 / self.window.as_secs_f64().max(1e-9)
     }
 
-    /// Max/min completed-jobs ratio across clients. 1.0 is perfectly fair;
-    /// a starved client drives it toward infinity (min is ≥ 1 by
-    /// construction, so the ratio is always finite).
+    /// Fraction of arrivals shed at the front door.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / (self.arrivals as f64).max(1.0)
+    }
+
+    /// Max/min completed-queries ratio across tenants. 1.0 is perfectly
+    /// fair; a starved tenant drives it up.
     pub fn fairness_ratio(&self) -> f64 {
-        let max = *self.per_client_completed.iter().max().unwrap_or(&1) as f64;
-        let min = *self.per_client_completed.iter().min().unwrap_or(&1) as f64;
+        let max = *self.per_tenant_completed.iter().max().unwrap_or(&1) as f64;
+        let min = *self.per_tenant_completed.iter().min().unwrap_or(&1) as f64;
         max / min.max(1.0)
     }
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
+/// A full open-loop sweep: the calibration estimate plus one point per
+/// rate multiplier.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Jobs/sec sustained by the calibration burst (the `1.0` multiplier).
+    pub capacity_estimate: f64,
+    pub points: Vec<OpenLoopPoint>,
+    /// Faults injected across the whole run — reference runs and
+    /// calibration included, since those consume most one-shot fault
+    /// sites (each site faults at most once globally).
+    pub faults_injected: u64,
+    /// Retries taken to survive them, run-wide.
+    pub retries: u64,
+    /// Replica-served reads around down nodes, run-wide.
+    pub rerouted_reads: u64,
+}
+
+/// Nearest-rank percentile of an ascending latency list.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
@@ -417,109 +533,287 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Run one closed-loop load point: `clients` concurrent clients submit
-/// Q5'/Q6 jobs (alternating) against one shared [`HarborScheduler`] until
-/// the window closes, each waiting for its previous job before submitting
-/// the next. Every result is checked against serial reference counts, so
-/// the point doubles as a concurrency-correctness assertion.
-pub fn run_throughput(
-    fixture: &Fig7Fixture,
-    options: &ThroughputOptions,
-) -> Result<ThroughputPoint> {
-    let q5 = rede_tpch::q5_prime_job(&Q5Params::with_selectivity(options.q5_selectivity))?;
-    let q6 = rede_tpch::q6_job(&Q6Params::standard())?;
+/// The zipfian query mix: jobs in popularity order with their reference
+/// row counts (from one-shot collected runs) and zipf weights.
+struct QueryMix {
+    jobs: Vec<(&'static str, Job, u64)>,
+    weights: Vec<f64>,
+}
 
-    let permits_at_rest = fixture.cluster.available_iops_permits();
-    // Before the reference runs: under a fault plan each access site
-    // fails at most once globally, so the serial references consume most
-    // transient faults — the counters must cover them to show what the
-    // whole point survived.
-    let metrics_before = fixture.cluster.metrics().snapshot();
+fn build_mix(fixture: &OpenLoopFixture, options: &OpenLoopOptions) -> Result<QueryMix> {
+    let mut jobs: Vec<(&'static str, Job)> = vec![
+        (
+            "q5'",
+            rede_tpch::q5_prime_job(&Q5Params::with_selectivity(options.q5_selectivity))?,
+        ),
+        ("q6", rede_tpch::q6_job(&Q6Params::standard())?),
+    ];
+    for spec in QuerySpec::all() {
+        jobs.push((spec.name, claims_job(&spec)?));
+    }
+    // One-shot reference counts; every cursor-paged result is checked
+    // against these, so the sweep doubles as a correctness assertion.
+    let runner = JobRunner::new(
+        fixture.fig7.cluster.clone(),
+        ExecutorConfig::smpe(fixture.fig7.config.smpe_threads).collecting(),
+    );
+    let jobs: Vec<(&'static str, Job, u64)> = jobs
+        .into_iter()
+        .map(|(name, job)| {
+            let count = runner.run(&job)?.count;
+            Ok((name, job, count))
+        })
+        .collect::<Result<_>>()?;
+    let weights: Vec<f64> = (0..jobs.len())
+        .map(|k| 1.0 / ((k + 1) as f64).powf(options.zipf_skew))
+        .collect();
+    Ok(QueryMix { jobs, weights })
+}
 
-    // Serial reference counts, before any concurrency.
-    let serial = fixture.smpe_runner();
-    let q5_expected = serial.run(&q5)?.count;
-    let q6_expected = serial.run(&q6)?.count;
-    drop(serial);
-
+/// Calibrate capacity with a closed burst: submit `2 × tenants ×
+/// queue_depth` jobs (mix-proportional) concurrently on an *unbounded*
+/// scheduler and measure the completion rate. The open-loop rates are
+/// multiples of this estimate.
+fn calibrate(fixture: &OpenLoopFixture, options: &OpenLoopOptions, mix: &QueryMix) -> Result<f64> {
     let scheduler = HarborScheduler::new(
-        fixture.cluster.clone(),
+        fixture.fig7.cluster.clone(),
         SchedulerConfig {
-            pool_threads: fixture.config.smpe_threads,
+            pool_threads: fixture.fig7.config.smpe_threads,
             ..SchedulerConfig::default()
         },
     );
-    let start = std::time::Instant::now();
-    let deadline = start + options.window;
-    let workers: Vec<_> = (0..options.clients)
-        .map(|client| {
-            let scheduler = scheduler.clone();
-            let q5 = q5.clone();
-            let q6 = q6.clone();
-            std::thread::spawn(move || -> Result<(usize, Vec<Duration>)> {
-                let mut latencies = Vec::new();
-                let mut completed = 0usize;
-                loop {
-                    let is_q5 = (client + completed).is_multiple_of(2);
-                    let (job, expected) = if is_q5 {
-                        (&q5, q5_expected)
-                    } else {
-                        (&q6, q6_expected)
-                    };
-                    let submitted = std::time::Instant::now();
-                    let handle = scheduler.submit_with(
-                        job,
-                        SubmitOptions::new().tenant(format!("client-{client}")),
-                    )?;
-                    let result = handle.wait()?;
-                    latencies.push(submitted.elapsed());
-                    completed += 1;
-                    if result.count != expected {
-                        return Err(rede_common::RedeError::Exec(format!(
-                            "client {client}: job '{}' returned {} rows (serial run: {expected})",
-                            if is_q5 { "q5'" } else { "q6" },
-                            result.count
-                        )));
+    let burst = 2 * options.tenants * options.queue_depth;
+    let mut rng = Xoshiro256::new(options.seed).derive(u64::MAX);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..burst)
+        .map(|i| {
+            let kind = rng.choose_weighted(&mix.weights);
+            scheduler.submit_with(
+                &mix.jobs[kind].1,
+                SubmitOptions::new().tenant(format!("cal-{}", i % options.tenants)),
+            )
+        })
+        .collect::<Result<_>>()?;
+    for handle in handles {
+        handle.wait()?;
+    }
+    Ok(burst as f64 / start.elapsed().as_secs_f64().max(1e-9))
+}
+
+/// One pre-generated arrival of the Poisson schedule.
+struct Arrival {
+    at: Duration,
+    client: usize,
+    kind: usize,
+}
+
+/// Run one offered-load point: seeded Poisson arrivals at `rate` jobs/sec
+/// for the window, each arrival a command on a seeded-random client's
+/// session — open cursor (or get shed with `Overloaded`), page to done,
+/// verify the row count against the one-shot reference. Latency runs from
+/// the scheduled arrival time. After the point, the gate is dropped and
+/// the harness asserts zero leaked IOPS permits and snapshots.
+fn run_point(
+    fixture: &OpenLoopFixture,
+    options: &OpenLoopOptions,
+    mix: &QueryMix,
+    multiplier: f64,
+    rate: f64,
+) -> Result<OpenLoopPoint> {
+    let cluster = &fixture.fig7.cluster;
+    let permits_at_rest = cluster.available_iops_permits();
+    let metrics_before = cluster.metrics().snapshot();
+
+    let gate = Arc::new(HarborGate::with_config(
+        HarborScheduler::new(
+            cluster.clone(),
+            SchedulerConfig {
+                pool_threads: fixture.fig7.config.smpe_threads,
+                max_tenant_queue_depth: Some(options.queue_depth),
+                ..SchedulerConfig::default()
+            },
+        ),
+        GateConfig::default(),
+    ));
+    let sessions: Vec<_> = (0..options.clients)
+        .map(|i| gate.open_session(&format!("tenant-{}", i % options.tenants)))
+        .collect::<Result<_>>()?;
+
+    // Pre-generate the whole schedule so the dispatch loop is pure sleeps.
+    let mut rng = Xoshiro256::new(options.seed).derive(multiplier.to_bits());
+    let mut schedule: Vec<Arrival> = Vec::new();
+    let mut at = Duration::ZERO;
+    loop {
+        let step = -(1.0 - rng.gen_f64()).ln() / rate;
+        at += Duration::from_secs_f64(step);
+        if at >= options.window {
+            break;
+        }
+        schedule.push(Arrival {
+            at,
+            client: rng.gen_range(options.clients as u64) as usize,
+            kind: rng.choose_weighted(&mix.weights),
+        });
+    }
+
+    let mut shed = 0usize;
+    // (tenant, latency, completion instant relative to point start)
+    let outcomes: Arc<Mutex<Vec<(usize, Duration, Duration)>>> = Arc::new(Mutex::new(Vec::new()));
+    let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    let arrivals = schedule.len();
+    for arrival in schedule {
+        if let Some(pause) = arrival.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(pause);
+        }
+        // Admission runs on the dispatcher thread: opening a cursor is
+        // synchronous and non-blocking (submit + return), and shedding is
+        // instantaneous — so an overloaded run costs one worker thread
+        // per *admitted* query, not per arrival.
+        let session = sessions[arrival.client];
+        let job = &mix.jobs[arrival.kind].1;
+        let name = mix.jobs[arrival.kind].0;
+        let cursor = match gate.open_cursor_with(session, job, QueryOptions::default()) {
+            Ok(cursor) => cursor,
+            Err(RedeError::Overloaded(_)) => {
+                shed += 1;
+                continue;
+            }
+            Err(err) => {
+                return Err(RedeError::Exec(format!(
+                    "open-loop point failed: {name}: open: {err}"
+                )))
+            }
+        };
+        let gate = gate.clone();
+        let expected = mix.jobs[arrival.kind].2;
+        let tenant = arrival.client % options.tenants;
+        let page_size = options.page_size;
+        let sched_at = arrival.at;
+        let outcomes = outcomes.clone();
+        let errors = errors.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rows = 0u64;
+            loop {
+                match gate.fetch(cursor, page_size) {
+                    Ok(page) => {
+                        rows += page.records.len() as u64;
+                        if page.done {
+                            break;
+                        }
                     }
-                    if std::time::Instant::now() >= deadline {
-                        break;
+                    Err(err) => {
+                        errors.lock().unwrap().push(format!("{name}: fetch: {err}"));
+                        return;
                     }
                 }
-                Ok((completed, latencies))
-            })
-        })
-        .collect();
-
-    let mut per_client_completed = Vec::with_capacity(options.clients);
-    let mut latencies = Vec::new();
+            }
+            if rows != expected {
+                errors
+                    .lock()
+                    .unwrap()
+                    .push(format!("{name}: {rows} rows, one-shot run said {expected}"));
+                return;
+            }
+            let done_at = start.elapsed();
+            outcomes
+                .lock()
+                .unwrap()
+                .push((tenant, done_at.saturating_sub(sched_at), done_at));
+        }));
+    }
     for worker in workers {
-        let (completed, mut lats) = worker.join().expect("client thread panicked")?;
-        per_client_completed.push(completed);
-        latencies.append(&mut lats);
+        worker.join().expect("open-loop worker panicked");
     }
     let wall = start.elapsed();
+
+    if let Some(err) = errors.lock().unwrap().first() {
+        return Err(RedeError::Exec(format!("open-loop point failed: {err}")));
+    }
+
+    let mut per_tenant_completed = vec![0usize; options.tenants];
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut completed_in_window = 0usize;
+    for (tenant, latency, done_at) in outcomes.lock().unwrap().iter() {
+        per_tenant_completed[*tenant] += 1;
+        latencies.push(*latency);
+        if *done_at <= options.window {
+            completed_in_window += 1;
+        }
+    }
     latencies.sort();
 
-    // Leak check: with every job complete, the IOPS limiters must be back
-    // at their at-rest capacity — a held permit here means a retry or
-    // recovery path leaked one.
-    drop(scheduler);
-    let permits_now = fixture.cluster.available_iops_permits();
+    // Leak check: dropping the gate closes every session and cancels any
+    // straggling cursor; everything the point held must come back.
+    drop(gate);
+    let permits_now = cluster.available_iops_permits();
     if permits_now != permits_at_rest {
-        return Err(rede_common::RedeError::Exec(format!(
-            "IOPS permits leaked: at rest {permits_at_rest:?}, after run {permits_now:?}"
+        return Err(RedeError::Exec(format!(
+            "IOPS permits leaked: at rest {permits_at_rest:?}, after point {permits_now:?}"
         )));
     }
-    let recovery = fixture.cluster.metrics().snapshot().since(&metrics_before);
+    if cluster.metrics().snapshots_active() != 0 {
+        return Err(RedeError::Exec(format!(
+            "{} snapshots still pinned after the point",
+            cluster.metrics().snapshots_active()
+        )));
+    }
+    let recovery = cluster.metrics().snapshot().since(&metrics_before);
 
-    Ok(ThroughputPoint {
-        clients: options.clients,
-        jobs: per_client_completed.iter().sum(),
+    Ok(OpenLoopPoint {
+        multiplier,
+        offered_rate: rate,
+        arrivals,
+        completed: latencies.len(),
+        completed_in_window,
+        window: options.window,
+        shed,
         wall,
         p50: percentile(&latencies, 0.50),
-        p95: percentile(&latencies, 0.95),
         p99: percentile(&latencies, 0.99),
-        per_client_completed,
+        p999: percentile(&latencies, 0.999),
+        per_tenant_completed,
+        faults_injected: recovery.faults_injected,
+        retries: recovery.retries,
+        rerouted_reads: recovery.rerouted_reads,
+    })
+}
+
+/// Run the full open-loop sweep: calibrate, then one point per rate
+/// multiplier (ascending), each on a fresh gate over the shared fixture.
+pub fn run_openloop(
+    fixture: &OpenLoopFixture,
+    options: &OpenLoopOptions,
+) -> Result<OpenLoopReport> {
+    // Snapshot before the reference runs: under a fault plan each access
+    // site faults at most once globally, and the references visit most of
+    // them — baselining here makes the run-level recovery counters show
+    // the plan fired even though later points mostly re-read survivors.
+    let metrics_before = fixture.fig7.cluster.metrics().snapshot();
+    let mix = build_mix(fixture, options)?;
+    let capacity = calibrate(fixture, options, &mix)?;
+    let mut multipliers = options.rate_multipliers.clone();
+    multipliers.sort_by(|a, b| a.partial_cmp(b).expect("finite multipliers"));
+    let mut points = Vec::with_capacity(multipliers.len());
+    for multiplier in multipliers {
+        points.push(run_point(
+            fixture,
+            options,
+            &mix,
+            multiplier,
+            multiplier * capacity,
+        )?);
+    }
+    let recovery = fixture
+        .fig7
+        .cluster
+        .metrics()
+        .snapshot()
+        .since(&metrics_before);
+    Ok(OpenLoopReport {
+        capacity_estimate: capacity,
+        points,
         faults_injected: recovery.faults_injected,
         retries: recovery.retries,
         rerouted_reads: recovery.rerouted_reads,

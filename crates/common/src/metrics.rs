@@ -85,6 +85,17 @@ struct Inner {
     /// experiments can report concurrency).
     snapshots_active: AtomicU64,
     catchup_builds: AtomicU64,
+    /// Gate sessions currently open (gauge: begin/end paired like
+    /// `snapshots_active`, captured into the snapshot).
+    sessions_active: AtomicU64,
+    /// Gate cursors currently open (gauge, begin/end paired).
+    cursors_active: AtomicU64,
+    /// Times a producing job's emit path saturated a cursor buffer and
+    /// stalled until the client drained it.
+    cursor_stalls: AtomicU64,
+    /// Commands the front door refused with `Overloaded` (session caps,
+    /// cursor caps, or tenant admission bounds).
+    shed_commands: AtomicU64,
     /// Point reads and record-cache accesses attributed to the node that
     /// *issued* them, grown on demand to the highest node index seen. Kept
     /// outside [`MetricsSnapshot`] (which stays `Copy`); read via
@@ -351,6 +362,55 @@ impl Metrics {
         self.inner.catchup_builds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Mark one gate session opening; pairs with
+    /// [`Metrics::record_session_end`].
+    #[inline]
+    pub fn record_session_begin(&self) {
+        self.inner.sessions_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Mark one gate session closed or expired.
+    #[inline]
+    pub fn record_session_end(&self) {
+        self.inner.sessions_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Gate sessions currently open (0 whenever no client is connected).
+    pub fn sessions_active(&self) -> u64 {
+        self.inner.sessions_active.load(Ordering::SeqCst)
+    }
+
+    /// Mark one gate cursor opening; pairs with
+    /// [`Metrics::record_cursor_end`].
+    #[inline]
+    pub fn record_cursor_begin(&self) {
+        self.inner.cursors_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Mark one gate cursor closed, exhausted, or reaped.
+    #[inline]
+    pub fn record_cursor_end(&self) {
+        self.inner.cursors_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Gate cursors currently open (0 whenever no result is mid-stream).
+    pub fn cursors_active(&self) -> u64 {
+        self.inner.cursors_active.load(Ordering::SeqCst)
+    }
+
+    /// Count one emit-path stall on a saturated cursor buffer (the
+    /// transition into saturation, not every blocked record).
+    #[inline]
+    pub fn record_cursor_stall(&self) {
+        self.inner.cursor_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one command the front door refused with `Overloaded`.
+    #[inline]
+    pub fn record_shed_command(&self) {
+        self.inner.shed_commands.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Mark one remote round trip landing.
     #[inline]
     pub fn record_flight_end(&self) {
@@ -395,6 +455,10 @@ impl Metrics {
             wal_bytes: i.wal_bytes.load(Ordering::Relaxed),
             snapshots_active: i.snapshots_active.load(Ordering::SeqCst),
             catchup_builds: i.catchup_builds.load(Ordering::Relaxed),
+            sessions_active: i.sessions_active.load(Ordering::SeqCst),
+            cursors_active: i.cursors_active.load(Ordering::SeqCst),
+            cursor_stalls: i.cursor_stalls.load(Ordering::Relaxed),
+            shed_commands: i.shed_commands.load(Ordering::Relaxed),
         }
     }
 
@@ -432,6 +496,10 @@ impl Metrics {
             &i.wal_bytes,
             &i.snapshots_active,
             &i.catchup_builds,
+            &i.sessions_active,
+            &i.cursors_active,
+            &i.cursor_stalls,
+            &i.shed_commands,
         ] {
             ctr.store(0, Ordering::Relaxed);
         }
@@ -562,6 +630,14 @@ pub struct MetricsSnapshot {
     pub snapshots_active: u64,
     /// Write-behind index catch-up passes that applied pending writes.
     pub catchup_builds: u64,
+    /// Gate sessions open at capture time (a gauge, not a count).
+    pub sessions_active: u64,
+    /// Gate cursors open at capture time (a gauge, not a count).
+    pub cursors_active: u64,
+    /// Emit-path stalls on saturated cursor buffers.
+    pub cursor_stalls: u64,
+    /// Commands the front door refused with `Overloaded`.
+    pub shed_commands: u64,
 }
 
 impl MetricsSnapshot {
@@ -623,6 +699,12 @@ impl MetricsSnapshot {
                 .snapshots_active
                 .saturating_sub(earlier.snapshots_active),
             catchup_builds: self.catchup_builds.saturating_sub(earlier.catchup_builds),
+            // Gauges like snapshots_active: the delta is how many more
+            // were open at capture time (saturating at zero).
+            sessions_active: self.sessions_active.saturating_sub(earlier.sessions_active),
+            cursors_active: self.cursors_active.saturating_sub(earlier.cursors_active),
+            cursor_stalls: self.cursor_stalls.saturating_sub(earlier.cursor_stalls),
+            shed_commands: self.shed_commands.saturating_sub(earlier.shed_commands),
         }
     }
 }
@@ -689,6 +771,16 @@ impl fmt::Display for MetricsSnapshot {
                 f,
                 ", ingest: {} wal appends ({} B), {} snapshots active, {} catch-up builds",
                 self.wal_appends, self.wal_bytes, self.snapshots_active, self.catchup_builds,
+            )?;
+        }
+        // Gate counters render only when a front door served commands, so
+        // direct-submission runs keep their exact prior form.
+        if self.sessions_active + self.cursors_active + self.cursor_stalls + self.shed_commands > 0
+        {
+            write!(
+                f,
+                ", gate: {} sessions / {} cursors active, {} cursor stalls, {} shed",
+                self.sessions_active, self.cursors_active, self.cursor_stalls, self.shed_commands,
             )?;
         }
         Ok(())
@@ -1171,6 +1263,37 @@ mod tests {
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         // A read-only snapshot renders without the ingest suffix.
         assert!(!m.snapshot().to_string().contains("ingest:"));
+    }
+
+    #[test]
+    fn gate_counters_round_trip() {
+        let m = Metrics::new();
+        m.record_session_begin();
+        m.record_session_begin();
+        m.record_session_end();
+        m.record_cursor_begin();
+        m.record_cursor_stall();
+        m.record_shed_command();
+        m.record_shed_command();
+        assert_eq!(m.sessions_active(), 1);
+        assert_eq!(m.cursors_active(), 1);
+        let s = m.snapshot();
+        assert_eq!(s.sessions_active, 1);
+        assert_eq!(s.cursors_active, 1);
+        assert_eq!(s.cursor_stalls, 1);
+        assert_eq!(s.shed_commands, 2);
+        assert!(s
+            .to_string()
+            .contains("gate: 1 sessions / 1 cursors active, 1 cursor stalls, 2 shed"));
+        let delta = m.snapshot().since(&s);
+        assert_eq!(delta.cursor_stalls, 0);
+        assert_eq!(delta.shed_commands, 0);
+        m.record_session_end();
+        m.record_cursor_end();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        // A gate-less snapshot renders without the gate suffix.
+        assert!(!m.snapshot().to_string().contains("gate:"));
     }
 
     #[test]

@@ -76,6 +76,7 @@ use crate::traits::{DerefInput, StageCtx};
 use parking_lot::{Condvar, Mutex};
 use rede_common::{ExecProfile, IoScope, Metrics, NodeProfile, RedeError, Result, StageProfile};
 use rede_storage::{FabricConfig, Pointer, Record, SimCluster, SimFabric};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -211,6 +212,101 @@ impl ServiceEwma {
     }
 }
 
+/// Bounded FIFO of a streaming job's final records, drained by a gate
+/// cursor. Applies backpressure to the producing job's emit path: once
+/// the buffer holds `capacity` records the job's *pooled* tasks become
+/// ineligible (see [`Shared::eligible`]), so its queued work sits in the
+/// weighted queues consuming no pool threads until a drain takes the
+/// buffer back under the low-water mark. In-flight tasks still land
+/// their outputs, so occupancy can overshoot `capacity` by at most the
+/// job's pool-thread share times its per-task fan-out — bounded, and
+/// small compared to collecting the whole result.
+pub(crate) struct OutputSink {
+    buf: Mutex<VecDeque<Record>>,
+    /// Signalled on every push and on close; fetchers park here.
+    available: Condvar,
+    capacity: usize,
+    /// Read lock-free by `Shared::eligible`; transitions happen under
+    /// `buf`'s lock so push and drain never race the flag into a state
+    /// the buffer contradicts.
+    saturated: AtomicBool,
+    /// Set when the producing job finished (however it finished); wakes
+    /// fetchers waiting for records that will never come.
+    closed: AtomicBool,
+}
+
+impl OutputSink {
+    fn new(capacity: usize) -> OutputSink {
+        OutputSink {
+            buf: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            saturated: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Append one final record. Returns true exactly when this push
+    /// *transitioned* the sink into saturation (feeds `cursor_stalls`).
+    fn push(&self, record: Record) -> bool {
+        let mut buf = self.buf.lock();
+        buf.push_back(record);
+        let newly_saturated =
+            buf.len() >= self.capacity && !self.saturated.swap(true, Ordering::SeqCst);
+        drop(buf);
+        self.available.notify_one();
+        newly_saturated
+    }
+
+    /// Take up to `max` records in emission order. Returns the records
+    /// and whether this drain cleared saturation (the caller must then
+    /// wake the dispatchers so the job's queued work resumes).
+    fn drain(&self, max: usize) -> (Vec<Record>, bool) {
+        let mut buf = self.buf.lock();
+        let n = max.min(buf.len());
+        let records: Vec<Record> = buf.drain(..n).collect();
+        // Low-water at half capacity gives drain/refill hysteresis; for
+        // capacity 1 it degenerates to "empty", which is still correct.
+        let unsaturated = self.saturated.load(Ordering::SeqCst) && buf.len() <= self.capacity / 2;
+        if unsaturated {
+            self.saturated.store(false, Ordering::SeqCst);
+        }
+        (records, unsaturated)
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.saturated.load(Ordering::SeqCst)
+    }
+
+    fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Mark the producer finished and wake every parked fetcher.
+    fn close(&self) {
+        let _guard = self.buf.lock();
+        self.closed.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    /// Block until a record is buffered or the sink closes, up to
+    /// `timeout`. Deadline loop: a spurious wakeup re-waits for the
+    /// *remaining* time, and retries never oversleep the deadline.
+    /// Returns false only on timeout with the sink still open and empty.
+    fn wait_available(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut buf = self.buf.lock();
+        while buf.is_empty() && !self.closed.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.available.wait_for(&mut buf, deadline - now);
+        }
+        true
+    }
+}
+
 /// State shared by all dispatchers and jobs of one substrate.
 struct Shared {
     queues: Vec<NodeQueue>,
@@ -248,6 +344,15 @@ impl Shared {
         }
         if job.cancelled.load(Ordering::Relaxed) || job.failed.load(Ordering::Relaxed) {
             return true;
+        }
+        // A streaming job whose cursor buffer is full parks its pooled
+        // work in the queues — the emit path stalls without a single
+        // pool thread held. The drain that clears saturation wakes every
+        // dispatcher, exactly like a pool-share release.
+        if let Some(sink) = &job.sink {
+            if sink.is_saturated() {
+                return false;
+            }
         }
         job.pool_inflight.load(Ordering::Relaxed) < self.pool_cap(job)
     }
@@ -319,6 +424,11 @@ pub(crate) struct JobOptions {
     /// Bumped once when the job finishes, however it finishes (scheduler
     /// stats).
     pub on_finish: Option<Arc<AtomicU64>>,
+    /// `Some(capacity)` streams final records through a bounded
+    /// [`OutputSink`] drained incrementally (gate cursors) instead of —
+    /// or in addition to — collecting them; saturation backpressures
+    /// the job's pooled tasks. `None` keeps the one-shot collect path.
+    pub stream_buffer: Option<usize>,
 }
 
 impl JobOptions {
@@ -332,6 +442,7 @@ impl JobOptions {
             label: None,
             snapshot: None,
             on_finish: None,
+            stream_buffer: None,
         }
     }
 }
@@ -372,6 +483,9 @@ pub(crate) struct JobState {
     /// Snapshot guard pinned at submit, released exactly when the job
     /// finishes (see [`JobOptions::snapshot`]).
     snapshot_guard: Mutex<Option<crate::txn::Snapshot>>,
+    /// Bounded streaming buffer for final records (gate cursors); `None`
+    /// on the one-shot collect path (see [`JobOptions::stream_buffer`]).
+    sink: Option<OutputSink>,
 }
 
 impl JobState {
@@ -430,6 +544,45 @@ impl JobState {
             self.done_cv.wait_for(&mut done, deadline - now);
         }
         done.clone()
+    }
+
+    /// Take up to `max` buffered final records in emission order
+    /// (streaming submissions only; empty on the collect path). A drain
+    /// that clears sink saturation wakes every dispatcher so the job's
+    /// parked pooled work resumes.
+    pub(crate) fn drain_output(&self, max: usize) -> Vec<Record> {
+        let Some(sink) = &self.sink else {
+            return Vec::new();
+        };
+        let (records, unsaturated) = sink.drain(max);
+        if unsaturated {
+            self.shared.wake_all_dispatchers();
+        }
+        records
+    }
+
+    /// Records currently buffered in the streaming sink (0 on the
+    /// collect path).
+    pub(crate) fn output_pending(&self) -> usize {
+        self.sink.as_ref().map_or(0, OutputSink::len)
+    }
+
+    /// True while the streaming sink is saturated (the emit path is
+    /// stalled waiting for a drain).
+    pub(crate) fn output_stalled(&self) -> bool {
+        self.sink.as_ref().is_some_and(OutputSink::is_saturated)
+    }
+
+    /// Block until the streaming sink has a record or the job finishes,
+    /// up to `timeout`. False only on timeout with the job still
+    /// running and nothing buffered. Immediately true on the collect
+    /// path once the job finishes (and after a timeout-slice wait
+    /// before: collect-path callers should use `wait_result` instead).
+    pub(crate) fn output_available(&self, timeout: Duration) -> bool {
+        match &self.sink {
+            Some(sink) => sink.wait_available(timeout),
+            None => self.wait_result_timeout(timeout).is_some(),
+        }
     }
 
     /// Abort the job because its deadline passed: counts a deadline
@@ -644,6 +797,12 @@ impl JobState {
         // Release the pinned snapshot (drops the `snapshots_active`
         // gauge) — the job's last read is behind us.
         drop(self.snapshot_guard.lock().take());
+        // Wake any cursor parked on the streaming buffer: no more
+        // records are coming, and the fetcher must see `done` (or the
+        // error) instead of blocking for its full timeout.
+        if let Some(sink) = &self.sink {
+            sink.close();
+        }
         if let Some(counter) = &self.on_finish {
             counter.fetch_add(1, Ordering::Relaxed);
         }
@@ -660,7 +819,14 @@ impl JobState {
                 if next >= self.job.stages().len() {
                     self.out_count.fetch_add(1, Ordering::Relaxed);
                     self.tally(|m| m.record_emit());
-                    if self.collect {
+                    if let Some(sink) = &self.sink {
+                        if self.collect {
+                            self.out_records.lock().push(record.clone());
+                        }
+                        if sink.push(record) {
+                            self.tally(|m| m.record_cursor_stall());
+                        }
+                    } else if self.collect {
                         self.out_records.lock().push(record);
                     }
                 } else {
@@ -1540,6 +1706,7 @@ impl Substrate {
             done_cv: Condvar::new(),
             on_finish: opts.on_finish,
             snapshot_guard: Mutex::new(opts.snapshot),
+            sink: opts.stream_buffer.map(OutputSink::new),
         });
         // Seed every node: the initial stage runs everywhere, each node
         // covering its locally placed partitions (lines 2-5 of Algorithm 1).

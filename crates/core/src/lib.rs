@@ -42,9 +42,13 @@
 //!   scan fallback), the fix the paper sketches for the high-selectivity
 //!   regression of Fig. 7.
 //! * [`advisor`] — workload-driven adaptive structure maintenance (§ V-B).
+//! * [`gate`] — HarborGate, the front door: sessions, paginated cursors
+//!   over streaming job output with zero-pool-thread backpressure, and
+//!   overload shedding before a job is ever built.
 
 pub mod advisor;
 pub mod exec;
+pub mod gate;
 pub mod job;
 pub mod maintenance;
 pub mod optimizer;
@@ -56,6 +60,10 @@ pub mod txn;
 
 pub use advisor::{AdvisorConfig, PatternKind, StructureAdvisor, WorkloadTracker};
 pub use exec::{ExecMode, ExecutorConfig, JobResult, JobRunner, RoutingPolicy};
+pub use gate::{
+    Command, CursorId, GateConfig, GateStats, HarborGate, Page, QueryOptions, Reply, SessionId,
+    SweepReport,
+};
 pub use job::{Job, JobBuilder, SeedInput, Stage};
 pub use maintenance::{IndexBuildReport, IndexBuilder};
 pub use optimizer::{EngineChoice, PlanEstimate, Planner, PlannerEnv};

@@ -16,6 +16,7 @@ use rede_common::{FxHashMap, IoScope, RedeError, Result};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What `ensure_index` resolved to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +54,22 @@ impl BuildState {
             self.cv.wait(&mut done);
         }
         done.clone().expect("loop exits only when set")
+    }
+
+    /// Deadline-loop timeout wait: a spurious wakeup re-waits only the
+    /// *remaining* time (never returns `None` early), and a retried call
+    /// never sleeps past its own deadline.
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<EnsureOutcome>> {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock();
+        while done.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut done, deadline - now);
+        }
+        done.clone()
     }
 
     fn poll(&self) -> Option<Result<EnsureOutcome>> {
@@ -99,6 +116,17 @@ impl StructureTicket {
         match self.state {
             TicketState::Ready(result) => result,
             TicketState::Pending(state) => state.wait(),
+        }
+    }
+
+    /// Wait at most `timeout` for the build to resolve. Returns `None` on
+    /// timeout; the ticket stays valid, so callers can retry (each retry
+    /// gets its own full deadline — a spurious wakeup inside one call
+    /// re-waits only the remaining time).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<EnsureOutcome>> {
+        match &self.state {
+            TicketState::Ready(result) => Some(result.clone()),
+            TicketState::Pending(state) => state.wait_timeout(timeout),
         }
     }
 }

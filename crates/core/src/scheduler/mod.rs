@@ -39,7 +39,7 @@ use crate::maintenance::IndexBuilder;
 use crate::JobResult;
 use parking_lot::{Condvar, Mutex};
 use rede_common::{RedeError, Result};
-use rede_storage::{FabricConfig, SimCluster};
+use rede_storage::{FabricConfig, Record, SimCluster};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -200,6 +200,29 @@ impl JobHandle {
     /// Pooled threads currently occupied by this job.
     pub fn pool_threads_held(&self) -> u64 {
         self.state.pool_inflight()
+    }
+
+    /// Take up to `max` buffered records from a streaming submission, in
+    /// emission order. Empty on the collect path, and after the stream
+    /// is exhausted. A drain that takes the sink below its low-water
+    /// mark releases the emit-path backpressure.
+    pub(crate) fn drain_output(&self, max: usize) -> Vec<Record> {
+        self.state.drain_output(max)
+    }
+
+    /// Records buffered in the streaming sink right now.
+    pub(crate) fn output_pending(&self) -> usize {
+        self.state.output_pending()
+    }
+
+    /// True while the streaming sink is saturated (emit path stalled).
+    pub(crate) fn output_stalled(&self) -> bool {
+        self.state.output_stalled()
+    }
+
+    /// Block up to `timeout` for a buffered record or job completion.
+    pub(crate) fn output_available(&self, timeout: Duration) -> bool {
+        self.state.output_available(timeout)
     }
 }
 
@@ -402,6 +425,31 @@ impl HarborScheduler {
     /// cancellable handle — or `RedeError::Overloaded` when the tenant is
     /// already at its admission bound.
     pub fn submit_with(&self, job: &Job, opts: SubmitOptions) -> Result<JobHandle> {
+        self.submit_inner(job, opts, None)
+    }
+
+    /// Admit a job whose final records stream through a bounded sink of
+    /// `buffer` records instead of accumulating in the result. The gate's
+    /// cursors drain the sink page by page; saturation backpressures the
+    /// job's pooled tasks (they park in the weighted queues, holding no
+    /// pool threads). Same admission control as [`submit_with`].
+    ///
+    /// [`submit_with`]: HarborScheduler::submit_with
+    pub(crate) fn submit_streaming(
+        &self,
+        job: &Job,
+        opts: SubmitOptions,
+        buffer: usize,
+    ) -> Result<JobHandle> {
+        self.submit_inner(job, opts, Some(buffer))
+    }
+
+    fn submit_inner(
+        &self,
+        job: &Job,
+        opts: SubmitOptions,
+        stream_buffer: Option<usize>,
+    ) -> Result<JobHandle> {
         let core = &self.core;
         // Admission check and registration under one lock, so two racing
         // submissions from the same tenant cannot both sneak under the
@@ -438,6 +486,7 @@ impl HarborScheduler {
                 // with the job state and drops at finish.
                 snapshot: core.txn.lock().as_ref().map(|mgr| mgr.pin()),
                 on_finish: Some(core.completed.clone()),
+                stream_buffer,
             },
         );
         active.push(Arc::downgrade(&state));
@@ -466,6 +515,12 @@ impl HarborScheduler {
     pub fn attach_ingest(&self, manager: &Arc<crate::txn::TxnManager>) {
         manager.attach_registry(self.core.builds.clone());
         *self.core.txn.lock() = Some(manager.clone());
+    }
+
+    /// The attached transaction manager, if ingest is attached (the gate
+    /// pins per-cursor snapshots through it).
+    pub(crate) fn txn_manager(&self) -> Option<Arc<crate::txn::TxnManager>> {
+        self.core.txn.lock().clone()
     }
 
     /// Current counters.
@@ -862,6 +917,63 @@ mod tests {
             .expect("job finishes well within a minute")
             .unwrap();
         assert_eq!(result.count, 2000);
+    }
+
+    /// Pins the deadline-loop contract of every timeout wait: a spurious
+    /// wakeup must not return `None` early, and a retried short wait must
+    /// not oversleep past its own deadline — measured against a build kept
+    /// deliberately slow (300 rows × 5 ms ≈ 1.5 s of interpreter time).
+    #[test]
+    fn timeout_waits_honor_their_deadline_on_a_slow_job() {
+        let c = cluster(300, IoModel::zero());
+        let sched = HarborScheduler::with_defaults(c.clone());
+        let builder = IndexBuilder::new(
+            c,
+            IndexSpec::global("base.weight", "base", 8),
+            Arc::new(Slow(
+                DelimitedInterpreter::pipe(2, FieldType::Int),
+                Duration::from_millis(5),
+            )),
+        );
+        let ticket = sched.ensure_index(builder);
+
+        // Far too short for this build: the wait must run its full budget
+        // (no spurious-wakeup early return) but not grossly oversleep.
+        let t0 = Instant::now();
+        assert!(
+            ticket.wait_timeout(Duration::from_millis(40)).is_none(),
+            "a 1.5 s build cannot resolve in 40 ms"
+        );
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(40),
+            "timeout wait returned early after {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(750),
+            "40 ms timeout wait overslept to {waited:?}"
+        );
+
+        // Retried short waits: each retry gets its own full deadline, and
+        // the loop converges as soon as the build fulfills — it must not
+        // accumulate a whole extra slice per retry.
+        let mut retries = 0u32;
+        let outcome = loop {
+            if let Some(result) = ticket.wait_timeout(Duration::from_millis(50)) {
+                break result;
+            }
+            retries += 1;
+            assert!(retries < 600, "slow build never resolved");
+        };
+        assert!(matches!(outcome.unwrap(), EnsureOutcome::Built(_)));
+
+        // Resolved tickets answer immediately, without sleeping the budget.
+        let t1 = Instant::now();
+        assert!(ticket.wait_timeout(Duration::from_secs(5)).is_some());
+        assert!(
+            t1.elapsed() < Duration::from_millis(100),
+            "ready ticket slept instead of answering"
+        );
     }
 
     /// A referencer that panics on every record.

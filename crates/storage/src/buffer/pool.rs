@@ -20,19 +20,20 @@ use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use rede_common::{FxHashMap, RedeError, Result};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How many accesses LRU-K remembers per page. K=2 is the classic sweet
 /// spot: scan-resistant without the bookkeeping of larger K.
 const LRU_K: usize = 2;
 
-/// How long one wait for a pin to drop lasts, and how many waits a single
-/// charge will tolerate before giving up. Pins are short-lived (guards are
-/// dropped without the pool lock), so under transient pin pressure a
-/// charge parks briefly instead of failing a correct workload; a budget
-/// that is genuinely too small still errors within the cap.
-const PIN_WAIT_SLICE: Duration = Duration::from_millis(10);
-const MAX_PIN_WAITS: u32 = 25;
+/// Total time one charge will wait for pinned frames to unpin before
+/// giving up. Pins are short-lived (guards are dropped without the pool
+/// lock), so under transient pin pressure a charge parks briefly instead
+/// of failing a correct workload; a budget that is genuinely too small
+/// still errors within this bound. A *deadline*, not a wait-slice count:
+/// spurious condvar wakeups must not burn the patience early, and a
+/// retried wait must not sleep past the bound.
+const PIN_WAIT_BUDGET: Duration = Duration::from_millis(250);
 
 /// A budget consumer the pool may ask to give bytes back under pressure.
 pub trait ShrinkBytes: Send + Sync {
@@ -311,7 +312,9 @@ impl BufferPool {
     /// until the charge fits. Returns evictions performed.
     fn make_room(&self, st: &mut MutexGuard<'_, PoolState>, need: usize) -> Result<u64> {
         let mut evictions = 0u64;
-        let mut pin_waits = 0u32;
+        // Armed lazily on the first pin-wait so eviction work done before
+        // any wait never counts against the waiting budget.
+        let mut pin_deadline: Option<Instant> = None;
         loop {
             if self.budget.try_charge(need) {
                 return Ok(evictions);
@@ -349,11 +352,18 @@ impl BufferPool {
             // Every resident frame is pinned and the cache has nothing
             // left. Guards drop without taking the pool lock, so park
             // briefly for a pin to fall rather than failing a workload
-            // that is merely momentarily pin-heavy.
-            if self.pinned_bytes.load(Ordering::Relaxed) > 0 && pin_waits < MAX_PIN_WAITS {
-                pin_waits += 1;
-                self.pin_wait.wait_for(st, PIN_WAIT_SLICE);
-                continue;
+            // that is merely momentarily pin-heavy. Deadline loop: a
+            // spurious wakeup re-waits only the *remaining* budget (it
+            // used to burn a whole wait slice, failing pin-heavy
+            // workloads early), and repeated waits cannot oversleep.
+            if self.pinned_bytes.load(Ordering::Relaxed) > 0 {
+                let deadline =
+                    *pin_deadline.get_or_insert_with(|| Instant::now() + PIN_WAIT_BUDGET);
+                let now = Instant::now();
+                if now < deadline {
+                    self.pin_wait.wait_for(st, deadline - now);
+                    continue;
+                }
             }
             return Err(RedeError::Overloaded(format!(
                 "buffer pool: byte budget exhausted ({need} B needed, \

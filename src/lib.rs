@@ -68,6 +68,10 @@ pub mod prelude {
     pub use rede_core::exec::{
         Batching, ExecMode, ExecutorConfig, JobResult, JobRunner, RoutingPolicy,
     };
+    pub use rede_core::gate::{
+        Command, CursorId, GateConfig, GateStats, HarborGate, Page, QueryOptions, Reply, SessionId,
+        SweepReport,
+    };
     pub use rede_core::job::{Job, JobBuilder};
     pub use rede_core::maintenance::IndexBuilder;
     pub use rede_core::prebuilt::*;

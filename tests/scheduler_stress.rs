@@ -1,6 +1,8 @@
 //! Scheduler concurrency stress: many simultaneous tenants on one
 //! `HarborScheduler` must get byte-identical answers to serial runs, and
-//! a cancelled tenant must return every resource it held.
+//! a cancelled tenant must return every resource it held — whether the
+//! cancel arrives on the raw `JobHandle` or through the gate's
+//! cursor-close path.
 
 use lakeharbor::prelude::*;
 use rede_tpch::{load_tpch, q5_prime_job, q6_job, LoadOptions, Q5Params, Q6Params, TpchGenerator};
@@ -134,6 +136,78 @@ fn cancelled_tenant_returns_its_iops_permits_and_pool_slots() {
             victim.permits_held(),
             victim.pool_threads_held(),
             cluster.available_iops_permits()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn gate_cursor_close_returns_permits_pool_slots_and_snapshots() {
+    // Same resource-return contract as the raw-handle test above, but
+    // exercised through the front door: the cancel is a cursor close, and
+    // the cursor's pinned snapshot must unpin along with the permits.
+    let cluster = fixture(IoModel::hdd_like(0.3));
+    let permits_at_rest = cluster.available_iops_permits();
+    let gate = HarborGate::with_config(
+        HarborScheduler::new(
+            cluster.clone(),
+            SchedulerConfig {
+                pool_threads: 32,
+                ..SchedulerConfig::default()
+            },
+        ),
+        GateConfig {
+            cursor_buffer: 16,
+            ..GateConfig::default()
+        },
+    );
+
+    let victim_session = gate.open_session("victim").unwrap();
+    let victim_cursor = gate
+        .open_cursor(
+            victim_session,
+            &q5_prime_job(&Q5Params::with_selectivity(3e-1)).unwrap(),
+        )
+        .unwrap();
+    let survivor_session = gate.open_session("survivor").unwrap();
+    let survivor_cursor = gate
+        .open_cursor(survivor_session, &q6_job(&Q6Params::standard()).unwrap())
+        .unwrap();
+
+    // Catch the victim mid-I/O, then abandon it.
+    std::thread::sleep(Duration::from_millis(25));
+    gate.close_cursor(victim_cursor).unwrap();
+    gate.close_session(victim_session).unwrap();
+
+    // The survivor's stream is untouched by its neighbour's close: page it
+    // to completion and check it actually produced rows.
+    let mut survivor_rows = 0usize;
+    loop {
+        let page = gate.fetch(survivor_cursor, 64).unwrap();
+        survivor_rows += page.records.len();
+        if page.done {
+            break;
+        }
+    }
+    assert!(survivor_rows > 0);
+    gate.close_session(survivor_session).unwrap();
+
+    // Everything flows back: the cancelled job's in-flight I/O retires,
+    // permits return to at-rest, and both cursors' snapshots unpin.
+    let stats = gate.stats();
+    assert_eq!(stats.sessions, 0);
+    assert_eq!(stats.cursors, 0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while gate.stats().scheduler.active_jobs != 0
+        || cluster.available_iops_permits() != permits_at_rest
+        || cluster.metrics().snapshots_active() != 0
+    {
+        assert!(
+            Instant::now() < deadline,
+            "gate-closed tenant still holds resources: active_jobs={} cluster={:?} snapshots={}",
+            gate.stats().scheduler.active_jobs,
+            cluster.available_iops_permits(),
+            cluster.metrics().snapshots_active()
         );
         std::thread::sleep(Duration::from_millis(10));
     }
